@@ -1,0 +1,319 @@
+package probequorum_test
+
+// One benchmark per table and figure of the paper (see DESIGN.md's
+// experiment index). Each witness-search benchmark reports the custom
+// metric probes/op — the paper's probe complexity — next to the usual
+// ns/op, so `go test -bench=.` regenerates the measured columns.
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"probequorum/internal/availability"
+	"probequorum/internal/coloring"
+	"probequorum/internal/core"
+	"probequorum/internal/load"
+	"probequorum/internal/probe"
+	"probequorum/internal/strategy"
+	"probequorum/internal/systems"
+	"probequorum/internal/urn"
+	"probequorum/internal/walk"
+)
+
+// benchWitnessSearch runs a witness search per iteration over colorings
+// drawn by mkColoring and reports average probes.
+func benchWitnessSearch(b *testing.B, n int,
+	mkColoring func(rng *rand.Rand) *coloring.Coloring,
+	search func(o probe.Oracle, rng *rand.Rand) probe.Witness) {
+	b.Helper()
+	rng := rand.New(rand.NewPCG(42, uint64(n)))
+	totalProbes := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		col := mkColoring(rng)
+		o := probe.NewOracle(col)
+		search(o, rng)
+		totalProbes += o.Probes()
+	}
+	b.ReportMetric(float64(totalProbes)/float64(b.N), "probes/op")
+}
+
+func iidHalf(n int) func(rng *rand.Rand) *coloring.Coloring {
+	return func(rng *rand.Rand) *coloring.Coloring { return coloring.IID(n, 0.5, rng) }
+}
+
+// --- Table 1, probabilistic model (p = 1/2) ---
+
+func BenchmarkTable1MajProbabilistic(b *testing.B) {
+	m, _ := systems.NewMaj(101)
+	benchWitnessSearch(b, m.Size(), iidHalf(m.Size()),
+		func(o probe.Oracle, _ *rand.Rand) probe.Witness { return core.ProbeMaj(m, o) })
+}
+
+func BenchmarkTable1TriangProbabilistic(b *testing.B) {
+	tri, _ := systems.NewTriang(10)
+	benchWitnessSearch(b, tri.Size(), iidHalf(tri.Size()),
+		func(o probe.Oracle, _ *rand.Rand) probe.Witness { return core.ProbeCW(tri, o) })
+}
+
+func BenchmarkTable1TreeProbabilistic(b *testing.B) {
+	tr, _ := systems.NewTree(7)
+	benchWitnessSearch(b, tr.Size(), iidHalf(tr.Size()),
+		func(o probe.Oracle, _ *rand.Rand) probe.Witness { return core.ProbeTree(tr, o) })
+}
+
+func BenchmarkTable1HQSProbabilistic(b *testing.B) {
+	hq, _ := systems.NewHQS(5)
+	benchWitnessSearch(b, hq.Size(), iidHalf(hq.Size()),
+		func(o probe.Oracle, _ *rand.Rand) probe.Witness { return core.ProbeHQS(hq, o) })
+}
+
+// --- Table 1, randomized worst-case model (adversarial inputs) ---
+
+func BenchmarkTable1MajRandomized(b *testing.B) {
+	m, _ := systems.NewMaj(101)
+	hard := coloring.FromReds(m.Size(), nil)
+	for e := 0; e < m.Threshold(); e++ {
+		hard.SetColor(e, coloring.Red)
+	}
+	benchWitnessSearch(b, m.Size(),
+		func(*rand.Rand) *coloring.Coloring { return hard },
+		func(o probe.Oracle, rng *rand.Rand) probe.Witness { return core.RProbeMaj(m, o, rng) })
+}
+
+func BenchmarkTable1TriangRandomized(b *testing.B) {
+	tri, _ := systems.NewTriang(10)
+	benchWitnessSearch(b, tri.Size(),
+		func(rng *rand.Rand) *coloring.Coloring { return core.HardCWSample(tri, rng) },
+		func(o probe.Oracle, rng *rand.Rand) probe.Witness { return core.RProbeCW(tri, o, rng) })
+}
+
+func BenchmarkTable1TreeRandomized(b *testing.B) {
+	tr, _ := systems.NewTree(7)
+	benchWitnessSearch(b, tr.Size(),
+		func(rng *rand.Rand) *coloring.Coloring { return core.HardTreeSample(tr, rng) },
+		func(o probe.Oracle, rng *rand.Rand) probe.Witness { return core.RProbeTree(tr, o, rng) })
+}
+
+func BenchmarkTable1HQSRandomized(b *testing.B) {
+	hq, _ := systems.NewHQS(5)
+	hard := core.WorstCaseHQS(hq, coloring.Green, nil)
+	benchWitnessSearch(b, hq.Size(),
+		func(*rand.Rand) *coloring.Coloring { return hard },
+		func(o probe.Oracle, rng *rand.Rand) probe.Witness { return core.IRProbeHQS(hq, o, rng) })
+}
+
+// --- Figures ---
+
+// BenchmarkFigure4Maj3Exact regenerates the §2.3 worked example: the
+// optimal PPC of Maj3 by knowledge-state DP.
+func BenchmarkFigure4Maj3Exact(b *testing.B) {
+	m, _ := systems.NewMaj(3)
+	for i := 0; i < b.N; i++ {
+		if v, err := strategy.OptimalPPC(m, 0.5); err != nil || v != 2.5 {
+			b.Fatalf("OptimalPPC = %v, %v", v, err)
+		}
+	}
+}
+
+// BenchmarkFigure5ProbeCW exercises Algorithm Probe_CW (Fig. 5) on a large
+// wall; probes/op tracks the 2k-1 = 19 expectation bound despite n = 1276.
+func BenchmarkFigure5ProbeCW(b *testing.B) {
+	widths := make([]int, 10)
+	widths[0] = 1
+	for i := 1; i < 10; i++ {
+		widths[i] = 1 + 20*i
+	}
+	cw, _ := systems.NewCW(widths)
+	benchWitnessSearch(b, cw.Size(), iidHalf(cw.Size()),
+		func(o probe.Oracle, _ *rand.Rand) probe.Witness { return core.ProbeCW(cw, o) })
+}
+
+// BenchmarkFigure6HQSOptimality regenerates the Theorem 3.9 comparison:
+// the exhaustive optimal PPC of the height-2 HQS.
+func BenchmarkFigure6HQSOptimality(b *testing.B) {
+	hq, _ := systems.NewHQS(2)
+	for i := 0; i < b.N; i++ {
+		if v, err := strategy.OptimalPPC(hq, 0.5); err != nil || v <= 0 {
+			b.Fatalf("OptimalPPC = %v, %v", v, err)
+		}
+	}
+}
+
+// BenchmarkFigure7RProbeHQS exercises Algorithm R_Probe_HQS (Fig. 7) on
+// class-P inputs; probes/op tracks (8/3)^h.
+func BenchmarkFigure7RProbeHQS(b *testing.B) {
+	hq, _ := systems.NewHQS(5)
+	hard := core.WorstCaseHQS(hq, coloring.Green, nil)
+	benchWitnessSearch(b, hq.Size(),
+		func(*rand.Rand) *coloring.Coloring { return hard },
+		func(o probe.Oracle, rng *rand.Rand) probe.Witness { return core.RProbeHQS(hq, o, rng) })
+}
+
+// BenchmarkFigure8IRProbeHQS exercises the improved Algorithm IR_Probe_HQS
+// (Fig. 8) on the same inputs; its exact expectation (133.45 at h=5) is
+// about 1% below Figure 7's (134.85), so long bench times are needed to
+// see the gap above sampling noise — the F8 experiment compares the exact
+// values instead.
+func BenchmarkFigure8IRProbeHQS(b *testing.B) {
+	hq, _ := systems.NewHQS(5)
+	hard := core.WorstCaseHQS(hq, coloring.Green, nil)
+	benchWitnessSearch(b, hq.Size(),
+		func(*rand.Rand) *coloring.Coloring { return hard },
+		func(o probe.Oracle, rng *rand.Rand) probe.Witness { return core.IRProbeHQS(hq, o, rng) })
+}
+
+// BenchmarkFigure9IRConstant regenerates the Fig. 9 computation: the exact
+// expected recursion constant of IR_Probe_HQS at height 2.
+func BenchmarkFigure9IRConstant(b *testing.B) {
+	hq, _ := systems.NewHQS(2)
+	colP := core.WorstCaseHQS(hq, coloring.Green, nil)
+	for i := 0; i < b.N; i++ {
+		if v := core.ExactIRProbeHQS(hq, colP); v <= 7 || v >= 7.1 {
+			b.Fatalf("constant = %v", v)
+		}
+	}
+}
+
+// --- Lemmas ---
+
+// BenchmarkLemma22Evasive regenerates the evasiveness computation: exact
+// PC of Maj(9) by minimax DP.
+func BenchmarkLemma22Evasive(b *testing.B) {
+	m, _ := systems.NewMaj(9)
+	for i := 0; i < b.N; i++ {
+		if pc, err := strategy.OptimalPC(m); err != nil || pc != 9 {
+			b.Fatalf("OptimalPC = %v, %v", pc, err)
+		}
+	}
+}
+
+// BenchmarkLemma24Walk regenerates the grid-walk expectation (exact DP).
+func BenchmarkLemma24Walk(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if v := walk.ExactExitTime(400, 0.5); v <= 0 {
+			b.Fatal("bad exit time")
+		}
+	}
+}
+
+// BenchmarkLemma28Urn regenerates the j-th-red urn experiment.
+func BenchmarkLemma28Urn(b *testing.B) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	total := 0
+	for i := 0; i < b.N; i++ {
+		total += urn.SimulateJthRed(5, 20, 2, rng)
+	}
+	b.ReportMetric(float64(total)/float64(b.N), "draws/op")
+}
+
+// BenchmarkLemma29Urn regenerates the both-colors urn experiment.
+func BenchmarkLemma29Urn(b *testing.B) {
+	rng := rand.New(rand.NewPCG(9, 9))
+	total := 0
+	for i := 0; i < b.N; i++ {
+		total += urn.SimulateBothColors(2, 30, rng)
+	}
+	b.ReportMetric(float64(total)/float64(b.N), "draws/op")
+}
+
+// --- Propositions and sweeps ---
+
+// BenchmarkProp32MajSweep regenerates the Maj PPC column: the exact
+// expectation via the O(N^2) walk DP for n = 1001.
+func BenchmarkProp32MajSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if v := core.ExpectedProbeMajIID(1001, 0.3); v <= 0 {
+			b.Fatal("bad expectation")
+		}
+	}
+}
+
+// BenchmarkProp36TreeSweep regenerates the Tree exponent measurement: the
+// exact expectation recursion out to height 32.
+func BenchmarkProp36TreeSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if v := core.ExpectedProbeTreeIID(32, 0.3); v <= 0 {
+			b.Fatal("bad expectation")
+		}
+	}
+}
+
+// --- Ablation: the paper's strategy vs baselines on the same workload ---
+
+func BenchmarkAblationProbeCW(b *testing.B) {
+	tri, _ := systems.NewTriang(10)
+	benchWitnessSearch(b, tri.Size(), iidHalf(tri.Size()),
+		func(o probe.Oracle, _ *rand.Rand) probe.Witness { return core.ProbeCW(tri, o) })
+}
+
+func BenchmarkAblationSequentialScan(b *testing.B) {
+	tri, _ := systems.NewTriang(10)
+	benchWitnessSearch(b, tri.Size(), iidHalf(tri.Size()),
+		func(o probe.Oracle, _ *rand.Rand) probe.Witness { return core.SequentialScan(tri, o) })
+}
+
+func BenchmarkAblationUniversal(b *testing.B) {
+	tri, _ := systems.NewTriang(10)
+	benchWitnessSearch(b, tri.Size(), iidHalf(tri.Size()),
+		func(o probe.Oracle, _ *rand.Rand) probe.Witness { return core.Universal(tri, o) })
+}
+
+// The greedy heuristic needs the explicit quorum list, so it runs on
+// Triang(6) (1237 quorums) rather than the Triang(10) of the other
+// ablation rows.
+func BenchmarkAblationGreedyQuorum(b *testing.B) {
+	tri, _ := systems.NewTriang(6)
+	benchWitnessSearch(b, tri.Size(), iidHalf(tri.Size()),
+		func(o probe.Oracle, _ *rand.Rand) probe.Witness { return core.GreedyQuorum(tri, o) })
+}
+
+// --- Extensions ---
+
+// BenchmarkExtensionVote exercises the weighted-voting generalization.
+func BenchmarkExtensionVote(b *testing.B) {
+	weights := make([]int, 51)
+	for i := range weights {
+		weights[i] = 1 + i%5
+	}
+	if w := sumInts(weights); w%2 == 0 {
+		weights[0]++
+	}
+	v, _ := systems.NewVote(weights)
+	benchWitnessSearch(b, v.Size(), iidHalf(v.Size()),
+		func(o probe.Oracle, _ *rand.Rand) probe.Witness { return core.ProbeVote(v, o) })
+}
+
+func sumInts(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// BenchmarkExtensionLoadBalance exercises the Naor–Wool load balancer.
+func BenchmarkExtensionLoadBalance(b *testing.B) {
+	w, _ := systems.NewWheel(12)
+	for i := 0; i < b.N; i++ {
+		if _, err := load.Balance(w, 200); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtensionAvailability exercises the closed-form availability
+// computations across the constructions.
+func BenchmarkExtensionAvailability(b *testing.B) {
+	widths := make([]int, 20)
+	widths[0] = 1
+	for i := 1; i < 20; i++ {
+		widths[i] = i + 1
+	}
+	for i := 0; i < b.N; i++ {
+		_ = availability.Maj(1001, 0.3)
+		_ = availability.CW(widths, 0.3)
+		_ = availability.Tree(20, 0.3)
+		_ = availability.HQS(12, 0.3)
+	}
+}

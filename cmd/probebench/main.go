@@ -1,0 +1,64 @@
+// Command probebench regenerates every table and figure of the paper's
+// evaluation: it runs the experiment drivers and prints paper-vs-measured
+// rows. With no flags it runs everything (about 5 seconds).
+//
+// Usage:
+//
+//	probebench [-list] [-run ID[,ID...]] [-t]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"probequorum/internal/experiments"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	only := flag.String("run", "", "comma-separated experiment IDs to run (default: all)")
+	timing := flag.Bool("t", false, "print per-experiment wall time")
+	flag.Parse()
+
+	if *list {
+		for _, f := range experiments.Registry() {
+			rep := f()
+			fmt.Printf("%-6s %s\n", rep.ID, rep.Title)
+		}
+		return 0
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+
+	matched := 0
+	for _, f := range experiments.Registry() {
+		t0 := time.Now()
+		rep := f()
+		if len(want) > 0 && !want[rep.ID] {
+			continue
+		}
+		matched++
+		fmt.Print(rep.String())
+		if *timing {
+			fmt.Printf("  [%.2fs]\n", time.Since(t0).Seconds())
+		}
+		fmt.Println()
+	}
+	if len(want) > 0 && matched != len(want) {
+		fmt.Fprintf(os.Stderr, "probebench: some requested experiments were not found (ran %d of %d)\n", matched, len(want))
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,96 @@
+// Command probesim runs witness-search simulations: it injects IID
+// failures into a system, runs the paper's probing strategy, and reports
+// average probes against the exact expectation and the availability.
+//
+// Usage:
+//
+//	probesim -system triang -k 10 -p 0.3 -trials 10000 [-randomized] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand/v2"
+	"os"
+
+	"probequorum"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		system     = flag.String("system", "triang", "construction: maj | wheel | cw(-widths unsupported here) | triang | tree | hqs")
+		n          = flag.Int("n", 7, "universe size (maj, wheel)")
+		k          = flag.Int("k", 4, "rows (triang)")
+		height     = flag.Int("height", 2, "height (tree, hqs)")
+		p          = flag.Float64("p", 0.3, "failure probability")
+		trials     = flag.Int("trials", 10000, "number of simulated failure patterns")
+		seed       = flag.Uint64("seed", 1, "PRNG seed")
+		randomized = flag.Bool("randomized", false, "use the randomized worst-case strategy instead")
+	)
+	flag.Parse()
+
+	var sys probequorum.System
+	var err error
+	switch *system {
+	case "maj":
+		sys, err = probequorum.NewMajority(*n)
+	case "wheel":
+		sys, err = probequorum.NewWheel(*n)
+	case "triang":
+		sys, err = probequorum.NewTriang(*k)
+	case "tree":
+		sys, err = probequorum.NewTree(*height)
+	case "hqs":
+		sys, err = probequorum.NewHQS(*height)
+	default:
+		err = fmt.Errorf("unknown system %q", *system)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "probesim:", err)
+		return 1
+	}
+
+	rng := rand.New(rand.NewPCG(*seed, 2*(*seed)+1))
+	var totalProbes, greens int
+	for i := 0; i < *trials; i++ {
+		col := probequorum.IIDColoring(sys.Size(), *p, rng)
+		o := probequorum.NewOracle(col)
+		var w probequorum.Witness
+		if *randomized {
+			w, err = probequorum.FindWitnessRandomized(sys, o, rng)
+		} else {
+			w, err = probequorum.FindWitness(sys, o)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "probesim:", err)
+			return 1
+		}
+		if err := probequorum.VerifyWitness(sys, w, col); err != nil {
+			fmt.Fprintln(os.Stderr, "probesim: unsound witness:", err)
+			return 1
+		}
+		totalProbes += o.Probes()
+		if w.Color == probequorum.Green {
+			greens++
+		}
+	}
+
+	mode := "deterministic (paper probabilistic-model strategy)"
+	if *randomized {
+		mode = "randomized (paper worst-case strategy)"
+	}
+	fmt.Printf("system:            %s (n = %d)\n", sys.Name(), sys.Size())
+	fmt.Printf("strategy:          %s\n", mode)
+	fmt.Printf("failure p:         %.3f over %d trials (seed %d)\n", *p, *trials, *seed)
+	fmt.Printf("avg probes:        %.4f\n", float64(totalProbes)/float64(*trials))
+	if exp, err := probequorum.ExpectedProbes(sys, *p); err == nil && !*randomized {
+		fmt.Printf("exact expectation: %.4f\n", exp)
+	}
+	fmt.Printf("live-quorum rate:  %.4f (1 - F_p = %.4f analytically)\n",
+		float64(greens)/float64(*trials), 1-probequorum.Availability(sys, *p))
+	return 0
+}

@@ -1,0 +1,126 @@
+// Command quorumctl inspects quorum-system constructions: it renders
+// layouts, enumerates quorums, reports quorum-size ranges and availability,
+// and verifies the nondominated-coterie property.
+//
+// Usage:
+//
+//	quorumctl -system maj -n 7 [-p 0.1] [-enumerate] [-check]
+//	quorumctl -system triang -k 4
+//	quorumctl -system cw -widths 1,3,2
+//	quorumctl -system tree -height 3
+//	quorumctl -system hqs -height 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"probequorum"
+	"probequorum/internal/quorum"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		system    = flag.String("system", "", "construction: maj | wheel | cw | triang | tree | hqs | vote")
+		n         = flag.Int("n", 7, "universe size (maj, wheel)")
+		k         = flag.Int("k", 4, "rows (triang)")
+		height    = flag.Int("height", 2, "height (tree, hqs)")
+		widths    = flag.String("widths", "", "comma-separated row widths (cw)")
+		votes     = flag.String("weights", "", "comma-separated element weights (vote)")
+		p         = flag.Float64("p", 0.1, "failure probability for the availability report")
+		enumerate = flag.Bool("enumerate", false, "list all minimal quorums (small systems)")
+		check     = flag.Bool("check", false, "verify the nondominated-coterie property (small systems)")
+	)
+	flag.Parse()
+
+	sys, err := build(*system, *n, *k, *height, *widths, *votes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "quorumctl:", err)
+		return 1
+	}
+
+	fmt.Printf("system:        %s\n", sys.Name())
+	fmt.Printf("universe:      %d elements\n", sys.Size())
+	fmt.Printf("quorum sizes:  %d .. %d\n", quorum.MinQuorumSize(sys), quorum.MaxQuorumSize(sys))
+	fmt.Printf("availability:  F_p = %.6f at p = %.3f\n", probequorum.Availability(sys, *p), *p)
+	if exp, err := probequorum.ExpectedProbes(sys, *p); err == nil {
+		fmt.Printf("probe cost:    %.4f expected probes (paper strategy, IID p = %.3f)\n", exp, *p)
+	}
+
+	if art, err := probequorum.RenderSystem(sys, nil); err == nil {
+		fmt.Println("\nlayout:")
+		fmt.Print(art)
+	}
+
+	if *enumerate {
+		fmt.Println("\nminimal quorums:")
+		for _, q := range sys.Quorums() {
+			fmt.Println(" ", q)
+		}
+	}
+
+	if *check {
+		if err := probequorum.CheckNondominated(sys); err != nil {
+			fmt.Fprintln(os.Stderr, "quorumctl: ND check FAILED:", err)
+			return 1
+		}
+		fmt.Println("\nND check: the system is a nondominated coterie")
+	}
+	return 0
+}
+
+func build(system string, n, k, height int, widths, votes string) (probequorum.System, error) {
+	switch system {
+	case "maj":
+		return probequorum.NewMajority(n)
+	case "wheel":
+		return probequorum.NewWheel(n)
+	case "triang":
+		return probequorum.NewTriang(k)
+	case "cw":
+		if widths == "" {
+			return nil, fmt.Errorf("cw requires -widths")
+		}
+		ws, err := parseInts(widths)
+		if err != nil {
+			return nil, err
+		}
+		return probequorum.NewCrumblingWall(ws)
+	case "vote":
+		if votes == "" {
+			return nil, fmt.Errorf("vote requires -weights")
+		}
+		ws, err := parseInts(votes)
+		if err != nil {
+			return nil, err
+		}
+		return probequorum.NewVote(ws)
+	case "tree":
+		return probequorum.NewTree(height)
+	case "hqs":
+		return probequorum.NewHQS(height)
+	case "":
+		return nil, fmt.Errorf("missing -system (maj | wheel | cw | triang | tree | hqs | vote)")
+	default:
+		return nil, fmt.Errorf("unknown system %q", system)
+	}
+}
+
+func parseInts(csv string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(csv, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q: %w", part, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuildSystems(t *testing.T) {
+	cases := []struct {
+		system string
+		n, k   int
+		height int
+		widths string
+		votes  string
+		want   string
+	}{
+		{system: "maj", n: 7, want: "Maj(7)"},
+		{system: "wheel", n: 5, want: "Wheel(5)"},
+		{system: "triang", k: 3, want: "Triang(3)"},
+		{system: "cw", widths: "1,2,3", want: "CW(1,2,3)"},
+		{system: "cw", widths: " 1 , 4 ", want: "CW(1,4)"},
+		{system: "tree", height: 2, want: "Tree(h=2,n=7)"},
+		{system: "hqs", height: 1, want: "HQS(h=1,n=3)"},
+		{system: "vote", votes: "3,1,1,2", want: "Vote(n=4,W=7)"},
+	}
+	for _, c := range cases {
+		sys, err := build(c.system, c.n, c.k, c.height, c.widths, c.votes)
+		if err != nil {
+			t.Errorf("build(%s): %v", c.system, err)
+			continue
+		}
+		if sys.Name() != c.want {
+			t.Errorf("build(%s) = %s, want %s", c.system, sys.Name(), c.want)
+		}
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		system string
+		n      int
+		widths string
+		votes  string
+		errSub string
+	}{
+		{name: "missing system", system: "", errSub: "missing -system"},
+		{name: "unknown system", system: "grid", errSub: "unknown system"},
+		{name: "cw without widths", system: "cw", errSub: "requires -widths"},
+		{name: "cw bad widths", system: "cw", widths: "1,x", errSub: "bad integer"},
+		{name: "vote without weights", system: "vote", errSub: "requires -weights"},
+		{name: "maj even", system: "maj", n: 4, errSub: "odd"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := build(c.system, c.n, 3, 2, c.widths, c.votes)
+			if err == nil || !strings.Contains(err.Error(), c.errSub) {
+				t.Errorf("err = %v, want containing %q", err, c.errSub)
+			}
+		})
+	}
+}
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("1, 2,3")
+	if err != nil || len(got) != 3 || got[2] != 3 {
+		t.Errorf("parseInts = %v, %v", got, err)
+	}
+	if _, err := parseInts("1,,2"); err == nil {
+		t.Error("parseInts accepted empty field")
+	}
+}

@@ -1,0 +1,90 @@
+package probequorum_test
+
+// Runnable godoc examples for the public API; `go test` verifies the
+// printed output.
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"probequorum"
+)
+
+// ExampleFindWitness probes a crumbling wall under a fixed failure
+// pattern and reports the witness.
+func ExampleFindWitness() {
+	sys, _ := probequorum.NewTriang(3) // rows {1}, {2,3}, {4,5,6}
+	failures := probequorum.ColoringFromReds(sys.Size(), []int{0, 2})
+
+	oracle := probequorum.NewOracle(failures)
+	witness, _ := probequorum.FindWitness(sys, oracle)
+
+	fmt.Println("witness:", witness)
+	fmt.Println("probes:", oracle.Probes())
+	// Output:
+	// witness: green quorum {4, 5, 6}
+	// probes: 6
+}
+
+// ExampleAvailability evaluates F_p for the majority system.
+func ExampleAvailability() {
+	maj, _ := probequorum.NewMajority(3)
+	fmt.Printf("%.3f\n", probequorum.Availability(maj, 0.5))
+	// Output:
+	// 0.500
+}
+
+// ExampleExpectedProbes shows the 2k-1 bound of Theorem 3.3 in action:
+// the expected probe count of a wall depends on its rows, not its size.
+func ExampleExpectedProbes() {
+	small, _ := probequorum.NewCrumblingWall([]int{1, 5, 5})   // n = 11
+	large, _ := probequorum.NewCrumblingWall([]int{1, 50, 50}) // n = 101
+	a, _ := probequorum.ExpectedProbes(small, 0.5)
+	b, _ := probequorum.ExpectedProbes(large, 0.5)
+	fmt.Printf("n=11:  %.2f\nn=101: %.2f (bound 2k-1 = 5)\n", a, b)
+	// Output:
+	// n=11:  4.88
+	// n=101: 5.00 (bound 2k-1 = 5)
+}
+
+// ExampleProbeComplexity reproduces the paper's §2.3 worked example.
+func ExampleProbeComplexity() {
+	maj3, _ := probequorum.NewMajority(3)
+	pc, _ := probequorum.ProbeComplexity(maj3)
+	ppc, _ := probequorum.AverageProbeComplexity(maj3, 0.5)
+	fmt.Printf("PC=%d PPC=%.1f\n", pc, ppc)
+	// Output:
+	// PC=3 PPC=2.5
+}
+
+// ExampleFindWitnessRandomized runs the randomized worst-case strategy.
+func ExampleFindWitnessRandomized() {
+	sys, _ := probequorum.NewHQS(2)
+	failures := probequorum.AllGreen(sys.Size())
+	rng := rand.New(rand.NewPCG(7, 7))
+
+	oracle := probequorum.NewOracle(failures)
+	witness, _ := probequorum.FindWitnessRandomized(sys, oracle, rng)
+	fmt.Println("color:", witness.Color)
+	fmt.Println("quorum size:", witness.Set.Count())
+	// Output:
+	// color: green
+	// quorum size: 4
+}
+
+// ExampleNewRegister replicates a value across a quorum system on a
+// simulated cluster.
+func ExampleNewRegister() {
+	sys, _ := probequorum.NewTriang(3)
+	cluster := probequorum.NewCluster(sys.Size())
+	reg, _ := probequorum.NewRegister(cluster, sys)
+
+	if _, err := reg.Write("hello"); err != nil {
+		fmt.Println("write failed:", err)
+		return
+	}
+	value, _, _ := reg.Read()
+	fmt.Println(value)
+	// Output:
+	// hello
+}

@@ -1,0 +1,102 @@
+// Probe sweep: a miniature reproduction of the paper's Table 1 — average
+// probe counts of the built-in strategies across failure probabilities and
+// system sizes, next to the analytic expectations, with availability for
+// context.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"probequorum"
+)
+
+func main() {
+	ps := []float64{0.1, 0.3, 0.5}
+
+	fmt.Println("Crumbling walls: expected probes track 2k-1, not n")
+	fmt.Println("system           n      p=0.1     p=0.3     p=0.5   bound")
+	for _, k := range []int{4, 8, 16} {
+		sys, err := probequorum.NewTriang(k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		row := fmt.Sprintf("%-14s %4d", sys.Name(), sys.Size())
+		for _, p := range ps {
+			exp, err := probequorum.ExpectedProbes(sys, p)
+			if err != nil {
+				log.Fatal(err)
+			}
+			row += fmt.Sprintf("  %8.3f", exp)
+		}
+		fmt.Printf("%s   %5d\n", row, 2*k-1)
+	}
+
+	fmt.Println("\nMajority: expected probes stay Θ(n) for every p")
+	fmt.Println("system           n      p=0.1     p=0.3     p=0.5")
+	for _, n := range []int{21, 51, 101} {
+		sys, err := probequorum.NewMajority(n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		row := fmt.Sprintf("%-14s %4d", sys.Name(), sys.Size())
+		for _, p := range ps {
+			exp, err := probequorum.ExpectedProbes(sys, p)
+			if err != nil {
+				log.Fatal(err)
+			}
+			row += fmt.Sprintf("  %8.3f", exp)
+		}
+		fmt.Println(row)
+	}
+
+	fmt.Println("\nTree and HQS: polynomial growth with sublinear exponents")
+	fmt.Println("system           n      p=0.1     p=0.3     p=0.5")
+	for _, h := range []int{3, 5, 7} {
+		sys, err := probequorum.NewTree(h)
+		if err != nil {
+			log.Fatal(err)
+		}
+		row := fmt.Sprintf("%-14s %4d", sys.Name(), sys.Size())
+		for _, p := range ps {
+			exp, err := probequorum.ExpectedProbes(sys, p)
+			if err != nil {
+				log.Fatal(err)
+			}
+			row += fmt.Sprintf("  %8.3f", exp)
+		}
+		fmt.Println(row)
+	}
+	for _, h := range []int{2, 4, 6} {
+		sys, err := probequorum.NewHQS(h)
+		if err != nil {
+			log.Fatal(err)
+		}
+		row := fmt.Sprintf("%-14s %4d", sys.Name(), sys.Size())
+		for _, p := range ps {
+			exp, err := probequorum.ExpectedProbes(sys, p)
+			if err != nil {
+				log.Fatal(err)
+			}
+			row += fmt.Sprintf("  %8.3f", exp)
+		}
+		fmt.Println(row)
+	}
+
+	fmt.Println("\nSimulation cross-check (Triang(8), p=0.5):")
+	sys, _ := probequorum.NewTriang(8)
+	mean, half, err := probequorum.EstimateAverageProbes(sys, 0.5, 20000, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	exact, _ := probequorum.ExpectedProbes(sys, 0.5)
+	fmt.Printf("  simulated %.3f ± %.3f   exact %.3f\n", mean, half, exact)
+
+	fmt.Println("\nAvailability context (F_p, probability that no live quorum exists):")
+	tri, _ := probequorum.NewTriang(8)
+	maj, _ := probequorum.NewMajority(37) // similar universe size
+	for _, p := range ps {
+		fmt.Printf("  p=%.1f  Triang(8): %.6f   Maj(37): %.6f\n",
+			p, probequorum.Availability(tri, p), probequorum.Availability(maj, p))
+	}
+}

@@ -1,0 +1,58 @@
+// Quickstart: build a quorum system, inject failures, and find a witness —
+// either a live quorum to operate on, or proof that none exists.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+
+	"probequorum"
+)
+
+func main() {
+	// A Triang crumbling wall with 5 rows (15 processors).
+	sys, err := probequorum.NewTriang(5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("system %s over %d processors\n\n", sys.Name(), sys.Size())
+
+	// Fail each processor independently with probability 0.3.
+	rng := rand.New(rand.NewPCG(2024, 1))
+	failures := probequorum.IIDColoring(sys.Size(), 0.3, rng)
+	fmt.Printf("failure pattern: %s (%d failed)\n\n", failures, failures.RedCount())
+
+	// Probe until a witness emerges. The oracle counts distinct probes —
+	// the paper's probe complexity.
+	oracle := probequorum.NewOracle(failures)
+	witness, err := probequorum.FindWitness(sys, oracle)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := probequorum.VerifyWitness(sys, witness, failures); err != nil {
+		log.Fatal(err)
+	}
+
+	switch witness.Color {
+	case probequorum.Green:
+		fmt.Printf("live quorum found: %v\n", witness.Set)
+	case probequorum.Red:
+		fmt.Printf("no live quorum exists; failed quorum proves it: %v\n", witness.Set)
+	}
+	fmt.Printf("probes spent: %d of %d processors\n\n", oracle.Probes(), sys.Size())
+
+	// The paper's headline: expected probes depend on the number of rows
+	// (2k-1 bound), not on the universe size.
+	exp, err := probequorum.ExpectedProbes(sys, 0.3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("expected probes at p=0.3: %.3f (bound 2k-1 = %d)\n", exp, 2*5-1)
+
+	art, err := probequorum.RenderSystem(sys, witness.Set)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwitness on the wall layout:\n%s", art)
+}

@@ -1,0 +1,181 @@
+// Package analytic collects every closed-form bound stated in Hassin &
+// Peleg, "Average probe complexity in quorum systems", as plain functions
+// of the system parameters. The experiment drivers compare these against
+// measured values.
+package analytic
+
+import "math"
+
+// MajPPC returns the probabilistic probe complexity of the majority system
+// (Proposition 3.2): n - θ(sqrt(n)) at p = 1/2 (using the random-walk
+// constant of Lemma 2.4), and N/max(p,q) with N = (n+1)/2 otherwise.
+func MajPPC(n int, p float64) float64 {
+	q := 1 - p
+	bigN := float64(n+1) / 2
+	if p == q {
+		return 2*bigN - 2*math.Sqrt(bigN/math.Pi)
+	}
+	hi := q
+	if p > q {
+		hi = p
+	}
+	return bigN / hi
+}
+
+// CWPPCUpper returns the Theorem 3.3 bound for Probe_CW on any crumbling
+// wall with k rows: 2k - 1, for every failure probability p.
+func CWPPCUpper(k int) float64 { return float64(2*k - 1) }
+
+// WheelPPCUpper returns the Corollary 3.4 bound for the wheel system: 3.
+func WheelPPCUpper() float64 { return 3 }
+
+// TriangPPCLowerHalf returns the Lemma 3.1 lower bound for Triang at
+// p = 1/2: collecting a monochromatic set of the minimal quorum size k
+// costs 2k - θ(sqrt(k)).
+func TriangPPCLowerHalf(k int) float64 {
+	return 2*float64(k) - 2*math.Sqrt(float64(k)/math.Pi)
+}
+
+// TreePPCExponent returns the exponent of Proposition 3.6: Probe_Tree
+// costs O(n^{log2(1+p)}) in the probabilistic model (p taken to the
+// symmetric side min(p, 1-p); at p = 1/2 this is n^0.585, Corollary 3.7).
+func TreePPCExponent(p float64) float64 {
+	pm := math.Min(p, 1-p)
+	return math.Log2(1 + pm)
+}
+
+// HQSPPCGrowthHalf is the exact per-level growth of Probe_HQS at p = 1/2
+// (Theorem 3.8): T(h) = (5/2) T(h-1), giving Θ(n^{log3(5/2)}) = Θ(n^0.834).
+const HQSPPCGrowthHalf = 2.5
+
+// HQSPPCExponentHalf returns log3(5/2) ≈ 0.834 (Theorem 3.8, p = 1/2).
+func HQSPPCExponentHalf() float64 { return math.Log(2.5) / math.Log(3) }
+
+// HQSPPCExponentBiased returns log3(2) ≈ 0.631, the Theorem 3.8 exponent
+// for p != 1/2.
+func HQSPPCExponentBiased() float64 { return math.Log(2) / math.Log(3) }
+
+// MajPCR returns the exact randomized probe complexity of the majority
+// system (Theorem 4.2): n - (n-1)/(n+3).
+func MajPCR(n int) float64 {
+	return float64(n) - float64(n-1)/float64(n+3)
+}
+
+// CWPCRUpper returns the Theorem 4.4 worst-case expectation of R_Probe_CW:
+// max_j { n_j + sum_{i>j} ((n_i+1)/2 + 1/n_i) }.
+func CWPCRUpper(widths []int) float64 {
+	best := 0.0
+	for j := range widths {
+		v := float64(widths[j])
+		for i := j + 1; i < len(widths); i++ {
+			v += (float64(widths[i])+1)/2 + 1/float64(widths[i])
+		}
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// CWPCRUpperCoarse returns the coarse Theorem 4.4 bound (m + n + 2k)/2 for
+// a wall with n elements, k rows and maximal row width m.
+func CWPCRUpperCoarse(n, k, m int) float64 {
+	return float64(m+n+2*k) / 2
+}
+
+// CWPCRLower returns the Theorem 4.6 lower bound (n+k)/2 for any
+// (1, n2, ..., nk)-CW.
+func CWPCRLower(n, k int) float64 { return float64(n+k) / 2 }
+
+// TriangPCRUpper returns the Corollary 4.5 bound for Triang:
+// (n+k)/2 + log k.
+func TriangPCRUpper(n, k int) float64 {
+	return float64(n+k)/2 + math.Log2(float64(k))
+}
+
+// WheelPCR returns the Corollary 4.5 value for the wheel system: n - 1.
+func WheelPCR(n int) float64 { return float64(n - 1) }
+
+// TreePCRUpper returns the Theorem 4.7 bound for R_Probe_Tree:
+// 5n/6 + 1/6.
+func TreePCRUpper(n int) float64 { return (5*float64(n) + 1) / 6 }
+
+// TreePCRLower returns the Theorem 4.8 lower bound: 2(n+1)/3.
+func TreePCRLower(n int) float64 { return 2 * float64(n+1) / 3 }
+
+// HQSRGrowth is the exact per-level growth of R_Probe_HQS on worst-case
+// (class P) inputs (Proposition 4.9): 8/3 per level, i.e. O(n^{log3(8/3)})
+// = O(n^0.893).
+const HQSRGrowth = 8.0 / 3.0
+
+// HQSRExponent returns log3(8/3) ≈ 0.893 (Proposition 4.9).
+func HQSRExponent() float64 { return math.Log(HQSRGrowth) / math.Log(3) }
+
+// HQSIRGrowthPaper is the per-two-level constant 189.5/27 that the paper's
+// Fig. 9 bookkeeping assigns to IR_Probe_HQS (Lemma 4.12).
+const HQSIRGrowthPaper = 189.5 / 27.0
+
+// HQSIRGrowthFaithful is the per-two-level constant 191/27 of a faithful
+// implementation of Fig. 8 on class-P inputs; the 1.5/27 gap is a
+// bookkeeping slip in Fig. 9 (one subcase charges 3/2 where finishing the
+// second child always costs 2). See EXPERIMENTS.md.
+const HQSIRGrowthFaithful = 191.0 / 27.0
+
+// HQSIRExponentPaper returns the paper's Theorem 4.10 exponent
+// log3(sqrt(189.5/27)) ≈ 0.887.
+func HQSIRExponentPaper() float64 {
+	return math.Log(math.Sqrt(HQSIRGrowthPaper)) / math.Log(3)
+}
+
+// HQSIRExponentFaithful returns the exponent log3(sqrt(191/27)) ≈ 0.890 of
+// the faithful Fig. 8 implementation.
+func HQSIRExponentFaithful() float64 {
+	return math.Log(math.Sqrt(HQSIRGrowthFaithful)) / math.Log(3)
+}
+
+// HQSPCRLowerExponent returns the Corollary 4.13 lower-bound exponent
+// log3(5/2) ≈ 0.834.
+func HQSPCRLowerExponent() float64 { return math.Log(2.5) / math.Log(3) }
+
+// ProductBound returns the Lemma 2.5 bound e^{Bc/a} * a^h on the product
+// prod_{i=1..h} (a + c*b^i), with B = 1/(1-b) and 0 < b < 1.
+func ProductBound(a, c, b float64, h int) float64 {
+	bigB := 1 / (1 - b)
+	return math.Exp(bigB*c/a) * math.Pow(a, float64(h))
+}
+
+// Product returns the exact product prod_{i=1..h} (a + c*b^i) for
+// comparison against ProductBound.
+func Product(a, c, b float64, h int) float64 {
+	out := 1.0
+	bi := 1.0
+	for i := 1; i <= h; i++ {
+		bi *= b
+		out *= a + c*bi
+	}
+	return out
+}
+
+// UrnJthRed is the Lemma 2.8 closed form j(n+1)/(r+1) with n = r+g.
+func UrnJthRed(r, g, j int) float64 {
+	return float64(j) * float64(r+g+1) / float64(r+1)
+}
+
+// UrnBothColors is the Lemma 2.9 closed form 1 + r/(g+1) + g/(r+1).
+func UrnBothColors(r, g int) float64 {
+	return 1 + float64(r)/float64(g+1) + float64(g)/float64(r+1)
+}
+
+// WalkExit is the Lemma 2.4 closed form: 2N - θ(sqrt(N)) at p = q and
+// N/max(p,q) otherwise.
+func WalkExit(n int, p float64) float64 {
+	q := 1 - p
+	if p == q {
+		return 2*float64(n) - 2*math.Sqrt(float64(n)/math.Pi)
+	}
+	hi := q
+	if p > q {
+		hi = p
+	}
+	return float64(n) / hi
+}

@@ -1,0 +1,302 @@
+package bitset
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEmpty(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 130} {
+		s := New(n)
+		if s.Len() != n {
+			t.Errorf("New(%d).Len() = %d", n, s.Len())
+		}
+		if s.Count() != 0 {
+			t.Errorf("New(%d).Count() = %d, want 0", n, s.Count())
+		}
+		if !s.Empty() {
+			t.Errorf("New(%d) not empty", n)
+		}
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) did not panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestAddRemoveContains(t *testing.T) {
+	s := New(130)
+	for _, e := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if s.Contains(e) {
+			t.Errorf("fresh set contains %d", e)
+		}
+		s.Add(e)
+		if !s.Contains(e) {
+			t.Errorf("after Add(%d), Contains is false", e)
+		}
+	}
+	if got := s.Count(); got != 8 {
+		t.Errorf("Count = %d, want 8", got)
+	}
+	s.Remove(64)
+	if s.Contains(64) {
+		t.Error("after Remove(64), Contains is true")
+	}
+	if got := s.Count(); got != 7 {
+		t.Errorf("Count = %d, want 7", got)
+	}
+	// Removing an absent element is a no-op.
+	s.Remove(64)
+	if got := s.Count(); got != 7 {
+		t.Errorf("Count after double remove = %d, want 7", got)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	s := New(10)
+	for name, fn := range map[string]func(){
+		"Add":      func() { s.Add(10) },
+		"AddNeg":   func() { s.Add(-1) },
+		"Remove":   func() { s.Remove(10) },
+		"Contains": func() { s.Contains(10) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s out of range did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestFillClearComplement(t *testing.T) {
+	for _, n := range []int{1, 64, 65, 100} {
+		s := New(n)
+		s.Fill()
+		if s.Count() != n {
+			t.Errorf("Fill: Count = %d, want %d", s.Count(), n)
+		}
+		c := s.Complement()
+		if !c.Empty() {
+			t.Errorf("complement of full set not empty (n=%d)", n)
+		}
+		s.Clear()
+		if !s.Empty() {
+			t.Errorf("Clear left elements (n=%d)", n)
+		}
+		if got := s.Complement().Count(); got != n {
+			t.Errorf("complement of empty = %d elements, want %d", got, n)
+		}
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := FromSlice(10, []int{0, 1, 2, 5})
+	b := FromSlice(10, []int{2, 3, 5, 9})
+
+	u := a.Clone()
+	u.UnionWith(b)
+	wantU := FromSlice(10, []int{0, 1, 2, 3, 5, 9})
+	if !u.Equal(wantU) {
+		t.Errorf("union = %v, want %v", u, wantU)
+	}
+
+	i := a.Clone()
+	i.IntersectWith(b)
+	wantI := FromSlice(10, []int{2, 5})
+	if !i.Equal(wantI) {
+		t.Errorf("intersection = %v, want %v", i, wantI)
+	}
+
+	d := a.Clone()
+	d.DifferenceWith(b)
+	wantD := FromSlice(10, []int{0, 1})
+	if !d.Equal(wantD) {
+		t.Errorf("difference = %v, want %v", d, wantD)
+	}
+
+	if !a.Intersects(b) {
+		t.Error("a should intersect b")
+	}
+	if a.Intersects(FromSlice(10, []int{7, 8})) {
+		t.Error("a should not intersect {7,8}")
+	}
+	if !wantI.SubsetOf(a) || !wantI.SubsetOf(b) {
+		t.Error("intersection should be subset of both operands")
+	}
+	if a.SubsetOf(b) {
+		t.Error("a is not a subset of b")
+	}
+}
+
+func TestCapacityMismatchPanics(t *testing.T) {
+	a, b := New(10), New(11)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("UnionWith with mismatched capacity did not panic")
+		}
+	}()
+	a.UnionWith(b)
+}
+
+func TestElementsAndForEach(t *testing.T) {
+	elems := []int{3, 17, 64, 65, 99}
+	s := FromSlice(100, elems)
+	got := s.Elements()
+	if len(got) != len(elems) {
+		t.Fatalf("Elements len = %d, want %d", len(got), len(elems))
+	}
+	for i, e := range elems {
+		if got[i] != e {
+			t.Errorf("Elements[%d] = %d, want %d", i, got[i], e)
+		}
+	}
+	// Early termination.
+	calls := 0
+	s.ForEach(func(e int) bool {
+		calls++
+		return calls < 2
+	})
+	if calls != 2 {
+		t.Errorf("ForEach early stop: %d calls, want 2", calls)
+	}
+}
+
+func TestNext(t *testing.T) {
+	s := FromSlice(130, []int{5, 64, 129})
+	cases := []struct{ from, want int }{
+		{0, 5}, {5, 5}, {6, 64}, {64, 64}, {65, 129}, {129, 129},
+		{-3, 5},
+	}
+	for _, c := range cases {
+		if got := s.Next(c.from); got != c.want {
+			t.Errorf("Next(%d) = %d, want %d", c.from, got, c.want)
+		}
+	}
+	if got := New(130).Next(0); got != -1 {
+		t.Errorf("Next on empty = %d, want -1", got)
+	}
+	if got := s.Next(130); got != -1 {
+		t.Errorf("Next past capacity = %d, want -1", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	s := FromSlice(5, []int{0, 2, 4})
+	if got, want := s.String(), "{1, 3, 5}"; got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+	if got, want := New(3).String(), "{}"; got != want {
+		t.Errorf("empty String = %q, want %q", got, want)
+	}
+}
+
+func TestKeyDistinguishesSets(t *testing.T) {
+	a := FromSlice(70, []int{0, 69})
+	b := FromSlice(70, []int{0, 68})
+	if a.Key() == b.Key() {
+		t.Error("distinct sets share a key")
+	}
+	if a.Key() != a.Clone().Key() {
+		t.Error("clone has different key")
+	}
+}
+
+// Property: complement of complement is the identity.
+func TestComplementInvolution(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 1))
+		n := 1 + rng.IntN(150)
+		s := New(n)
+		for e := 0; e < n; e++ {
+			if rng.IntN(2) == 0 {
+				s.Add(e)
+			}
+		}
+		return s.Complement().Complement().Equal(s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: |A| + |complement(A)| = n and De Morgan's law holds.
+func TestDeMorgan(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 2))
+		n := 1 + rng.IntN(150)
+		a, b := New(n), New(n)
+		for e := 0; e < n; e++ {
+			if rng.IntN(2) == 0 {
+				a.Add(e)
+			}
+			if rng.IntN(2) == 0 {
+				b.Add(e)
+			}
+		}
+		if a.Count()+a.Complement().Count() != n {
+			return false
+		}
+		// complement(A ∪ B) == complement(A) ∩ complement(B)
+		u := a.Clone()
+		u.UnionWith(b)
+		lhs := u.Complement()
+		rhs := a.Complement()
+		rhs.IntersectWith(b.Complement())
+		return lhs.Equal(rhs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Elements round-trips through FromSlice.
+func TestElementsRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 3))
+		n := 1 + rng.IntN(200)
+		s := New(n)
+		for e := 0; e < n; e++ {
+			if rng.IntN(3) == 0 {
+				s.Add(e)
+			}
+		}
+		return FromSlice(n, s.Elements()).Equal(s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkCount(b *testing.B) {
+	s := New(4096)
+	for e := 0; e < 4096; e += 3 {
+		s.Add(e)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s.Count() != 1366 {
+			b.Fatal("bad count")
+		}
+	}
+}
+
+func BenchmarkForEach(b *testing.B) {
+	s := New(4096)
+	for e := 0; e < 4096; e += 7 {
+		s.Add(e)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sum := 0
+		s.ForEach(func(e int) bool { sum += e; return true })
+	}
+}

@@ -1,0 +1,340 @@
+// Package cluster is the distributed-systems substrate for the examples:
+// a simulated cluster of fail-stop processors addressed as quorum-system
+// elements. Probing a node is the paper's "probe" operation — it reveals
+// whether the processor is live — and the quorum applications the paper
+// motivates (replicated data [8], mutual exclusion [1,10]) are built on
+// top of witness search.
+//
+// The simulation is in-process and deterministic: failures are injected
+// explicitly or drawn from a seeded PRNG, and node state is guarded by
+// mutexes so concurrent clients (goroutines) can contend realistically.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+
+	"probequorum/internal/bitset"
+	"probequorum/internal/coloring"
+	"probequorum/internal/probe"
+	"probequorum/internal/quorum"
+)
+
+// Node is one simulated processor.
+type Node struct {
+	mu    sync.Mutex
+	id    int
+	alive bool
+
+	// Replicated-register state.
+	version int64
+	value   string
+
+	// Mutual-exclusion state: id of the client holding this node's vote,
+	// or -1.
+	votedFor int64
+}
+
+// ID returns the node's element index.
+func (n *Node) ID() int { return n.id }
+
+// Alive reports whether the node is currently live.
+func (n *Node) Alive() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.alive
+}
+
+// Cluster is a set of simulated processors indexed 0..n-1.
+type Cluster struct {
+	nodes  []*Node
+	probes int64
+	mu     sync.Mutex // guards probes
+}
+
+// New returns a cluster of n live nodes.
+func New(n int) *Cluster {
+	if n <= 0 {
+		panic(fmt.Sprintf("cluster: size must be positive, got %d", n))
+	}
+	c := &Cluster{nodes: make([]*Node, n)}
+	for i := range c.nodes {
+		c.nodes[i] = &Node{id: i, alive: true, votedFor: -1}
+	}
+	return c
+}
+
+// Size returns the number of nodes.
+func (c *Cluster) Size() int { return len(c.nodes) }
+
+// Node returns the node with the given id.
+func (c *Cluster) Node(id int) *Node { return c.nodes[id] }
+
+// Crash marks the node as failed. Crashing an already-failed node is a
+// no-op.
+func (c *Cluster) Crash(id int) {
+	n := c.nodes[id]
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.alive = false
+}
+
+// Recover brings a failed node back (its register state survives, votes
+// are cleared, emulating a restart).
+func (c *Cluster) Recover(id int) {
+	n := c.nodes[id]
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.alive = true
+	n.votedFor = -1
+}
+
+// InjectIID crashes each node independently with probability p, after
+// reviving all nodes, and returns the resulting failure coloring.
+func (c *Cluster) InjectIID(p float64, rng *rand.Rand) *coloring.Coloring {
+	col := coloring.IID(len(c.nodes), p, rng)
+	c.InjectColoring(col)
+	return col
+}
+
+// InjectColoring sets every node's liveness from the coloring (red =
+// failed).
+func (c *Cluster) InjectColoring(col *coloring.Coloring) {
+	if col.Size() != len(c.nodes) {
+		panic(fmt.Sprintf("cluster: coloring size %d != cluster size %d", col.Size(), len(c.nodes)))
+	}
+	for i, n := range c.nodes {
+		n.mu.Lock()
+		n.alive = !col.IsRed(i)
+		if !n.alive {
+			n.votedFor = -1
+		}
+		n.mu.Unlock()
+	}
+}
+
+// Probes returns the total number of probe RPCs served by the cluster.
+func (c *Cluster) Probes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.probes
+}
+
+// probeRPC simulates a liveness probe RPC against a node.
+func (c *Cluster) probeRPC(id int) bool {
+	c.mu.Lock()
+	c.probes++
+	c.mu.Unlock()
+	return c.nodes[id].Alive()
+}
+
+// Oracle adapts the cluster to the probe.Oracle interface so the paper's
+// probing algorithms run unchanged against simulated processors. Each
+// client should use its own Oracle (probe accounting is per search).
+type Oracle struct {
+	c      *Cluster
+	probed *bitset.Set
+}
+
+var _ probe.Oracle = (*Oracle)(nil)
+
+// NewOracle returns a fresh probe oracle over the cluster.
+func (c *Cluster) NewOracle() *Oracle {
+	return &Oracle{c: c, probed: bitset.New(len(c.nodes))}
+}
+
+// Probe implements probe.Oracle.
+func (o *Oracle) Probe(e int) coloring.Color {
+	if !o.probed.Contains(e) {
+		o.probed.Add(e)
+	}
+	if o.c.probeRPC(e) {
+		return coloring.Green
+	}
+	return coloring.Red
+}
+
+// Probes implements probe.Oracle.
+func (o *Oracle) Probes() int { return o.probed.Count() }
+
+// Probed implements probe.Oracle.
+func (o *Oracle) Probed() *bitset.Set { return o.probed.Clone() }
+
+// WitnessSearch finds a witness over the cluster using the given probing
+// strategy (any of the core algorithms, partially applied).
+func (c *Cluster) WitnessSearch(search func(o probe.Oracle) probe.Witness) (probe.Witness, int) {
+	o := c.NewOracle()
+	w := search(o)
+	return w, o.Probes()
+}
+
+// ErrNoLiveQuorum is returned by quorum operations when the witness search
+// proves that every quorum contains a failed node.
+var ErrNoLiveQuorum = errors.New("cluster: no live quorum (red witness found)")
+
+// ErrNodeFailed is returned when a node fails between witness search and
+// the operation (the window is empty in this simulation but the error is
+// part of the contract).
+var ErrNodeFailed = errors.New("cluster: node failed during operation")
+
+// Register is a quorum-replicated single-value register (read/write with
+// version numbers, in the style of Gifford/Thomas weighted voting [18]).
+type Register struct {
+	c      *Cluster
+	sys    quorum.System
+	search func(o probe.Oracle) probe.Witness
+}
+
+// NewRegister returns a replicated register over the cluster, using the
+// quorum system (whose universe must match the cluster size) and the given
+// witness-search strategy.
+func NewRegister(c *Cluster, sys quorum.System, search func(o probe.Oracle) probe.Witness) (*Register, error) {
+	if sys.Size() != c.Size() {
+		return nil, fmt.Errorf("cluster: system size %d != cluster size %d", sys.Size(), c.Size())
+	}
+	return &Register{c: c, sys: sys, search: search}, nil
+}
+
+// Write stores the value on every node of a live quorum with a version
+// larger than any it reads there. It returns the number of liveness probes
+// spent, or ErrNoLiveQuorum.
+func (r *Register) Write(value string) (int, error) {
+	w, probes := r.c.WitnessSearch(r.search)
+	if w.Color == coloring.Red {
+		return probes, fmt.Errorf("write %q: %w", value, ErrNoLiveQuorum)
+	}
+	// Read-phase: find the highest version on the quorum.
+	var maxVersion int64
+	if err := r.forEachQuorumNode(w.Set, func(n *Node) {
+		if n.version > maxVersion {
+			maxVersion = n.version
+		}
+	}); err != nil {
+		return probes, err
+	}
+	// Write-phase.
+	next := maxVersion + 1
+	if err := r.forEachQuorumNode(w.Set, func(n *Node) {
+		n.version = next
+		n.value = value
+	}); err != nil {
+		return probes, err
+	}
+	return probes, nil
+}
+
+// Read returns the freshest value on a live quorum together with the
+// number of liveness probes spent, or ErrNoLiveQuorum.
+func (r *Register) Read() (string, int, error) {
+	w, probes := r.c.WitnessSearch(r.search)
+	if w.Color == coloring.Red {
+		return "", probes, ErrNoLiveQuorum
+	}
+	var best *Node
+	if err := r.forEachQuorumNode(w.Set, func(n *Node) {
+		if best == nil || n.version > best.version {
+			best = n
+		}
+	}); err != nil {
+		return "", probes, err
+	}
+	if best == nil {
+		return "", probes, ErrNoLiveQuorum
+	}
+	return best.value, probes, nil
+}
+
+// forEachQuorumNode runs fn under each quorum node's lock, failing if any
+// node crashed since the witness was produced.
+func (r *Register) forEachQuorumNode(set *bitset.Set, fn func(n *Node)) error {
+	var failed error
+	set.ForEach(func(e int) bool {
+		n := r.c.nodes[e]
+		n.mu.Lock()
+		if !n.alive {
+			failed = fmt.Errorf("node %d: %w", e, ErrNodeFailed)
+			n.mu.Unlock()
+			return false
+		}
+		fn(n)
+		n.mu.Unlock()
+		return true
+	})
+	return failed
+}
+
+// Mutex is quorum-based distributed mutual exclusion in the style of
+// Maekawa [10] and Agrawal & El-Abbadi [1]: a client enters the critical
+// section after collecting votes from every node of a live quorum, and
+// intersection of quorums guarantees exclusion.
+type Mutex struct {
+	c      *Cluster
+	sys    quorum.System
+	search func(o probe.Oracle) probe.Witness
+}
+
+// NewMutex returns a quorum-based mutex over the cluster.
+func NewMutex(c *Cluster, sys quorum.System, search func(o probe.Oracle) probe.Witness) (*Mutex, error) {
+	if sys.Size() != c.Size() {
+		return nil, fmt.Errorf("cluster: system size %d != cluster size %d", sys.Size(), c.Size())
+	}
+	return &Mutex{c: c, sys: sys, search: search}, nil
+}
+
+// ErrContended is returned by TryAcquire when some quorum node has already
+// voted for another client.
+var ErrContended = errors.New("cluster: quorum node already voted for another client")
+
+// TryAcquire attempts to collect votes from a live quorum for the given
+// client. On success it returns the granted quorum (to be passed to
+// Release). On contention it releases all partial votes before returning
+// ErrContended, so clients can retry without deadlocking.
+func (m *Mutex) TryAcquire(clientID int64) (*bitset.Set, int, error) {
+	w, probes := m.c.WitnessSearch(m.search)
+	if w.Color == coloring.Red {
+		return nil, probes, ErrNoLiveQuorum
+	}
+	var granted []int
+	ok := true
+	w.Set.ForEach(func(e int) bool {
+		n := m.c.nodes[e]
+		n.mu.Lock()
+		switch {
+		case !n.alive:
+			ok = false
+		case n.votedFor == -1 || n.votedFor == clientID:
+			n.votedFor = clientID
+			granted = append(granted, e)
+		default:
+			ok = false
+		}
+		n.mu.Unlock()
+		return ok
+	})
+	if !ok {
+		for _, e := range granted {
+			m.release(e, clientID)
+		}
+		return nil, probes, ErrContended
+	}
+	return w.Set.Clone(), probes, nil
+}
+
+// Release returns the votes of the granted quorum.
+func (m *Mutex) Release(clientID int64, granted *bitset.Set) {
+	granted.ForEach(func(e int) bool {
+		m.release(e, clientID)
+		return true
+	})
+}
+
+func (m *Mutex) release(e int, clientID int64) {
+	n := m.c.nodes[e]
+	n.mu.Lock()
+	if n.votedFor == clientID {
+		n.votedFor = -1
+	}
+	n.mu.Unlock()
+}

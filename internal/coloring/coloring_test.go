@@ -1,0 +1,248 @@
+package coloring
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestColorString(t *testing.T) {
+	if Green.String() != "green" || Red.String() != "red" {
+		t.Errorf("color strings: %s, %s", Green, Red)
+	}
+	if Color(9).String() != "Color(9)" {
+		t.Errorf("invalid color string: %s", Color(9))
+	}
+}
+
+func TestColorOpposite(t *testing.T) {
+	if Green.Opposite() != Red || Red.Opposite() != Green {
+		t.Error("Opposite is wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Opposite of invalid color did not panic")
+		}
+	}()
+	Color(0).Opposite()
+}
+
+func TestNewAndAccessors(t *testing.T) {
+	c := New(5)
+	if c.Size() != 5 || c.RedCount() != 0 || c.GreenCount() != 5 {
+		t.Errorf("fresh coloring: size=%d reds=%d greens=%d", c.Size(), c.RedCount(), c.GreenCount())
+	}
+	c.SetColor(2, Red)
+	if c.Of(2) != Red || !c.IsRed(2) {
+		t.Error("SetColor(2, Red) not observed")
+	}
+	if c.Of(1) != Green || c.IsRed(1) {
+		t.Error("element 1 should be green")
+	}
+	c.SetColor(2, Green)
+	if c.IsRed(2) {
+		t.Error("SetColor(2, Green) not observed")
+	}
+}
+
+func TestFromRedsAndSets(t *testing.T) {
+	c := FromReds(6, []int{1, 4})
+	if c.RedCount() != 2 || c.GreenCount() != 4 {
+		t.Errorf("counts: %d red, %d green", c.RedCount(), c.GreenCount())
+	}
+	reds := c.RedSet()
+	greens := c.GreenSet()
+	if reds.Count() != 2 || !reds.Contains(1) || !reds.Contains(4) {
+		t.Errorf("RedSet = %v", reds)
+	}
+	if greens.Count() != 4 || greens.Contains(1) {
+		t.Errorf("GreenSet = %v", greens)
+	}
+	if !c.MonochromaticSet(Red).Equal(reds) || !c.MonochromaticSet(Green).Equal(greens) {
+		t.Error("MonochromaticSet mismatch")
+	}
+	// Mutating the returned set must not affect the coloring.
+	reds.Add(0)
+	if c.IsRed(0) {
+		t.Error("RedSet returned an aliased set")
+	}
+}
+
+func TestStringAndParse(t *testing.T) {
+	c := FromReds(5, []int{0, 3})
+	if got, want := c.String(), "RGGRG"; got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+	parsed, err := Parse("RGGRG")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if parsed.String() != c.String() {
+		t.Errorf("round trip: %q != %q", parsed.String(), c.String())
+	}
+	if _, err := Parse("GXB"); err == nil {
+		t.Error("Parse accepted invalid runes")
+	}
+}
+
+func TestClone(t *testing.T) {
+	c := FromReds(4, []int{1})
+	d := c.Clone()
+	d.SetColor(2, Red)
+	if c.IsRed(2) {
+		t.Error("Clone aliases the original")
+	}
+}
+
+func TestIIDBounds(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	if got := IID(50, 0, rng).RedCount(); got != 0 {
+		t.Errorf("IID(p=0) produced %d reds", got)
+	}
+	if got := IID(50, 1, rng).RedCount(); got != 50 {
+		t.Errorf("IID(p=1) produced %d reds, want 50", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("IID with p>1 did not panic")
+		}
+	}()
+	IID(5, 1.5, rng)
+}
+
+func TestIIDMean(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	const n, p, trials = 100, 0.3, 2000
+	total := 0
+	for i := 0; i < trials; i++ {
+		total += IID(n, p, rng).RedCount()
+	}
+	mean := float64(total) / trials
+	if math.Abs(mean-n*p) > 1.0 {
+		t.Errorf("IID mean red count = %.2f, want about %.1f", mean, float64(n)*p)
+	}
+}
+
+func TestFixedWeight(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	for _, r := range []int{0, 1, 5, 10} {
+		c := FixedWeight(10, r, rng)
+		if c.RedCount() != r {
+			t.Errorf("FixedWeight(10,%d) has %d reds", r, c.RedCount())
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("FixedWeight with r>n did not panic")
+		}
+	}()
+	FixedWeight(3, 4, rng)
+}
+
+func TestFixedWeightUniform(t *testing.T) {
+	// Every element should be red with probability r/n.
+	rng := rand.New(rand.NewPCG(3, 3))
+	const n, r, trials = 6, 2, 6000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		c := FixedWeight(n, r, rng)
+		for e := 0; e < n; e++ {
+			if c.IsRed(e) {
+				counts[e]++
+			}
+		}
+	}
+	want := float64(trials) * float64(r) / float64(n)
+	for e, got := range counts {
+		if math.Abs(float64(got)-want) > 150 {
+			t.Errorf("element %d red %d times, want about %.0f", e, got, want)
+		}
+	}
+}
+
+func TestAll(t *testing.T) {
+	seen := map[string]bool{}
+	All(3, func(c *Coloring) bool {
+		seen[c.String()] = true
+		return true
+	})
+	if len(seen) != 8 {
+		t.Errorf("All(3) visited %d colorings, want 8", len(seen))
+	}
+	// Early stop.
+	visits := 0
+	All(3, func(c *Coloring) bool {
+		visits++
+		return visits < 3
+	})
+	if visits != 3 {
+		t.Errorf("All early stop after %d visits, want 3", visits)
+	}
+}
+
+func TestAllWithWeight(t *testing.T) {
+	count := 0
+	AllWithWeight(5, 2, func(c *Coloring) bool {
+		if c.RedCount() != 2 {
+			t.Errorf("coloring %s has %d reds, want 2", c, c.RedCount())
+		}
+		count++
+		return true
+	})
+	if count != 10 { // C(5,2)
+		t.Errorf("AllWithWeight(5,2) visited %d colorings, want 10", count)
+	}
+	// Edge cases.
+	for _, r := range []int{0, 5} {
+		count = 0
+		AllWithWeight(5, r, func(*Coloring) bool { count++; return true })
+		if count != 1 {
+			t.Errorf("AllWithWeight(5,%d) visited %d, want 1", r, count)
+		}
+	}
+}
+
+func TestProbability(t *testing.T) {
+	c := FromReds(3, []int{0})
+	got := c.Probability(0.25)
+	want := 0.25 * 0.75 * 0.75
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("Probability = %v, want %v", got, want)
+	}
+}
+
+// Property: probabilities over all colorings sum to 1.
+func TestProbabilityNormalized(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 11))
+		n := 1 + rng.IntN(10)
+		p := rng.Float64()
+		total := 0.0
+		All(n, func(c *Coloring) bool {
+			total += c.Probability(p)
+			return true
+		})
+		return math.Abs(total-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUniformOverWeight(t *testing.T) {
+	dist := UniformOverWeight(4, 2)
+	if len(dist) != 6 {
+		t.Fatalf("len = %d, want C(4,2)=6", len(dist))
+	}
+	total := 0.0
+	for _, w := range dist {
+		if w.Coloring.RedCount() != 2 {
+			t.Errorf("support coloring %s has wrong weight", w.Coloring)
+		}
+		total += w.Weight
+	}
+	if math.Abs(total-1) > 1e-12 {
+		t.Errorf("weights sum to %v", total)
+	}
+}

@@ -1,0 +1,30 @@
+package coloring
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks that Parse either rejects its input or round-trips it
+// through String exactly (after case normalization).
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{"", "G", "R", "GRGR", "rrgg", "GRX"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		c, err := Parse(s)
+		if err != nil {
+			return
+		}
+		if c.Size() != len(s) {
+			t.Fatalf("Parse(%q).Size() = %d", s, c.Size())
+		}
+		if got, want := c.String(), strings.ToUpper(s); got != want {
+			t.Fatalf("round trip %q -> %q", s, got)
+		}
+		// Red/green counts partition the universe.
+		if c.RedCount()+c.GreenCount() != c.Size() {
+			t.Fatalf("counts do not partition: %d + %d != %d", c.RedCount(), c.GreenCount(), c.Size())
+		}
+	})
+}

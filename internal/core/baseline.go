@@ -1,0 +1,86 @@
+package core
+
+import (
+	"probequorum/internal/bitset"
+	"probequorum/internal/coloring"
+	"probequorum/internal/probe"
+	"probequorum/internal/quorum"
+)
+
+// systemWithFinder is the contract the generic strategies need: a quorum
+// system that can also locate quorums inside an allowed set.
+type systemWithFinder interface {
+	quorum.System
+	quorum.Finder
+}
+
+// SequentialScan is the generic deterministic baseline: probe elements in
+// index order until one color class contains a quorum. Against it, the
+// paper's structure-aware strategies show their savings.
+func SequentialScan(sys systemWithFinder, o probe.Oracle) probe.Witness {
+	n := sys.Size()
+	greens := bitset.New(n)
+	reds := bitset.New(n)
+	for e := 0; e < n; e++ {
+		if o.Probe(e) == coloring.Green {
+			greens.Add(e)
+			if sys.ContainsQuorum(greens) {
+				return extractWitness(sys, coloring.Green, greens)
+			}
+		} else {
+			reds.Add(e)
+			if sys.ContainsQuorum(reds) {
+				return extractWitness(sys, coloring.Red, reds)
+			}
+		}
+	}
+	panic("core: SequentialScan exhausted the universe without a witness")
+}
+
+// extractWitness narrows a monochromatic quorum-containing set to an
+// actual quorum when the system can find one.
+func extractWitness(sys systemWithFinder, col coloring.Color, mono *bitset.Set) probe.Witness {
+	if q, ok := sys.FindQuorumWithin(mono); ok {
+		return probe.Witness{Color: col, Set: q}
+	}
+	return probe.Witness{Color: col, Set: mono.Clone()}
+}
+
+// Universal is the quorum-avoiding snoop in the spirit of the universal
+// O(c^2) algorithm of Peleg & Wool [15] for c-uniform systems: repeatedly
+// pick a quorum avoiding all elements known to be red and probe its
+// unknown elements; every failed attempt learns at least one new red
+// element, and when no quorum avoids the red set, the red set is a
+// transversal and (for an ND coterie, Lemma 2.1) contains a red quorum.
+func Universal(sys systemWithFinder, o probe.Oracle) probe.Witness {
+	n := sys.Size()
+	knownRed := bitset.New(n)
+	knownGreen := bitset.New(n)
+	for {
+		allowed := knownRed.Complement()
+		q, ok := sys.FindQuorumWithin(allowed)
+		if !ok {
+			rq, found := sys.FindQuorumWithin(knownRed)
+			if !found {
+				panic("core: Universal: red transversal contains no quorum (system not an ND coterie)")
+			}
+			return probe.Witness{Color: coloring.Red, Set: rq}
+		}
+		sawRed := false
+		q.ForEach(func(e int) bool {
+			if knownGreen.Contains(e) {
+				return true
+			}
+			if o.Probe(e) == coloring.Green {
+				knownGreen.Add(e)
+				return true
+			}
+			knownRed.Add(e)
+			sawRed = true
+			return false
+		})
+		if !sawRed {
+			return probe.Witness{Color: coloring.Green, Set: q}
+		}
+	}
+}

@@ -1,0 +1,296 @@
+package core
+
+import (
+	"probequorum/internal/coloring"
+	"probequorum/internal/probe"
+	"probequorum/internal/systems"
+)
+
+// This file computes, for each randomized algorithm, the exact expected
+// number of probes on a fixed coloring by integrating over the algorithm's
+// internal coin flips. The evaluators make worst-case-input searches and
+// the Table 1 reproduction exact instead of Monte Carlo estimates.
+
+// DeterministicProbes runs a deterministic algorithm against the coloring
+// and returns its probe count (exact by definition).
+func DeterministicProbes(col *coloring.Coloring, alg func(probe.Oracle) probe.Witness) int {
+	o := probe.NewOracle(col)
+	alg(o)
+	return o.Probes()
+}
+
+// ExactRProbeMaj returns the exact expected probes of R_Probe_Maj on the
+// coloring: the algorithm stops at the Threshold()-th element of the
+// majority color, so by Lemma 2.8 the expectation is t(n+1)/(M+1) where M
+// is the majority color count.
+func ExactRProbeMaj(m *systems.Maj, col *coloring.Coloring) float64 {
+	n := m.Size()
+	t := m.Threshold()
+	majority := col.RedCount()
+	if g := col.GreenCount(); g > majority {
+		majority = g
+	}
+	return float64(t) * float64(n+1) / float64(majority+1)
+}
+
+// ExactRProbeCW returns the exact expected probes of R_Probe_CW on the
+// coloring: full cost of the terminating (first monochromatic from the
+// bottom) row, plus, for each row below it, the expected draws to see both
+// colors (Lemma 2.9): 1 + r/(g+1) + g/(r+1).
+func ExactRProbeCW(c *systems.CW, col *coloring.Coloring) float64 {
+	k := c.Rows()
+	total := 0.0
+	for j := k - 1; j >= 0; j-- {
+		lo, hi := c.RowRange(j)
+		reds, greens := 0, 0
+		for e := lo; e < hi; e++ {
+			if col.IsRed(e) {
+				reds++
+			} else {
+				greens++
+			}
+		}
+		if reds == 0 || greens == 0 {
+			total += float64(hi - lo)
+			return total
+		}
+		r, g := float64(reds), float64(greens)
+		total += 1 + r/(g+1) + g/(r+1)
+	}
+	panic("core: ExactRProbeCW: no monochromatic row (top row must be monochromatic)")
+}
+
+// treeStates returns, for every node v, the witness color of the subtree
+// rooted at v under the coloring (Green iff the subtree system contains a
+// green quorum).
+func treeStates(t *systems.Tree, col *coloring.Coloring) []coloring.Color {
+	states := make([]coloring.Color, t.Size())
+	var walk func(v int) bool
+	walk = func(v int) bool {
+		var green bool
+		if t.IsLeaf(v) {
+			green = !col.IsRed(v)
+		} else {
+			l := walk(t.Left(v))
+			r := walk(t.Right(v))
+			green = (l && r) || (!col.IsRed(v) && (l || r))
+		}
+		if green {
+			states[v] = coloring.Green
+		} else {
+			states[v] = coloring.Red
+		}
+		return green
+	}
+	walk(t.Root())
+	return states
+}
+
+// ExactRProbeTree returns the exact expected probes of R_Probe_Tree on the
+// coloring, by averaging the three per-gate probe orders.
+func ExactRProbeTree(t *systems.Tree, col *coloring.Coloring) float64 {
+	states := treeStates(t, col)
+	exp := make([]float64, t.Size())
+	var walk func(v int)
+	walk = func(v int) {
+		if t.IsLeaf(v) {
+			exp[v] = 1
+			return
+		}
+		l, r := t.Left(v), t.Right(v)
+		walk(l)
+		walk(r)
+		rootColor := col.Of(v)
+		// Option A: root, left subtree, then right only on disagreement.
+		a := 1 + exp[l]
+		if states[l] != rootColor {
+			a += exp[r]
+		}
+		// Option B: root, right subtree, then left only on disagreement.
+		b := 1 + exp[r]
+		if states[r] != rootColor {
+			b += exp[l]
+		}
+		// Option C: both subtrees, root only on disagreement.
+		c := exp[l] + exp[r]
+		if states[l] != states[r] {
+			c++
+		}
+		exp[v] = (a + b + c) / 3
+	}
+	walk(t.Root())
+	return exp[t.Root()]
+}
+
+// hqsKey addresses a subtree of the HQS gate tree.
+type hqsKey struct{ start, size int }
+
+// hqsStates computes the witness color of every subtree of the gate tree.
+func hqsStates(h *systems.HQS, col *coloring.Coloring) map[hqsKey]coloring.Color {
+	states := make(map[hqsKey]coloring.Color)
+	var walk func(start, size int) bool
+	walk = func(start, size int) bool {
+		var green bool
+		if size == 1 {
+			green = !col.IsRed(start)
+		} else {
+			third := size / 3
+			cnt := 0
+			for i := 0; i < 3; i++ {
+				if walk(start+i*third, third) {
+					cnt++
+				}
+			}
+			green = cnt >= 2
+		}
+		if green {
+			states[hqsKey{start, size}] = coloring.Green
+		} else {
+			states[hqsKey{start, size}] = coloring.Red
+		}
+		return green
+	}
+	walk(0, h.Size())
+	return states
+}
+
+// ExactRProbeHQS returns the exact expected probes of R_Probe_HQS on the
+// coloring, averaging over the three equally likely child pairs per gate.
+func ExactRProbeHQS(h *systems.HQS, col *coloring.Coloring) float64 {
+	states := hqsStates(h, col)
+	memo := make(map[hqsKey]float64)
+	var eval func(start, size int) float64
+	eval = func(start, size int) float64 {
+		if size == 1 {
+			return 1
+		}
+		key := hqsKey{start, size}
+		if v, ok := memo[key]; ok {
+			return v
+		}
+		third := size / 3
+		starts := [3]int{start, start + third, start + 2*third}
+		var vals [3]coloring.Color
+		var exps [3]float64
+		for i := 0; i < 3; i++ {
+			vals[i] = states[hqsKey{starts[i], third}]
+			exps[i] = eval(starts[i], third)
+		}
+		total := 0.0
+		for a := 0; a < 3; a++ {
+			for b := a + 1; b < 3; b++ {
+				c := 3 - a - b
+				cost := exps[a] + exps[b]
+				if vals[a] != vals[b] {
+					cost += exps[c]
+				}
+				total += cost
+			}
+		}
+		v := total / 3
+		memo[key] = v
+		return v
+	}
+	return eval(0, h.Size())
+}
+
+// ExactIRProbeHQS returns the exact expected probes of IR_Probe_HQS on the
+// coloring by enumerating the algorithm's random choices: the child order,
+// the peeked grandchild and the completion order (mirroring irEval).
+func ExactIRProbeHQS(h *systems.HQS, col *coloring.Coloring) float64 {
+	states := hqsStates(h, col)
+	irMemo := make(map[hqsKey]float64)
+	plainMemo := make(map[hqsKey]float64)
+
+	val := func(start, size int) coloring.Color { return states[hqsKey{start, size}] }
+
+	var evalIR func(start, size int) float64
+	var evalPlain func(start, size int) float64
+
+	// evalCont is the expected remaining cost of finishing a gate whose
+	// child knownIdx is already evaluated (the known child's cost is
+	// accounted by the caller).
+	evalCont := func(start, size, knownIdx int) float64 {
+		third := size / 3
+		known := val(start+knownIdx*third, third)
+		var rest []int
+		for i := 0; i < 3; i++ {
+			if i != knownIdx {
+				rest = append(rest, i)
+			}
+		}
+		total := 0.0
+		for _, first := range []int{0, 1} {
+			second := 1 - first
+			c := evalIR(start+rest[first]*third, third)
+			if val(start+rest[first]*third, third) != known {
+				c += evalIR(start+rest[second]*third, third)
+			}
+			total += c
+		}
+		return total / 2
+	}
+
+	evalPlain = func(start, size int) float64 {
+		key := hqsKey{start, size}
+		if v, ok := plainMemo[key]; ok {
+			return v
+		}
+		third := size / 3
+		perms := [6][3]int{{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}}
+		total := 0.0
+		for _, p := range perms {
+			c := evalIR(start+p[0]*third, third) + evalIR(start+p[1]*third, third)
+			if val(start+p[0]*third, third) != val(start+p[1]*third, third) {
+				c += evalIR(start+p[2]*third, third)
+			}
+			total += c
+		}
+		v := total / 6
+		plainMemo[key] = v
+		return v
+	}
+
+	evalIR = func(start, size int) float64 {
+		if size == 1 {
+			return 1
+		}
+		if size == 3 {
+			return evalPlain(start, size)
+		}
+		key := hqsKey{start, size}
+		if v, ok := irMemo[key]; ok {
+			return v
+		}
+		third := size / 3
+		ninth := third / 3
+		perms := [6][3]int{{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}}
+		total := 0.0
+		for _, p := range perms {
+			r1 := start + p[0]*third
+			r2 := start + p[1]*third
+			r3 := start + p[2]*third
+			for gcIdx := 0; gcIdx < 3; gcIdx++ {
+				cost := evalPlain(r1, third) + evalIR(r2+gcIdx*ninth, ninth)
+				v1 := val(r1, third)
+				gcVal := val(r2+gcIdx*ninth, ninth)
+				if gcVal == v1 {
+					cost += evalCont(r2, third, gcIdx)
+					if val(r2, third) != v1 {
+						cost += evalPlain(r3, third)
+					}
+				} else {
+					cost += evalPlain(r3, third)
+					if val(r3, third) != v1 {
+						cost += evalCont(r2, third, gcIdx)
+					}
+				}
+				total += cost
+			}
+		}
+		v := total / 18
+		irMemo[key] = v
+		return v
+	}
+	return evalIR(0, h.Size())
+}

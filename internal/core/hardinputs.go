@@ -1,0 +1,174 @@
+package core
+
+import (
+	"math/rand/v2"
+
+	"probequorum/internal/coloring"
+	"probequorum/internal/systems"
+)
+
+// This file constructs the adversarial inputs and hard input distributions
+// used in the paper's randomized lower bounds (Theorems 4.2, 4.6, 4.8 and
+// Lemmas 4.11/4.12).
+
+// WorstCaseHQS returns a coloring of the class P of Lemma 4.11: every gate
+// of the tree has exactly two children carrying the gate's value. The root
+// evaluates to rootColor. When rng is nil the minority child is always the
+// last one; otherwise its position is randomized per gate.
+func WorstCaseHQS(h *systems.HQS, rootColor coloring.Color, rng *rand.Rand) *coloring.Coloring {
+	col := coloring.New(h.Size())
+	var assign func(start, size int, val coloring.Color)
+	assign = func(start, size int, val coloring.Color) {
+		if size == 1 {
+			col.SetColor(start, val)
+			return
+		}
+		third := size / 3
+		minority := 2
+		if rng != nil {
+			minority = rng.IntN(3)
+		}
+		for i := 0; i < 3; i++ {
+			childVal := val
+			if i == minority {
+				childVal = val.Opposite()
+			}
+			assign(start+i*third, third, childVal)
+		}
+	}
+	assign(0, h.Size(), rootColor)
+	return col
+}
+
+// HardTreeSample draws from the hard distribution of Theorem 4.8 for the
+// tree system: all nodes at levels >= 2 (counted from the leaves) are
+// green, and in each height-1 subtree (a level-1 node with its two leaf
+// children) exactly one of the three nodes, chosen uniformly, is green.
+func HardTreeSample(t *systems.Tree, rng *rand.Rand) *coloring.Coloring {
+	col := coloring.New(t.Size())
+	forEachHeight1Subtree(t, func(v, l, r int) {
+		nodes := [3]int{v, l, r}
+		green := rng.IntN(3)
+		for i, e := range nodes {
+			if i != green {
+				col.SetColor(e, coloring.Red)
+			}
+		}
+	})
+	return col
+}
+
+// HardTreeDistribution enumerates the full hard distribution of
+// Theorem 4.8 (3^(#height-1 subtrees) equally likely colorings). Feasible
+// for small trees; it panics above height 4.
+func HardTreeDistribution(t *systems.Tree) []coloring.Weighted {
+	if t.Height() > 4 {
+		panic("core: HardTreeDistribution limited to height <= 4")
+	}
+	var subtrees [][3]int
+	forEachHeight1Subtree(t, func(v, l, r int) {
+		subtrees = append(subtrees, [3]int{v, l, r})
+	})
+	var out []coloring.Weighted
+	choices := make([]int, len(subtrees))
+	var build func(i int)
+	build = func(i int) {
+		if i == len(subtrees) {
+			col := coloring.New(t.Size())
+			for j, s := range subtrees {
+				for pos, e := range s {
+					if pos != choices[j] {
+						col.SetColor(e, coloring.Red)
+					}
+				}
+			}
+			out = append(out, coloring.Weighted{Coloring: col})
+			return
+		}
+		for c := 0; c < 3; c++ {
+			choices[i] = c
+			build(i + 1)
+		}
+	}
+	build(0)
+	w := 1.0 / float64(len(out))
+	for i := range out {
+		out[i].Weight = w
+	}
+	return out
+}
+
+// forEachHeight1Subtree calls fn for every internal node whose children
+// are leaves, passing the node and its two children. For height < 1 it
+// does nothing.
+func forEachHeight1Subtree(t *systems.Tree, fn func(v, l, r int)) {
+	for v := 0; v < t.Size(); v++ {
+		if !t.IsLeaf(v) && t.IsLeaf(t.Left(v)) {
+			fn(v, t.Left(v), t.Right(v))
+		}
+	}
+}
+
+// HardCWSample draws from the hard distribution of Theorem 4.6 for a
+// crumbling wall: exactly one green element per row, uniformly positioned.
+func HardCWSample(c *systems.CW, rng *rand.Rand) *coloring.Coloring {
+	col := coloring.New(c.Size())
+	for i := 0; i < c.Rows(); i++ {
+		lo, hi := c.RowRange(i)
+		green := lo + rng.IntN(hi-lo)
+		for e := lo; e < hi; e++ {
+			if e != green {
+				col.SetColor(e, coloring.Red)
+			}
+		}
+	}
+	return col
+}
+
+// HardCWDistribution enumerates the full hard distribution of Theorem 4.6
+// (prod(widths) equally likely colorings). It panics when the support
+// exceeds a million colorings.
+func HardCWDistribution(c *systems.CW) []coloring.Weighted {
+	support := 1
+	for _, w := range c.Widths() {
+		support *= w
+		if support > 1<<20 {
+			panic("core: HardCWDistribution support too large")
+		}
+	}
+	var out []coloring.Weighted
+	greens := make([]int, c.Rows())
+	var build func(row int)
+	build = func(row int) {
+		if row == c.Rows() {
+			col := coloring.New(c.Size())
+			for i := 0; i < c.Rows(); i++ {
+				lo, hi := c.RowRange(i)
+				for e := lo; e < hi; e++ {
+					if e != greens[i] {
+						col.SetColor(e, coloring.Red)
+					}
+				}
+			}
+			out = append(out, coloring.Weighted{Coloring: col})
+			return
+		}
+		lo, hi := c.RowRange(row)
+		for e := lo; e < hi; e++ {
+			greens[row] = e
+			build(row + 1)
+		}
+	}
+	build(0)
+	w := 1.0 / float64(len(out))
+	for i := range out {
+		out[i].Weight = w
+	}
+	return out
+}
+
+// MajHardDistribution is the hard distribution of Theorem 4.2: the uniform
+// distribution over colorings with exactly (n+1)/2 red elements.
+func MajHardDistribution(m *systems.Maj) []coloring.Weighted {
+	return coloring.UniformOverWeight(m.Size(), m.Threshold())
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"probequorum/internal/bitset"
+	"probequorum/internal/coloring"
+	"probequorum/internal/probe"
+	"probequorum/internal/quorum"
+	"probequorum/internal/systems"
+)
+
+// This file adds a latency dimension to witness search: batched (parallel)
+// probing strategies measured in rounds as well as probes. The paper's
+// model counts probes only; in a distributed deployment each probe is an
+// RPC, so a strategy's wall-clock cost is its round count. The X7
+// experiment maps the probes/rounds tradeoff.
+
+// FullParallel probes the entire universe in a single round — the
+// latency-optimal, message-worst strategy. The witness is extracted from
+// the observed coloring.
+func FullParallel(sys systemWithFinder, o *probe.BatchOracle) probe.Witness {
+	n := sys.Size()
+	elems := make([]int, n)
+	for e := range elems {
+		elems[e] = e
+	}
+	colors := o.ProbeBatch(elems)
+	greens := bitset.New(n)
+	reds := bitset.New(n)
+	for e, c := range colors {
+		if c == coloring.Green {
+			greens.Add(e)
+		} else {
+			reds.Add(e)
+		}
+	}
+	if sys.ContainsQuorum(greens) {
+		return extractWitness(sys, coloring.Green, greens)
+	}
+	return extractWitness(sys, coloring.Red, reds)
+}
+
+// ParallelProbeCW probes a crumbling wall one full row per round, from the
+// bottom up, stopping at the first round after which the probed suffix
+// already contains a monochromatic quorum (a full row with
+// same-colored representatives below it). Rounds <= k; probes are the
+// widths of the scanned rows.
+func ParallelProbeCW(c *systems.CW, o *probe.BatchOracle) probe.Witness {
+	n := c.Size()
+	k := c.Rows()
+	greens := bitset.New(n)
+	reds := bitset.New(n)
+	for i := k - 1; i >= 0; i-- {
+		lo, hi := c.RowRange(i)
+		elems := make([]int, 0, hi-lo)
+		for e := lo; e < hi; e++ {
+			elems = append(elems, e)
+		}
+		for j, col := range o.ProbeBatch(elems) {
+			if col == coloring.Green {
+				greens.Add(elems[j])
+			} else {
+				reds.Add(elems[j])
+			}
+		}
+		if q, ok := c.FindQuorumWithin(greens); ok {
+			return probe.Witness{Color: coloring.Green, Set: q}
+		}
+		if q, ok := c.FindQuorumWithin(reds); ok {
+			return probe.Witness{Color: coloring.Red, Set: q}
+		}
+	}
+	panic("core: ParallelProbeCW scanned the whole wall without a witness")
+}
+
+// ParallelCost runs a batched strategy against a fixed coloring and
+// returns its probe and round counts.
+func ParallelCost(col *coloring.Coloring, alg func(o *probe.BatchOracle) probe.Witness) (probes, rounds int) {
+	o := probe.NewBatchOracle(col)
+	alg(o)
+	return o.Probes(), o.Rounds()
+}
+
+// SequentialRounds adapts a sequential strategy to the batch model: every
+// probe is its own round, so rounds equal probes.
+func SequentialRounds(sys quorum.System, col *coloring.Coloring, alg func(o probe.Oracle) probe.Witness) (probes, rounds int) {
+	o := probe.NewBatchOracle(col)
+	alg(o)
+	return o.Probes(), o.Rounds()
+}

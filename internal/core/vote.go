@@ -1,0 +1,46 @@
+package core
+
+import (
+	"sort"
+
+	"probequorum/internal/bitset"
+	"probequorum/internal/coloring"
+	"probequorum/internal/probe"
+	"probequorum/internal/systems"
+)
+
+// ProbeVote finds a witness for a weighted-voting system by probing
+// elements in order of decreasing weight until one color accumulates a
+// strict majority of the total weight. Heavy elements resolve the most
+// weight per probe, which makes the descending order the natural greedy
+// strategy in the probabilistic model (it is exactly Probe_Maj on unit
+// weights).
+func ProbeVote(v *systems.Vote, o probe.Oracle) probe.Witness {
+	weights := v.Weights()
+	order := make([]int, len(weights))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return weights[order[a]] > weights[order[b]] })
+
+	t := v.Threshold()
+	greens := bitset.New(v.Size())
+	reds := bitset.New(v.Size())
+	greenWeight, redWeight := 0, 0
+	for _, e := range order {
+		if o.Probe(e) == coloring.Green {
+			greens.Add(e)
+			greenWeight += weights[e]
+			if greenWeight >= t {
+				return probe.Witness{Color: coloring.Green, Set: greens}
+			}
+		} else {
+			reds.Add(e)
+			redWeight += weights[e]
+			if redWeight >= t {
+				return probe.Witness{Color: coloring.Red, Set: reds}
+			}
+		}
+	}
+	panic("core: ProbeVote exhausted the universe without a witness")
+}

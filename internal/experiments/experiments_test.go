@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsReproduce runs every registered driver and fails on
+// any DEVIATES verdict or error line — the repository-level statement that
+// the paper's tables and figures reproduce.
+func TestAllExperimentsReproduce(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment drivers are slow; skipped in -short mode")
+	}
+	seen := map[string]bool{}
+	for _, run := range Registry() {
+		rep := run()
+		if rep.ID == "" || rep.Title == "" {
+			t.Errorf("report missing metadata: %+v", rep)
+		}
+		if seen[rep.ID] {
+			t.Errorf("duplicate experiment ID %s", rep.ID)
+		}
+		seen[rep.ID] = true
+		if len(rep.Lines) == 0 {
+			t.Errorf("%s: empty report", rep.ID)
+		}
+		for _, line := range rep.Lines {
+			if strings.Contains(line, "DEVIATES") {
+				t.Errorf("%s: %s", rep.ID, line)
+			}
+			if strings.Contains(line, "error:") {
+				t.Errorf("%s: %s", rep.ID, line)
+			}
+		}
+	}
+	// Every experiment from the DESIGN.md index must be present.
+	for _, id := range []string{
+		"T1", "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9",
+		"L2.2", "L2.4", "L2.8", "L2.9", "L3.1",
+		"P3.2", "C3.4", "P3.6", "T3.8", "T4.2", "T4.4", "T4.6", "T4.7",
+		"X1", "X2", "X3", "X4", "X5", "X6", "X7",
+	} {
+		if !seen[id] {
+			t.Errorf("experiment %s missing from the registry", id)
+		}
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := Report{ID: "X", Title: "demo", Lines: []string{"a", "b"}}
+	s := r.String()
+	for _, want := range []string{"== X: demo ==", "a\n", "b\n"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestVerdict(t *testing.T) {
+	if got := verdict(1.0, 1.0, 0); got != "ok" {
+		t.Errorf("exact match: %q", got)
+	}
+	if got := verdict(1.04, 1.0, 0.05); got != "ok" {
+		t.Errorf("within tolerance: %q", got)
+	}
+	if got := verdict(1.2, 1.0, 0.05); !strings.Contains(got, "DEVIATES") {
+		t.Errorf("outside tolerance: %q", got)
+	}
+	if got := verdict(0, 0, 0); got != "ok" {
+		t.Errorf("zero-zero: %q", got)
+	}
+	if got := verdict(0.1, 0, 0); !strings.Contains(got, "DEVIATES") {
+		t.Errorf("zero expected: %q", got)
+	}
+}

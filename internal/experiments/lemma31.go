@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"probequorum/internal/quorum"
+	"probequorum/internal/strategy"
+	"probequorum/internal/systems"
+	"probequorum/internal/walk"
+)
+
+// Lemma31 reproduces the global lower bound of Lemma 3.1: the optimal
+// probabilistic probe complexity of any ND coterie with minimal quorum
+// size c is at least the N x N walk exit time with N = c (the cost of
+// collecting any monochromatic set of size c). Both sides are computed
+// exactly: the optimum by the expectimax DP, the bound by the walk DP.
+func Lemma31() Report {
+	r := Report{ID: "L3.1", Title: "PPC_p(S) >= walk exit time with N = min quorum size (Lemma 3.1, exact)"}
+	maj, _ := systems.NewMaj(7)
+	wheel, _ := systems.NewWheel(6)
+	tri, _ := systems.NewTriang(3)
+	tree, _ := systems.NewTree(2)
+	hqs, _ := systems.NewHQS(2)
+	vote, _ := systems.NewVote([]int{3, 1, 1, 2})
+	for _, sys := range []quorum.System{maj, wheel, tri, tree, hqs, vote} {
+		c := quorum.MinQuorumSize(sys)
+		for _, p := range []float64{0.2, 0.5} {
+			opt, err := strategy.OptimalPPC(sys, p)
+			if err != nil {
+				r.addf("%s: error: %v", sys.Name(), err)
+				continue
+			}
+			bound := walk.ExactExitTime(c, p)
+			ok := "ok"
+			if opt < bound-1e-9 {
+				ok = "DEVIATES (below bound)"
+			}
+			r.addf("%-16s c=%d p=%.1f  optimal PPC=%8.4f >= bound=%8.4f  %s",
+				sys.Name(), c, p, opt, bound, ok)
+		}
+	}
+	return r
+}
+
+// PPCSweep reports exact PPC_p curves for small systems across p — the
+// probabilistic-model landscape behind §3, exhibiting the p <-> 1-p
+// symmetry of Fact 2.3.
+func PPCSweep() Report {
+	r := Report{ID: "X5", Title: "Exact PPC_p curves for small systems (expectimax DP)"}
+	ps := []float64{0.05, 0.2, 0.35, 0.5, 0.65, 0.8, 0.95}
+	header := "system              "
+	for _, p := range ps {
+		header += trimF(p) + " "
+	}
+	r.Lines = append(r.Lines, header)
+	maj, _ := systems.NewMaj(7)
+	wheel, _ := systems.NewWheel(6)
+	tri, _ := systems.NewTriang(3)
+	tree, _ := systems.NewTree(2)
+	hqs, _ := systems.NewHQS(2)
+	for _, sys := range []quorum.System{maj, wheel, tri, tree, hqs} {
+		line := ""
+		for _, p := range ps {
+			v, err := strategy.OptimalPPC(sys, p)
+			if err != nil {
+				r.addf("%s: error: %v", sys.Name(), err)
+				line = ""
+				break
+			}
+			line += trimF(v) + " "
+		}
+		if line != "" {
+			r.addf("%-18s %s", sys.Name(), line)
+		}
+	}
+	r.addf("curves are symmetric about p = 1/2 (Fact 2.3) and peak there;")
+	r.addf("the wheel stays near 3 probes at every p (Corollary 3.4).")
+	return r
+}

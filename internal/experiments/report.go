@@ -1,0 +1,100 @@
+// Package experiments contains one driver per table, figure and theorem of
+// the paper's evaluation. Each driver regenerates the corresponding rows —
+// paper value next to measured value — using exact evaluators where
+// possible and seeded Monte Carlo otherwise. The cmd/probebench binary and
+// the root benchmark suite are thin wrappers over these drivers, and
+// EXPERIMENTS.md is generated from their output.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Report is the output of one experiment driver.
+type Report struct {
+	// ID is the experiment identifier from DESIGN.md (e.g. "T1", "F9").
+	ID string
+	// Title names the paper artifact being reproduced.
+	Title string
+	// Lines are preformatted result rows.
+	Lines []string
+}
+
+// String renders the report as a titled block.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	for _, l := range r.Lines {
+		fmt.Fprintln(&b, l)
+	}
+	return b.String()
+}
+
+func (r *Report) addf(format string, args ...any) {
+	r.Lines = append(r.Lines, fmt.Sprintf(format, args...))
+}
+
+// verdict renders a pass/deviation marker for a measured-vs-expected pair
+// under a relative tolerance.
+func verdict(measured, expected, relTol float64) string {
+	if expected == 0 {
+		if measured == 0 {
+			return "ok"
+		}
+		return "DEVIATES"
+	}
+	rel := (measured - expected) / expected
+	if rel < 0 {
+		rel = -rel
+	}
+	if rel <= relTol {
+		return "ok"
+	}
+	return fmt.Sprintf("DEVIATES (%+.2f%%)", 100*(measured-expected)/expected)
+}
+
+// Registry returns every experiment driver keyed by ID, in a stable order.
+func Registry() []func() Report {
+	return []func() Report{
+		Table1,
+		Figure1,
+		Figure2,
+		Figure3,
+		Figure4Maj3,
+		Lemma22Evasive,
+		Lemma24,
+		Lemma31,
+		Lemma28,
+		Lemma29,
+		PropositionMaj,
+		TheoremProbeCW,
+		CorollaryWheel,
+		PropositionTree,
+		TheoremHQSProbabilistic,
+		TheoremHQSOptimality,
+		TheoremMajRandomized,
+		TheoremCWRandomized,
+		TheoremCWLower,
+		TheoremTreeRandomized,
+		TheoremRProbeHQS,
+		TheoremIRProbeHQS,
+		Figure9RecursionConstant,
+		AblationBaselines,
+		AvailabilityCurves,
+		HeuristicComparison,
+		LoadMeasure,
+		PPCSweep,
+		RecMajGeneralization,
+		ParallelTradeoff,
+	}
+}
+
+// RunAll executes every registered experiment and returns the reports.
+func RunAll() []Report {
+	var out []Report
+	for _, f := range Registry() {
+		out = append(out, f())
+	}
+	return out
+}

@@ -1,0 +1,93 @@
+package load
+
+import (
+	"math"
+	"testing"
+
+	"probequorum/internal/quorum"
+	"probequorum/internal/systems"
+)
+
+func TestUniformLoadMajority(t *testing.T) {
+	// By symmetry the uniform strategy is optimal for Maj, with load
+	// c/n = (n+1)/(2n) — it meets the Naor–Wool bound.
+	m, _ := systems.NewMaj(5)
+	s := Uniform(m)
+	want := 3.0 / 5.0
+	if got := s.Load(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("uniform Maj(5) load = %v, want %v", got, want)
+	}
+	if lb := LowerBound(m); math.Abs(lb-want) > 1e-12 {
+		t.Errorf("lower bound = %v, want %v", lb, want)
+	}
+	// All element loads equal.
+	loads := s.ElementLoads()
+	for e, l := range loads {
+		if math.Abs(l-want) > 1e-12 {
+			t.Errorf("element %d load = %v, want %v", e, l, want)
+		}
+	}
+}
+
+func TestStrategyAccessors(t *testing.T) {
+	m, _ := systems.NewMaj(3)
+	s := Uniform(m)
+	if len(s.Quorums()) != 3 || len(s.Probs()) != 3 {
+		t.Errorf("support sizes: %d quorums, %d probs", len(s.Quorums()), len(s.Probs()))
+	}
+	total := 0.0
+	for _, p := range s.Probs() {
+		total += p
+	}
+	if math.Abs(total-1) > 1e-12 {
+		t.Errorf("probabilities sum to %v", total)
+	}
+}
+
+func TestBalanceRespectsLowerBound(t *testing.T) {
+	maj, _ := systems.NewMaj(7)
+	wheel, _ := systems.NewWheel(6)
+	tri, _ := systems.NewTriang(3)
+	tree, _ := systems.NewTree(2)
+	hqs, _ := systems.NewHQS(2)
+	for _, sys := range []quorum.System{maj, wheel, tri, tree, hqs} {
+		t.Run(sys.Name(), func(t *testing.T) {
+			bal, err := Balance(sys, 800)
+			if err != nil {
+				t.Fatal(err)
+			}
+			balanced := bal.Load()
+			uniform := Uniform(sys).Load()
+			lower := LowerBound(sys)
+			if balanced < lower-1e-9 {
+				t.Errorf("balanced load %v below the Naor–Wool bound %v", balanced, lower)
+			}
+			// The balancer should not be much worse than uniform, and for
+			// asymmetric systems it should improve on it.
+			if balanced > uniform+0.05 {
+				t.Errorf("balanced load %v worse than uniform %v", balanced, uniform)
+			}
+		})
+	}
+}
+
+// The wheel is the showcase: uniform loads the hub with (n-1)/n, while a
+// balanced strategy shifts mass to the rim quorum.
+func TestBalanceImprovesWheel(t *testing.T) {
+	w, _ := systems.NewWheel(8)
+	uniform := Uniform(w).Load()
+	bal, err := Balance(w, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bal.Load() >= uniform-0.1 {
+		t.Errorf("balanced %v did not improve on uniform %v", bal.Load(), uniform)
+	}
+}
+
+func TestBalanceErrors(t *testing.T) {
+	m, _ := systems.NewMaj(3)
+	if _, err := Balance(m, 0); err == nil {
+		t.Error("Balance accepted zero rounds")
+	}
+}

@@ -1,0 +1,56 @@
+package probe
+
+import (
+	"probequorum/internal/bitset"
+	"probequorum/internal/coloring"
+)
+
+// BatchOracle answers probes in rounds: all probes of a batch are issued
+// concurrently and observed together. It measures the two costs of
+// parallel witness search: total distinct probes (the paper's probe
+// complexity, proportional to message load) and rounds (proportional to
+// latency when each probe is one RPC round-trip).
+type BatchOracle struct {
+	col    *coloring.Coloring
+	probed *bitset.Set
+	rounds int
+}
+
+// NewBatchOracle returns a batch oracle over the coloring.
+func NewBatchOracle(col *coloring.Coloring) *BatchOracle {
+	return &BatchOracle{col: col, probed: bitset.New(col.Size())}
+}
+
+// ProbeBatch probes all listed elements in one round and returns their
+// colors in order. Previously probed elements are answered without being
+// recounted; an all-repeat batch still costs a round if nonempty.
+func (b *BatchOracle) ProbeBatch(elems []int) []coloring.Color {
+	if len(elems) == 0 {
+		return nil
+	}
+	b.rounds++
+	out := make([]coloring.Color, len(elems))
+	for i, e := range elems {
+		b.probed.Add(e)
+		out[i] = b.col.Of(e)
+	}
+	return out
+}
+
+// Probe issues a single-element round, making BatchOracle usable wherever
+// an Oracle is expected (a sequential algorithm then costs one round per
+// probe).
+func (b *BatchOracle) Probe(e int) coloring.Color {
+	return b.ProbeBatch([]int{e})[0]
+}
+
+// Probes returns the number of distinct probed elements.
+func (b *BatchOracle) Probes() int { return b.probed.Count() }
+
+// Probed returns a copy of the set of distinct probed elements.
+func (b *BatchOracle) Probed() *bitset.Set { return b.probed.Clone() }
+
+// Rounds returns the number of batches issued.
+func (b *BatchOracle) Rounds() int { return b.rounds }
+
+var _ Oracle = (*BatchOracle)(nil)

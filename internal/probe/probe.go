@@ -1,0 +1,150 @@
+// Package probe provides the probing machinery of the paper: oracles that
+// reveal element colors one probe at a time, probe accounting, and witness
+// construction and verification.
+//
+// A witness is the object every probing algorithm must produce: either a
+// green (live) quorum, or — for a nondominated coterie, by Lemma 2.1 — a
+// red (failed) quorum proving that no live quorum exists.
+package probe
+
+import (
+	"errors"
+	"fmt"
+
+	"probequorum/internal/bitset"
+	"probequorum/internal/coloring"
+	"probequorum/internal/quorum"
+)
+
+// Oracle reveals the color of elements on demand. Probing the same element
+// twice is permitted and must return the same color; implementations count
+// only distinct elements (the paper's probe complexity counts distinct
+// probed elements).
+type Oracle interface {
+	// Probe returns the color of element e.
+	Probe(e int) coloring.Color
+	// Probes returns the number of distinct elements probed so far.
+	Probes() int
+	// Probed returns a copy of the set of distinct elements probed so far.
+	Probed() *bitset.Set
+}
+
+// ColoringOracle is an Oracle backed by a fixed coloring. It memoizes
+// probes so that repeated probes of an element are counted once.
+type ColoringOracle struct {
+	col    *coloring.Coloring
+	probed *bitset.Set
+	order  []int
+}
+
+var _ Oracle = (*ColoringOracle)(nil)
+
+// NewOracle returns an oracle answering probes from the given coloring.
+// The coloring is not copied; it must not be mutated during use.
+func NewOracle(col *coloring.Coloring) *ColoringOracle {
+	return &ColoringOracle{col: col, probed: bitset.New(col.Size())}
+}
+
+// Probe implements Oracle.
+func (o *ColoringOracle) Probe(e int) coloring.Color {
+	if !o.probed.Contains(e) {
+		o.probed.Add(e)
+		o.order = append(o.order, e)
+	}
+	return o.col.Of(e)
+}
+
+// Probes implements Oracle.
+func (o *ColoringOracle) Probes() int { return o.probed.Count() }
+
+// Probed implements Oracle.
+func (o *ColoringOracle) Probed() *bitset.Set { return o.probed.Clone() }
+
+// Order returns the distinct probed elements in first-probe order.
+func (o *ColoringOracle) Order() []int {
+	out := make([]int, len(o.order))
+	copy(out, o.order)
+	return out
+}
+
+// Reset clears the probe log, keeping the underlying coloring.
+func (o *ColoringOracle) Reset() {
+	o.probed.Clear()
+	o.order = o.order[:0]
+}
+
+// Witness is a monochromatic quorum: the output of a probing algorithm.
+type Witness struct {
+	// Color is the common color of all witness elements: Green means the
+	// witness is a live quorum, Red means it proves no live quorum exists.
+	Color coloring.Color
+	// Set contains the witness elements; it is a superset of a quorum.
+	Set *bitset.Set
+}
+
+// String implements fmt.Stringer.
+func (w Witness) String() string {
+	return fmt.Sprintf("%s quorum %v", w.Color, w.Set)
+}
+
+// Errors returned by Verify.
+var (
+	ErrWitnessNotQuorum       = errors.New("probe: witness does not contain a quorum")
+	ErrWitnessWrongColor      = errors.New("probe: witness contains an element of the wrong color")
+	ErrWitnessUnprobed        = errors.New("probe: witness contains an element that was never probed")
+	ErrAmbiguousSystemState   = errors.New("probe: coloring admits both or neither monochromatic quorum (system is not an ND coterie)")
+	ErrWitnessWrongConclusion = errors.New("probe: witness color differs from the true system state")
+)
+
+// Verify checks a witness against the system and the true coloring:
+// the witness must contain a quorum, all its elements must have the claimed
+// color, and — when probed is non-nil — every witness element must have
+// been probed. A nil error means the witness is sound.
+func Verify(sys quorum.System, w Witness, col *coloring.Coloring, probed *bitset.Set) error {
+	if w.Set == nil {
+		return fmt.Errorf("nil witness set: %w", ErrWitnessNotQuorum)
+	}
+	bad := -1
+	w.Set.ForEach(func(e int) bool {
+		if col.Of(e) != w.Color {
+			bad = e
+			return false
+		}
+		return true
+	})
+	if bad >= 0 {
+		return fmt.Errorf("element %d is %s, witness claims %s: %w",
+			bad, col.Of(bad), w.Color, ErrWitnessWrongColor)
+	}
+	if probed != nil && !w.Set.SubsetOf(probed) {
+		return fmt.Errorf("witness %v, probed %v: %w", w.Set, probed, ErrWitnessUnprobed)
+	}
+	if !sys.ContainsQuorum(w.Set) {
+		return fmt.Errorf("witness %v: %w", w.Set, ErrWitnessNotQuorum)
+	}
+	state, err := StateOf(sys, col)
+	if err != nil {
+		return err
+	}
+	if state != w.Color {
+		return fmt.Errorf("true state %s, witness %s: %w", state, w.Color, ErrWitnessWrongConclusion)
+	}
+	return nil
+}
+
+// StateOf returns the system state under the given coloring: Green if a
+// live quorum exists, Red if a failed quorum exists. For an ND coterie
+// exactly one of the two holds; if both or neither hold the system is not
+// an ND coterie and an error is returned.
+func StateOf(sys quorum.System, col *coloring.Coloring) (coloring.Color, error) {
+	g := sys.ContainsQuorum(col.GreenSet())
+	r := sys.ContainsQuorum(col.RedSet())
+	switch {
+	case g && !r:
+		return coloring.Green, nil
+	case r && !g:
+		return coloring.Red, nil
+	default:
+		return 0, fmt.Errorf("green=%v red=%v: %w", g, r, ErrAmbiguousSystemState)
+	}
+}

@@ -1,0 +1,159 @@
+package quorum
+
+import (
+	"fmt"
+
+	"probequorum/internal/bitset"
+)
+
+// Composite is the classical coterie composition: an outer coterie over k
+// logical slots, where slot i is implemented by an inner coterie over its
+// own sub-universe. A set contains a composite quorum iff the slots whose
+// sub-universe portion contains an inner quorum form an outer quorum.
+// Composing nondominated coteries yields a nondominated coterie (the
+// characteristic function is a composition of self-dual functions); the
+// HQS is exactly the recursive composition of Maj3 with itself.
+type Composite struct {
+	name    string
+	outer   System
+	inner   []System
+	offsets []int
+	n       int
+}
+
+var (
+	_ System = (*Composite)(nil)
+	_ Finder = (*Composite)(nil)
+)
+
+// NewComposite builds the composition of the outer system with one inner
+// system per outer element. The composite universe concatenates the inner
+// universes in slot order.
+func NewComposite(outer System, inner []System) (*Composite, error) {
+	if outer == nil {
+		return nil, fmt.Errorf("quorum: nil outer system")
+	}
+	if len(inner) != outer.Size() {
+		return nil, fmt.Errorf("quorum: composition needs %d inner systems, got %d", outer.Size(), len(inner))
+	}
+	offsets := make([]int, len(inner))
+	n := 0
+	for i, sys := range inner {
+		if sys == nil {
+			return nil, fmt.Errorf("quorum: nil inner system at slot %d", i)
+		}
+		offsets[i] = n
+		n += sys.Size()
+	}
+	return &Composite{
+		name:    fmt.Sprintf("Composite(%s; %d slots, n=%d)", outer.Name(), len(inner), n),
+		outer:   outer,
+		inner:   inner,
+		offsets: offsets,
+		n:       n,
+	}, nil
+}
+
+// Name implements System.
+func (c *Composite) Name() string { return c.name }
+
+// Size implements System.
+func (c *Composite) Size() int { return c.n }
+
+// SlotRange returns the half-open element range of inner slot i.
+func (c *Composite) SlotRange(i int) (start, end int) {
+	return c.offsets[i], c.offsets[i] + c.inner[i].Size()
+}
+
+// slotView extracts the sub-universe portion of s belonging to slot i.
+func (c *Composite) slotView(i int, s *bitset.Set) *bitset.Set {
+	start, end := c.SlotRange(i)
+	sub := bitset.New(c.inner[i].Size())
+	for e := start; e < end; e++ {
+		if s.Contains(e) {
+			sub.Add(e - start)
+		}
+	}
+	return sub
+}
+
+// ContainsQuorum implements System.
+func (c *Composite) ContainsQuorum(s *bitset.Set) bool {
+	liveSlots := bitset.New(c.outer.Size())
+	for i := range c.inner {
+		if c.inner[i].ContainsQuorum(c.slotView(i, s)) {
+			liveSlots.Add(i)
+		}
+	}
+	return c.outer.ContainsQuorum(liveSlots)
+}
+
+// Quorums implements System: the minimal composite quorums are unions of
+// one inner quorum per slot of each outer quorum. Exponential; intended
+// for small compositions.
+func (c *Composite) Quorums() []*bitset.Set {
+	var out []*bitset.Set
+	for _, oq := range c.outer.Quorums() {
+		slots := oq.Elements()
+		innerChoices := make([][]*bitset.Set, len(slots))
+		for j, slot := range slots {
+			innerChoices[j] = c.inner[slot].Quorums()
+		}
+		acc := bitset.New(c.n)
+		c.cross(slots, innerChoices, 0, acc, &out)
+	}
+	return Minimize(out)
+}
+
+func (c *Composite) cross(slots []int, choices [][]*bitset.Set, j int, acc *bitset.Set, out *[]*bitset.Set) {
+	if j == len(slots) {
+		*out = append(*out, acc.Clone())
+		return
+	}
+	start, _ := c.SlotRange(slots[j])
+	for _, iq := range choices[j] {
+		saved := acc.Clone()
+		iq.ForEach(func(e int) bool {
+			acc.Add(start + e)
+			return true
+		})
+		c.cross(slots, choices, j+1, acc, out)
+		acc.Clear()
+		acc.UnionWith(saved)
+	}
+}
+
+// FindQuorumWithin implements Finder, provided the outer and every inner
+// system implement Finder.
+func (c *Composite) FindQuorumWithin(allowed *bitset.Set) (*bitset.Set, bool) {
+	liveSlots := bitset.New(c.outer.Size())
+	innerQuorums := make([]*bitset.Set, len(c.inner))
+	for i := range c.inner {
+		f, ok := c.inner[i].(Finder)
+		if !ok {
+			return nil, false
+		}
+		if q, found := f.FindQuorumWithin(c.slotView(i, allowed)); found {
+			innerQuorums[i] = q
+			liveSlots.Add(i)
+		}
+	}
+	of, ok := c.outer.(Finder)
+	if !ok {
+		return nil, false
+	}
+	oq, found := of.FindQuorumWithin(liveSlots)
+	if !found {
+		return nil, false
+	}
+	u := bitset.New(c.n)
+	oq.ForEach(func(slot int) bool {
+		start, _ := c.SlotRange(slot)
+		innerQuorums[slot].ForEach(func(e int) bool {
+			u.Add(start + e)
+			return true
+		})
+		return true
+	})
+	return u, true
+}

@@ -1,0 +1,131 @@
+package quorum
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"probequorum/internal/bitset"
+)
+
+// maj3sys builds the explicit Maj3 coterie used as a composition block.
+func maj3sys(t *testing.T) *Explicit {
+	t.Helper()
+	e, err := NewExplicit("Maj3", 3, []*bitset.Set{
+		bitset.FromSlice(3, []int{0, 1}),
+		bitset.FromSlice(3, []int{1, 2}),
+		bitset.FromSlice(3, []int{0, 2}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestNewCompositeValidation(t *testing.T) {
+	m := maj3sys(t)
+	if _, err := NewComposite(nil, nil); err == nil {
+		t.Error("accepted nil outer")
+	}
+	if _, err := NewComposite(m, []System{m, m}); err == nil {
+		t.Error("accepted wrong inner count")
+	}
+	if _, err := NewComposite(m, []System{m, nil, m}); err == nil {
+		t.Error("accepted nil inner")
+	}
+}
+
+// Maj3 composed with three copies of Maj3 is exactly the height-2 HQS
+// (recursive 2-of-3 majority over 9 leaves): 27 quorums of size 4.
+func TestCompositeMaj3SquaredIsHQS2(t *testing.T) {
+	m := maj3sys(t)
+	comp, err := NewComposite(m, []System{maj3sys(t), maj3sys(t), maj3sys(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.Size() != 9 {
+		t.Fatalf("Size = %d, want 9", comp.Size())
+	}
+	qs := comp.Quorums()
+	if len(qs) != 27 {
+		t.Fatalf("%d quorums, want 27", len(qs))
+	}
+	for _, q := range qs {
+		if q.Count() != 4 {
+			t.Errorf("quorum %v has size %d, want 4", q, q.Count())
+		}
+	}
+	// Fig. 3's quorum {1,2,5,6} (1-based) belongs to the composition.
+	fig3 := bitset.FromSlice(9, []int{0, 1, 4, 5})
+	if !comp.ContainsQuorum(fig3) {
+		t.Error("Fig. 3 quorum missing from the composition")
+	}
+	if err := CheckND(comp); err != nil {
+		t.Errorf("composition of ND coteries not ND: %v", err)
+	}
+}
+
+// Heterogeneous composition: a wheel-of-majorities is still an ND coterie
+// with working quorum search.
+func TestCompositeHeterogeneous(t *testing.T) {
+	m := maj3sys(t)
+	single, err := NewExplicit("unit", 1, []*bitset.Set{bitset.FromSlice(1, []int{0})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Outer Maj3 with slots: Maj3, unit, Maj3 -> n = 7.
+	comp, err := NewComposite(m, []System{maj3sys(t), single, maj3sys(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.Size() != 7 {
+		t.Fatalf("Size = %d, want 7", comp.Size())
+	}
+	if err := CheckND(comp); err != nil {
+		t.Errorf("heterogeneous composition not ND: %v", err)
+	}
+	if start, end := comp.SlotRange(1); start != 3 || end != 4 {
+		t.Errorf("SlotRange(1) = [%d,%d)", start, end)
+	}
+	// Finder soundness on random allowed sets.
+	rng := rand.New(rand.NewPCG(21, 23))
+	for trial := 0; trial < 500; trial++ {
+		allowed := bitset.New(comp.Size())
+		for e := 0; e < comp.Size(); e++ {
+			if rng.IntN(2) == 0 {
+				allowed.Add(e)
+			}
+		}
+		q, found := comp.FindQuorumWithin(allowed)
+		if found != comp.ContainsQuorum(allowed) {
+			t.Fatalf("finder disagreement on %v", allowed)
+		}
+		if found && (!q.SubsetOf(allowed) || !comp.ContainsQuorum(q)) {
+			t.Fatalf("bad quorum %v from %v", q, allowed)
+		}
+	}
+}
+
+// Property: composing ND coteries preserves nondomination across random
+// small block choices.
+func TestCompositeNDPreservation(t *testing.T) {
+	m := maj3sys(t)
+	single, err := NewExplicit("unit", 1, []*bitset.Set{bitset.FromSlice(1, []int{0})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := []System{m, single}
+	rng := rand.New(rand.NewPCG(31, 37))
+	for trial := 0; trial < 10; trial++ {
+		inner := make([]System, 3)
+		for i := range inner {
+			inner[i] = blocks[rng.IntN(len(blocks))]
+		}
+		comp, err := NewComposite(m, inner)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := CheckND(comp); err != nil {
+			t.Errorf("trial %d: %v", trial, err)
+		}
+	}
+}

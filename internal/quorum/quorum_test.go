@@ -1,0 +1,236 @@
+package quorum
+
+import (
+	"errors"
+	"testing"
+
+	"probequorum/internal/bitset"
+)
+
+// maj3 returns the explicit Maj3 system of the paper's §2.3 example:
+// U = {0,1,2}, quorums = all pairs.
+func maj3(t *testing.T) *Explicit {
+	t.Helper()
+	qs := []*bitset.Set{
+		bitset.FromSlice(3, []int{0, 1}),
+		bitset.FromSlice(3, []int{1, 2}),
+		bitset.FromSlice(3, []int{0, 2}),
+	}
+	e, err := NewExplicit("Maj3", 3, qs)
+	if err != nil {
+		t.Fatalf("NewExplicit: %v", err)
+	}
+	return e
+}
+
+func TestNewExplicitValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		n       int
+		quorums []*bitset.Set
+	}{
+		{"empty family", 3, nil},
+		{"empty quorum", 3, []*bitset.Set{bitset.New(3)}},
+		{"capacity mismatch", 3, []*bitset.Set{bitset.FromSlice(4, []int{0})}},
+		{"non-intersecting", 4, []*bitset.Set{
+			bitset.FromSlice(4, []int{0, 1}),
+			bitset.FromSlice(4, []int{2, 3}),
+		}},
+		{"not minimal", 3, []*bitset.Set{
+			bitset.FromSlice(3, []int{0}),
+			bitset.FromSlice(3, []int{0, 1}),
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := NewExplicit("bad", c.n, c.quorums); err == nil {
+				t.Errorf("NewExplicit(%s) succeeded, want error", c.name)
+			}
+		})
+	}
+}
+
+func TestExplicitBasics(t *testing.T) {
+	e := maj3(t)
+	if e.Name() != "Maj3" {
+		t.Errorf("Name = %q", e.Name())
+	}
+	if e.Size() != 3 {
+		t.Errorf("Size = %d", e.Size())
+	}
+	if got := len(e.Quorums()); got != 3 {
+		t.Errorf("len(Quorums) = %d, want 3", got)
+	}
+	if e.MinQuorumSize() != 2 || e.MaxQuorumSize() != 2 {
+		t.Errorf("quorum sizes = %d..%d, want 2..2", e.MinQuorumSize(), e.MaxQuorumSize())
+	}
+	if !e.ContainsQuorum(bitset.FromSlice(3, []int{0, 1, 2})) {
+		t.Error("full set should contain a quorum")
+	}
+	if e.ContainsQuorum(bitset.FromSlice(3, []int{1})) {
+		t.Error("singleton should not contain a quorum")
+	}
+}
+
+func TestQuorumsReturnsCopies(t *testing.T) {
+	e := maj3(t)
+	qs := e.Quorums()
+	qs[0].Clear()
+	if !e.ContainsQuorum(bitset.FromSlice(3, []int{0, 1})) {
+		t.Error("mutating returned quorum changed the system")
+	}
+}
+
+func TestFindQuorumWithin(t *testing.T) {
+	e := maj3(t)
+	q, ok := e.FindQuorumWithin(bitset.FromSlice(3, []int{1, 2}))
+	if !ok || !q.Equal(bitset.FromSlice(3, []int{1, 2})) {
+		t.Errorf("FindQuorumWithin({1,2}) = %v, %v", q, ok)
+	}
+	if _, ok := e.FindQuorumWithin(bitset.FromSlice(3, []int{1})); ok {
+		t.Error("found quorum inside a singleton")
+	}
+}
+
+func TestIsIntersectingAndAntichain(t *testing.T) {
+	a := bitset.FromSlice(4, []int{0, 1})
+	b := bitset.FromSlice(4, []int{1, 2})
+	c := bitset.FromSlice(4, []int{2, 3})
+	if IsIntersecting([]*bitset.Set{a, b, c}) {
+		t.Error("a and c are disjoint; IsIntersecting should be false")
+	}
+	if !IsIntersecting([]*bitset.Set{a, b}) {
+		t.Error("a and b intersect")
+	}
+	super := bitset.FromSlice(4, []int{0, 1, 2})
+	if IsAntichain([]*bitset.Set{a, super}) {
+		t.Error("a ⊂ super violates antichain")
+	}
+	if !IsAntichain([]*bitset.Set{a, c}) {
+		t.Error("incomparable sets form an antichain")
+	}
+	dup := bitset.FromSlice(4, []int{0, 1})
+	if IsAntichain([]*bitset.Set{a, dup}) {
+		t.Error("duplicates violate antichain")
+	}
+}
+
+func TestIsCoterieAndTransversal(t *testing.T) {
+	e := maj3(t)
+	if !IsCoterie(e) {
+		t.Error("Maj3 is a coterie")
+	}
+	if !IsTransversal(e, bitset.FromSlice(3, []int{0, 1})) {
+		t.Error("{0,1} is a transversal of Maj3")
+	}
+	if IsTransversal(e, bitset.FromSlice(3, []int{0})) {
+		t.Error("{0} misses quorum {1,2}")
+	}
+}
+
+func TestCheckND(t *testing.T) {
+	if err := CheckND(maj3(t)); err != nil {
+		t.Errorf("Maj3 should be ND: %v", err)
+	}
+	// A dominated coterie: the singleton {{0,1}} over 3 elements. The
+	// coloring greens={0}, reds={1,2} has no monochromatic quorum.
+	dominated, err := NewExplicit("dom", 3, []*bitset.Set{bitset.FromSlice(3, []int{0, 1})})
+	if err != nil {
+		t.Fatalf("NewExplicit: %v", err)
+	}
+	if err := CheckND(dominated); !errors.Is(err, ErrNotSelfDual) {
+		t.Errorf("CheckND(dominated) = %v, want ErrNotSelfDual", err)
+	}
+}
+
+func TestDominates(t *testing.T) {
+	s, err := NewExplicit("S", 3, []*bitset.Set{bitset.FromSlice(3, []int{0, 1})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewExplicit("R", 3, []*bitset.Set{bitset.FromSlice(3, []int{0})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Dominates(r, s) {
+		t.Error("{{0}} dominates {{0,1}}")
+	}
+	if Dominates(s, r) {
+		t.Error("{{0,1}} does not dominate {{0}}")
+	}
+	if Dominates(s, s) {
+		t.Error("a coterie does not dominate itself")
+	}
+}
+
+func TestMinimize(t *testing.T) {
+	fam := []*bitset.Set{
+		bitset.FromSlice(4, []int{0, 1, 2}),
+		bitset.FromSlice(4, []int{0, 1}),
+		bitset.FromSlice(4, []int{0, 1}), // duplicate
+		bitset.FromSlice(4, []int{3}),
+	}
+	min := Minimize(fam)
+	if len(min) != 2 {
+		t.Fatalf("Minimize returned %d sets, want 2", len(min))
+	}
+	want0 := bitset.FromSlice(4, []int{0, 1})
+	want1 := bitset.FromSlice(4, []int{3})
+	found0, found1 := false, false
+	for _, s := range min {
+		if s.Equal(want0) {
+			found0 = true
+		}
+		if s.Equal(want1) {
+			found1 = true
+		}
+	}
+	if !found0 || !found1 {
+		t.Errorf("Minimize = %v, want {0,1} and {3}", min)
+	}
+}
+
+// The dual of an ND coterie is itself (self-duality).
+func TestDualOfNDIsSelf(t *testing.T) {
+	e := maj3(t)
+	dual := Dual(e)
+	if !sameFamily(dual, e.Quorums()) {
+		t.Errorf("Dual(Maj3) = %v, want the Maj3 quorums", dual)
+	}
+}
+
+// The dual of a dominated coterie differs from it.
+func TestDualOfDominatedDiffers(t *testing.T) {
+	s, err := NewExplicit("S", 3, []*bitset.Set{bitset.FromSlice(3, []int{0, 1})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dual := Dual(s)
+	if sameFamily(dual, s.Quorums()) {
+		t.Error("dominated coterie should not equal its dual")
+	}
+	// Its dual is {{0},{1}}: the minimal hitting sets of {{0,1}}.
+	if len(dual) != 2 {
+		t.Errorf("Dual = %v, want two singletons", dual)
+	}
+}
+
+func TestMinMaxQuorumSizeFallback(t *testing.T) {
+	// Wrap Explicit to hide the Sized interface and exercise the fallback.
+	e := maj3(t)
+	w := plainSystem{e}
+	if MinQuorumSize(w) != 2 || MaxQuorumSize(w) != 2 {
+		t.Errorf("fallback sizes = %d..%d, want 2..2", MinQuorumSize(w), MaxQuorumSize(w))
+	}
+	if MinQuorumSize(e) != 2 || MaxQuorumSize(e) != 2 {
+		t.Errorf("sized path = %d..%d, want 2..2", MinQuorumSize(e), MaxQuorumSize(e))
+	}
+}
+
+// plainSystem strips optional interfaces from a System.
+type plainSystem struct{ inner System }
+
+func (p plainSystem) Name() string                      { return p.inner.Name() }
+func (p plainSystem) Size() int                         { return p.inner.Size() }
+func (p plainSystem) ContainsQuorum(s *bitset.Set) bool { return p.inner.ContainsQuorum(s) }
+func (p plainSystem) Quorums() []*bitset.Set            { return p.inner.Quorums() }

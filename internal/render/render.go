@@ -1,0 +1,139 @@
+// Package render draws quorum systems and probe strategy trees as ASCII
+// art, reproducing the paper's illustrations: Fig. 1 (Triang with a shaded
+// quorum), Fig. 2 (Tree), Fig. 3 (HQS) and Fig. 4 (the Maj3 decision
+// tree). Shaded (quorum) elements are bracketed as [v]; others appear as
+// plain numbers. Elements are labeled 1-based to match the paper.
+package render
+
+import (
+	"fmt"
+	"strings"
+
+	"probequorum/internal/bitset"
+	"probequorum/internal/coloring"
+	"probequorum/internal/strategy"
+	"probequorum/internal/systems"
+)
+
+// label renders an element 1-based, bracketed when it belongs to the
+// highlighted set.
+func label(e int, width int, highlight *bitset.Set) string {
+	s := fmt.Sprintf("%*d", width, e+1)
+	if highlight != nil && highlight.Contains(e) {
+		return "[" + s + "]"
+	}
+	return " " + s + " "
+}
+
+// CW renders a crumbling wall row by row, centering each row and
+// bracketing the elements of the highlighted set (a quorum, witness or
+// arbitrary subset; nil for none).
+func CW(c *systems.CW, highlight *bitset.Set) string {
+	digits := len(fmt.Sprintf("%d", c.Size()))
+	cell := digits + 2
+	maxWidth := c.MaxWidth() * cell
+	var b strings.Builder
+	for i := 0; i < c.Rows(); i++ {
+		lo, hi := c.RowRange(i)
+		var row strings.Builder
+		for e := lo; e < hi; e++ {
+			row.WriteString(label(e, digits, highlight))
+		}
+		pad := (maxWidth - row.Len()) / 2
+		fmt.Fprintf(&b, "row %d: %s%s\n", i+1, strings.Repeat(" ", pad), row.String())
+	}
+	return b.String()
+}
+
+// Tree renders the binary tree system sideways: the root at the left
+// margin, the right subtree above the root's line and the left subtree
+// below it, bracketing highlighted elements.
+func Tree(t *systems.Tree, highlight *bitset.Set) string {
+	digits := len(fmt.Sprintf("%d", t.Size()))
+	var b strings.Builder
+	var walk func(v, depth int)
+	walk = func(v, depth int) {
+		if !t.IsLeaf(v) {
+			walk(t.Right(v), depth+1)
+		}
+		fmt.Fprintf(&b, "%s%s\n", strings.Repeat("    ", depth),
+			strings.TrimSpace(label(v, digits, highlight)))
+		if !t.IsLeaf(v) {
+			walk(t.Left(v), depth+1)
+		}
+	}
+	walk(t.Root(), 0)
+	return b.String()
+}
+
+// HQS renders the ternary gate tree level by level: internal gates as
+// "MAJ" nodes and the leaf row with highlighted elements bracketed.
+func HQS(h *systems.HQS, highlight *bitset.Set) string {
+	digits := len(fmt.Sprintf("%d", h.Size()))
+	cell := digits + 2
+	var b strings.Builder
+	// Gate levels from the root down.
+	for d := 0; d < h.Height(); d++ {
+		gates := 1
+		for i := 0; i < d; i++ {
+			gates *= 3
+		}
+		span := h.Size() / gates * cell
+		var row strings.Builder
+		for g := 0; g < gates; g++ {
+			cellStr := "MAJ"
+			pad := span - len(cellStr)
+			row.WriteString(strings.Repeat(" ", pad/2) + cellStr + strings.Repeat(" ", pad-pad/2))
+		}
+		fmt.Fprintf(&b, "%s\n", strings.TrimRight(row.String(), " "))
+	}
+	var leaves strings.Builder
+	for e := 0; e < h.Size(); e++ {
+		leaves.WriteString(label(e, digits, highlight))
+	}
+	fmt.Fprintf(&b, "%s\n", strings.TrimRight(leaves.String(), " "))
+	return b.String()
+}
+
+// StrategyTree renders a probe strategy tree (Fig. 4): internal nodes show
+// the probed element (1-based), branches are marked g/r, and leaves carry
+// "+" for a green witness and "-" for a red one, matching the paper's
+// notation.
+func StrategyTree(root *strategy.Node) string {
+	var b strings.Builder
+	var walk func(nd *strategy.Node, prefix, edge string)
+	walk = func(nd *strategy.Node, prefix, edge string) {
+		if nd.IsLeaf() {
+			mark := "+"
+			if nd.Leaf == coloring.Red {
+				mark = "-"
+			}
+			fmt.Fprintf(&b, "%s%s%s\n", prefix, edge, mark)
+			return
+		}
+		fmt.Fprintf(&b, "%s%sx%d\n", prefix, edge, nd.Element+1)
+		childPrefix := prefix + strings.Repeat(" ", len(edge))
+		walk(nd.OnGreen, childPrefix, "g: ")
+		walk(nd.OnRed, childPrefix, "r: ")
+	}
+	walk(root, "", "")
+	return b.String()
+}
+
+// Coloring renders a coloring as one character per element, G for green
+// and R for red, split into rows of the given width (0 for a single row).
+func Coloring(col *coloring.Coloring, rowWidth int) string {
+	s := col.String()
+	if rowWidth <= 0 || rowWidth >= len(s) {
+		return s
+	}
+	var b strings.Builder
+	for start := 0; start < len(s); start += rowWidth {
+		end := start + rowWidth
+		if end > len(s) {
+			end = len(s)
+		}
+		fmt.Fprintln(&b, s[start:end])
+	}
+	return b.String()
+}

@@ -1,0 +1,89 @@
+// Package sim is the Monte Carlo harness: seeded, reproducible trial
+// loops, parameter sweeps and worst-case-input searches used by the
+// experiment drivers and benchmarks.
+package sim
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"probequorum/internal/coloring"
+	"probequorum/internal/stats"
+)
+
+// Estimate runs trials independent evaluations of f, each with its own
+// deterministically derived PRNG, and summarizes the results.
+func Estimate(trials int, seed uint64, f func(rng *rand.Rand) float64) stats.Summary {
+	if trials <= 0 {
+		panic(fmt.Sprintf("sim: trials must be positive, got %d", trials))
+	}
+	var acc stats.Accumulator
+	for i := 0; i < trials; i++ {
+		rng := rand.New(rand.NewPCG(seed, uint64(i)+1))
+		acc.Add(f(rng))
+	}
+	return acc.Summary()
+}
+
+// WorstCase evaluates eval on every coloring produced by gen and returns
+// the maximal value and the coloring attaining it. gen must call yield for
+// each candidate; iteration stops if yield returns false.
+func WorstCase(gen func(yield func(*coloring.Coloring) bool), eval func(*coloring.Coloring) float64) (float64, *coloring.Coloring) {
+	worst := -1.0
+	var argmax *coloring.Coloring
+	gen(func(col *coloring.Coloring) bool {
+		if v := eval(col); v > worst {
+			worst = v
+			argmax = col.Clone()
+		}
+		return true
+	})
+	return worst, argmax
+}
+
+// AllColorings adapts coloring.All to the WorstCase generator signature.
+func AllColorings(n int) func(yield func(*coloring.Coloring) bool) {
+	return func(yield func(*coloring.Coloring) bool) {
+		coloring.All(n, yield)
+	}
+}
+
+// FromDistribution adapts an explicit distribution's support to the
+// WorstCase generator signature.
+func FromDistribution(dist []coloring.Weighted) func(yield func(*coloring.Coloring) bool) {
+	return func(yield func(*coloring.Coloring) bool) {
+		for _, w := range dist {
+			if !yield(w.Coloring) {
+				return
+			}
+		}
+	}
+}
+
+// ExpectedOver returns the dist-weighted average of eval over the
+// distribution support (weights are normalized).
+func ExpectedOver(dist []coloring.Weighted, eval func(*coloring.Coloring) float64) float64 {
+	total, mass := 0.0, 0.0
+	for _, w := range dist {
+		total += w.Weight * eval(w.Coloring)
+		mass += w.Weight
+	}
+	if mass == 0 {
+		panic("sim: distribution has zero mass")
+	}
+	return total / mass
+}
+
+// ExpectedIID returns the exact IID(p)-weighted average of eval over all
+// 2^n colorings. It panics for n > 24.
+func ExpectedIID(n int, p float64, eval func(*coloring.Coloring) float64) float64 {
+	if n > 24 {
+		panic(fmt.Sprintf("sim: ExpectedIID limited to n <= 24, got %d", n))
+	}
+	total := 0.0
+	coloring.All(n, func(col *coloring.Coloring) bool {
+		total += col.Probability(p) * eval(col)
+		return true
+	})
+	return total
+}

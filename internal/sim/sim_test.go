@@ -1,0 +1,92 @@
+package sim
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"probequorum/internal/coloring"
+)
+
+func TestEstimateDeterministicReproducibility(t *testing.T) {
+	f := func(rng *rand.Rand) float64 { return rng.Float64() }
+	a := Estimate(500, 42, f)
+	b := Estimate(500, 42, f)
+	if a.Mean != b.Mean {
+		t.Errorf("same seed gave different means: %v vs %v", a.Mean, b.Mean)
+	}
+	c := Estimate(500, 43, f)
+	if a.Mean == c.Mean {
+		t.Error("different seeds gave identical means")
+	}
+	// Uniform mean near 1/2.
+	if math.Abs(a.Mean-0.5) > 0.05 {
+		t.Errorf("uniform mean = %v", a.Mean)
+	}
+}
+
+func TestEstimatePanicsOnBadTrials(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Estimate(0, ...) did not panic")
+		}
+	}()
+	Estimate(0, 1, func(*rand.Rand) float64 { return 0 })
+}
+
+func TestWorstCase(t *testing.T) {
+	// Maximize the red count over all 3-element colorings.
+	worst, argmax := WorstCase(AllColorings(3), func(c *coloring.Coloring) float64 {
+		return float64(c.RedCount())
+	})
+	if worst != 3 {
+		t.Errorf("worst = %v, want 3", worst)
+	}
+	if argmax.RedCount() != 3 {
+		t.Errorf("argmax = %s", argmax)
+	}
+}
+
+func TestWorstCaseOverDistribution(t *testing.T) {
+	dist := coloring.UniformOverWeight(4, 2)
+	worst, argmax := WorstCase(FromDistribution(dist), func(c *coloring.Coloring) float64 {
+		// Prefer colorings whose first element is red.
+		if c.IsRed(0) {
+			return 2
+		}
+		return 1
+	})
+	if worst != 2 || !argmax.IsRed(0) {
+		t.Errorf("worst = %v, argmax = %s", worst, argmax)
+	}
+}
+
+func TestExpectedOver(t *testing.T) {
+	dist := coloring.UniformOverWeight(4, 2)
+	// Average red count over the fixed-weight distribution is exactly 2.
+	got := ExpectedOver(dist, func(c *coloring.Coloring) float64 {
+		return float64(c.RedCount())
+	})
+	if math.Abs(got-2) > 1e-12 {
+		t.Errorf("ExpectedOver = %v, want 2", got)
+	}
+}
+
+func TestExpectedIID(t *testing.T) {
+	// E[red count] over IID(p) colorings of n elements is n*p.
+	got := ExpectedIID(6, 0.3, func(c *coloring.Coloring) float64 {
+		return float64(c.RedCount())
+	})
+	if math.Abs(got-1.8) > 1e-9 {
+		t.Errorf("ExpectedIID = %v, want 1.8", got)
+	}
+}
+
+func TestExpectedIIDGuard(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("ExpectedIID(25, ...) did not panic")
+		}
+	}()
+	ExpectedIID(25, 0.5, func(*coloring.Coloring) float64 { return 0 })
+}

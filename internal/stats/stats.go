@@ -1,0 +1,133 @@
+// Package stats provides the small statistics toolkit the experiment
+// harness needs: summary statistics with confidence intervals, streaming
+// (Welford) accumulation, and least-squares / log-log regression for
+// fitting the paper's polynomial exponents. Built from scratch — the
+// module is stdlib-only.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Summary holds the summary statistics of a sample.
+type Summary struct {
+	N        int
+	Mean     float64
+	Variance float64 // unbiased sample variance
+	StdErr   float64 // standard error of the mean
+}
+
+// CI95 returns the normal-approximation 95% confidence interval for the
+// mean.
+func (s Summary) CI95() (lo, hi float64) {
+	const z = 1.959963984540054
+	return s.Mean - z*s.StdErr, s.Mean + z*s.StdErr
+}
+
+// String implements fmt.Stringer.
+func (s Summary) String() string {
+	lo, hi := s.CI95()
+	return fmt.Sprintf("%.4f ± [%.4f, %.4f] (n=%d)", s.Mean, lo, hi, s.N)
+}
+
+// Summarize computes summary statistics of the sample.
+func Summarize(xs []float64) Summary {
+	var acc Accumulator
+	for _, x := range xs {
+		acc.Add(x)
+	}
+	return acc.Summary()
+}
+
+// Accumulator accumulates a sample one observation at a time using
+// Welford's algorithm. The zero value is ready to use.
+type Accumulator struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add records one observation.
+func (a *Accumulator) Add(x float64) {
+	a.n++
+	d := x - a.mean
+	a.mean += d / float64(a.n)
+	a.m2 += d * (x - a.mean)
+}
+
+// N returns the number of observations recorded.
+func (a *Accumulator) N() int { return a.n }
+
+// Mean returns the running mean (0 for an empty accumulator).
+func (a *Accumulator) Mean() float64 { return a.mean }
+
+// Summary returns the summary statistics of the accumulated sample.
+func (a *Accumulator) Summary() Summary {
+	s := Summary{N: a.n, Mean: a.mean}
+	if a.n > 1 {
+		s.Variance = a.m2 / float64(a.n-1)
+		s.StdErr = math.Sqrt(s.Variance / float64(a.n))
+	}
+	return s
+}
+
+// ErrDegenerate is returned by the regression helpers when the input is
+// too small or has zero variance.
+var ErrDegenerate = errors.New("stats: degenerate regression input")
+
+// LinearFit fits y = slope*x + intercept by least squares and returns the
+// coefficient of determination r2.
+func LinearFit(xs, ys []float64) (slope, intercept, r2 float64, err error) {
+	if len(xs) != len(ys) {
+		return 0, 0, 0, fmt.Errorf("stats: length mismatch %d != %d", len(xs), len(ys))
+	}
+	n := float64(len(xs))
+	if len(xs) < 2 {
+		return 0, 0, 0, ErrDegenerate
+	}
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/n, sy/n
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return 0, 0, 0, ErrDegenerate
+	}
+	slope = sxy / sxx
+	intercept = my - slope*mx
+	if syy == 0 {
+		r2 = 1
+	} else {
+		r2 = sxy * sxy / (sxx * syy)
+	}
+	return slope, intercept, r2, nil
+}
+
+// LogLogSlope fits log(y) = slope*log(x) + c, estimating the exponent of a
+// power law y ~ x^slope. All inputs must be positive.
+func LogLogSlope(xs, ys []float64) (slope, r2 float64, err error) {
+	lx := make([]float64, len(xs))
+	ly := make([]float64, len(ys))
+	if len(xs) != len(ys) {
+		return 0, 0, fmt.Errorf("stats: length mismatch %d != %d", len(xs), len(ys))
+	}
+	for i := range xs {
+		if xs[i] <= 0 || ys[i] <= 0 {
+			return 0, 0, fmt.Errorf("stats: nonpositive value at index %d", i)
+		}
+		lx[i] = math.Log(xs[i])
+		ly[i] = math.Log(ys[i])
+	}
+	slope, _, r2, err = LinearFit(lx, ly)
+	return slope, r2, err
+}

@@ -1,0 +1,150 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 {
+		t.Errorf("N = %d", s.N)
+	}
+	if math.Abs(s.Mean-5) > 1e-12 {
+		t.Errorf("Mean = %v, want 5", s.Mean)
+	}
+	// Sample variance of this classic data set is 32/7.
+	if want := 32.0 / 7.0; math.Abs(s.Variance-want) > 1e-12 {
+		t.Errorf("Variance = %v, want %v", s.Variance, want)
+	}
+	lo, hi := s.CI95()
+	if lo >= s.Mean || hi <= s.Mean {
+		t.Errorf("CI95 = [%v, %v] does not bracket the mean", lo, hi)
+	}
+	if s.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestAccumulatorMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 1))
+	xs := make([]float64, 1000)
+	var acc Accumulator
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*3 + 10
+		acc.Add(xs[i])
+	}
+	batch := Summarize(xs)
+	stream := acc.Summary()
+	if math.Abs(batch.Mean-stream.Mean) > 1e-9 {
+		t.Errorf("means differ: %v vs %v", batch.Mean, stream.Mean)
+	}
+	if math.Abs(batch.Variance-stream.Variance) > 1e-9 {
+		t.Errorf("variances differ: %v vs %v", batch.Variance, stream.Variance)
+	}
+	if acc.N() != 1000 || math.Abs(acc.Mean()-stream.Mean) > 1e-12 {
+		t.Error("accessor mismatch")
+	}
+}
+
+func TestSummaryEdgeCases(t *testing.T) {
+	empty := Summarize(nil)
+	if empty.N != 0 || empty.Mean != 0 || empty.Variance != 0 {
+		t.Errorf("empty summary = %+v", empty)
+	}
+	single := Summarize([]float64{42})
+	if single.Mean != 42 || single.Variance != 0 || single.StdErr != 0 {
+		t.Errorf("singleton summary = %+v", single)
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{3, 5, 7, 9} // y = 2x + 1
+	slope, intercept, r2, err := LinearFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(slope-2) > 1e-12 || math.Abs(intercept-1) > 1e-12 || math.Abs(r2-1) > 1e-12 {
+		t.Errorf("fit = (%v, %v, %v)", slope, intercept, r2)
+	}
+}
+
+func TestLinearFitErrors(t *testing.T) {
+	if _, _, _, err := LinearFit([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, _, _, err := LinearFit([]float64{1}, []float64{1}); !errors.Is(err, ErrDegenerate) {
+		t.Errorf("single point: err = %v", err)
+	}
+	if _, _, _, err := LinearFit([]float64{2, 2, 2}, []float64{1, 2, 3}); !errors.Is(err, ErrDegenerate) {
+		t.Errorf("zero x-variance: err = %v", err)
+	}
+}
+
+func TestLogLogSlope(t *testing.T) {
+	// y = 4 x^1.7 exactly.
+	xs := []float64{1, 2, 4, 8, 16}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 4 * math.Pow(x, 1.7)
+	}
+	slope, r2, err := LogLogSlope(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(slope-1.7) > 1e-9 || math.Abs(r2-1) > 1e-9 {
+		t.Errorf("slope = %v, r2 = %v", slope, r2)
+	}
+	if _, _, err := LogLogSlope([]float64{1, -2}, []float64{1, 2}); err == nil {
+		t.Error("accepted nonpositive x")
+	}
+	if _, _, err := LogLogSlope([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("accepted length mismatch")
+	}
+}
+
+// Property: the CI95 of a large IID normal sample covers the true mean
+// most of the time and shrinks with n.
+func TestCIShrinks(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 9))
+	var small, large Accumulator
+	for i := 0; i < 100; i++ {
+		small.Add(rng.NormFloat64())
+	}
+	for i := 0; i < 10000; i++ {
+		large.Add(rng.NormFloat64())
+	}
+	if large.Summary().StdErr >= small.Summary().StdErr {
+		t.Error("standard error did not shrink with sample size")
+	}
+}
+
+// Property: mean of summarized data lies within [min, max].
+func TestMeanWithinRange(t *testing.T) {
+	f := func(xs []float64) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		for _, x := range xs {
+			// Skip pathological magnitudes where Welford's intermediate
+			// arithmetic overflows float64.
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e150 {
+				return true
+			}
+		}
+		s := Summarize(xs)
+		lo, hi := xs[0], xs[0]
+		for _, x := range xs {
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+		}
+		return s.Mean >= lo-1e-9*(1+math.Abs(lo)) && s.Mean <= hi+1e-9*(1+math.Abs(hi))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

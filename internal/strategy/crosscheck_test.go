@@ -1,0 +1,114 @@
+package strategy
+
+import (
+	"math"
+	"testing"
+
+	"probequorum/internal/coloring"
+	"probequorum/internal/core"
+	"probequorum/internal/quorum"
+	"probequorum/internal/systems"
+	"probequorum/internal/walk"
+)
+
+// Proposition 3.2, exactly: the optimal PPC of the majority system equals
+// the grid-walk exit time with N = (n+1)/2 at every p — sequential probing
+// is optimal and its cost is the walk's.
+func TestMajOptimalEqualsWalk(t *testing.T) {
+	for _, n := range []int{3, 5, 7} {
+		m, _ := systems.NewMaj(n)
+		for _, p := range []float64{0.1, 0.25, 0.5, 0.75} {
+			opt, err := OptimalPPC(m, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bound := walk.ExactExitTime((n+1)/2, p)
+			if math.Abs(opt-bound) > 1e-9 {
+				t.Errorf("n=%d p=%v: optimal %.9f != walk %.9f", n, p, opt, bound)
+			}
+		}
+	}
+}
+
+// Lemma 3.1 as a cross-module invariant: the optimal PPC of every small
+// system dominates the walk bound at its minimal quorum size.
+func TestLemma31Invariant(t *testing.T) {
+	maj, _ := systems.NewMaj(7)
+	wheel, _ := systems.NewWheel(5)
+	tri, _ := systems.NewTriang(3)
+	tree, _ := systems.NewTree(2)
+	hqs, _ := systems.NewHQS(2)
+	vote, _ := systems.NewVote([]int{3, 1, 1, 2})
+	for _, sys := range []quorum.System{maj, wheel, tri, tree, hqs, vote} {
+		c := quorum.MinQuorumSize(sys)
+		for _, p := range []float64{0.1, 0.3, 0.5, 0.8} {
+			opt, err := OptimalPPC(sys, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bound := walk.ExactExitTime(c, p)
+			if opt < bound-1e-9 {
+				t.Errorf("%s p=%v: optimal PPC %.6f below Lemma 3.1 bound %.6f",
+					sys.Name(), p, opt, bound)
+			}
+		}
+	}
+}
+
+// Yao bounds never exceed the corresponding randomized algorithm's exact
+// worst-case expectation (Yao's principle, both sides computed by us).
+func TestYaoBelowRandomizedWorstCase(t *testing.T) {
+	// Majority.
+	m, _ := systems.NewMaj(7)
+	yaoM, err := YaoBound(m, core.MajHardDistribution(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	upperM := 0.0
+	for r := 0; r <= 7; r++ {
+		reds := make([]int, r)
+		for i := range reds {
+			reds[i] = i
+		}
+		if v := core.ExactRProbeMaj(m, coloring.FromReds(7, reds)); v > upperM {
+			upperM = v
+		}
+	}
+	if yaoM > upperM+1e-9 {
+		t.Errorf("Maj: Yao %.6f above randomized worst case %.6f", yaoM, upperM)
+	}
+
+	// Crumbling wall.
+	cw, _ := systems.NewCW([]int{1, 2, 3})
+	yaoCW, err := YaoBound(cw, core.HardCWDistribution(cw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	upperCW := 0.0
+	coloring.All(cw.Size(), func(col *coloring.Coloring) bool {
+		if v := core.ExactRProbeCW(cw, col); v > upperCW {
+			upperCW = v
+		}
+		return true
+	})
+	if yaoCW > upperCW+1e-9 {
+		t.Errorf("CW: Yao %.6f above randomized worst case %.6f", yaoCW, upperCW)
+	}
+
+	// Tree.
+	tr, _ := systems.NewTree(2)
+	yaoT, err := YaoBound(tr, core.HardTreeDistribution(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	upperT := 0.0
+	coloring.All(tr.Size(), func(col *coloring.Coloring) bool {
+		if v := core.ExactRProbeTree(tr, col); v > upperT {
+			upperT = v
+		}
+		return true
+	})
+	if yaoT > upperT+1e-9 {
+		t.Errorf("Tree: Yao %.6f above randomized worst case %.6f", yaoT, upperT)
+	}
+}

@@ -1,0 +1,453 @@
+// Package strategy computes exact probe complexities of quorum systems by
+// dynamic programming over probe strategy trees (the decision trees of
+// §2.3 of the paper).
+//
+// A knowledge state is the pair (greens, reds) of sets of elements probed
+// so far with each outcome. A strategy may stop exactly when one of the
+// two sets contains a quorum — for a nondominated coterie this is both
+// necessary and sufficient for holding a witness. Over this state space
+// the package computes:
+//
+//   - PC(S):     worst-case optimal probes (minimax; Lemma 2.2 evasiveness),
+//   - PPC_p(S):  probabilistic-model optimal expected probes (expectimax),
+//   - Yao bounds: the optimal deterministic expected probes against an
+//     explicit input distribution, which by Yao's principle [20] lower
+//     bounds the randomized probe complexity PCR(S).
+//
+// All computations are exponential in n and guarded for small universes;
+// they exist to reproduce the paper's exact results (Fig. 4, Lemma 2.2,
+// Theorems 3.9, 4.2, 4.6, 4.8) on verifiable instances.
+package strategy
+
+import (
+	"fmt"
+
+	"probequorum/internal/bitset"
+	"probequorum/internal/coloring"
+	"probequorum/internal/quorum"
+)
+
+// MaxUniverse bounds the universe size accepted by the exact dynamic
+// programs (the state space is 3^n).
+const MaxUniverse = 16
+
+// state is a compact knowledge state for universes up to 64 elements.
+type state struct {
+	greens, reds uint64
+}
+
+// dp carries the memoized evaluation context.
+type dp struct {
+	sys quorum.System
+	n   int
+	buf *bitset.Set
+}
+
+func newDP(sys quorum.System) (*dp, error) {
+	n := sys.Size()
+	if n > MaxUniverse {
+		return nil, fmt.Errorf("strategy: exact DP limited to n <= %d, got %d", MaxUniverse, n)
+	}
+	return &dp{sys: sys, n: n, buf: bitset.New(n)}, nil
+}
+
+// holdsWitness reports whether the mask's elements contain a quorum.
+func (d *dp) holdsWitness(mask uint64) bool {
+	d.buf.Clear()
+	for e := 0; e < d.n; e++ {
+		if mask&(1<<uint(e)) != 0 {
+			d.buf.Add(e)
+		}
+	}
+	return d.sys.ContainsQuorum(d.buf)
+}
+
+// OptimalPC returns the deterministic worst-case probe complexity PC(S):
+// the depth of the best probe strategy tree. By Lemma 2.2, Maj, Wheel, CW
+// and Tree are evasive (PC = n).
+func OptimalPC(sys quorum.System) (int, error) {
+	d, err := newDP(sys)
+	if err != nil {
+		return 0, err
+	}
+	memo := make(map[state]int)
+	var value func(s state) int
+	value = func(s state) int {
+		if d.holdsWitness(s.greens) || d.holdsWitness(s.reds) {
+			return 0
+		}
+		if v, ok := memo[s]; ok {
+			return v
+		}
+		probed := s.greens | s.reds
+		best := d.n + 1
+		for e := 0; e < d.n; e++ {
+			bit := uint64(1) << uint(e)
+			if probed&bit != 0 {
+				continue
+			}
+			g := value(state{s.greens | bit, s.reds})
+			r := value(state{s.greens, s.reds | bit})
+			worst := g
+			if r > worst {
+				worst = r
+			}
+			if worst+1 < best {
+				best = worst + 1
+			}
+		}
+		memo[s] = best
+		return best
+	}
+	return value(state{}), nil
+}
+
+// OptimalPPC returns the probabilistic-model probe complexity PPC_p(S):
+// the minimal expected probes over all probe strategy trees when every
+// element independently fails (is red) with probability p.
+func OptimalPPC(sys quorum.System, p float64) (float64, error) {
+	if p < 0 || p > 1 {
+		return 0, fmt.Errorf("strategy: probability %v out of [0,1]", p)
+	}
+	d, err := newDP(sys)
+	if err != nil {
+		return 0, err
+	}
+	q := 1 - p
+	memo := make(map[state]float64)
+	var value func(s state) float64
+	value = func(s state) float64 {
+		if d.holdsWitness(s.greens) || d.holdsWitness(s.reds) {
+			return 0
+		}
+		if v, ok := memo[s]; ok {
+			return v
+		}
+		probed := s.greens | s.reds
+		best := float64(d.n + 1)
+		for e := 0; e < d.n; e++ {
+			bit := uint64(1) << uint(e)
+			if probed&bit != 0 {
+				continue
+			}
+			v := 1 + q*value(state{s.greens | bit, s.reds}) + p*value(state{s.greens, s.reds | bit})
+			if v < best {
+				best = v
+			}
+		}
+		memo[s] = best
+		return best
+	}
+	return value(state{}), nil
+}
+
+// Node is a probe strategy tree node (the decision trees of Fig. 4).
+// Internal nodes probe Element and branch on the outcome; leaves declare
+// the witness color.
+type Node struct {
+	// Element is the probed element at an internal node, or -1 at a leaf.
+	Element int
+	// Leaf is the declared witness color at a leaf node.
+	Leaf coloring.Color
+	// OnGreen and OnRed are the children followed on each probe outcome.
+	OnGreen, OnRed *Node
+}
+
+// IsLeaf reports whether the node declares a witness.
+func (nd *Node) IsLeaf() bool { return nd.Element < 0 }
+
+// Depth returns the maximal number of probes on any root-to-leaf path.
+func (nd *Node) Depth() int {
+	if nd.IsLeaf() {
+		return 0
+	}
+	g, r := nd.OnGreen.Depth(), nd.OnRed.Depth()
+	if r > g {
+		g = r
+	}
+	return 1 + g
+}
+
+// ExpectedDepth returns the expected number of probes when every element
+// is independently red with probability p.
+func (nd *Node) ExpectedDepth(p float64) float64 {
+	if nd.IsLeaf() {
+		return 0
+	}
+	return 1 + (1-p)*nd.OnGreen.ExpectedDepth(p) + p*nd.OnRed.ExpectedDepth(p)
+}
+
+// Leaves returns the number of leaves of the tree.
+func (nd *Node) Leaves() int {
+	if nd.IsLeaf() {
+		return 1
+	}
+	return nd.OnGreen.Leaves() + nd.OnRed.Leaves()
+}
+
+// Execute follows the strategy against the coloring, returning the leaf
+// color and the number of probes performed.
+func (nd *Node) Execute(col *coloring.Coloring) (coloring.Color, int) {
+	probes := 0
+	cur := nd
+	for !cur.IsLeaf() {
+		probes++
+		if col.IsRed(cur.Element) {
+			cur = cur.OnRed
+		} else {
+			cur = cur.OnGreen
+		}
+	}
+	return cur.Leaf, probes
+}
+
+// BuildOptimalPC materializes an optimal worst-case probe strategy tree,
+// breaking ties toward the lowest-index element (reproducing the natural
+// Fig. 4 tree for Maj3).
+func BuildOptimalPC(sys quorum.System) (*Node, error) {
+	d, err := newDP(sys)
+	if err != nil {
+		return nil, err
+	}
+	memo := make(map[state]int)
+	var value func(s state) int
+	value = func(s state) int {
+		if d.holdsWitness(s.greens) || d.holdsWitness(s.reds) {
+			return 0
+		}
+		if v, ok := memo[s]; ok {
+			return v
+		}
+		probed := s.greens | s.reds
+		best := d.n + 1
+		for e := 0; e < d.n; e++ {
+			bit := uint64(1) << uint(e)
+			if probed&bit != 0 {
+				continue
+			}
+			g := value(state{s.greens | bit, s.reds})
+			r := value(state{s.greens, s.reds | bit})
+			worst := g
+			if r > worst {
+				worst = r
+			}
+			if worst+1 < best {
+				best = worst + 1
+			}
+		}
+		memo[s] = best
+		return best
+	}
+	var build func(s state) *Node
+	build = func(s state) *Node {
+		if d.holdsWitness(s.greens) {
+			return &Node{Element: -1, Leaf: coloring.Green}
+		}
+		if d.holdsWitness(s.reds) {
+			return &Node{Element: -1, Leaf: coloring.Red}
+		}
+		target := value(s)
+		probed := s.greens | s.reds
+		for e := 0; e < d.n; e++ {
+			bit := uint64(1) << uint(e)
+			if probed&bit != 0 {
+				continue
+			}
+			gs := state{s.greens | bit, s.reds}
+			rs := state{s.greens, s.reds | bit}
+			g, r := value(gs), value(rs)
+			worst := g
+			if r > worst {
+				worst = r
+			}
+			if worst+1 == target {
+				return &Node{Element: e, OnGreen: build(gs), OnRed: build(rs)}
+			}
+		}
+		panic("strategy: no element achieves the memoized PC value")
+	}
+	return build(state{}), nil
+}
+
+// BuildOptimalPPC materializes a probe strategy tree attaining the optimal
+// probabilistic-model expected probes at failure probability p, breaking
+// ties toward the lowest-index element.
+func BuildOptimalPPC(sys quorum.System, p float64) (*Node, error) {
+	if p < 0 || p > 1 {
+		return nil, fmt.Errorf("strategy: probability %v out of [0,1]", p)
+	}
+	d, err := newDP(sys)
+	if err != nil {
+		return nil, err
+	}
+	q := 1 - p
+	memo := make(map[state]float64)
+	var value func(s state) float64
+	value = func(s state) float64 {
+		if d.holdsWitness(s.greens) || d.holdsWitness(s.reds) {
+			return 0
+		}
+		if v, ok := memo[s]; ok {
+			return v
+		}
+		probed := s.greens | s.reds
+		best := float64(d.n + 1)
+		for e := 0; e < d.n; e++ {
+			bit := uint64(1) << uint(e)
+			if probed&bit != 0 {
+				continue
+			}
+			v := 1 + q*value(state{s.greens | bit, s.reds}) + p*value(state{s.greens, s.reds | bit})
+			if v < best {
+				best = v
+			}
+		}
+		memo[s] = best
+		return best
+	}
+	const eps = 1e-12
+	var build func(s state) *Node
+	build = func(s state) *Node {
+		if d.holdsWitness(s.greens) {
+			return &Node{Element: -1, Leaf: coloring.Green}
+		}
+		if d.holdsWitness(s.reds) {
+			return &Node{Element: -1, Leaf: coloring.Red}
+		}
+		target := value(s)
+		probed := s.greens | s.reds
+		for e := 0; e < d.n; e++ {
+			bit := uint64(1) << uint(e)
+			if probed&bit != 0 {
+				continue
+			}
+			gs := state{s.greens | bit, s.reds}
+			rs := state{s.greens, s.reds | bit}
+			if v := 1 + q*value(gs) + p*value(rs); v <= target+eps {
+				return &Node{Element: e, OnGreen: build(gs), OnRed: build(rs)}
+			}
+		}
+		panic("strategy: no element achieves the memoized PPC value")
+	}
+	return build(state{}), nil
+}
+
+// Validate checks that the strategy tree is a correct witness-finding
+// strategy for the system: complete (both children at internal nodes, no
+// repeated probes on a path) and sound (at every leaf, the elements probed
+// with the declared color contain a quorum).
+func Validate(sys quorum.System, root *Node) error {
+	d, err := newDP(sys)
+	if err != nil {
+		return err
+	}
+	var walk func(nd *Node, s state) error
+	walk = func(nd *Node, s state) error {
+		if nd == nil {
+			return fmt.Errorf("strategy: missing child node")
+		}
+		if nd.IsLeaf() {
+			mask := s.greens
+			if nd.Leaf == coloring.Red {
+				mask = s.reds
+			}
+			if !d.holdsWitness(mask) {
+				return fmt.Errorf("strategy: leaf declares %s but probed %s elements contain no quorum", nd.Leaf, nd.Leaf)
+			}
+			return nil
+		}
+		bit := uint64(1) << uint(nd.Element)
+		if (s.greens|s.reds)&bit != 0 {
+			return fmt.Errorf("strategy: element %d probed twice on a path", nd.Element)
+		}
+		if err := walk(nd.OnGreen, state{s.greens | bit, s.reds}); err != nil {
+			return err
+		}
+		return walk(nd.OnRed, state{s.greens, s.reds | bit})
+	}
+	return walk(root, state{})
+}
+
+// YaoBound returns the expected probe count of the best deterministic
+// strategy against the explicit input distribution dist. By Yao's
+// principle this lower-bounds the randomized probe complexity PCR(S).
+// The distribution weights must be nonnegative; they are normalized
+// internally.
+func YaoBound(sys quorum.System, dist []coloring.Weighted) (float64, error) {
+	d, err := newDP(sys)
+	if err != nil {
+		return 0, err
+	}
+	if len(dist) == 0 {
+		return 0, fmt.Errorf("strategy: empty distribution")
+	}
+	// Precompute red masks of the support.
+	type item struct {
+		reds   uint64
+		weight float64
+	}
+	items := make([]item, len(dist))
+	total := 0.0
+	for i, w := range dist {
+		if w.Coloring.Size() != d.n {
+			return 0, fmt.Errorf("strategy: distribution coloring %d has size %d, want %d", i, w.Coloring.Size(), d.n)
+		}
+		var mask uint64
+		for e := 0; e < d.n; e++ {
+			if w.Coloring.IsRed(e) {
+				mask |= 1 << uint(e)
+			}
+		}
+		items[i] = item{reds: mask, weight: w.Weight}
+		total += w.Weight
+	}
+	if total <= 0 {
+		return 0, fmt.Errorf("strategy: distribution has zero total weight")
+	}
+	for i := range items {
+		items[i].weight /= total
+	}
+
+	memo := make(map[state]float64)
+	var value func(s state, support []item, mass float64) float64
+	value = func(s state, support []item, mass float64) float64 {
+		if d.holdsWitness(s.greens) || d.holdsWitness(s.reds) {
+			return 0
+		}
+		if v, ok := memo[s]; ok {
+			return v
+		}
+		probed := s.greens | s.reds
+		best := float64(d.n + 1)
+		for e := 0; e < d.n; e++ {
+			bit := uint64(1) << uint(e)
+			if probed&bit != 0 {
+				continue
+			}
+			var greenItems, redItems []item
+			var greenMass, redMass float64
+			for _, it := range support {
+				if it.reds&bit != 0 {
+					redItems = append(redItems, it)
+					redMass += it.weight
+				} else {
+					greenItems = append(greenItems, it)
+					greenMass += it.weight
+				}
+			}
+			v := 1.0
+			if greenMass > 0 {
+				v += greenMass / mass * value(state{s.greens | bit, s.reds}, greenItems, greenMass)
+			}
+			if redMass > 0 {
+				v += redMass / mass * value(state{s.greens, s.reds | bit}, redItems, redMass)
+			}
+			if v < best {
+				best = v
+			}
+		}
+		memo[s] = best
+		return best
+	}
+	return value(state{}, items, 1.0), nil
+}

@@ -1,0 +1,62 @@
+package systems
+
+import (
+	"testing"
+
+	"probequorum/internal/bitset"
+	"probequorum/internal/quorum"
+)
+
+// FuzzCWSelfDuality checks that every constructible crumbling wall
+// satisfies self-duality on the fuzzed subset: exactly one of a set and
+// its complement contains a quorum.
+func FuzzCWSelfDuality(f *testing.F) {
+	f.Add(uint8(2), uint8(3), uint16(0b1010))
+	f.Add(uint8(4), uint8(2), uint16(0xFFFF))
+	f.Add(uint8(9), uint8(9), uint16(1))
+	f.Fuzz(func(t *testing.T, w2, w3 uint8, mask uint16) {
+		widths := []int{1, int(w2%9) + 2, int(w3%9) + 2}
+		cw, err := NewCW(widths)
+		if err != nil {
+			t.Fatalf("NewCW(%v): %v", widths, err)
+		}
+		s := bitset.New(cw.Size())
+		for e := 0; e < cw.Size(); e++ {
+			if mask&(1<<uint(e%16)) != 0 && e < 16 {
+				s.Add(e)
+			}
+		}
+		if cw.Size() <= 16 {
+			g := cw.ContainsQuorum(s)
+			r := cw.ContainsQuorum(s.Complement())
+			if g == r {
+				t.Fatalf("self-duality violated on %v for %v", s, widths)
+			}
+		}
+	})
+}
+
+// FuzzVoteND checks that random vote assignments (made odd) always build
+// and pass the coterie checks on small universes.
+func FuzzVoteND(f *testing.F) {
+	f.Add(uint8(1), uint8(1), uint8(1))
+	f.Add(uint8(3), uint8(1), uint8(2))
+	f.Add(uint8(9), uint8(9), uint8(9))
+	f.Fuzz(func(t *testing.T, a, b, c uint8) {
+		weights := []int{int(a%7) + 1, int(b%7) + 1, int(c%7) + 1}
+		total := weights[0] + weights[1] + weights[2]
+		if total%2 == 0 {
+			weights[0]++
+		}
+		v, err := NewVote(weights)
+		if err != nil {
+			t.Fatalf("NewVote(%v): %v", weights, err)
+		}
+		if !quorum.IsCoterie(v) {
+			t.Fatalf("vote %v quorums are not a coterie", weights)
+		}
+		if err := quorum.CheckND(v); err != nil {
+			t.Fatalf("vote %v: %v", weights, err)
+		}
+	})
+}

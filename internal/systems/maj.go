@@ -1,0 +1,94 @@
+package systems
+
+import (
+	"fmt"
+
+	"probequorum/internal/bitset"
+	"probequorum/internal/quorum"
+)
+
+// Maj is the majority quorum system over an odd universe of n elements:
+// the quorums are exactly the subsets of cardinality (n+1)/2.
+type Maj struct {
+	n int
+}
+
+var (
+	_ quorum.System = (*Maj)(nil)
+	_ quorum.Finder = (*Maj)(nil)
+	_ quorum.Sized  = (*Maj)(nil)
+)
+
+// NewMaj returns the majority system over n elements. n must be odd and
+// positive: with even n two disjoint half-sets would violate intersection.
+func NewMaj(n int) (*Maj, error) {
+	if n <= 0 || n%2 == 0 {
+		return nil, fmt.Errorf("systems: Maj requires odd positive n, got %d", n)
+	}
+	return &Maj{n: n}, nil
+}
+
+// Name implements quorum.System.
+func (m *Maj) Name() string { return fmt.Sprintf("Maj(%d)", m.n) }
+
+// Size implements quorum.System.
+func (m *Maj) Size() int { return m.n }
+
+// Threshold returns the quorum cardinality (n+1)/2.
+func (m *Maj) Threshold() int { return (m.n + 1) / 2 }
+
+// ContainsQuorum implements quorum.System.
+func (m *Maj) ContainsQuorum(s *bitset.Set) bool {
+	return s.Count() >= m.Threshold()
+}
+
+// MinQuorumSize implements quorum.Sized.
+func (m *Maj) MinQuorumSize() int { return m.Threshold() }
+
+// MaxQuorumSize implements quorum.Sized.
+func (m *Maj) MaxQuorumSize() int { return m.Threshold() }
+
+// Quorums implements quorum.System by enumerating all (n choose (n+1)/2)
+// subsets. It panics for n > 25 where enumeration is infeasible.
+func (m *Maj) Quorums() []*bitset.Set {
+	if m.n > 25 {
+		panic(fmt.Sprintf("systems: Maj.Quorums infeasible for n=%d", m.n))
+	}
+	t := m.Threshold()
+	var out []*bitset.Set
+	idx := make([]int, t)
+	for i := range idx {
+		idx[i] = i
+	}
+	for {
+		out = append(out, bitset.FromSlice(m.n, idx))
+		i := t - 1
+		for i >= 0 && idx[i] == m.n-t+i {
+			i--
+		}
+		if i < 0 {
+			return out
+		}
+		idx[i]++
+		for j := i + 1; j < t; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+}
+
+// FindQuorumWithin implements quorum.Finder: any Threshold() elements of
+// allowed form a quorum.
+func (m *Maj) FindQuorumWithin(allowed *bitset.Set) (*bitset.Set, bool) {
+	t := m.Threshold()
+	if allowed.Count() < t {
+		return nil, false
+	}
+	q := bitset.New(m.n)
+	taken := 0
+	allowed.ForEach(func(e int) bool {
+		q.Add(e)
+		taken++
+		return taken < t
+	})
+	return q, true
+}

@@ -1,0 +1,146 @@
+package systems
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"probequorum/internal/bitset"
+	"probequorum/internal/quorum"
+)
+
+func TestRecMajConstruction(t *testing.T) {
+	bad := []struct{ m, h int }{
+		{2, 1},  // even arity
+		{1, 1},  // arity too small
+		{4, 2},  // even arity
+		{3, -1}, // negative height
+	}
+	for _, c := range bad {
+		if _, err := NewRecMaj(c.m, c.h); err == nil {
+			t.Errorf("NewRecMaj(%d, %d) succeeded, want error", c.m, c.h)
+		}
+	}
+	r, err := NewRecMaj(5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Size() != 25 || r.Arity() != 5 || r.GateThreshold() != 3 || r.QuorumSize() != 9 {
+		t.Errorf("RecMaj(5,2): n=%d m=%d t=%d c=%d", r.Size(), r.Arity(), r.GateThreshold(), r.QuorumSize())
+	}
+}
+
+// RecMaj(3, h) is exactly the HQS: identical quorum families.
+func TestRecMaj3EqualsHQS(t *testing.T) {
+	for h := 0; h <= 2; h++ {
+		r, err := NewRecMaj(3, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, err := NewHQS(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rq, hq := r.Quorums(), q.Quorums()
+		if len(rq) != len(hq) {
+			t.Fatalf("h=%d: RecMaj has %d quorums, HQS %d", h, len(rq), len(hq))
+		}
+		for _, a := range hq {
+			found := false
+			for _, b := range rq {
+				if a.Equal(b) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("h=%d: HQS quorum %v missing from RecMaj", h, a)
+			}
+		}
+	}
+}
+
+// RecMaj(m, 1) is exactly Maj(m).
+func TestRecMajHeight1IsMaj(t *testing.T) {
+	for _, m := range []int{3, 5, 7} {
+		r, err := NewRecMaj(m, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mj, err := NewMaj(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := len(r.Quorums()), len(mj.Quorums()); got != want {
+			t.Errorf("m=%d: %d quorums, want %d", m, got, want)
+		}
+	}
+}
+
+func TestRecMajIsNDCoterie(t *testing.T) {
+	for _, c := range []struct{ m, h int }{{3, 2}, {5, 1}, {7, 1}} {
+		r, err := NewRecMaj(c.m, c.h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !quorum.IsCoterie(r) {
+			t.Errorf("RecMaj(%d,%d) quorums are not a coterie", c.m, c.h)
+		}
+		if err := quorum.CheckND(r); err != nil {
+			t.Errorf("RecMaj(%d,%d): %v", c.m, c.h, err)
+		}
+	}
+}
+
+// Structural evaluation agrees with explicit enumeration.
+func TestRecMajContainsQuorumMatchesEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 141))
+	r, err := NewRecMaj(5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := quorum.NewExplicit(r.Name(), r.Size(), r.Quorums())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 500; trial++ {
+		s := bitset.New(r.Size())
+		for e := 0; e < r.Size(); e++ {
+			if rng.IntN(2) == 0 {
+				s.Add(e)
+			}
+		}
+		if got, want := r.ContainsQuorum(s), ref.ContainsQuorum(s); got != want {
+			t.Fatalf("ContainsQuorum(%v) = %v, explicit %v", s, got, want)
+		}
+	}
+}
+
+// The finder is sound and complete, and RecMaj stays self-dual at scale.
+func TestRecMajFinderAndDuality(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 151))
+	r, err := NewRecMaj(5, 3) // n = 125
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 300; trial++ {
+		allowed := bitset.New(r.Size())
+		for e := 0; e < r.Size(); e++ {
+			if rng.IntN(2) == 0 {
+				allowed.Add(e)
+			}
+		}
+		q, found := r.FindQuorumWithin(allowed)
+		if found != r.ContainsQuorum(allowed) {
+			t.Fatalf("finder disagreement on %v", allowed)
+		}
+		if found && (!q.SubsetOf(allowed) || !r.ContainsQuorum(q) || q.Count() != r.QuorumSize()) {
+			t.Fatalf("bad quorum %v (size %d, want %d)", q, q.Count(), r.QuorumSize())
+		}
+		// Self-duality.
+		g := r.ContainsQuorum(allowed)
+		rOpp := r.ContainsQuorum(allowed.Complement())
+		if g == rOpp {
+			t.Fatalf("self-duality violated on %v", allowed)
+		}
+	}
+}

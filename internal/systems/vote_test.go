@@ -1,0 +1,184 @@
+package systems
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"probequorum/internal/bitset"
+	"probequorum/internal/quorum"
+)
+
+func TestVoteConstruction(t *testing.T) {
+	bad := [][]int{
+		{},        // empty
+		{0, 1},    // nonpositive weight
+		{1, 1},    // even total
+		{2, -1},   // negative
+		{1, 2, 1}, // even total
+	}
+	for _, w := range bad {
+		if _, err := NewVote(w); err == nil {
+			t.Errorf("NewVote(%v) succeeded, want error", w)
+		}
+	}
+	v, err := NewVote([]int{3, 1, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Size() != 4 || v.Threshold() != 4 {
+		t.Errorf("Size=%d Threshold=%d", v.Size(), v.Threshold())
+	}
+	if got := v.Weights(); len(got) != 4 || got[0] != 3 {
+		t.Errorf("Weights = %v", got)
+	}
+}
+
+// Unit weights reduce Vote to Maj exactly.
+func TestVoteUnitWeightsIsMaj(t *testing.T) {
+	v, err := NewVote([]int{1, 1, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMaj(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vq, mq := v.Quorums(), m.Quorums()
+	if len(vq) != len(mq) {
+		t.Fatalf("quorum counts: vote %d, maj %d", len(vq), len(mq))
+	}
+	for _, q := range mq {
+		found := false
+		for _, r := range vq {
+			if q.Equal(r) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("maj quorum %v missing from vote system", q)
+		}
+	}
+}
+
+// Weights (n-2, 1, ..., 1) reduce Vote to the Wheel.
+func TestVoteWheelWeights(t *testing.T) {
+	n := 6
+	weights := make([]int, n)
+	weights[0] = n - 2
+	for i := 1; i < n; i++ {
+		weights[i] = 1
+	}
+	v, err := NewVote(weights) // total = 2n-3 = 9, threshold = 5
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWheel(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vq, wq := v.Quorums(), w.Quorums()
+	if len(vq) != len(wq) {
+		t.Fatalf("quorum counts: vote %d, wheel %d", len(vq), len(wq))
+	}
+	for _, q := range wq {
+		found := false
+		for _, r := range vq {
+			if q.Equal(r) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("wheel quorum %v missing from vote system", q)
+		}
+	}
+}
+
+// Property: every odd-total vote assignment yields an ND coterie.
+func TestVoteAlwaysND(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 77))
+		n := 2 + rng.IntN(7)
+		weights := make([]int, n)
+		total := 0
+		for i := range weights {
+			weights[i] = 1 + rng.IntN(5)
+			total += weights[i]
+		}
+		if total%2 == 0 {
+			weights[0]++
+		}
+		v, err := NewVote(weights)
+		if err != nil {
+			return false
+		}
+		if !quorum.IsCoterie(v) {
+			return false
+		}
+		return quorum.CheckND(v) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the finder is sound and complete on random allowed sets.
+func TestVoteFindQuorumWithin(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 99))
+	v, err := NewVote([]int{5, 3, 3, 1, 1, 1, 1}) // total 15, threshold 8
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := v.Size()
+	for trial := 0; trial < 1000; trial++ {
+		allowed := bitset.New(n)
+		for e := 0; e < n; e++ {
+			if rng.IntN(2) == 0 {
+				allowed.Add(e)
+			}
+		}
+		q, found := v.FindQuorumWithin(allowed)
+		if found != v.ContainsQuorum(allowed) {
+			t.Fatalf("found=%v but ContainsQuorum=%v on %v", found, v.ContainsQuorum(allowed), allowed)
+		}
+		if found {
+			if !q.SubsetOf(allowed) || !v.ContainsQuorum(q) {
+				t.Fatalf("bad quorum %v from allowed %v", q, allowed)
+			}
+			// Minimality of the returned quorum.
+			q.ForEach(func(e int) bool {
+				smaller := q.Clone()
+				smaller.Remove(e)
+				if v.ContainsQuorum(smaller) {
+					t.Fatalf("returned quorum %v not minimal (drop %d)", q, e)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// Quorums are minimal and pairwise intersecting for a skewed assignment.
+func TestVoteQuorumsAreCoterie(t *testing.T) {
+	v, err := NewVote([]int{7, 2, 2, 1, 1}) // total 13, threshold 7: {0} alone is a quorum
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := v.Quorums()
+	if !quorum.IsIntersecting(qs) || !quorum.IsAntichain(qs) {
+		t.Error("vote quorums are not a coterie")
+	}
+	// The dictator {0} must be a quorum.
+	dictator := bitset.FromSlice(5, []int{0})
+	found := false
+	for _, q := range qs {
+		if q.Equal(dictator) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("weight-7 dictator quorum missing")
+	}
+}

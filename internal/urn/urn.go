@@ -1,0 +1,92 @@
+// Package urn implements the sampling-without-replacement processes of the
+// paper's technical lemmas: Fact 2.7 (first red element), Lemma 2.8 (j-th
+// red element) and Lemma 2.9 (first elements of both colors), with both
+// closed forms and simulators.
+package urn
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// ExpectedFirstRed returns the expected number of draws without
+// replacement until the first red element appears, from an urn with r red
+// and g green elements (Fact 2.7): (r+g+1)/(r+1).
+func ExpectedFirstRed(r, g int) float64 {
+	checkCounts(r, g)
+	if r == 0 {
+		panic("urn: no red elements to draw")
+	}
+	return float64(r+g+1) / float64(r+1)
+}
+
+// ExpectedJthRed returns the expected number of draws without replacement
+// until the j-th red element appears (Lemma 2.8): j(n+1)/(r+1) with
+// n = r+g.
+func ExpectedJthRed(r, g, j int) float64 {
+	checkCounts(r, g)
+	if j < 1 || j > r {
+		panic(fmt.Sprintf("urn: j = %d out of [1,%d]", j, r))
+	}
+	return float64(j) * float64(r+g+1) / float64(r+1)
+}
+
+// ExpectedBothColors returns the expected number of draws without
+// replacement until elements of both colors have appeared (Lemma 2.9):
+// 1 + r/(g+1) + g/(r+1).
+func ExpectedBothColors(r, g int) float64 {
+	checkCounts(r, g)
+	if r == 0 || g == 0 {
+		panic("urn: both colors must be present")
+	}
+	return 1 + float64(r)/float64(g+1) + float64(g)/float64(r+1)
+}
+
+func checkCounts(r, g int) {
+	if r < 0 || g < 0 || r+g == 0 {
+		panic(fmt.Sprintf("urn: invalid counts r=%d g=%d", r, g))
+	}
+}
+
+// SimulateJthRed draws without replacement until the j-th red element and
+// returns the number of draws.
+func SimulateJthRed(r, g, j int, rng *rand.Rand) int {
+	checkCounts(r, g)
+	if j < 1 || j > r {
+		panic(fmt.Sprintf("urn: j = %d out of [1,%d]", j, r))
+	}
+	reds, total := r, r+g
+	draws, seen := 0, 0
+	for seen < j {
+		draws++
+		if rng.IntN(total) < reds {
+			reds--
+			seen++
+		}
+		total--
+	}
+	return draws
+}
+
+// SimulateBothColors draws without replacement until both colors have been
+// seen and returns the number of draws.
+func SimulateBothColors(r, g int, rng *rand.Rand) int {
+	checkCounts(r, g)
+	if r == 0 || g == 0 {
+		panic("urn: both colors must be present")
+	}
+	reds, total := r, r+g
+	draws := 0
+	sawRed, sawGreen := false, false
+	for !(sawRed && sawGreen) {
+		draws++
+		if rng.IntN(total) < reds {
+			reds--
+			sawRed = true
+		} else {
+			sawGreen = true
+		}
+		total--
+	}
+	return draws
+}

@@ -1,0 +1,148 @@
+package urn
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestExpectedFirstRed(t *testing.T) {
+	// Fact 2.7: (r+g+1)/(r+1).
+	cases := []struct {
+		r, g int
+		want float64
+	}{
+		{1, 0, 1},
+		{1, 1, 1.5},
+		{2, 1, 4.0 / 3},
+		{1, 9, 5.5},
+	}
+	for _, c := range cases {
+		if got := ExpectedFirstRed(c.r, c.g); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("ExpectedFirstRed(%d,%d) = %v, want %v", c.r, c.g, got, c.want)
+		}
+	}
+}
+
+func TestExpectedJthRedConsistency(t *testing.T) {
+	// j = 1 must agree with Fact 2.7; j = r means drawing everything red
+	// costs r(n+1)/(r+1).
+	for r := 1; r <= 6; r++ {
+		for g := 0; g <= 6; g++ {
+			if a, b := ExpectedJthRed(r, g, 1), ExpectedFirstRed(r, g); math.Abs(a-b) > 1e-12 {
+				t.Errorf("r=%d g=%d: jth(1)=%v, first=%v", r, g, a, b)
+			}
+		}
+	}
+	// All-red urn: the j-th red is the j-th draw.
+	for j := 1; j <= 5; j++ {
+		if got := ExpectedJthRed(5, 0, j); math.Abs(got-float64(j)) > 1e-12 {
+			t.Errorf("all-red urn: jth(%d) = %v, want %d", j, got, j)
+		}
+	}
+}
+
+func TestExpectedBothColors(t *testing.T) {
+	// Lemma 2.9 on r = g = 1: 1 + 1/2 + 1/2 = 2 (must draw both).
+	if got := ExpectedBothColors(1, 1); math.Abs(got-2) > 1e-12 {
+		t.Errorf("ExpectedBothColors(1,1) = %v, want 2", got)
+	}
+	// Symmetry in r and g.
+	if a, b := ExpectedBothColors(3, 7), ExpectedBothColors(7, 3); math.Abs(a-b) > 1e-12 {
+		t.Errorf("not symmetric: %v vs %v", a, b)
+	}
+}
+
+func TestSimulationsMatchFormulas(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 3))
+	const trials = 30000
+	cases := []struct{ r, g, j int }{
+		{3, 5, 1}, {3, 5, 2}, {3, 5, 3}, {1, 10, 1}, {6, 2, 4},
+	}
+	for _, c := range cases {
+		total := 0
+		for i := 0; i < trials; i++ {
+			total += SimulateJthRed(c.r, c.g, c.j, rng)
+		}
+		mc := float64(total) / trials
+		want := ExpectedJthRed(c.r, c.g, c.j)
+		if math.Abs(mc-want) > 0.06 {
+			t.Errorf("jth(%d,%d,%d): MC %.4f vs formula %.4f", c.r, c.g, c.j, mc, want)
+		}
+	}
+	both := []struct{ r, g int }{{1, 1}, {2, 5}, {8, 1}, {4, 4}}
+	for _, c := range both {
+		total := 0
+		for i := 0; i < trials; i++ {
+			total += SimulateBothColors(c.r, c.g, rng)
+		}
+		mc := float64(total) / trials
+		want := ExpectedBothColors(c.r, c.g)
+		if math.Abs(mc-want) > 0.06 {
+			t.Errorf("both(%d,%d): MC %.4f vs formula %.4f", c.r, c.g, mc, want)
+		}
+	}
+}
+
+// Property: Lemma 2.8 satisfies the exact recurrence of its proof:
+// E(T_j) = E(T_{j-1}) + (n + 1 - E(T_{j-1}))/(r - j + 2).
+func TestJthRedRecurrence(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 9))
+		r := 1 + rng.IntN(10)
+		g := rng.IntN(10)
+		n := float64(r + g)
+		prev := 0.0
+		for j := 1; j <= r; j++ {
+			want := prev + (n+1-prev)/float64(r-j+2)
+			got := ExpectedJthRed(r, g, j)
+			if math.Abs(got-want) > 1e-9 {
+				return false
+			}
+			prev = got
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: expected draws until both colors is at most min-side exhaustion
+// plus one and at least 2.
+func TestBothColorsBounds(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 10))
+		r := 1 + rng.IntN(12)
+		g := 1 + rng.IntN(12)
+		e := ExpectedBothColors(r, g)
+		lo := 2.0
+		hi := float64(max(r, g) + 1)
+		return e >= lo-1e-12 && e <= hi+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	for name, fn := range map[string]func(){
+		"first red no reds":  func() { ExpectedFirstRed(0, 3) },
+		"jth red j too big":  func() { ExpectedJthRed(2, 2, 3) },
+		"both missing color": func() { ExpectedBothColors(0, 3) },
+		"sim jth bad j":      func() { SimulateJthRed(2, 2, 0, rng) },
+		"sim both bad":       func() { SimulateBothColors(3, 0, rng) },
+		"negative":           func() { ExpectedFirstRed(-1, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

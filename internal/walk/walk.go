@@ -1,0 +1,73 @@
+// Package walk implements the N x N grid random-walk process of
+// Lemma 2.4: a walk starts at the lower-left corner and moves right with
+// probability p or up with probability q = 1-p; the quantity of interest
+// is the expected time to reach the right or top boundary.
+//
+// The process models monochromatic-set collection: a right step is a probe
+// that comes up one color, an up step the other, and the boundary is a
+// complete monochromatic set of size N.
+package walk
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// ExactExitTime returns the exact expected number of steps for the walk to
+// reach x = N or y = N, by dynamic programming over the (N+1)^2 grid
+// states in O(N^2) time.
+func ExactExitTime(n int, p float64) float64 {
+	if n < 0 {
+		panic(fmt.Sprintf("walk: negative grid size %d", n))
+	}
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("walk: probability %v out of [0,1]", p))
+	}
+	if n == 0 {
+		return 0
+	}
+	q := 1 - p
+	// exp[y] holds E[T | state (x, y)] for the current column x, swept from
+	// x = N-1 down to 0; the boundary rows/columns are absorbing.
+	exp := make([]float64, n+1) // column x+1 (initially x = N: all zero)
+	cur := make([]float64, n+1) // column x being computed
+	for x := n - 1; x >= 0; x-- {
+		cur[n] = 0
+		for y := n - 1; y >= 0; y-- {
+			cur[y] = 1 + p*exp[y] + q*cur[y+1]
+		}
+		exp, cur = cur, exp
+	}
+	return exp[0]
+}
+
+// Simulate runs the walk once and returns the number of steps taken to
+// reach the boundary.
+func Simulate(n int, p float64, rng *rand.Rand) int {
+	x, y, steps := 0, 0, 0
+	for x < n && y < n {
+		steps++
+		if rng.Float64() < p {
+			x++
+		} else {
+			y++
+		}
+	}
+	return steps
+}
+
+// Asymptotic returns the closed-form estimate of Lemma 2.4:
+// 2N - θ(sqrt(N)) for p = 1/2 (with the random-walk constant
+// 2*sqrt(N/pi)), and N/max(p,q) otherwise.
+func Asymptotic(n int, p float64) float64 {
+	q := 1 - p
+	if p == q {
+		return 2*float64(n) - 2*math.Sqrt(float64(n)/math.Pi)
+	}
+	hi := q
+	if p > q {
+		hi = p
+	}
+	return float64(n) / hi
+}

@@ -1,0 +1,118 @@
+package walk
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestExactExitTimeSmall(t *testing.T) {
+	// N = 1: a single step always reaches a boundary.
+	if got := ExactExitTime(1, 0.5); math.Abs(got-1) > 1e-12 {
+		t.Errorf("ExactExitTime(1, 0.5) = %v, want 1", got)
+	}
+	if got := ExactExitTime(0, 0.3); got != 0 {
+		t.Errorf("ExactExitTime(0, .) = %v, want 0", got)
+	}
+	// N = 2, p = 1/2 by hand: E(0,0) = 1 + E(1,0); E(1,0) = 1 + E(1,1)/2;
+	// E(1,1) = 1. So E(1,0) = E(0,1) = 1.5, E(0,0) = 2.5.
+	if got := ExactExitTime(2, 0.5); math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("ExactExitTime(2, 0.5) = %v, want 2.5", got)
+	}
+}
+
+func TestExactExitTimeDegenerate(t *testing.T) {
+	// p = 1: the walk marches straight right, exactly N steps.
+	for _, n := range []int{1, 5, 17} {
+		if got := ExactExitTime(n, 1); math.Abs(got-float64(n)) > 1e-9 {
+			t.Errorf("p=1, N=%d: %v, want %d", n, got, n)
+		}
+		if got := ExactExitTime(n, 0); math.Abs(got-float64(n)) > 1e-9 {
+			t.Errorf("p=0, N=%d: %v, want %d", n, got, n)
+		}
+	}
+}
+
+func TestExactMatchesSimulation(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	for _, tc := range []struct {
+		n int
+		p float64
+	}{{10, 0.5}, {20, 0.3}, {15, 0.8}} {
+		exact := ExactExitTime(tc.n, tc.p)
+		const trials = 20000
+		total := 0
+		for i := 0; i < trials; i++ {
+			total += Simulate(tc.n, tc.p, rng)
+		}
+		mc := float64(total) / trials
+		if math.Abs(exact-mc) > 0.15 {
+			t.Errorf("N=%d p=%v: exact %.4f vs MC %.4f", tc.n, tc.p, exact, mc)
+		}
+	}
+}
+
+// Lemma 2.4: for p = q the exit time is 2N - θ(sqrt(N)); the deficit
+// 2N - E(T) must grow like sqrt(N).
+func TestLemma24Balanced(t *testing.T) {
+	prev := 0.0
+	for _, n := range []int{25, 100, 400} {
+		e := ExactExitTime(n, 0.5)
+		deficit := 2*float64(n) - e
+		// Against the asymptotic constant 2*sqrt(N/pi).
+		want := 2 * math.Sqrt(float64(n)/math.Pi)
+		if math.Abs(deficit-want)/want > 0.10 {
+			t.Errorf("N=%d: deficit %.3f, asymptotic %.3f", n, deficit, want)
+		}
+		// Quadrupling N should double the deficit.
+		if prev > 0 {
+			ratio := deficit / prev
+			if math.Abs(ratio-2) > 0.2 {
+				t.Errorf("N=%d: deficit ratio %.3f, want ~2", n, ratio)
+			}
+		}
+		prev = deficit
+	}
+}
+
+// Lemma 2.4: for p < q the exit time approaches N/q.
+func TestLemma24Biased(t *testing.T) {
+	for _, p := range []float64{0.1, 0.3, 0.4} {
+		q := 1 - p
+		n := 200
+		e := ExactExitTime(n, p)
+		want := float64(n) / q
+		if math.Abs(e-want)/want > 0.02 {
+			t.Errorf("p=%v: exact %.3f, want N/q = %.3f", p, e, want)
+		}
+	}
+}
+
+func TestAsymptotic(t *testing.T) {
+	if got := Asymptotic(100, 0.5); math.Abs(got-(200-2*math.Sqrt(100/math.Pi))) > 1e-9 {
+		t.Errorf("Asymptotic(100, 0.5) = %v", got)
+	}
+	if got := Asymptotic(100, 0.25); math.Abs(got-100/0.75) > 1e-9 {
+		t.Errorf("Asymptotic(100, 0.25) = %v", got)
+	}
+	// Symmetric in p and q.
+	if a, b := Asymptotic(50, 0.2), Asymptotic(50, 0.8); math.Abs(a-b) > 1e-9 {
+		t.Errorf("Asymptotic not symmetric: %v vs %v", a, b)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"negative n": func() { ExactExitTime(-1, 0.5) },
+		"bad p":      func() { ExactExitTime(3, 1.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,340 @@
+// Package probequorum is a library for building, probing and measuring
+// quorum systems under processor failures, reproducing Hassin & Peleg,
+// "Average probe complexity in quorum systems" (PODC 2001 / JCSS 2006).
+//
+// A quorum system is a family of pairwise intersecting subsets of a
+// universe of processors. When processors fail, a client must find a
+// witness before acting: either a live (green) quorum or — for a
+// nondominated coterie — a failed (red) quorum proving that no live
+// quorum exists. This package provides:
+//
+//   - the classic nondominated coterie constructions: Majority, Wheel,
+//     Crumbling Walls (with Triang), the Tree system and the Hierarchical
+//     Quorum System (HQS);
+//   - the paper's probing algorithms for the probabilistic failure model
+//     and the randomized worst-case model, behind FindWitness and
+//     FindWitnessRandomized;
+//   - exact measures: availability F_p, worst-case probe complexity PC,
+//     probabilistic probe complexity PPC_p (exact for small universes),
+//     and expected probe counts of the built-in strategies;
+//   - a simulated fail-stop cluster with quorum-replicated registers and
+//     quorum-based mutual exclusion built on witness search.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// reproduction of every table and figure of the paper.
+package probequorum
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"probequorum/internal/availability"
+	"probequorum/internal/bitset"
+	"probequorum/internal/cluster"
+	"probequorum/internal/coloring"
+	"probequorum/internal/core"
+	"probequorum/internal/probe"
+	"probequorum/internal/quorum"
+	"probequorum/internal/render"
+	"probequorum/internal/sim"
+	"probequorum/internal/strategy"
+	"probequorum/internal/systems"
+)
+
+// Core abstractions, re-exported from the internal packages.
+type (
+	// System is a quorum system over the universe {0, ..., Size()-1}.
+	System = quorum.System
+	// Finder locates quorums inside an allowed element set.
+	Finder = quorum.Finder
+	// Set is a set of universe elements.
+	Set = bitset.Set
+	// Color is the probed state of an element: Green (live) or Red
+	// (failed).
+	Color = coloring.Color
+	// Coloring is a full failure pattern.
+	Coloring = coloring.Coloring
+	// Witness is a monochromatic quorum: the output of a probe strategy.
+	Witness = probe.Witness
+	// Oracle reveals element colors one probe at a time.
+	Oracle = probe.Oracle
+	// StrategyNode is a node of an explicit probe strategy (decision)
+	// tree.
+	StrategyNode = strategy.Node
+
+	// Majority is the majority system over an odd universe.
+	Majority = systems.Maj
+	// Wheel is the hub-and-rim system.
+	Wheel = systems.Wheel
+	// CrumblingWall is the (n1, ..., nk)-CW family, including Triang.
+	CrumblingWall = systems.CW
+	// TreeSystem is the binary-tree coterie of Agrawal & El-Abbadi.
+	TreeSystem = systems.Tree
+	// HQS is Kumar's hierarchical quorum system.
+	HQS = systems.HQS
+	// Vote is a weighted-voting system (Thomas-style), generalizing
+	// Majority and subsuming the Wheel.
+	Vote = systems.Vote
+	// RecMaj is the recursive m-ary majority system; RecMaj(3, h) is the
+	// HQS.
+	RecMaj = systems.RecMaj
+
+	// Cluster is a simulated set of fail-stop processors.
+	Cluster = cluster.Cluster
+	// Register is a quorum-replicated read/write register.
+	Register = cluster.Register
+	// DistMutex is quorum-based distributed mutual exclusion.
+	DistMutex = cluster.Mutex
+)
+
+// Element colors.
+const (
+	Green = coloring.Green
+	Red   = coloring.Red
+)
+
+// Cluster operation errors.
+var (
+	ErrNoLiveQuorum = cluster.ErrNoLiveQuorum
+	ErrContended    = cluster.ErrContended
+)
+
+// NewMajority returns the majority system over n (odd) elements.
+func NewMajority(n int) (*Majority, error) { return systems.NewMaj(n) }
+
+// NewWheel returns the wheel system over n >= 3 elements.
+func NewWheel(n int) (*Wheel, error) { return systems.NewWheel(n) }
+
+// NewCrumblingWall returns the (widths[0], ..., widths[k-1])-CW system.
+func NewCrumblingWall(widths []int) (*CrumblingWall, error) { return systems.NewCW(widths) }
+
+// NewTriang returns the Triang system with k rows (row i has width i).
+func NewTriang(k int) (*CrumblingWall, error) { return systems.NewTriang(k) }
+
+// NewTree returns the tree system over a complete binary tree of the given
+// height.
+func NewTree(height int) (*TreeSystem, error) { return systems.NewTree(height) }
+
+// NewHQS returns the hierarchical quorum system of the given height.
+func NewHQS(height int) (*HQS, error) { return systems.NewHQS(height) }
+
+// NewVote returns the weighted-voting system for the given positive
+// weights (odd total).
+func NewVote(weights []int) (*Vote, error) { return systems.NewVote(weights) }
+
+// NewRecMaj returns the recursive m-ary majority system of the given
+// height (m odd).
+func NewRecMaj(m, height int) (*RecMaj, error) { return systems.NewRecMaj(m, height) }
+
+// Compose builds the coterie composition of an outer system with one inner
+// system per outer element; composing nondominated coteries yields a
+// nondominated coterie. The HQS is Compose(Maj3, [Maj3, Maj3, Maj3])
+// applied recursively.
+func Compose(outer System, inner []System) (System, error) {
+	return quorum.NewComposite(outer, inner)
+}
+
+// NewSet returns an empty element set with capacity n.
+func NewSet(n int) *Set { return bitset.New(n) }
+
+// SetOf returns an element set of capacity n holding the given elements.
+func SetOf(n int, elems ...int) *Set { return bitset.FromSlice(n, elems) }
+
+// AllGreen returns an all-live coloring of n elements.
+func AllGreen(n int) *Coloring { return coloring.New(n) }
+
+// ColoringFromReds returns a coloring with exactly the listed elements
+// failed.
+func ColoringFromReds(n int, reds []int) *Coloring { return coloring.FromReds(n, reds) }
+
+// IIDColoring draws a coloring where each element fails independently with
+// probability p.
+func IIDColoring(n int, p float64, rng *rand.Rand) *Coloring { return coloring.IID(n, p, rng) }
+
+// NewOracle returns a probing oracle answering from the coloring, counting
+// distinct probed elements.
+func NewOracle(col *Coloring) Oracle { return probe.NewOracle(col) }
+
+// VerifyWitness checks a witness against the system and true coloring.
+func VerifyWitness(sys System, w Witness, col *Coloring) error {
+	return probe.Verify(sys, w, col, nil)
+}
+
+// FindWitness locates a witness using the paper's deterministic strategy
+// for the system's construction (Probe_Maj, Probe_CW, Probe_Tree,
+// Probe_HQS), falling back to a sequential scan for other systems that
+// implement Finder.
+func FindWitness(sys System, o Oracle) (Witness, error) {
+	switch s := sys.(type) {
+	case *systems.Maj:
+		return core.ProbeMaj(s, o), nil
+	case *systems.CW:
+		return core.ProbeCW(s, o), nil
+	case *systems.Tree:
+		return core.ProbeTree(s, o), nil
+	case *systems.HQS:
+		return core.ProbeHQS(s, o), nil
+	case *systems.Vote:
+		return core.ProbeVote(s, o), nil
+	case *systems.RecMaj:
+		return core.ProbeRecMaj(s, o), nil
+	default:
+		f, ok := sys.(interface {
+			System
+			Finder
+		})
+		if !ok {
+			return Witness{}, fmt.Errorf("probequorum: no strategy for %s (system does not implement Finder)", sys.Name())
+		}
+		return core.SequentialScan(f, o), nil
+	}
+}
+
+// FindWitnessRandomized locates a witness using the paper's randomized
+// worst-case strategy for the system's construction (R_Probe_Maj,
+// R_Probe_CW, R_Probe_Tree, IR_Probe_HQS), falling back to a random scan.
+func FindWitnessRandomized(sys System, o Oracle, rng *rand.Rand) (Witness, error) {
+	switch s := sys.(type) {
+	case *systems.Maj:
+		return core.RProbeMaj(s, o, rng), nil
+	case *systems.CW:
+		return core.RProbeCW(s, o, rng), nil
+	case *systems.Tree:
+		return core.RProbeTree(s, o, rng), nil
+	case *systems.HQS:
+		return core.IRProbeHQS(s, o, rng), nil
+	default:
+		f, ok := sys.(interface {
+			System
+			Finder
+		})
+		if !ok {
+			return Witness{}, fmt.Errorf("probequorum: no strategy for %s (system does not implement Finder)", sys.Name())
+		}
+		return core.RandomScan(f, o, rng), nil
+	}
+}
+
+// Availability returns F_p(S): the probability that no live quorum exists
+// when every element fails independently with probability p. Closed forms
+// are used for the built-in constructions and exhaustive enumeration
+// otherwise (small universes only).
+func Availability(sys System, p float64) float64 {
+	return availability.Of(sys, p)
+}
+
+// ExpectedProbes returns the exact expected probe count of the strategy
+// used by FindWitness under IID(p) failures, for the built-in
+// constructions.
+func ExpectedProbes(sys System, p float64) (float64, error) {
+	switch s := sys.(type) {
+	case *systems.Maj:
+		return core.ExpectedProbeMajIID(s.Size(), p), nil
+	case *systems.CW:
+		return core.ExpectedProbeCWIID(s.Widths(), p), nil
+	case *systems.Tree:
+		return core.ExpectedProbeTreeIID(s.Height(), p), nil
+	case *systems.HQS:
+		return core.ExpectedProbeHQSIID(s.Height(), p), nil
+	case *systems.RecMaj:
+		return core.ExpectedProbeRecMajIID(s.Arity(), s.Height(), p), nil
+	default:
+		return 0, fmt.Errorf("probequorum: no closed form for %s", sys.Name())
+	}
+}
+
+// EstimateAverageProbes estimates by simulation the average probes of the
+// FindWitness strategy under IID(p) failures, returning the mean and the
+// 95% confidence half-interval.
+func EstimateAverageProbes(sys System, p float64, trials int, seed uint64) (mean, halfCI float64, err error) {
+	if _, e := FindWitness(sys, NewOracle(AllGreen(sys.Size()))); e != nil {
+		return 0, 0, e
+	}
+	s := sim.Estimate(trials, seed, func(rng *rand.Rand) float64 {
+		col := coloring.IID(sys.Size(), p, rng)
+		o := probe.NewOracle(col)
+		if _, e := FindWitness(sys, o); e != nil {
+			panic(e) // unreachable: checked above
+		}
+		return float64(o.Probes())
+	})
+	lo, hi := s.CI95()
+	return s.Mean, (hi - lo) / 2, nil
+}
+
+// ProbeComplexity returns the exact deterministic worst-case probe
+// complexity PC(S) for small universes (the paper's evasiveness measure).
+func ProbeComplexity(sys System) (int, error) { return strategy.OptimalPC(sys) }
+
+// AverageProbeComplexity returns the exact probabilistic probe complexity
+// PPC_p(S) — the optimal expected probes over all adaptive strategies —
+// for small universes.
+func AverageProbeComplexity(sys System, p float64) (float64, error) {
+	return strategy.OptimalPPC(sys, p)
+}
+
+// OptimalStrategyTree materializes a worst-case-optimal probe strategy
+// tree for small universes.
+func OptimalStrategyTree(sys System) (*StrategyNode, error) { return strategy.BuildOptimalPC(sys) }
+
+// RenderStrategyTree draws a probe strategy tree as ASCII art in the
+// paper's Fig. 4 notation.
+func RenderStrategyTree(nd *StrategyNode) string { return render.StrategyTree(nd) }
+
+// RenderSystem draws the system layout as ASCII art, bracketing the
+// elements of highlight (which may be nil). Supported for the crumbling
+// wall, tree and HQS constructions.
+func RenderSystem(sys System, highlight *Set) (string, error) {
+	switch s := sys.(type) {
+	case *systems.CW:
+		return render.CW(s, highlight), nil
+	case *systems.Tree:
+		return render.Tree(s, highlight), nil
+	case *systems.HQS:
+		return render.HQS(s, highlight), nil
+	default:
+		return "", fmt.Errorf("probequorum: no renderer for %s", sys.Name())
+	}
+}
+
+// CheckNondominated verifies by exhaustive enumeration (small universes)
+// that the system is a nondominated coterie.
+func CheckNondominated(sys System) error { return quorum.CheckND(sys) }
+
+// NewCluster returns a simulated cluster of n live fail-stop processors.
+func NewCluster(n int) *Cluster { return cluster.New(n) }
+
+// NewRegister returns a quorum-replicated register over the cluster using
+// the system's FindWitness strategy for quorum discovery.
+func NewRegister(c *Cluster, sys System) (*Register, error) {
+	search, err := clusterSearch(sys)
+	if err != nil {
+		return nil, err
+	}
+	return cluster.NewRegister(c, sys, search)
+}
+
+// NewDistMutex returns a quorum-based mutex over the cluster using the
+// system's FindWitness strategy for quorum discovery.
+func NewDistMutex(c *Cluster, sys System) (*DistMutex, error) {
+	search, err := clusterSearch(sys)
+	if err != nil {
+		return nil, err
+	}
+	return cluster.NewMutex(c, sys, search)
+}
+
+func clusterSearch(sys System) (func(o probe.Oracle) probe.Witness, error) {
+	// Validate the dispatch once so operations cannot fail on strategy
+	// lookup later.
+	if _, err := FindWitness(sys, probe.NewOracle(coloring.New(sys.Size()))); err != nil {
+		return nil, err
+	}
+	return func(o probe.Oracle) probe.Witness {
+		w, err := FindWitness(sys, o)
+		if err != nil {
+			panic(err) // unreachable: dispatch validated in the constructor
+		}
+		return w
+	}, nil
+}

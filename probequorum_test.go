@@ -1,0 +1,230 @@
+package probequorum
+
+import (
+	"errors"
+	"math"
+	"math/rand/v2"
+	"strings"
+	"testing"
+)
+
+func TestFindWitnessDispatch(t *testing.T) {
+	maj, _ := NewMajority(7)
+	wheel, _ := NewWheel(6)
+	tri, _ := NewTriang(4)
+	tree, _ := NewTree(2)
+	hqs, _ := NewHQS(2)
+	rng := rand.New(rand.NewPCG(1, 1))
+	for _, sys := range []System{maj, wheel, tri, tree, hqs} {
+		t.Run(sys.Name(), func(t *testing.T) {
+			for trial := 0; trial < 50; trial++ {
+				col := IIDColoring(sys.Size(), 0.4, rng)
+				o := NewOracle(col)
+				w, err := FindWitness(sys, o)
+				if err != nil {
+					t.Fatalf("FindWitness: %v", err)
+				}
+				if err := VerifyWitness(sys, w, col); err != nil {
+					t.Fatalf("witness invalid: %v", err)
+				}
+				o2 := NewOracle(col)
+				wr, err := FindWitnessRandomized(sys, o2, rng)
+				if err != nil {
+					t.Fatalf("FindWitnessRandomized: %v", err)
+				}
+				if err := VerifyWitness(sys, wr, col); err != nil {
+					t.Fatalf("randomized witness invalid: %v", err)
+				}
+				if wr.Color != w.Color {
+					t.Fatalf("strategies disagree on the system state")
+				}
+			}
+		})
+	}
+}
+
+func TestAvailabilityAndExpectedProbes(t *testing.T) {
+	tri, _ := NewTriang(5)
+	if f := Availability(tri, 0.5); math.Abs(f-0.5) > 1e-9 {
+		t.Errorf("Triang availability at 1/2 = %v, want 0.5 (self-dual)", f)
+	}
+	exp, err := ExpectedProbes(tri, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := float64(2*5 - 1)
+	if exp <= 0 || exp > bound {
+		t.Errorf("ExpectedProbes = %v, want in (0, %v]", exp, bound)
+	}
+	mean, half, err := EstimateAverageProbes(tri, 0.5, 3000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mean-exp) > 4*half+0.2 {
+		t.Errorf("estimate %v ± %v inconsistent with exact %v", mean, half, exp)
+	}
+}
+
+func TestExactComplexities(t *testing.T) {
+	maj3, _ := NewMajority(3)
+	pc, err := ProbeComplexity(maj3)
+	if err != nil || pc != 3 {
+		t.Errorf("PC(Maj3) = %d, %v; want 3", pc, err)
+	}
+	ppc, err := AverageProbeComplexity(maj3, 0.5)
+	if err != nil || math.Abs(ppc-2.5) > 1e-12 {
+		t.Errorf("PPC(Maj3) = %v, %v; want 2.5", ppc, err)
+	}
+	tree, err := OptimalStrategyTree(maj3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderStrategyTree(tree)
+	if !strings.Contains(out, "x1") {
+		t.Errorf("strategy render missing probes:\n%s", out)
+	}
+}
+
+func TestRenderSystem(t *testing.T) {
+	tri, _ := NewTriang(3)
+	q := SetOf(tri.Size(), 3, 4, 5)
+	out, err := RenderSystem(tri, q)
+	if err != nil || !strings.Contains(out, "[4]") {
+		t.Errorf("render = %q, %v", out, err)
+	}
+	tree, _ := NewTree(1)
+	if _, err := RenderSystem(tree, nil); err != nil {
+		t.Errorf("tree render: %v", err)
+	}
+	hqs, _ := NewHQS(1)
+	if _, err := RenderSystem(hqs, nil); err != nil {
+		t.Errorf("hqs render: %v", err)
+	}
+	maj, _ := NewMajority(3)
+	if _, err := RenderSystem(maj, nil); err == nil {
+		t.Error("expected error for majority render")
+	}
+}
+
+func TestCheckNondominated(t *testing.T) {
+	for _, mk := range []func() (System, error){
+		func() (System, error) { return NewMajority(5) },
+		func() (System, error) { return NewWheel(5) },
+		func() (System, error) { return NewTriang(3) },
+		func() (System, error) { return NewTree(2) },
+		func() (System, error) { return NewHQS(2) },
+	} {
+		sys, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := CheckNondominated(sys); err != nil {
+			t.Errorf("%s: %v", sys.Name(), err)
+		}
+	}
+}
+
+func TestClusterFacade(t *testing.T) {
+	tri, _ := NewTriang(3)
+	c := NewCluster(tri.Size())
+	reg, err := NewRegister(c, tri)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Write("hello"); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := reg.Read()
+	if err != nil || got != "hello" {
+		t.Errorf("Read = %q, %v", got, err)
+	}
+	mtx, err := NewDistMutex(c, tri)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _, err := mtx.TryAcquire(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := mtx.TryAcquire(2); !errors.Is(err, ErrContended) {
+		t.Errorf("second acquire: %v, want ErrContended", err)
+	}
+	mtx.Release(1, q)
+
+	// Wipe out a transversal: operations must fail cleanly.
+	for _, id := range []int{0, 1, 3} {
+		c.Crash(id)
+	}
+	if _, err := reg.Write("x"); !errors.Is(err, ErrNoLiveQuorum) {
+		t.Errorf("Write after transversal crash: %v, want ErrNoLiveQuorum", err)
+	}
+}
+
+func TestExtensionSystemsDispatch(t *testing.T) {
+	rng := rand.New(rand.NewPCG(8, 8))
+	vote, err := NewVote([]int{3, 1, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recmaj, err := NewRecMaj(5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maj3a, _ := NewMajority(3)
+	maj3b, _ := NewMajority(3)
+	maj3c, _ := NewMajority(3)
+	outer, _ := NewMajority(3)
+	comp, err := Compose(outer, []System{maj3a, maj3b, maj3c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sys := range []System{vote, recmaj, comp} {
+		t.Run(sys.Name(), func(t *testing.T) {
+			if err := CheckNondominated(sys); err != nil {
+				t.Fatalf("ND: %v", err)
+			}
+			for trial := 0; trial < 100; trial++ {
+				col := IIDColoring(sys.Size(), 0.4, rng)
+				o := NewOracle(col)
+				w, err := FindWitness(sys, o)
+				if err != nil {
+					t.Fatalf("FindWitness: %v", err)
+				}
+				if err := VerifyWitness(sys, w, col); err != nil {
+					t.Fatalf("witness: %v", err)
+				}
+			}
+		})
+	}
+	// Exact expectations exist for RecMaj; availability for all three.
+	if _, err := ExpectedProbes(recmaj, 0.3); err != nil {
+		t.Errorf("ExpectedProbes(recmaj): %v", err)
+	}
+	if f := Availability(vote, 0.5); math.Abs(f-0.5) > 1e-9 {
+		t.Errorf("vote availability at 1/2 = %v", f)
+	}
+	if f := Availability(comp, 0.5); math.Abs(f-0.5) > 1e-9 {
+		t.Errorf("composite availability at 1/2 = %v", f)
+	}
+	// HQS and the Maj3 self-composition agree on availability everywhere.
+	hqs2, _ := NewHQS(2)
+	for _, p := range []float64{0.1, 0.3, 0.7} {
+		if a, b := Availability(comp, p), Availability(hqs2, p); math.Abs(a-b) > 1e-9 {
+			t.Errorf("p=%v: composite %v != HQS %v", p, a, b)
+		}
+	}
+}
+
+func TestColoringHelpers(t *testing.T) {
+	col := ColoringFromReds(4, []int{2})
+	if col.Of(2) != Red || col.Of(0) != Green {
+		t.Error("ColoringFromReds colors wrong")
+	}
+	if AllGreen(3).RedCount() != 0 {
+		t.Error("AllGreen has reds")
+	}
+	rng := rand.New(rand.NewPCG(2, 2))
+	if IIDColoring(10, 1, rng).RedCount() != 10 {
+		t.Error("IIDColoring p=1 not all red")
+	}
+}
