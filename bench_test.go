@@ -9,11 +9,15 @@ import (
 	"math/rand/v2"
 	"testing"
 
+	"probequorum"
 	"probequorum/internal/availability"
 	"probequorum/internal/coloring"
 	"probequorum/internal/core"
 	"probequorum/internal/load"
 	"probequorum/internal/probe"
+	"probequorum/internal/quorum"
+	"probequorum/internal/sim"
+	"probequorum/internal/stats"
 	"probequorum/internal/strategy"
 	"probequorum/internal/systems"
 	"probequorum/internal/urn"
@@ -290,6 +294,154 @@ func sumInts(xs []int) int {
 		total += x
 	}
 	return total
+}
+
+// --- Mask-native engine vs the legacy map-based DPs (PR 1) ---
+//
+// Measured on the PR 1 machine (single core, go1.24):
+//
+//	OptimalPPC Maj(13):    legacy 2.9 s/op   -> mask 0.14 s/op   (~20x)
+//	OptimalPPC Triang(5):  legacy 51.2 s/op  -> mask 2.74 s/op   (~19x)
+//	OptimalPPC Wheel(18):  legacy n/a (guard at n=16; map would need
+//	                       multiple GiB) -> mask 58 s/op single-core
+//
+// The mask engine wins on three axes: the witness predicate is a bit test
+// against a precomputed 2^n-bit table instead of a bitset rebuild plus a
+// ContainsQuorum walk, the memo is a dense base-3-indexed slice instead of
+// a hash map, and the root branches expand across GOMAXPROCS goroutines
+// (a wash on the single-core measurement machine; scales on real cores).
+
+func BenchmarkOptimalPPCMaskMaj13(b *testing.B) {
+	m, _ := systems.NewMaj(13)
+	for i := 0; i < b.N; i++ {
+		if v, err := strategy.OptimalPPC(m, 0.5); err != nil || v <= 0 {
+			b.Fatalf("OptimalPPC = %v, %v", v, err)
+		}
+	}
+}
+
+func BenchmarkOptimalPPCLegacyMaj13(b *testing.B) {
+	m, _ := systems.NewMaj(13)
+	for i := 0; i < b.N; i++ {
+		if v, err := strategy.LegacyOptimalPPC(m, 0.5); err != nil || v <= 0 {
+			b.Fatalf("LegacyOptimalPPC = %v, %v", v, err)
+		}
+	}
+}
+
+func BenchmarkOptimalPPCMaskTriang5(b *testing.B) {
+	tri, _ := systems.NewTriang(5)
+	for i := 0; i < b.N; i++ {
+		if v, err := strategy.OptimalPPC(tri, 0.5); err != nil || v <= 0 {
+			b.Fatalf("OptimalPPC = %v, %v", v, err)
+		}
+	}
+}
+
+func BenchmarkOptimalPPCLegacyTriang5(b *testing.B) {
+	if testing.Short() {
+		b.Skip("legacy Triang(5) costs ~51s/op")
+	}
+	tri, _ := systems.NewTriang(5)
+	for i := 0; i < b.N; i++ {
+		if v, err := strategy.LegacyOptimalPPC(tri, 0.5); err != nil || v <= 0 {
+			b.Fatalf("LegacyOptimalPPC = %v, %v", v, err)
+		}
+	}
+}
+
+// BenchmarkOptimalPPCMaskWheel18 proves the raised MaxUniverse: the 3^18
+// knowledge-state DP completes (~58s single-core at PR 1; the legacy
+// engine was capped at n=16 and its map memo would need several GiB).
+func BenchmarkOptimalPPCMaskWheel18(b *testing.B) {
+	if testing.Short() {
+		b.Skip("3^18-state DP costs ~1 minute/op single-core")
+	}
+	w, _ := systems.NewWheel(18)
+	for i := 0; i < b.N; i++ {
+		if v, err := strategy.OptimalPPC(w, 0.3); err != nil || v <= 0 {
+			b.Fatalf("OptimalPPC = %v, %v", v, err)
+		}
+	}
+}
+
+// BenchmarkWitnessMask{Word,Bitset} isolate the superset-test primitive
+// the DPs hammer: word-level popcount vs bitset materialization plus
+// ContainsQuorum (4.8 vs 114 ns/op, ~24x at PR 1, and the word path is
+// allocation-free).
+func BenchmarkWitnessMaskWord(b *testing.B) {
+	m, _ := systems.NewMaj(63)
+	hits := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if m.ContainsQuorumMask(uint64(i) * 0x9E3779B97F4A7C15 >> 1) {
+			hits++
+		}
+	}
+	_ = hits
+}
+
+func BenchmarkWitnessMaskBitset(b *testing.B) {
+	m, _ := systems.NewMaj(63)
+	hits := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mask := uint64(i) * 0x9E3779B97F4A7C15 >> 1
+		s := probequorum.SetFromMask(63, mask)
+		if m.ContainsQuorum(s) {
+			hits++
+		}
+	}
+	_ = hits
+}
+
+// --- Parallel Monte Carlo (PR 1) ---
+//
+// sim.Estimate fans trials across GOMAXPROCS workers with bit-identical
+// summaries (each trial derives its PRNG from (seed, index); accumulation
+// replays in trial order). On the single-core PR 1 machine the two paths
+// measure within noise of each other — the speedup is cores x on real
+// hardware; TestEstimateParallelBitIdentical pins the equivalence.
+
+func benchEstimate(b *testing.B, est func(trials int, seed uint64, f func(rng *rand.Rand) float64) stats.Summary) {
+	b.Helper()
+	m, _ := systems.NewMaj(101)
+	for i := 0; i < b.N; i++ {
+		s := est(2000, 17, func(rng *rand.Rand) float64 {
+			col := coloring.IID(m.Size(), 0.5, rng)
+			o := probe.NewOracle(col)
+			core.ProbeMaj(m, o)
+			return float64(o.Probes())
+		})
+		if s.Mean <= 0 {
+			b.Fatalf("mean = %v", s.Mean)
+		}
+	}
+}
+
+func BenchmarkEstimateParallel(b *testing.B)   { benchEstimate(b, sim.Estimate) }
+func BenchmarkEstimateSequential(b *testing.B) { benchEstimate(b, sim.EstimateSeq) }
+
+// BenchmarkBruteForceAvailability{Mask,Coloring} compare the exhaustive
+// F_p enumerations: word masks with a per-red-count probability table vs
+// per-coloring bitsets (0.42 vs 21.5 ms/op on Maj(17), ~51x at PR 1).
+func BenchmarkBruteForceAvailabilityMask(b *testing.B) {
+	m, _ := systems.NewMaj(17)
+	for i := 0; i < b.N; i++ {
+		if f := availability.BruteForce(m, 0.3); f <= 0 {
+			b.Fatalf("F_p = %v", f)
+		}
+	}
+}
+
+func BenchmarkBruteForceAvailabilityColoring(b *testing.B) {
+	m, _ := systems.NewMaj(17)
+	sys := struct{ quorum.System }{m} // hide the mask methods
+	for i := 0; i < b.N; i++ {
+		if f := availability.BruteForce(sys, 0.3); f <= 0 {
+			b.Fatalf("F_p = %v", f)
+		}
+	}
 }
 
 // BenchmarkExtensionLoadBalance exercises the Naor–Wool load balancer.

@@ -1,0 +1,167 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"runtime"
+	"testing"
+
+	"probequorum/internal/availability"
+	"probequorum/internal/coloring"
+	"probequorum/internal/core"
+	"probequorum/internal/probe"
+	"probequorum/internal/quorum"
+	"probequorum/internal/sim"
+	"probequorum/internal/strategy"
+	"probequorum/internal/systems"
+)
+
+// benchRecord is one machine-readable perf measurement. The op names are
+// stable across PRs; future sessions append their files (BENCH_PR2.json,
+// ...) and diff NsPerOp/AllocsPerOp against this baseline.
+type benchRecord struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// benchFile is the on-disk schema: measurement context plus the records.
+type benchFile struct {
+	GoVersion  string        `json:"go_version"`
+	GOARCH     string        `json:"goarch"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Records    []benchRecord `json:"records"`
+}
+
+// benchOps is the fixed suite of hot-path operations: the word-level
+// witness primitive, the exact DPs on both engines, the parallel and
+// sequential Monte Carlo loops, and the exhaustive availability
+// enumerations. Each op is sized to finish in well under a minute.
+func benchOps() []struct {
+	name string
+	fn   func(b *testing.B)
+} {
+	maj63, _ := systems.NewMaj(63)
+	maj11, _ := systems.NewMaj(11)
+	maj9, _ := systems.NewMaj(9)
+	maj17, _ := systems.NewMaj(17)
+	maj101, _ := systems.NewMaj(101)
+	tri4, _ := systems.NewTriang(4)
+	maj17NoMask := struct{ quorum.System }{maj17}
+
+	return []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"witness/mask-word/Maj63", func(b *testing.B) {
+			hits := 0
+			for i := 0; i < b.N; i++ {
+				if maj63.ContainsQuorumMask(uint64(i) * 0x9E3779B97F4A7C15 >> 1) {
+					hits++
+				}
+			}
+			_ = hits
+		}},
+		{"witness/bitset/Maj63", func(b *testing.B) {
+			hits := 0
+			for i := 0; i < b.N; i++ {
+				if maj63.ContainsQuorum(quorum.SetOfMask(63, uint64(i)*0x9E3779B97F4A7C15>>1)) {
+					hits++
+				}
+			}
+			_ = hits
+		}},
+		{"strategy/OptimalPPC-mask/Maj11", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := strategy.OptimalPPC(maj11, 0.5); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"strategy/OptimalPPC-legacy/Maj11", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := strategy.LegacyOptimalPPC(maj11, 0.5); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"strategy/OptimalPPC-mask/Triang4", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := strategy.OptimalPPC(tri4, 0.5); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"strategy/OptimalPC-mask/Maj9", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := strategy.OptimalPC(maj9); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"sim/Estimate-parallel/ProbeMaj101x2000", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sim.Estimate(2000, 17, func(rng *rand.Rand) float64 {
+					o := probe.NewOracle(coloring.IID(maj101.Size(), 0.5, rng))
+					core.ProbeMaj(maj101, o)
+					return float64(o.Probes())
+				})
+			}
+		}},
+		{"sim/Estimate-sequential/ProbeMaj101x2000", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sim.EstimateSeq(2000, 17, func(rng *rand.Rand) float64 {
+					o := probe.NewOracle(coloring.IID(maj101.Size(), 0.5, rng))
+					core.ProbeMaj(maj101, o)
+					return float64(o.Probes())
+				})
+			}
+		}},
+		{"availability/BruteForce-mask/Maj17", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				availability.BruteForce(maj17, 0.3)
+			}
+		}},
+		{"availability/BruteForce-coloring/Maj17", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				availability.BruteForce(maj17NoMask, 0.3)
+			}
+		}},
+	}
+}
+
+// writeBenchJSON times every op with the standard benchmark harness and
+// writes the records.
+func writeBenchJSON(path string) error {
+	ops := benchOps()
+	out := benchFile{
+		GoVersion:  runtime.Version(),
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	for _, op := range ops {
+		fmt.Fprintf(os.Stderr, "bench %-45s ", op.name)
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			op.fn(b)
+		})
+		rec := benchRecord{
+			Name:        op.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		fmt.Fprintf(os.Stderr, "%12.1f ns/op  %6d allocs/op\n", rec.NsPerOp, rec.AllocsPerOp)
+		out.Records = append(out.Records, rec)
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

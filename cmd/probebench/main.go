@@ -2,9 +2,14 @@
 // evaluation: it runs the experiment drivers and prints paper-vs-measured
 // rows. With no flags it runs everything (about 5 seconds).
 //
+// With -benchjson FILE it instead times the hot-path operations of the
+// measurement stack and writes one machine-readable JSON record per op
+// (name, ns/op, bytes/op, allocs/op), so successive PRs can diff the perf
+// trajectory; BENCH_PR1.json at the repository root is the PR 1 baseline.
+//
 // Usage:
 //
-//	probebench [-list] [-run ID[,ID...]] [-t]
+//	probebench [-list] [-run ID[,ID...]] [-t] [-benchjson FILE]
 package main
 
 import (
@@ -25,7 +30,16 @@ func run() int {
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	only := flag.String("run", "", "comma-separated experiment IDs to run (default: all)")
 	timing := flag.Bool("t", false, "print per-experiment wall time")
+	benchJSON := flag.String("benchjson", "", "time the hot-path ops and write the JSON records to this file, then exit")
 	flag.Parse()
+
+	if *benchJSON != "" {
+		if err := writeBenchJSON(*benchJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "probebench: %v\n", err)
+			return 1
+		}
+		return 0
+	}
 
 	if *list {
 		for _, f := range experiments.Registry() {

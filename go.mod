@@ -1,0 +1,3 @@
+module probequorum
+
+go 1.24

@@ -11,6 +11,7 @@ package availability
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"math/rand/v2"
 
 	"probequorum/internal/coloring"
@@ -165,8 +166,11 @@ func Vote(weights []int, p float64) float64 {
 	return clampProb(fail)
 }
 
-// BruteForce returns F_p(S) by exhaustive enumeration of all 2^n
-// colorings. It panics for n > 24.
+// BruteForce returns F_p(S) by exhaustive enumeration of all 2^n failure
+// patterns. Systems with a native mask path (all built-in constructions)
+// are enumerated as word masks — no per-coloring bitsets — with the
+// pattern probability looked up by red count; other systems fall back to
+// coloring enumeration. It panics for n > 24.
 func BruteForce(sys quorum.System, p float64) float64 {
 	checkP(p)
 	n := sys.Size()
@@ -174,6 +178,16 @@ func BruteForce(sys quorum.System, p float64) float64 {
 		panic(fmt.Sprintf("availability: BruteForce limited to n <= 24, got %d", n))
 	}
 	total := 0.0
+	if ms, ok := sys.(quorum.MaskSystem); ok {
+		probOfReds := redCountProbs(n, p)
+		full := quorum.FullMask(n)
+		for reds := uint64(0); reds <= full; reds++ {
+			if !ms.ContainsQuorumMask(full &^ reds) {
+				total += probOfReds[bits.OnesCount64(reds)]
+			}
+		}
+		return clampProb(total)
+	}
 	coloring.All(n, func(col *coloring.Coloring) bool {
 		if !sys.ContainsQuorum(col.GreenSet()) {
 			total += col.Probability(p)
@@ -183,7 +197,28 @@ func BruteForce(sys quorum.System, p float64) float64 {
 	return clampProb(total)
 }
 
-// MonteCarlo estimates F_p(S) from the given number of IID trials.
+// redCountProbs returns the IID(p) probability of each fixed coloring with
+// r red elements, for r = 0..n, multiplied in the same order as
+// coloring.Probability so mask enumeration reproduces its sums exactly.
+func redCountProbs(n int, p float64) []float64 {
+	out := make([]float64, n+1)
+	for r := 0; r <= n; r++ {
+		prob := 1.0
+		for i := 0; i < r; i++ {
+			prob *= p
+		}
+		for i := 0; i < n-r; i++ {
+			prob *= 1 - p
+		}
+		out[r] = prob
+	}
+	return out
+}
+
+// MonteCarlo estimates F_p(S) from the given number of IID trials. For
+// mask-native systems each trial draws a word mask directly — consuming
+// the same PRNG stream as coloring.IID, so estimates are unchanged — and
+// performs no allocation.
 func MonteCarlo(sys quorum.System, p float64, trials int, rng *rand.Rand) float64 {
 	checkP(p)
 	if trials <= 0 {
@@ -191,6 +226,21 @@ func MonteCarlo(sys quorum.System, p float64, trials int, rng *rand.Rand) float6
 	}
 	n := sys.Size()
 	fails := 0
+	if ms, ok := sys.(quorum.MaskSystem); ok && n <= quorum.MaskWords {
+		full := quorum.FullMask(n)
+		for i := 0; i < trials; i++ {
+			var reds uint64
+			for e := 0; e < n; e++ {
+				if rng.Float64() < p {
+					reds |= 1 << uint(e)
+				}
+			}
+			if !ms.ContainsQuorumMask(full &^ reds) {
+				fails++
+			}
+		}
+		return float64(fails) / float64(trials)
+	}
 	for i := 0; i < trials; i++ {
 		col := coloring.IID(n, p, rng)
 		if !sys.ContainsQuorum(col.GreenSet()) {

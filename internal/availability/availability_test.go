@@ -175,3 +175,40 @@ func TestOfDispatch(t *testing.T) {
 		t.Errorf("explicit Of = %v, want %v", got, want)
 	}
 }
+
+// hideMask strips the mask methods off a system, forcing the per-coloring
+// fallback paths of BruteForce and MonteCarlo.
+type hideMask struct{ quorum.System }
+
+// The mask enumeration of BruteForce must reproduce the per-coloring
+// fallback exactly — same patterns, same probability arithmetic, same
+// summation order.
+func TestBruteForceMaskMatchesColoringFallback(t *testing.T) {
+	maj, _ := systems.NewMaj(9)
+	wheel, _ := systems.NewWheel(7)
+	cw, _ := systems.NewCW([]int{1, 2, 3, 2})
+	tree, _ := systems.NewTree(2)
+	vote, _ := systems.NewVote([]int{3, 2, 1, 1, 1, 1})
+	for _, sys := range []quorum.System{maj, wheel, cw, tree, vote} {
+		t.Run(sys.Name(), func(t *testing.T) {
+			for _, p := range []float64{0, 0.15, 0.5, 0.85, 1} {
+				mask := BruteForce(sys, p)
+				fallback := BruteForce(hideMask{sys}, p)
+				if mask != fallback {
+					t.Errorf("p=%v: mask %v != fallback %v", p, mask, fallback)
+				}
+			}
+		})
+	}
+}
+
+// The allocation-free mask path of MonteCarlo consumes the same PRNG
+// stream as the coloring path, so fixed seeds give identical estimates.
+func TestMonteCarloMaskMatchesColoringFallback(t *testing.T) {
+	hqs, _ := systems.NewHQS(2)
+	got := MonteCarlo(hqs, 0.4, 3000, rand.New(rand.NewPCG(5, 9)))
+	want := MonteCarlo(hideMask{hqs}, 0.4, 3000, rand.New(rand.NewPCG(5, 9)))
+	if got != want {
+		t.Errorf("mask MC %v != coloring MC %v", got, want)
+	}
+}

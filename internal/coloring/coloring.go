@@ -158,16 +158,24 @@ func Parse(s string) (*Coloring, error) {
 // IID returns a coloring where each element is independently red with
 // probability p (the paper's probabilistic model).
 func IID(n int, p float64, rng *rand.Rand) *Coloring {
+	c := New(n)
+	IIDInto(c, p, rng)
+	return c
+}
+
+// IIDInto redraws c in place under the IID(p) model, consuming exactly the
+// same PRNG stream as IID (one Float64 per element). It lets hot trial
+// loops reuse one coloring buffer instead of allocating per trial.
+func IIDInto(c *Coloring, p float64, rng *rand.Rand) {
 	if p < 0 || p > 1 {
 		panic(fmt.Sprintf("coloring: probability %v out of [0,1]", p))
 	}
-	c := New(n)
-	for e := 0; e < n; e++ {
+	c.reds.Clear()
+	for e := 0; e < c.n; e++ {
 		if rng.Float64() < p {
 			c.reds.Add(e)
 		}
 	}
-	return c
 }
 
 // FixedWeight returns a uniformly random coloring with exactly r red

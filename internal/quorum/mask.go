@@ -1,0 +1,220 @@
+package quorum
+
+import (
+	"fmt"
+	"math/bits"
+
+	"probequorum/internal/bitset"
+)
+
+// MaskWords is the number of elements a single machine word can index: the
+// mask-native fast path is available exactly when the universe fits one
+// uint64.
+const MaskWords = 64
+
+// MaskSystem is the word-level capability of a quorum system over a
+// universe of at most 64 elements: element e is bit e of a uint64, so that
+// superset tests against a precomputed quorum mask q reduce to
+// mask&q == q with zero allocation.
+//
+// ContainsQuorumMask must agree with ContainsQuorum on the indicator set of
+// the mask, and like it must be monotone. QuorumMasks must enumerate
+// exactly the minimal quorums of Quorums, as word masks; it shares the
+// feasibility limits of Quorums (the count may be exponential).
+//
+// All built-in constructions implement MaskSystem natively; Masked adapts
+// any other System by caching its enumerated quorums.
+type MaskSystem interface {
+	System
+
+	// ContainsQuorumMask reports whether the indicator set of mask contains
+	// a quorum. Only bits [0, Size()) may be set.
+	ContainsQuorumMask(mask uint64) bool
+
+	// QuorumMasks returns the minimal quorums as word masks.
+	QuorumMasks() []uint64
+}
+
+// FullMask returns the word mask of an entire n-element universe,
+// handling n = MaskWords without shift overflow. It panics if n is out of
+// [0, MaskWords].
+func FullMask(n int) uint64 {
+	if n < 0 || n > MaskWords {
+		panic(fmt.Sprintf("quorum: FullMask requires 0 <= n <= %d, got %d", MaskWords, n))
+	}
+	if n == MaskWords {
+		return ^uint64(0)
+	}
+	return uint64(1)<<uint(n) - 1
+}
+
+// MaskOf packs a set into a word mask. It panics if the set's universe
+// exceeds MaskWords elements.
+func MaskOf(s *bitset.Set) uint64 {
+	if s.Len() > MaskWords {
+		panic(fmt.Sprintf("quorum: MaskOf requires n <= %d, got %d", MaskWords, s.Len()))
+	}
+	if s.Len() == 0 {
+		return 0
+	}
+	return s.Word(0)
+}
+
+// SetOfMask unpacks a word mask into a fresh set over an n-element
+// universe. It panics if n exceeds MaskWords or the mask has bits at or
+// above n.
+func SetOfMask(n int, mask uint64) *bitset.Set {
+	if n > MaskWords {
+		panic(fmt.Sprintf("quorum: SetOfMask requires n <= %d, got %d", MaskWords, n))
+	}
+	if n < MaskWords && mask>>uint(n) != 0 {
+		panic(fmt.Sprintf("quorum: mask %#x has bits above universe size %d", mask, n))
+	}
+	s := bitset.New(n)
+	for m := mask; m != 0; m &= m - 1 {
+		s.Add(bits.TrailingZeros64(m))
+	}
+	return s
+}
+
+// MasksOf packs a family of sets into word masks.
+func MasksOf(sets []*bitset.Set) []uint64 {
+	out := make([]uint64, len(sets))
+	for i, s := range sets {
+		out[i] = MaskOf(s)
+	}
+	return out
+}
+
+// Masked returns a word-level view of sys. Systems that implement
+// MaskSystem natively (all built-in constructions) are returned as-is;
+// any other system is wrapped in an adapter that enumerates and caches its
+// minimal quorum masks once, so that every later superset test is a scan
+// of mask&q == q word comparisons. It fails for universes above MaskWords
+// elements.
+func Masked(sys System) (MaskSystem, error) {
+	if sys.Size() > MaskWords {
+		return nil, fmt.Errorf("quorum: mask engine requires n <= %d, got %d", MaskWords, sys.Size())
+	}
+	if ms, ok := sys.(MaskSystem); ok {
+		return ms, nil
+	}
+	return &maskAdapter{System: sys, masks: MasksOf(sys.Quorums())}, nil
+}
+
+// maskAdapter is the cached-enumeration MaskSystem for arbitrary systems.
+type maskAdapter struct {
+	System
+	masks []uint64
+}
+
+func (a *maskAdapter) ContainsQuorumMask(mask uint64) bool {
+	for _, q := range a.masks {
+		if mask&q == q {
+			return true
+		}
+	}
+	return false
+}
+
+func (a *maskAdapter) QuorumMasks() []uint64 {
+	out := make([]uint64, len(a.masks))
+	copy(out, a.masks)
+	return out
+}
+
+func (a *maskAdapter) cachedQuorumMasks() []uint64 { return a.masks }
+
+// enumBacked marks mask systems whose ContainsQuorumMask is a linear scan
+// over a cached quorum-mask list. For those, building a witness table by
+// per-mask evaluation would cost Θ(2^n · |Q|); seeding the table with the
+// cached masks and closing upward is exact and far cheaper.
+type enumBacked interface {
+	cachedQuorumMasks() []uint64
+}
+
+// MaxTableUniverse bounds the universe size accepted by BuildWitnessTable
+// (the table holds 2^n bits).
+const MaxTableUniverse = 26
+
+// WitnessTable is the characteristic monotone boolean function of a system
+// evaluated densely over all 2^n element subsets: bit m of the table is
+// ContainsQuorum of the indicator set of m. It turns the witness predicate
+// of the exact dynamic programs into a single word-indexed bit test.
+type WitnessTable struct {
+	n    int
+	bits []uint64
+}
+
+// BuildWitnessTable evaluates the system's characteristic function on
+// every subset of the universe. Structural MaskSystems evaluate the 2^n
+// masks directly; enumeration-backed ones (Explicit, the Masked adapter)
+// and plain Systems instead seed the table with their minimal quorum
+// masks, and a word-level upward (superset) closure completes it in
+// O(n 2^n / 64) word operations. It fails for n > MaxTableUniverse.
+func BuildWitnessTable(sys System) (*WitnessTable, error) {
+	n := sys.Size()
+	if n > MaxTableUniverse {
+		return nil, fmt.Errorf("quorum: witness table limited to n <= %d, got %d", MaxTableUniverse, n)
+	}
+	words := 1
+	if n >= 6 {
+		words = 1 << uint(n-6)
+	}
+	t := &WitnessTable{n: n, bits: make([]uint64, words)}
+	var seeds []uint64
+	switch ms := sys.(type) {
+	case enumBacked:
+		seeds = ms.cachedQuorumMasks()
+	case MaskSystem:
+		limit := uint64(1) << uint(n)
+		for m := uint64(0); m < limit; m++ {
+			if ms.ContainsQuorumMask(m) {
+				t.bits[m>>6] |= 1 << (m & 63)
+			}
+		}
+		return t, nil
+	default:
+		seeds = MasksOf(sys.Quorums())
+	}
+	for _, q := range seeds {
+		t.bits[q>>6] |= 1 << (q & 63)
+	}
+	t.upwardClosure()
+	return t, nil
+}
+
+// upwardClosure ORs every subset's bit into all of its supersets: after the
+// pass, bit m is set iff some seeded mask is a subset of m. Element bits
+// below 6 move inside each word with shift-and-mask steps; higher element
+// bits pair whole words.
+func (t *WitnessTable) upwardClosure() {
+	// In-word steps: element e < 6 separates each word into 2^e-bit lanes.
+	lane := [6]uint64{
+		0x5555555555555555, 0x3333333333333333, 0x0F0F0F0F0F0F0F0F,
+		0x00FF00FF00FF00FF, 0x0000FFFF0000FFFF, 0x00000000FFFFFFFF,
+	}
+	for e := 0; e < t.n && e < 6; e++ {
+		shift := uint(1) << uint(e)
+		for i, w := range t.bits {
+			t.bits[i] = w | (w&lane[e])<<shift
+		}
+	}
+	// Word-pair steps: element e >= 6 pairs word i with word i | 1<<(e-6).
+	for e := 6; e < t.n; e++ {
+		stride := 1 << uint(e-6)
+		for base := 0; base < len(t.bits); base += 2 * stride {
+			for i := base; i < base+stride; i++ {
+				t.bits[i+stride] |= t.bits[i]
+			}
+		}
+	}
+}
+
+// Size returns the universe size n.
+func (t *WitnessTable) Size() int { return t.n }
+
+// Contains reports whether the indicator set of mask contains a quorum.
+func (t *WitnessTable) Contains(mask uint64) bool {
+	return t.bits[mask>>6]&(1<<(mask&63)) != 0
+}

@@ -25,6 +25,12 @@ import (
 // system (Definition 1 in the paper): it reports whether the given set is a
 // superset of some quorum. Implementations must be monotone: if s ⊆ t and
 // ContainsQuorum(s), then ContainsQuorum(t).
+//
+// Implementations must be safe for concurrent use by multiple goroutines:
+// the measurement stack (sim.Estimate trial loops, the strategy DPs'
+// parallel root expansion) evaluates systems from parallel workers. The
+// built-in constructions are immutable after construction; avoid mutable
+// scratch state in ContainsQuorum and friends.
 type System interface {
 	// Name returns a short human-readable identifier, e.g. "Maj(7)".
 	Name() string
@@ -271,12 +277,14 @@ type Explicit struct {
 	name    string
 	n       int
 	quorums []*bitset.Set
+	masks   []uint64 // word masks of quorums, precomputed when n <= MaskWords
 }
 
 var (
-	_ System = (*Explicit)(nil)
-	_ Finder = (*Explicit)(nil)
-	_ Sized  = (*Explicit)(nil)
+	_ System     = (*Explicit)(nil)
+	_ Finder     = (*Explicit)(nil)
+	_ Sized      = (*Explicit)(nil)
+	_ MaskSystem = (*Explicit)(nil)
 )
 
 // NewExplicit builds an explicit system over n elements with the given
@@ -303,7 +311,11 @@ func NewExplicit(name string, n int, quorums []*bitset.Set) (*Explicit, error) {
 	if !IsAntichain(cp) {
 		return nil, errors.New("quorum: family violates minimality (not a coterie)")
 	}
-	return &Explicit{name: name, n: n, quorums: cp}, nil
+	e := &Explicit{name: name, n: n, quorums: cp}
+	if n <= MaskWords {
+		e.masks = MasksOf(cp)
+	}
+	return e, nil
 }
 
 // Name implements System.
@@ -329,6 +341,39 @@ func (e *Explicit) Quorums() []*bitset.Set {
 		out[i] = q.Clone()
 	}
 	return out
+}
+
+// ContainsQuorumMask implements MaskSystem by scanning the precomputed
+// quorum word masks. It panics for universes above MaskWords elements.
+func (e *Explicit) ContainsQuorumMask(mask uint64) bool {
+	if e.n > MaskWords {
+		panic(fmt.Sprintf("quorum: Explicit mask path requires n <= %d, got %d", MaskWords, e.n))
+	}
+	for _, q := range e.masks {
+		if mask&q == q {
+			return true
+		}
+	}
+	return false
+}
+
+// QuorumMasks implements MaskSystem.
+func (e *Explicit) QuorumMasks() []uint64 {
+	if e.n > MaskWords {
+		panic(fmt.Sprintf("quorum: Explicit mask path requires n <= %d, got %d", MaskWords, e.n))
+	}
+	out := make([]uint64, len(e.masks))
+	copy(out, e.masks)
+	return out
+}
+
+// cachedQuorumMasks marks Explicit as enumeration-backed so witness
+// tables are built by seeding and upward closure rather than 2^n scans.
+func (e *Explicit) cachedQuorumMasks() []uint64 {
+	if e.n > MaskWords {
+		panic(fmt.Sprintf("quorum: Explicit mask path requires n <= %d, got %d", MaskWords, e.n))
+	}
+	return e.masks
 }
 
 // FindQuorumWithin implements Finder.

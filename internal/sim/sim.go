@@ -1,26 +1,114 @@
 // Package sim is the Monte Carlo harness: seeded, reproducible trial
 // loops, parameter sweeps and worst-case-input searches used by the
 // experiment drivers and benchmarks.
+//
+// Trial loops run in parallel across GOMAXPROCS workers with results
+// bit-identical to the sequential loop: every trial derives its own PRNG
+// from (seed, trial index), trial outcomes land in a slice indexed by
+// trial, and the Welford accumulation runs over that slice in trial order.
 package sim
 
 import (
 	"fmt"
 	"math/rand/v2"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"probequorum/internal/coloring"
 	"probequorum/internal/stats"
 )
 
+// parallelMinTrials is the smallest trial count worth spreading across
+// goroutines; below it the handoff costs more than the work.
+const parallelMinTrials = 256
+
+// trialChunk is the number of consecutive trials a worker claims at once.
+const trialChunk = 64
+
 // Estimate runs trials independent evaluations of f, each with its own
-// deterministically derived PRNG, and summarizes the results.
+// deterministically derived PRNG, and summarizes the results. Trials run
+// concurrently, so f must be safe for concurrent invocation (its rng is
+// per-trial; any captured state must be read-only). The summary is
+// bit-identical to EstimateSeq for the same (trials, seed, f).
 func Estimate(trials int, seed uint64, f func(rng *rand.Rand) float64) stats.Summary {
+	return EstimateWith(trials, seed,
+		func() struct{} { return struct{}{} },
+		func(rng *rand.Rand, _ struct{}) float64 { return f(rng) })
+}
+
+// EstimateWith is Estimate with per-worker state: newState runs once per
+// worker and its result is passed to every trial that worker executes, so
+// hot loops can reuse coloring/oracle buffers instead of reallocating
+// them per trial. f must be safe for concurrent invocation across
+// distinct states.
+func EstimateWith[S any](trials int, seed uint64, newState func() S, f func(rng *rand.Rand, state S) float64) stats.Summary {
+	if trials <= 0 {
+		panic(fmt.Sprintf("sim: trials must be positive, got %d", trials))
+	}
+	vals := make([]float64, trials)
+	workers := runtime.GOMAXPROCS(0)
+	if trials < parallelMinTrials || workers <= 1 {
+		state := newState()
+		for i := 0; i < trials; i++ {
+			vals[i] = f(trialRNG(seed, i), state)
+		}
+		return summarize(vals)
+	}
+	if max := (trials + trialChunk - 1) / trialChunk; workers > max {
+		workers = max
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			state := newState()
+			for {
+				start := int(next.Add(trialChunk)) - trialChunk
+				if start >= trials {
+					return
+				}
+				end := start + trialChunk
+				if end > trials {
+					end = trials
+				}
+				for i := start; i < end; i++ {
+					vals[i] = f(trialRNG(seed, i), state)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return summarize(vals)
+}
+
+// EstimateSeq is the single-threaded reference implementation of
+// Estimate, retained for cross-validation and benchmarking.
+func EstimateSeq(trials int, seed uint64, f func(rng *rand.Rand) float64) stats.Summary {
 	if trials <= 0 {
 		panic(fmt.Sprintf("sim: trials must be positive, got %d", trials))
 	}
 	var acc stats.Accumulator
 	for i := 0; i < trials; i++ {
-		rng := rand.New(rand.NewPCG(seed, uint64(i)+1))
-		acc.Add(f(rng))
+		acc.Add(f(trialRNG(seed, i)))
+	}
+	return acc.Summary()
+}
+
+// trialRNG returns the PRNG of trial i: a function of (seed, i) only, so
+// results do not depend on which worker runs the trial.
+func trialRNG(seed uint64, i int) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, uint64(i)+1))
+}
+
+// summarize accumulates the trial values in trial order, reproducing the
+// sequential loop's floating-point operation order exactly.
+func summarize(vals []float64) stats.Summary {
+	var acc stats.Accumulator
+	for _, v := range vals {
+		acc.Add(v)
 	}
 	return acc.Summary()
 }

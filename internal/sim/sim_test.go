@@ -3,6 +3,8 @@ package sim
 import (
 	"math"
 	"math/rand/v2"
+	"runtime"
+	"sync/atomic"
 	"testing"
 
 	"probequorum/internal/coloring"
@@ -22,6 +24,69 @@ func TestEstimateDeterministicReproducibility(t *testing.T) {
 	// Uniform mean near 1/2.
 	if math.Abs(a.Mean-0.5) > 0.05 {
 		t.Errorf("uniform mean = %v", a.Mean)
+	}
+}
+
+// The parallel Estimate must reproduce the sequential reference loop
+// bit-for-bit: every Summary field exactly equal, for trial counts on
+// both sides of the parallel threshold.
+func TestEstimateParallelBitIdentical(t *testing.T) {
+	old := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(old)
+	f := func(rng *rand.Rand) float64 {
+		// A skewed, rng-heavy payload so accumulation order would show.
+		v := 0.0
+		for i := 0; i < 7; i++ {
+			v += math.Exp(rng.Float64()) / 3
+		}
+		return v
+	}
+	for _, trials := range []int{1, 100, parallelMinTrials, 5000} {
+		for _, seed := range []uint64{1, 42, 1 << 40} {
+			par := Estimate(trials, seed, f)
+			seq := EstimateSeq(trials, seed, f)
+			if par != seq {
+				t.Errorf("trials=%d seed=%d: parallel %+v != sequential %+v", trials, seed, par, seq)
+			}
+		}
+	}
+}
+
+// EstimateWith must give every worker its own state and still reproduce
+// the stateless loop exactly.
+func TestEstimateWithReusesStatePerWorker(t *testing.T) {
+	old := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(old)
+	trials := 4000
+	var states atomic.Int64
+	got := EstimateWith(trials, 7,
+		func() *[]float64 {
+			states.Add(1)
+			buf := make([]float64, 8)
+			return &buf
+		},
+		func(rng *rand.Rand, buf *[]float64) float64 {
+			// Reuse the buffer as scratch; its prior contents must not
+			// matter for a correct trial function.
+			total := 0.0
+			for i := range *buf {
+				(*buf)[i] = rng.Float64()
+				total += (*buf)[i]
+			}
+			return total
+		})
+	want := EstimateSeq(trials, 7, func(rng *rand.Rand) float64 {
+		total := 0.0
+		for i := 0; i < 8; i++ {
+			total += rng.Float64()
+		}
+		return total
+	})
+	if got != want {
+		t.Errorf("EstimateWith %+v != sequential %+v", got, want)
+	}
+	if n := states.Load(); n < 1 || n > 64 {
+		t.Errorf("newState ran %d times, want one per worker", n)
 	}
 }
 

@@ -1,0 +1,187 @@
+package strategy
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"probequorum/internal/coloring"
+	"probequorum/internal/quorum"
+	"probequorum/internal/systems"
+)
+
+// goldenFixtures returns one n <= 9 instance per construction family for
+// cross-validating the mask-native engine against the legacy map-based
+// dynamic programs.
+func goldenFixtures(t *testing.T) []quorum.System {
+	t.Helper()
+	maj, err := systems.NewMaj(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wheel, err := systems.NewWheel(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cw, err := systems.NewCW([]int{1, 3, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := systems.NewTree(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hqs, err := systems.NewHQS(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vote, err := systems.NewVote([]int{4, 2, 2, 1, 1, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []quorum.System{maj, wheel, cw, tree, hqs, vote}
+}
+
+// The mask-native OptimalPC must reproduce the legacy DP exactly.
+func TestGoldenOptimalPCMatchesLegacy(t *testing.T) {
+	for _, sys := range goldenFixtures(t) {
+		t.Run(sys.Name(), func(t *testing.T) {
+			got, err := OptimalPC(sys)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := LegacyOptimalPC(sys)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Errorf("OptimalPC = %d, legacy = %d", got, want)
+			}
+		})
+	}
+}
+
+// The mask-native OptimalPPC must match the legacy DP to within 1e-12 at
+// several failure probabilities (in the dense float64 regime the two
+// compute the identical floating-point expression, so the tolerance has
+// plenty of slack).
+func TestGoldenOptimalPPCMatchesLegacy(t *testing.T) {
+	for _, sys := range goldenFixtures(t) {
+		t.Run(sys.Name(), func(t *testing.T) {
+			for _, p := range []float64{0.2, 0.5, 0.7} {
+				got, err := OptimalPPC(sys, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := LegacyOptimalPPC(sys, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if math.Abs(got-want) > 1e-12 {
+					t.Errorf("p=%v: OptimalPPC = %.15f, legacy = %.15f", p, got, want)
+				}
+			}
+		})
+	}
+}
+
+// The mask-native YaoBound must match the legacy DP to within 1e-12 under
+// a nontrivial fixed-weight distribution.
+func TestGoldenYaoBoundMatchesLegacy(t *testing.T) {
+	for _, sys := range goldenFixtures(t) {
+		t.Run(sys.Name(), func(t *testing.T) {
+			r := quorum.MinQuorumSize(sys)
+			dist := coloring.UniformOverWeight(sys.Size(), r)
+			got, err := YaoBound(sys, dist)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := LegacyYaoBound(sys, dist)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-want) > 1e-12 {
+				t.Errorf("YaoBound = %.15f, legacy = %.15f", got, want)
+			}
+		})
+	}
+}
+
+// The parallel root expansion must be invisible in the results: the same
+// computation under GOMAXPROCS 1 and 8 returns bit-identical values.
+// Triang(4) has n = 10 >= parallelRootMin, so the expansion really runs.
+func TestParallelRootExpansionDeterministic(t *testing.T) {
+	tri, err := systems.NewTriang(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tri.Size() < parallelRootMin {
+		t.Fatalf("fixture too small to exercise parallel expansion: n=%d", tri.Size())
+	}
+	old := runtime.GOMAXPROCS(1)
+	seq, err := OptimalPPC(tri, 0.4)
+	runtime.GOMAXPROCS(8)
+	par, err2 := OptimalPPC(tri, 0.4)
+	parPC, err3 := OptimalPC(tri)
+	runtime.GOMAXPROCS(1)
+	seqPC, err4 := OptimalPC(tri)
+	runtime.GOMAXPROCS(old)
+	for _, e := range []error{err, err2, err3, err4} {
+		if e != nil {
+			t.Fatal(e)
+		}
+	}
+	if seq != par {
+		t.Errorf("OptimalPPC differs across GOMAXPROCS: %.17g vs %.17g", seq, par)
+	}
+	if seqPC != parPC {
+		t.Errorf("OptimalPC differs across GOMAXPROCS: %d vs %d", seqPC, parPC)
+	}
+}
+
+// BuildOptimalPPC must survive the float32 memo regime (n = 17-18): the
+// rounded target needs a matching acceptance window or no element ever
+// attains it. Forcing the float32 path on a small universe reproduces the
+// regime in milliseconds.
+func TestBuildOptimalPPCFloat32Memo(t *testing.T) {
+	old := maxFloat64States
+	maxFloat64States = 1
+	defer func() { maxFloat64States = old }()
+	m, err := systems.NewMaj(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []float64{0.3, 0.5} {
+		tree, err := BuildOptimalPPC(m, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Validate(m, tree); err != nil {
+			t.Fatalf("p=%v: %v", p, err)
+		}
+		want, err := LegacyOptimalPPC(m, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := tree.ExpectedDepth(p); math.Abs(got-want) > 1e-5 {
+			t.Errorf("p=%v: float32-memo tree expected depth %.9f, optimum %.9f", p, got, want)
+		}
+	}
+}
+
+// The raised MaxUniverse still guards: 3^19 states are out of reach.
+func TestMaxUniverseIs18(t *testing.T) {
+	if MaxUniverse != 18 {
+		t.Fatalf("MaxUniverse = %d, want 18", MaxUniverse)
+	}
+	big, err := systems.NewMaj(19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OptimalPC(big); err == nil {
+		t.Error("OptimalPC accepted n = 19")
+	}
+	if _, err := OptimalPPC(big, 0.5); err == nil {
+		t.Error("OptimalPPC accepted n = 19")
+	}
+}

@@ -1,0 +1,208 @@
+package strategy
+
+// The pre-engine dynamic programs: one map[state] memo per call, a
+// heap-allocated bitset rebuild plus a generic ContainsQuorum walk per
+// witness check. They are retained verbatim as the reference
+// implementations the mask-native engine is cross-validated against
+// (golden equivalence tests) and benchmarked against (bench_test.go); new
+// callers should use OptimalPC, OptimalPPC and YaoBound.
+
+import (
+	"fmt"
+
+	"probequorum/internal/bitset"
+	"probequorum/internal/coloring"
+	"probequorum/internal/quorum"
+)
+
+// LegacyMaxUniverse is the universe bound of the legacy dynamic programs,
+// kept at its historical value.
+const LegacyMaxUniverse = 16
+
+// state is a compact knowledge state for universes up to 64 elements.
+type state struct {
+	greens, reds uint64
+}
+
+// dp carries the memoized evaluation context of the legacy programs.
+type dp struct {
+	sys quorum.System
+	n   int
+	buf *bitset.Set
+}
+
+func newDP(sys quorum.System) (*dp, error) {
+	n := sys.Size()
+	if n > LegacyMaxUniverse {
+		return nil, fmt.Errorf("strategy: legacy exact DP limited to n <= %d, got %d", LegacyMaxUniverse, n)
+	}
+	return &dp{sys: sys, n: n, buf: bitset.New(n)}, nil
+}
+
+// holdsWitness reports whether the mask's elements contain a quorum by
+// rebuilding a bitset and walking the system's characteristic function.
+func (d *dp) holdsWitness(mask uint64) bool {
+	d.buf.Clear()
+	for e := 0; e < d.n; e++ {
+		if mask&(1<<uint(e)) != 0 {
+			d.buf.Add(e)
+		}
+	}
+	return d.sys.ContainsQuorum(d.buf)
+}
+
+// LegacyOptimalPC is the map-based reference implementation of OptimalPC.
+func LegacyOptimalPC(sys quorum.System) (int, error) {
+	d, err := newDP(sys)
+	if err != nil {
+		return 0, err
+	}
+	memo := make(map[state]int)
+	var value func(s state) int
+	value = func(s state) int {
+		if d.holdsWitness(s.greens) || d.holdsWitness(s.reds) {
+			return 0
+		}
+		if v, ok := memo[s]; ok {
+			return v
+		}
+		probed := s.greens | s.reds
+		best := d.n + 1
+		for e := 0; e < d.n; e++ {
+			bit := uint64(1) << uint(e)
+			if probed&bit != 0 {
+				continue
+			}
+			g := value(state{s.greens | bit, s.reds})
+			r := value(state{s.greens, s.reds | bit})
+			worst := g
+			if r > worst {
+				worst = r
+			}
+			if worst+1 < best {
+				best = worst + 1
+			}
+		}
+		memo[s] = best
+		return best
+	}
+	return value(state{}), nil
+}
+
+// LegacyOptimalPPC is the map-based reference implementation of
+// OptimalPPC.
+func LegacyOptimalPPC(sys quorum.System, p float64) (float64, error) {
+	if p < 0 || p > 1 {
+		return 0, fmt.Errorf("strategy: probability %v out of [0,1]", p)
+	}
+	d, err := newDP(sys)
+	if err != nil {
+		return 0, err
+	}
+	q := 1 - p
+	memo := make(map[state]float64)
+	var value func(s state) float64
+	value = func(s state) float64 {
+		if d.holdsWitness(s.greens) || d.holdsWitness(s.reds) {
+			return 0
+		}
+		if v, ok := memo[s]; ok {
+			return v
+		}
+		probed := s.greens | s.reds
+		best := float64(d.n + 1)
+		for e := 0; e < d.n; e++ {
+			bit := uint64(1) << uint(e)
+			if probed&bit != 0 {
+				continue
+			}
+			v := 1 + q*value(state{s.greens | bit, s.reds}) + p*value(state{s.greens, s.reds | bit})
+			if v < best {
+				best = v
+			}
+		}
+		memo[s] = best
+		return best
+	}
+	return value(state{}), nil
+}
+
+// LegacyYaoBound is the map-based reference implementation of YaoBound.
+func LegacyYaoBound(sys quorum.System, dist []coloring.Weighted) (float64, error) {
+	d, err := newDP(sys)
+	if err != nil {
+		return 0, err
+	}
+	if len(dist) == 0 {
+		return 0, fmt.Errorf("strategy: empty distribution")
+	}
+	// Precompute red masks of the support.
+	type item struct {
+		reds   uint64
+		weight float64
+	}
+	items := make([]item, len(dist))
+	total := 0.0
+	for i, w := range dist {
+		if w.Coloring.Size() != d.n {
+			return 0, fmt.Errorf("strategy: distribution coloring %d has size %d, want %d", i, w.Coloring.Size(), d.n)
+		}
+		var mask uint64
+		for e := 0; e < d.n; e++ {
+			if w.Coloring.IsRed(e) {
+				mask |= 1 << uint(e)
+			}
+		}
+		items[i] = item{reds: mask, weight: w.Weight}
+		total += w.Weight
+	}
+	if total <= 0 {
+		return 0, fmt.Errorf("strategy: distribution has zero total weight")
+	}
+	for i := range items {
+		items[i].weight /= total
+	}
+
+	memo := make(map[state]float64)
+	var value func(s state, support []item, mass float64) float64
+	value = func(s state, support []item, mass float64) float64 {
+		if d.holdsWitness(s.greens) || d.holdsWitness(s.reds) {
+			return 0
+		}
+		if v, ok := memo[s]; ok {
+			return v
+		}
+		probed := s.greens | s.reds
+		best := float64(d.n + 1)
+		for e := 0; e < d.n; e++ {
+			bit := uint64(1) << uint(e)
+			if probed&bit != 0 {
+				continue
+			}
+			var greenItems, redItems []item
+			var greenMass, redMass float64
+			for _, it := range support {
+				if it.reds&bit != 0 {
+					redItems = append(redItems, it)
+					redMass += it.weight
+				} else {
+					greenItems = append(greenItems, it)
+					greenMass += it.weight
+				}
+			}
+			v := 1.0
+			if greenMass > 0 {
+				v += greenMass / mass * value(state{s.greens | bit, s.reds}, greenItems, greenMass)
+			}
+			if redMass > 0 {
+				v += redMass / mass * value(state{s.greens, s.reds | bit}, redItems, redMass)
+			}
+			if v < best {
+				best = v
+			}
+		}
+		memo[s] = best
+		return best
+	}
+	return value(state{}, items, 1.0), nil
+}

@@ -17,128 +17,278 @@
 // All computations are exponential in n and guarded for small universes;
 // they exist to reproduce the paper's exact results (Fig. 4, Lemma 2.2,
 // Theorems 3.9, 4.2, 4.6, 4.8) on verifiable instances.
+//
+// The dynamic programs run on the mask-native engine: knowledge states are
+// uint64 element masks, the witness predicate is a precomputed 2^n-bit
+// table (quorum.WitnessTable) so every "does this side hold a quorum?"
+// check is one word-indexed bit test, and the memo is a dense
+// base-3-indexed slice filled by parallel root-level branch expansion.
+// The pre-engine map-based dynamic programs are retained in legacy.go as
+// reference implementations for cross-validation and benchmarking.
 package strategy
 
 import (
 	"fmt"
+	"math"
+	"math/bits"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
-	"probequorum/internal/bitset"
 	"probequorum/internal/coloring"
 	"probequorum/internal/quorum"
 )
 
 // MaxUniverse bounds the universe size accepted by the exact dynamic
-// programs (the state space is 3^n).
-const MaxUniverse = 16
+// programs (the state space is 3^n). The mask-native engine raised it from
+// the legacy bound of 16: the memo is always a dense base-3-indexed slice,
+// whose 3^18 * 4 bytes ~ 1.5 GiB worst case replaces the multi-gigabyte,
+// pointer-chasing map the legacy programs would need at this size.
+const MaxUniverse = 18
 
-// state is a compact knowledge state for universes up to 64 elements.
-type state struct {
-	greens, reds uint64
+// maxFloat64States bounds the full-precision PPC memo: universes with 3^n
+// at most this many states (n <= 16) memoize float64 values; n = 17 and 18
+// drop to float32 cells (~1e-7 relative error against exponentially more
+// memory), which is far below any tolerance used at those sizes. It is a
+// variable only so tests can force the float32 path on small universes.
+var maxFloat64States = uint64(1) << 26
+
+// parallelRootMin is the smallest universe for which the root-level branch
+// expansion is spread across goroutines; below it the whole DP is cheaper
+// than the goroutine handoff.
+const parallelRootMin = 10
+
+// engine carries the shared mask-native evaluation context: the universe,
+// the dense witness predicate and the base-3 place values of each element.
+type engine struct {
+	n       int
+	full    uint64 // mask of the whole universe
+	witness *quorum.WitnessTable
+	pow3    [MaxUniverse]uint64 // pow3[e] = 3^e, the base-3 place value of element e
 }
 
-// dp carries the memoized evaluation context.
-type dp struct {
-	sys quorum.System
-	n   int
-	buf *bitset.Set
-}
-
-func newDP(sys quorum.System) (*dp, error) {
+func newEngine(sys quorum.System) (*engine, error) {
 	n := sys.Size()
 	if n > MaxUniverse {
 		return nil, fmt.Errorf("strategy: exact DP limited to n <= %d, got %d", MaxUniverse, n)
 	}
-	return &dp{sys: sys, n: n, buf: bitset.New(n)}, nil
-}
-
-// holdsWitness reports whether the mask's elements contain a quorum.
-func (d *dp) holdsWitness(mask uint64) bool {
-	d.buf.Clear()
-	for e := 0; e < d.n; e++ {
-		if mask&(1<<uint(e)) != 0 {
-			d.buf.Add(e)
-		}
-	}
-	return d.sys.ContainsQuorum(d.buf)
-}
-
-// OptimalPC returns the deterministic worst-case probe complexity PC(S):
-// the depth of the best probe strategy tree. By Lemma 2.2, Maj, Wheel, CW
-// and Tree are evasive (PC = n).
-func OptimalPC(sys quorum.System) (int, error) {
-	d, err := newDP(sys)
+	table, err := quorum.BuildWitnessTable(sys)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
-	memo := make(map[state]int)
-	var value func(s state) int
-	value = func(s state) int {
-		if d.holdsWitness(s.greens) || d.holdsWitness(s.reds) {
-			return 0
-		}
-		if v, ok := memo[s]; ok {
-			return v
-		}
-		probed := s.greens | s.reds
-		best := d.n + 1
-		for e := 0; e < d.n; e++ {
-			bit := uint64(1) << uint(e)
-			if probed&bit != 0 {
-				continue
-			}
-			g := value(state{s.greens | bit, s.reds})
-			r := value(state{s.greens, s.reds | bit})
-			worst := g
-			if r > worst {
-				worst = r
-			}
-			if worst+1 < best {
-				best = worst + 1
-			}
-		}
-		memo[s] = best
-		return best
+	e := &engine{n: n, full: quorum.FullMask(n), witness: table}
+	p := uint64(1)
+	for i := 0; i < n; i++ {
+		e.pow3[i] = p
+		p *= 3
 	}
-	return value(state{}), nil
+	return e, nil
+}
+
+// holdsWitness reports whether the mask's elements contain a quorum: one
+// bit test against the precomputed table.
+func (e *engine) holdsWitness(mask uint64) bool { return e.witness.Contains(mask) }
+
+// states returns 3^n, the size of the knowledge state space.
+func (e *engine) states() uint64 {
+	if e.n == 0 {
+		return 1
+	}
+	return 3 * e.pow3[e.n-1]
+}
+
+// key packs a knowledge state into one word for sparse memos (YaoBound's
+// state space is pruned to the distribution support, so a map wins there).
+func key(greens, reds uint64) uint64 { return greens<<MaxUniverse | reds }
+
+// parallelExpand evaluates child, once per (element, outcome) pair of the
+// root state, across GOMAXPROCS goroutines. The memo is shared and every
+// state value is a pure function of the state, so concurrent duplication
+// is harmless and the results are deterministic.
+func (e *engine) parallelExpand(child func(elem int, red bool)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 2*e.n {
+		workers = 2 * e.n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				t := int(next.Add(1)) - 1
+				if t >= 2*e.n {
+					return
+				}
+				child(t/2, t%2 == 1)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ppcSolver is the expectimax DP for PPC_p. The dense base-3-indexed memo
+// stores the bit pattern of the state value — float64 cells up to
+// maxFloat64States, float32 cells above. Zero means unset, which is sound
+// because every memoized state needs at least one probe (witness states
+// return early and are never stored). Cells are accessed atomically so
+// parallel root expansion can share the table; every state value is a
+// pure function of the state, so concurrent recomputation is benign and
+// the result is deterministic.
+type ppcSolver struct {
+	eng  *engine
+	p, q float64
+	d64  []uint64
+	d32  []uint32
+}
+
+func newPPCSolver(sys quorum.System, p float64) (*ppcSolver, error) {
+	if p < 0 || p > 1 {
+		return nil, fmt.Errorf("strategy: probability %v out of [0,1]", p)
+	}
+	eng, err := newEngine(sys)
+	if err != nil {
+		return nil, err
+	}
+	s := &ppcSolver{eng: eng, p: p, q: 1 - p}
+	if n := eng.states(); n <= maxFloat64States {
+		s.d64 = make([]uint64, n)
+	} else {
+		s.d32 = make([]uint32, n)
+	}
+	return s, nil
+}
+
+// value returns the optimal expected probes from the knowledge state
+// (greens, reds); idx is the state's base-3 index, maintained
+// incrementally along the recursion.
+func (s *ppcSolver) value(greens, reds, idx uint64) float64 {
+	e := s.eng
+	if e.holdsWitness(greens) || e.holdsWitness(reds) {
+		return 0
+	}
+	if s.d64 != nil {
+		if b := atomic.LoadUint64(&s.d64[idx]); b != 0 {
+			return math.Float64frombits(b)
+		}
+	} else if b := atomic.LoadUint32(&s.d32[idx]); b != 0 {
+		return float64(math.Float32frombits(b))
+	}
+	best := float64(e.n + 1)
+	for rest := e.full &^ (greens | reds); rest != 0; rest &= rest - 1 {
+		el := bits.TrailingZeros64(rest)
+		bit := uint64(1) << uint(el)
+		p3 := e.pow3[el]
+		v := 1 + s.q*s.value(greens|bit, reds, idx+p3) + s.p*s.value(greens, reds|bit, idx+2*p3)
+		if v < best {
+			best = v
+		}
+	}
+	if s.d64 != nil {
+		atomic.StoreUint64(&s.d64[idx], math.Float64bits(best))
+	} else {
+		atomic.StoreUint32(&s.d32[idx], math.Float32bits(float32(best)))
+		// Return the rounded value so callers and later memo hits agree.
+		best = float64(float32(best))
+	}
+	return best
+}
+
+// solve computes the root value, expanding the root's branches in
+// parallel for universes big enough to amortize the goroutine handoff.
+func (s *ppcSolver) solve() float64 {
+	e := s.eng
+	if e.n >= parallelRootMin {
+		e.parallelExpand(func(el int, red bool) {
+			bit := uint64(1) << uint(el)
+			if red {
+				s.value(0, bit, 2*e.pow3[el])
+			} else {
+				s.value(bit, 0, e.pow3[el])
+			}
+		})
+	}
+	return s.value(0, 0, 0)
 }
 
 // OptimalPPC returns the probabilistic-model probe complexity PPC_p(S):
 // the minimal expected probes over all probe strategy trees when every
 // element independently fails (is red) with probability p.
 func OptimalPPC(sys quorum.System, p float64) (float64, error) {
-	if p < 0 || p > 1 {
-		return 0, fmt.Errorf("strategy: probability %v out of [0,1]", p)
-	}
-	d, err := newDP(sys)
+	s, err := newPPCSolver(sys, p)
 	if err != nil {
 		return 0, err
 	}
-	q := 1 - p
-	memo := make(map[state]float64)
-	var value func(s state) float64
-	value = func(s state) float64 {
-		if d.holdsWitness(s.greens) || d.holdsWitness(s.reds) {
-			return 0
-		}
-		if v, ok := memo[s]; ok {
-			return v
-		}
-		probed := s.greens | s.reds
-		best := float64(d.n + 1)
-		for e := 0; e < d.n; e++ {
-			bit := uint64(1) << uint(e)
-			if probed&bit != 0 {
-				continue
-			}
-			v := 1 + q*value(state{s.greens | bit, s.reds}) + p*value(state{s.greens, s.reds | bit})
-			if v < best {
-				best = v
-			}
-		}
-		memo[s] = best
-		return best
+	return s.solve(), nil
+}
+
+// pcSolver is the minimax DP for PC. Like ppcSolver, zero marks an unset
+// dense cell (every stored state needs at least one probe); PC values fit
+// int32 with room to spare.
+type pcSolver struct {
+	eng   *engine
+	dense []int32
+}
+
+func newPCSolver(sys quorum.System) (*pcSolver, error) {
+	eng, err := newEngine(sys)
+	if err != nil {
+		return nil, err
 	}
-	return value(state{}), nil
+	return &pcSolver{eng: eng, dense: make([]int32, eng.states())}, nil
+}
+
+func (s *pcSolver) value(greens, reds, idx uint64) int {
+	e := s.eng
+	if e.holdsWitness(greens) || e.holdsWitness(reds) {
+		return 0
+	}
+	if v := atomic.LoadInt32(&s.dense[idx]); v != 0 {
+		return int(v)
+	}
+	best := e.n + 1
+	for rest := e.full &^ (greens | reds); rest != 0; rest &= rest - 1 {
+		el := bits.TrailingZeros64(rest)
+		bit := uint64(1) << uint(el)
+		p3 := e.pow3[el]
+		g := s.value(greens|bit, reds, idx+p3)
+		r := s.value(greens, reds|bit, idx+2*p3)
+		if r > g {
+			g = r
+		}
+		if g+1 < best {
+			best = g + 1
+		}
+	}
+	atomic.StoreInt32(&s.dense[idx], int32(best))
+	return best
+}
+
+func (s *pcSolver) solve() int {
+	e := s.eng
+	if e.n >= parallelRootMin {
+		e.parallelExpand(func(el int, red bool) {
+			bit := uint64(1) << uint(el)
+			if red {
+				s.value(0, bit, 2*e.pow3[el])
+			} else {
+				s.value(bit, 0, e.pow3[el])
+			}
+		})
+	}
+	return s.value(0, 0, 0)
+}
+
+// OptimalPC returns the deterministic worst-case probe complexity PC(S):
+// the depth of the best probe strategy tree. By Lemma 2.2, Maj, Wheel, CW
+// and Tree are evasive (PC = n).
+func OptimalPC(sys quorum.System) (int, error) {
+	s, err := newPCSolver(sys)
+	if err != nil {
+		return 0, err
+	}
+	return s.solve(), nil
 }
 
 // Node is a probe strategy tree node (the decision trees of Fig. 4).
@@ -203,133 +353,91 @@ func (nd *Node) Execute(col *coloring.Coloring) (coloring.Color, int) {
 
 // BuildOptimalPC materializes an optimal worst-case probe strategy tree,
 // breaking ties toward the lowest-index element (reproducing the natural
-// Fig. 4 tree for Maj3).
+// Fig. 4 tree for Maj3). The solver is run once; the descent then only
+// reads memoized values.
 func BuildOptimalPC(sys quorum.System) (*Node, error) {
-	d, err := newDP(sys)
+	s, err := newPCSolver(sys)
 	if err != nil {
 		return nil, err
 	}
-	memo := make(map[state]int)
-	var value func(s state) int
-	value = func(s state) int {
-		if d.holdsWitness(s.greens) || d.holdsWitness(s.reds) {
-			return 0
-		}
-		if v, ok := memo[s]; ok {
-			return v
-		}
-		probed := s.greens | s.reds
-		best := d.n + 1
-		for e := 0; e < d.n; e++ {
-			bit := uint64(1) << uint(e)
-			if probed&bit != 0 {
-				continue
-			}
-			g := value(state{s.greens | bit, s.reds})
-			r := value(state{s.greens, s.reds | bit})
-			worst := g
-			if r > worst {
-				worst = r
-			}
-			if worst+1 < best {
-				best = worst + 1
-			}
-		}
-		memo[s] = best
-		return best
-	}
-	var build func(s state) *Node
-	build = func(s state) *Node {
-		if d.holdsWitness(s.greens) {
+	s.solve()
+	e := s.eng
+	var build func(greens, reds, idx uint64) *Node
+	build = func(greens, reds, idx uint64) *Node {
+		if e.holdsWitness(greens) {
 			return &Node{Element: -1, Leaf: coloring.Green}
 		}
-		if d.holdsWitness(s.reds) {
+		if e.holdsWitness(reds) {
 			return &Node{Element: -1, Leaf: coloring.Red}
 		}
-		target := value(s)
-		probed := s.greens | s.reds
-		for e := 0; e < d.n; e++ {
-			bit := uint64(1) << uint(e)
-			if probed&bit != 0 {
-				continue
+		target := s.value(greens, reds, idx)
+		for rest := e.full &^ (greens | reds); rest != 0; rest &= rest - 1 {
+			el := bits.TrailingZeros64(rest)
+			bit := uint64(1) << uint(el)
+			p3 := e.pow3[el]
+			g := s.value(greens|bit, reds, idx+p3)
+			r := s.value(greens, reds|bit, idx+2*p3)
+			if r > g {
+				g = r
 			}
-			gs := state{s.greens | bit, s.reds}
-			rs := state{s.greens, s.reds | bit}
-			g, r := value(gs), value(rs)
-			worst := g
-			if r > worst {
-				worst = r
-			}
-			if worst+1 == target {
-				return &Node{Element: e, OnGreen: build(gs), OnRed: build(rs)}
+			if g+1 == target {
+				return &Node{
+					Element: el,
+					OnGreen: build(greens|bit, reds, idx+p3),
+					OnRed:   build(greens, reds|bit, idx+2*p3),
+				}
 			}
 		}
 		panic("strategy: no element achieves the memoized PC value")
 	}
-	return build(state{}), nil
+	return build(0, 0, 0), nil
 }
 
 // BuildOptimalPPC materializes a probe strategy tree attaining the optimal
 // probabilistic-model expected probes at failure probability p, breaking
 // ties toward the lowest-index element.
 func BuildOptimalPPC(sys quorum.System, p float64) (*Node, error) {
-	if p < 0 || p > 1 {
-		return nil, fmt.Errorf("strategy: probability %v out of [0,1]", p)
-	}
-	d, err := newDP(sys)
+	s, err := newPPCSolver(sys, p)
 	if err != nil {
 		return nil, err
 	}
-	q := 1 - p
-	memo := make(map[state]float64)
-	var value func(s state) float64
-	value = func(s state) float64 {
-		if d.holdsWitness(s.greens) || d.holdsWitness(s.reds) {
-			return 0
+	s.solve()
+	e := s.eng
+	// The float32 memo rounds the stored target (~1e-7 relative), so the
+	// recomputed float64 candidate of even the optimal element can exceed
+	// it; widen the acceptance window to the memo's rounding error.
+	tolerance := func(target float64) float64 {
+		if s.d32 != nil {
+			return 1e-6 * (target + 1)
 		}
-		if v, ok := memo[s]; ok {
-			return v
-		}
-		probed := s.greens | s.reds
-		best := float64(d.n + 1)
-		for e := 0; e < d.n; e++ {
-			bit := uint64(1) << uint(e)
-			if probed&bit != 0 {
-				continue
-			}
-			v := 1 + q*value(state{s.greens | bit, s.reds}) + p*value(state{s.greens, s.reds | bit})
-			if v < best {
-				best = v
-			}
-		}
-		memo[s] = best
-		return best
+		return 1e-12
 	}
-	const eps = 1e-12
-	var build func(s state) *Node
-	build = func(s state) *Node {
-		if d.holdsWitness(s.greens) {
+	var build func(greens, reds, idx uint64) *Node
+	build = func(greens, reds, idx uint64) *Node {
+		if e.holdsWitness(greens) {
 			return &Node{Element: -1, Leaf: coloring.Green}
 		}
-		if d.holdsWitness(s.reds) {
+		if e.holdsWitness(reds) {
 			return &Node{Element: -1, Leaf: coloring.Red}
 		}
-		target := value(s)
-		probed := s.greens | s.reds
-		for e := 0; e < d.n; e++ {
-			bit := uint64(1) << uint(e)
-			if probed&bit != 0 {
-				continue
-			}
-			gs := state{s.greens | bit, s.reds}
-			rs := state{s.greens, s.reds | bit}
-			if v := 1 + q*value(gs) + p*value(rs); v <= target+eps {
-				return &Node{Element: e, OnGreen: build(gs), OnRed: build(rs)}
+		target := s.value(greens, reds, idx)
+		eps := tolerance(target)
+		for rest := e.full &^ (greens | reds); rest != 0; rest &= rest - 1 {
+			el := bits.TrailingZeros64(rest)
+			bit := uint64(1) << uint(el)
+			p3 := e.pow3[el]
+			v := 1 + s.q*s.value(greens|bit, reds, idx+p3) + s.p*s.value(greens, reds|bit, idx+2*p3)
+			if v <= target+eps {
+				return &Node{
+					Element: el,
+					OnGreen: build(greens|bit, reds, idx+p3),
+					OnRed:   build(greens, reds|bit, idx+2*p3),
+				}
 			}
 		}
 		panic("strategy: no element achieves the memoized PPC value")
 	}
-	return build(state{}), nil
+	return build(0, 0, 0), nil
 }
 
 // Validate checks that the strategy tree is a correct witness-finding
@@ -337,35 +445,38 @@ func BuildOptimalPPC(sys quorum.System, p float64) (*Node, error) {
 // repeated probes on a path) and sound (at every leaf, the elements probed
 // with the declared color contain a quorum).
 func Validate(sys quorum.System, root *Node) error {
-	d, err := newDP(sys)
+	e, err := newEngine(sys)
 	if err != nil {
 		return err
 	}
-	var walk func(nd *Node, s state) error
-	walk = func(nd *Node, s state) error {
+	var walk func(nd *Node, greens, reds uint64) error
+	walk = func(nd *Node, greens, reds uint64) error {
 		if nd == nil {
 			return fmt.Errorf("strategy: missing child node")
 		}
 		if nd.IsLeaf() {
-			mask := s.greens
+			mask := greens
 			if nd.Leaf == coloring.Red {
-				mask = s.reds
+				mask = reds
 			}
-			if !d.holdsWitness(mask) {
+			if !e.holdsWitness(mask) {
 				return fmt.Errorf("strategy: leaf declares %s but probed %s elements contain no quorum", nd.Leaf, nd.Leaf)
 			}
 			return nil
 		}
+		if nd.Element >= e.n {
+			return fmt.Errorf("strategy: element %d out of universe [0,%d)", nd.Element, e.n)
+		}
 		bit := uint64(1) << uint(nd.Element)
-		if (s.greens|s.reds)&bit != 0 {
+		if (greens|reds)&bit != 0 {
 			return fmt.Errorf("strategy: element %d probed twice on a path", nd.Element)
 		}
-		if err := walk(nd.OnGreen, state{s.greens | bit, s.reds}); err != nil {
+		if err := walk(nd.OnGreen, greens|bit, reds); err != nil {
 			return err
 		}
-		return walk(nd.OnRed, state{s.greens, s.reds | bit})
+		return walk(nd.OnRed, greens, reds|bit)
 	}
-	return walk(root, state{})
+	return walk(root, 0, 0)
 }
 
 // YaoBound returns the expected probe count of the best deterministic
@@ -374,7 +485,7 @@ func Validate(sys quorum.System, root *Node) error {
 // The distribution weights must be nonnegative; they are normalized
 // internally.
 func YaoBound(sys quorum.System, dist []coloring.Weighted) (float64, error) {
-	d, err := newDP(sys)
+	e, err := newEngine(sys)
 	if err != nil {
 		return 0, err
 	}
@@ -389,16 +500,10 @@ func YaoBound(sys quorum.System, dist []coloring.Weighted) (float64, error) {
 	items := make([]item, len(dist))
 	total := 0.0
 	for i, w := range dist {
-		if w.Coloring.Size() != d.n {
-			return 0, fmt.Errorf("strategy: distribution coloring %d has size %d, want %d", i, w.Coloring.Size(), d.n)
+		if w.Coloring.Size() != e.n {
+			return 0, fmt.Errorf("strategy: distribution coloring %d has size %d, want %d", i, w.Coloring.Size(), e.n)
 		}
-		var mask uint64
-		for e := 0; e < d.n; e++ {
-			if w.Coloring.IsRed(e) {
-				mask |= 1 << uint(e)
-			}
-		}
-		items[i] = item{reds: mask, weight: w.Weight}
+		items[i] = item{reds: quorum.MaskOf(w.Coloring.RedSet()), weight: w.Weight}
 		total += w.Weight
 	}
 	if total <= 0 {
@@ -408,22 +513,22 @@ func YaoBound(sys quorum.System, dist []coloring.Weighted) (float64, error) {
 		items[i].weight /= total
 	}
 
-	memo := make(map[state]float64)
-	var value func(s state, support []item, mass float64) float64
-	value = func(s state, support []item, mass float64) float64 {
-		if d.holdsWitness(s.greens) || d.holdsWitness(s.reds) {
+	// The support reaching a state is a function of the state (the
+	// colorings consistent with its outcomes), so memoizing by state alone
+	// is sound.
+	memo := make(map[uint64]float64)
+	var value func(greens, reds uint64, support []item, mass float64) float64
+	value = func(greens, reds uint64, support []item, mass float64) float64 {
+		if e.holdsWitness(greens) || e.holdsWitness(reds) {
 			return 0
 		}
-		if v, ok := memo[s]; ok {
+		if v, ok := memo[key(greens, reds)]; ok {
 			return v
 		}
-		probed := s.greens | s.reds
-		best := float64(d.n + 1)
-		for e := 0; e < d.n; e++ {
-			bit := uint64(1) << uint(e)
-			if probed&bit != 0 {
-				continue
-			}
+		best := float64(e.n + 1)
+		for rest := e.full &^ (greens | reds); rest != 0; rest &= rest - 1 {
+			el := bits.TrailingZeros64(rest)
+			bit := uint64(1) << uint(el)
 			var greenItems, redItems []item
 			var greenMass, redMass float64
 			for _, it := range support {
@@ -437,17 +542,17 @@ func YaoBound(sys quorum.System, dist []coloring.Weighted) (float64, error) {
 			}
 			v := 1.0
 			if greenMass > 0 {
-				v += greenMass / mass * value(state{s.greens | bit, s.reds}, greenItems, greenMass)
+				v += greenMass / mass * value(greens|bit, reds, greenItems, greenMass)
 			}
 			if redMass > 0 {
-				v += redMass / mass * value(state{s.greens, s.reds | bit}, redItems, redMass)
+				v += redMass / mass * value(greens, reds|bit, redItems, redMass)
 			}
 			if v < best {
 				best = v
 			}
 		}
-		memo[s] = best
+		memo[key(greens, reds)] = best
 		return best
 	}
-	return value(state{}, items, 1.0), nil
+	return value(0, 0, items, 1.0), nil
 }

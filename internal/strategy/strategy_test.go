@@ -332,6 +332,11 @@ func TestValidateRejectsBadTrees(t *testing.T) {
 	if err := Validate(m, hole); err == nil {
 		t.Error("Validate accepted a missing child")
 	}
+	// A tree probing an element outside the universe.
+	oob := &Node{Element: 30, OnGreen: leafG, OnRed: leafG}
+	if err := Validate(m, oob); err == nil {
+		t.Error("Validate accepted an out-of-universe element")
+	}
 }
 
 func TestGuards(t *testing.T) {

@@ -19,6 +19,9 @@ type CW struct {
 	widths  []int
 	offsets []int // offsets[i] is the index of the first element of row i
 	n       int
+	// rowMasks[i] is the word mask of row i, precomputed when the universe
+	// fits one machine word (n <= quorum.MaskWords).
+	rowMasks []uint64
 }
 
 var (
@@ -54,12 +57,19 @@ func NewCW(widths []int) (*CW, error) {
 	for i, wd := range w {
 		parts[i] = fmt.Sprintf("%d", wd)
 	}
-	return &CW{
+	c := &CW{
 		name:    fmt.Sprintf("CW(%s)", strings.Join(parts, ",")),
 		widths:  w,
 		offsets: offsets,
 		n:       n,
-	}, nil
+	}
+	if n <= quorum.MaskWords {
+		c.rowMasks = make([]uint64, len(w))
+		for i, wd := range w {
+			c.rowMasks[i] = (uint64(1)<<uint(wd) - 1) << uint(offsets[i])
+		}
+	}
+	return c, nil
 }
 
 // NewTriang returns the Triang system with k rows: the (1, 2, ..., k)-CW
@@ -232,6 +242,58 @@ func (c *CW) appendReps(out []*bitset.Set, base *bitset.Set, row int) []*bitset.
 		base.Add(e)
 		out = c.appendReps(out, base, row+1)
 		base.Remove(e)
+	}
+	return out
+}
+
+// ContainsQuorumMask implements quorum.MaskSystem: the bottom-up row scan
+// of ContainsQuorum with each row's full/hit tests collapsed to one AND
+// against the precomputed row mask. Every row below the current one is
+// known to be hit, else the scan would have returned already.
+func (c *CW) ContainsQuorumMask(mask uint64) bool {
+	maskGuard("CW", c.n)
+	for j := len(c.widths) - 1; j >= 0; j-- {
+		hit := mask & c.rowMasks[j]
+		if hit == c.rowMasks[j] {
+			return true
+		}
+		if hit == 0 && j > 0 {
+			// Every row above j needs a representative from row j.
+			return false
+		}
+	}
+	return false
+}
+
+// QuorumMasks implements quorum.MaskSystem: for every row j, the full row
+// mask ORed with every choice of one representative bit from each row
+// below. It shares the feasibility panic of Quorums.
+func (c *CW) QuorumMasks() []uint64 {
+	maskGuard("CW", c.n)
+	k := len(c.widths)
+	var out []uint64
+	for j := 0; j < k; j++ {
+		cnt := 1
+		for i := j + 1; i < k; i++ {
+			cnt *= c.widths[i]
+			if cnt > 1<<20 {
+				panic(fmt.Sprintf("systems: CW.QuorumMasks infeasible for %s", c.name))
+			}
+		}
+		out = c.appendRepMasks(out, c.rowMasks[j], j+1)
+	}
+	return out
+}
+
+// appendRepMasks extends base with every choice of one representative bit
+// from each row i >= row, appending completed quorum masks to out.
+func (c *CW) appendRepMasks(out []uint64, base uint64, row int) []uint64 {
+	if row == len(c.widths) {
+		return append(out, base)
+	}
+	start, end := c.RowRange(row)
+	for e := start; e < end; e++ {
+		out = c.appendRepMasks(out, base|uint64(1)<<uint(e), row+1)
 	}
 	return out
 }

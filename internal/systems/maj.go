@@ -2,6 +2,7 @@ package systems
 
 import (
 	"fmt"
+	"math/bits"
 
 	"probequorum/internal/bitset"
 	"probequorum/internal/quorum"
@@ -74,6 +75,34 @@ func (m *Maj) Quorums() []*bitset.Set {
 			idx[j] = idx[j-1] + 1
 		}
 	}
+}
+
+// ContainsQuorumMask implements quorum.MaskSystem: a single popcount
+// against the threshold.
+func (m *Maj) ContainsQuorumMask(mask uint64) bool {
+	maskGuard("Maj", m.n)
+	return bits.OnesCount64(mask) >= m.Threshold()
+}
+
+// QuorumMasks implements quorum.MaskSystem by enumerating the C(n, t)
+// threshold-size masks in increasing numeric order (Gosper's hack). Like
+// Quorums it panics for n > 25.
+func (m *Maj) QuorumMasks() []uint64 {
+	maskGuard("Maj", m.n)
+	if m.n > 25 {
+		panic(fmt.Sprintf("systems: Maj.QuorumMasks infeasible for n=%d", m.n))
+	}
+	t := m.Threshold()
+	limit := uint64(1) << uint(m.n)
+	var out []uint64
+	for q := uint64(1)<<uint(t) - 1; q < limit; {
+		out = append(out, q)
+		// Gosper's hack: the next mask with the same popcount.
+		c := q & -q
+		r := q + c
+		q = (((r ^ q) >> 2) / c) | r
+	}
+	return out
 }
 
 // FindQuorumWithin implements quorum.Finder: any Threshold() elements of

@@ -1,0 +1,31 @@
+package systems
+
+import (
+	"fmt"
+
+	"probequorum/internal/quorum"
+)
+
+// Every construction in this package implements quorum.MaskSystem natively:
+// when the universe fits one machine word (n <= quorum.MaskWords), the
+// characteristic function is evaluated directly on a uint64 element mask —
+// popcount thresholds for Maj, weight sums for Wheel and Vote, row-mask
+// word tests for CW, and gate recursions over mask bits for Tree, HQS and
+// RecMaj — with zero allocation and no bitset traffic.
+var (
+	_ quorum.MaskSystem = (*Maj)(nil)
+	_ quorum.MaskSystem = (*Wheel)(nil)
+	_ quorum.MaskSystem = (*CW)(nil)
+	_ quorum.MaskSystem = (*Tree)(nil)
+	_ quorum.MaskSystem = (*HQS)(nil)
+	_ quorum.MaskSystem = (*Vote)(nil)
+	_ quorum.MaskSystem = (*RecMaj)(nil)
+)
+
+// maskGuard panics when the universe does not fit one machine word; the
+// mask methods are defined only for n <= quorum.MaskWords.
+func maskGuard(name string, n int) {
+	if n > quorum.MaskWords {
+		panic(fmt.Sprintf("systems: %s mask path requires n <= %d, got %d", name, quorum.MaskWords, n))
+	}
+}

@@ -45,6 +45,10 @@ import (
 type (
 	// System is a quorum system over the universe {0, ..., Size()-1}.
 	System = quorum.System
+	// MaskSystem is the word-level fast path of a system whose universe
+	// fits one uint64: superset tests against precomputed quorum masks
+	// with zero allocation. All built-in constructions implement it.
+	MaskSystem = quorum.MaskSystem
 	// Finder locates quorums inside an allowed element set.
 	Finder = quorum.Finder
 	// Set is a set of universe elements.
@@ -133,6 +137,18 @@ func NewRecMaj(m, height int) (*RecMaj, error) { return systems.NewRecMaj(m, hei
 func Compose(outer System, inner []System) (System, error) {
 	return quorum.NewComposite(outer, inner)
 }
+
+// AsMaskSystem returns a word-level view of the system: the system itself
+// when it implements MaskSystem natively, or a cached-enumeration adapter
+// otherwise. It fails for universes above 64 elements.
+func AsMaskSystem(sys System) (MaskSystem, error) { return quorum.Masked(sys) }
+
+// MaskOfSet packs a set into a word mask (universes of at most 64
+// elements).
+func MaskOfSet(s *Set) uint64 { return quorum.MaskOf(s) }
+
+// SetFromMask unpacks a word mask into a set over an n-element universe.
+func SetFromMask(n int, mask uint64) *Set { return quorum.SetOfMask(n, mask) }
 
 // NewSet returns an empty element set with capacity n.
 func NewSet(n int) *Set { return bitset.New(n) }
@@ -245,19 +261,30 @@ func ExpectedProbes(sys System, p float64) (float64, error) {
 
 // EstimateAverageProbes estimates by simulation the average probes of the
 // FindWitness strategy under IID(p) failures, returning the mean and the
-// 95% confidence half-interval.
+// 95% confidence half-interval. Trials run in parallel with each worker
+// reusing one coloring and one oracle; the summary is bit-identical to the
+// sequential loop for the same (trials, seed).
 func EstimateAverageProbes(sys System, p float64, trials int, seed uint64) (mean, halfCI float64, err error) {
 	if _, e := FindWitness(sys, NewOracle(AllGreen(sys.Size()))); e != nil {
 		return 0, 0, e
 	}
-	s := sim.Estimate(trials, seed, func(rng *rand.Rand) float64 {
-		col := coloring.IID(sys.Size(), p, rng)
-		o := probe.NewOracle(col)
-		if _, e := FindWitness(sys, o); e != nil {
-			panic(e) // unreachable: checked above
-		}
-		return float64(o.Probes())
-	})
+	type buffers struct {
+		col *coloring.Coloring
+		o   *probe.ColoringOracle
+	}
+	s := sim.EstimateWith(trials, seed,
+		func() *buffers {
+			col := coloring.New(sys.Size())
+			return &buffers{col: col, o: probe.NewOracle(col)}
+		},
+		func(rng *rand.Rand, b *buffers) float64 {
+			coloring.IIDInto(b.col, p, rng)
+			b.o.Reset()
+			if _, e := FindWitness(sys, b.o); e != nil {
+				panic(e) // unreachable: checked above
+			}
+			return float64(b.o.Probes())
+		})
 	lo, hi := s.CI95()
 	return s.Mean, (hi - lo) / 2, nil
 }
