@@ -8,19 +8,20 @@ import (
 	"runtime"
 	"testing"
 
+	"probequorum"
 	"probequorum/internal/availability"
 	"probequorum/internal/coloring"
-	"probequorum/internal/core"
 	"probequorum/internal/probe"
 	"probequorum/internal/quorum"
 	"probequorum/internal/sim"
+	"probequorum/internal/spec"
 	"probequorum/internal/strategy"
-	"probequorum/internal/systems"
 )
 
 // benchRecord is one machine-readable perf measurement. The op names are
-// stable across PRs; future sessions append their files (BENCH_PR2.json,
-// ...) and diff NsPerOp/AllocsPerOp against this baseline.
+// stable across PRs; future sessions append their files (BENCH_PR3.json,
+// ...) and diff NsPerOp/AllocsPerOp against the baselines (BENCH_PR1.json
+// from PR 1, BENCH_PR2.json adding the Evaluator session ops).
 type benchRecord struct {
 	Name        string  `json:"name"`
 	Iterations  int     `json:"iterations"`
@@ -39,18 +40,19 @@ type benchFile struct {
 
 // benchOps is the fixed suite of hot-path operations: the word-level
 // witness primitive, the exact DPs on both engines, the parallel and
-// sequential Monte Carlo loops, and the exhaustive availability
-// enumerations. Each op is sized to finish in well under a minute.
+// sequential Monte Carlo loops, the exhaustive availability enumerations,
+// and the Evaluator session's cached paths against their uncached
+// counterparts. Each op is sized to finish in well under a minute.
 func benchOps() []struct {
 	name string
 	fn   func(b *testing.B)
 } {
-	maj63, _ := systems.NewMaj(63)
-	maj11, _ := systems.NewMaj(11)
-	maj9, _ := systems.NewMaj(9)
-	maj17, _ := systems.NewMaj(17)
-	maj101, _ := systems.NewMaj(101)
-	tri4, _ := systems.NewTriang(4)
+	maj63 := spec.MustParse("maj:63").(quorum.MaskSystem)
+	maj11 := spec.MustParse("maj:11")
+	maj9 := spec.MustParse("maj:9")
+	maj17 := spec.MustParse("maj:17")
+	maj101 := spec.MustParse("maj:101").(probe.Prober)
+	tri4 := spec.MustParse("triang:4")
 	maj17NoMask := struct{ quorum.System }{maj17}
 
 	return []struct {
@@ -103,11 +105,51 @@ func benchOps() []struct {
 				}
 			}
 		}},
+		// The Evaluator session's headline win: the first
+		// AverageProbeComplexity call builds the WitnessTable and runs the
+		// DP; later calls on the same (system, p) are memo hits, and calls
+		// at fresh p reuse the cached table. Compare evaluator/PPC-cached
+		// (repeated call, warm session) and evaluator/PPC-freshp (new p
+		// every iteration, warm table) against strategy/OptimalPPC-mask
+		// (the uncached path above).
+		{"evaluator/PPC-cached/Maj11", func(b *testing.B) {
+			eval := probequorum.NewEvaluator()
+			if _, err := eval.AverageProbeComplexity(maj11, 0.5); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eval.AverageProbeComplexity(maj11, 0.5); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"evaluator/PPC-freshp/Maj11", func(b *testing.B) {
+			eval := probequorum.NewEvaluator()
+			if _, err := eval.AverageProbeComplexity(maj11, 0.5); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p := float64(i%1000)/2000 + 1e-9*float64(i)
+				if _, err := eval.AverageProbeComplexity(maj11, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"evaluator/PPC-uncached/Maj11", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p := float64(i%1000)/2000 + 1e-9*float64(i)
+				if _, err := strategy.OptimalPPC(maj11, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
 		{"sim/Estimate-parallel/ProbeMaj101x2000", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				sim.Estimate(2000, 17, func(rng *rand.Rand) float64 {
-					o := probe.NewOracle(coloring.IID(maj101.Size(), 0.5, rng))
-					core.ProbeMaj(maj101, o)
+					o := probe.NewOracle(coloring.IID(101, 0.5, rng))
+					maj101.ProbeWitness(o)
 					return float64(o.Probes())
 				})
 			}
@@ -115,8 +157,8 @@ func benchOps() []struct {
 		{"sim/Estimate-sequential/ProbeMaj101x2000", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				sim.EstimateSeq(2000, 17, func(rng *rand.Rand) float64 {
-					o := probe.NewOracle(coloring.IID(maj101.Size(), 0.5, rng))
-					core.ProbeMaj(maj101, o)
+					o := probe.NewOracle(coloring.IID(101, 0.5, rng))
+					maj101.ProbeWitness(o)
 					return float64(o.Probes())
 				})
 			}

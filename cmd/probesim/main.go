@@ -1,10 +1,12 @@
 // Command probesim runs witness-search simulations: it injects IID
 // failures into a system, runs the paper's probing strategy, and reports
 // average probes against the exact expectation and the availability.
+// Systems are built from declarative spec strings through the
+// construction registry (any registered construction works).
 //
 // Usage:
 //
-//	probesim -system triang -k 10 -p 0.3 -trials 10000 [-randomized] [-seed 1]
+//	probesim -system triang:10 -p 0.3 -trials 10000 [-randomized] [-seed 1]
 package main
 
 import (
@@ -12,6 +14,7 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"os"
+	"strings"
 
 	"probequorum"
 )
@@ -22,10 +25,7 @@ func main() {
 
 func run() int {
 	var (
-		system     = flag.String("system", "triang", "construction: maj | wheel | cw(-widths unsupported here) | triang | tree | hqs")
-		n          = flag.Int("n", 7, "universe size (maj, wheel)")
-		k          = flag.Int("k", 4, "rows (triang)")
-		height     = flag.Int("height", 2, "height (tree, hqs)")
+		system     = flag.String("system", "triang:4", "system spec, e.g. maj:7 | triang:10 | cw:1,3,2 | tree:3 | hqs:2 | vote:3,1,1,2 | recmaj:3x2 | wheel:8")
 		p          = flag.Float64("p", 0.3, "failure probability")
 		trials     = flag.Int("trials", 10000, "number of simulated failure patterns")
 		seed       = flag.Uint64("seed", 1, "PRNG seed")
@@ -33,24 +33,10 @@ func run() int {
 	)
 	flag.Parse()
 
-	var sys probequorum.System
-	var err error
-	switch *system {
-	case "maj":
-		sys, err = probequorum.NewMajority(*n)
-	case "wheel":
-		sys, err = probequorum.NewWheel(*n)
-	case "triang":
-		sys, err = probequorum.NewTriang(*k)
-	case "tree":
-		sys, err = probequorum.NewTree(*height)
-	case "hqs":
-		sys, err = probequorum.NewHQS(*height)
-	default:
-		err = fmt.Errorf("unknown system %q", *system)
-	}
+	sys, err := probequorum.Parse(*system)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "probesim:", err)
+		fmt.Fprintf(os.Stderr, "probesim: %v (known constructions: %s)\n",
+			err, strings.Join(probequorum.SpecNames(), " | "))
 		return 1
 	}
 

@@ -1,21 +1,26 @@
 // Command quorumctl inspects quorum-system constructions: it renders
-// layouts, enumerates quorums, reports quorum-size ranges and availability,
-// and verifies the nondominated-coterie property.
+// layouts, enumerates quorums, reports quorum-size ranges, availability
+// and expected probe cost, and verifies the nondominated-coterie
+// property. Systems are built from declarative spec strings through the
+// construction registry.
 //
 // Usage:
 //
-//	quorumctl -system maj -n 7 [-p 0.1] [-enumerate] [-check]
-//	quorumctl -system triang -k 4
-//	quorumctl -system cw -widths 1,3,2
-//	quorumctl -system tree -height 3
-//	quorumctl -system hqs -height 2
+//	quorumctl -system maj:7 [-p 0.1] [-enumerate] [-check]
+//	quorumctl -system triang:4
+//	quorumctl -system cw:1,3,2
+//	quorumctl -system tree:3
+//	quorumctl -system hqs:2
+//	quorumctl -system vote:3,1,1,2
+//	quorumctl -system recmaj:3x2
+//	quorumctl -system wheel:8
+//	quorumctl -specs
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
 	"strings"
 
 	"probequorum"
@@ -28,25 +33,29 @@ func main() {
 
 func run() int {
 	var (
-		system    = flag.String("system", "", "construction: maj | wheel | cw | triang | tree | hqs | vote")
-		n         = flag.Int("n", 7, "universe size (maj, wheel)")
-		k         = flag.Int("k", 4, "rows (triang)")
-		height    = flag.Int("height", 2, "height (tree, hqs)")
-		widths    = flag.String("widths", "", "comma-separated row widths (cw)")
-		votes     = flag.String("weights", "", "comma-separated element weights (vote)")
+		system    = flag.String("system", "", "system spec, e.g. maj:7 | cw:1,3,2 | triang:4 | tree:3 | hqs:2 | vote:3,1,1,2 | recmaj:3x2 | wheel:8")
 		p         = flag.Float64("p", 0.1, "failure probability for the availability report")
 		enumerate = flag.Bool("enumerate", false, "list all minimal quorums (small systems)")
 		check     = flag.Bool("check", false, "verify the nondominated-coterie property (small systems)")
+		specs     = flag.Bool("specs", false, "list the registered construction names and exit")
 	)
 	flag.Parse()
 
-	sys, err := build(*system, *n, *k, *height, *widths, *votes)
+	if *specs {
+		fmt.Println(strings.Join(probequorum.SpecNames(), "\n"))
+		return 0
+	}
+
+	sys, err := build(*system)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "quorumctl:", err)
 		return 1
 	}
 
 	fmt.Printf("system:        %s\n", sys.Name())
+	if spec, ok := probequorum.SpecOf(sys); ok {
+		fmt.Printf("spec:          %s\n", spec)
+	}
 	fmt.Printf("universe:      %d elements\n", sys.Size())
 	fmt.Printf("quorum sizes:  %d .. %d\n", quorum.MinQuorumSize(sys), quorum.MaxQuorumSize(sys))
 	fmt.Printf("availability:  F_p = %.6f at p = %.3f\n", probequorum.Availability(sys, *p), *p)
@@ -76,51 +85,11 @@ func run() int {
 	return 0
 }
 
-func build(system string, n, k, height int, widths, votes string) (probequorum.System, error) {
-	switch system {
-	case "maj":
-		return probequorum.NewMajority(n)
-	case "wheel":
-		return probequorum.NewWheel(n)
-	case "triang":
-		return probequorum.NewTriang(k)
-	case "cw":
-		if widths == "" {
-			return nil, fmt.Errorf("cw requires -widths")
-		}
-		ws, err := parseInts(widths)
-		if err != nil {
-			return nil, err
-		}
-		return probequorum.NewCrumblingWall(ws)
-	case "vote":
-		if votes == "" {
-			return nil, fmt.Errorf("vote requires -weights")
-		}
-		ws, err := parseInts(votes)
-		if err != nil {
-			return nil, err
-		}
-		return probequorum.NewVote(ws)
-	case "tree":
-		return probequorum.NewTree(height)
-	case "hqs":
-		return probequorum.NewHQS(height)
-	case "":
-		return nil, fmt.Errorf("missing -system (maj | wheel | cw | triang | tree | hqs | vote)")
-	default:
-		return nil, fmt.Errorf("unknown system %q", system)
+// build parses the -system spec through the construction registry.
+func build(system string) (probequorum.System, error) {
+	if system == "" {
+		return nil, fmt.Errorf("missing -system spec (known constructions: %s)",
+			strings.Join(probequorum.SpecNames(), " | "))
 	}
-}
-
-func parseInts(csv string) ([]int, error) {
-	var out []int
-	for _, part := range strings.Split(csv, ",") {
-		v, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil {
-			return nil, fmt.Errorf("bad integer %q: %w", part, err)
-		}
-		out = append(out, v)
-	}
-	return out, nil
+	return probequorum.Parse(system)
 }

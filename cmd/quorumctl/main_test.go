@@ -7,30 +7,27 @@ import (
 
 func TestBuildSystems(t *testing.T) {
 	cases := []struct {
-		system string
-		n, k   int
-		height int
-		widths string
-		votes  string
-		want   string
+		spec string
+		want string
 	}{
-		{system: "maj", n: 7, want: "Maj(7)"},
-		{system: "wheel", n: 5, want: "Wheel(5)"},
-		{system: "triang", k: 3, want: "Triang(3)"},
-		{system: "cw", widths: "1,2,3", want: "CW(1,2,3)"},
-		{system: "cw", widths: " 1 , 4 ", want: "CW(1,4)"},
-		{system: "tree", height: 2, want: "Tree(h=2,n=7)"},
-		{system: "hqs", height: 1, want: "HQS(h=1,n=3)"},
-		{system: "vote", votes: "3,1,1,2", want: "Vote(n=4,W=7)"},
+		{spec: "maj:7", want: "Maj(7)"},
+		{spec: "wheel:5", want: "Wheel(5)"},
+		{spec: "triang:3", want: "Triang(3)"},
+		{spec: "cw:1,2,3", want: "CW(1,2,3)"},
+		{spec: "cw: 1 , 4 ", want: "CW(1,4)"},
+		{spec: "tree:2", want: "Tree(h=2,n=7)"},
+		{spec: "hqs:1", want: "HQS(h=1,n=3)"},
+		{spec: "vote:3,1,1,2", want: "Vote(n=4,W=7)"},
+		{spec: "recmaj:3x2", want: "RecMaj(m=3,h=2,n=9)"},
 	}
 	for _, c := range cases {
-		sys, err := build(c.system, c.n, c.k, c.height, c.widths, c.votes)
+		sys, err := build(c.spec)
 		if err != nil {
-			t.Errorf("build(%s): %v", c.system, err)
+			t.Errorf("build(%s): %v", c.spec, err)
 			continue
 		}
 		if sys.Name() != c.want {
-			t.Errorf("build(%s) = %s, want %s", c.system, sys.Name(), c.want)
+			t.Errorf("build(%s) = %s, want %s", c.spec, sys.Name(), c.want)
 		}
 	}
 }
@@ -38,35 +35,23 @@ func TestBuildSystems(t *testing.T) {
 func TestBuildErrors(t *testing.T) {
 	cases := []struct {
 		name   string
-		system string
-		n      int
-		widths string
-		votes  string
+		spec   string
 		errSub string
 	}{
-		{name: "missing system", system: "", errSub: "missing -system"},
-		{name: "unknown system", system: "grid", errSub: "unknown system"},
-		{name: "cw without widths", system: "cw", errSub: "requires -widths"},
-		{name: "cw bad widths", system: "cw", widths: "1,x", errSub: "bad integer"},
-		{name: "vote without weights", system: "vote", errSub: "requires -weights"},
-		{name: "maj even", system: "maj", n: 4, errSub: "odd"},
+		{name: "missing system", spec: "", errSub: "missing -system"},
+		{name: "no colon", spec: "maj", errSub: "no ':'"},
+		{name: "unknown system", spec: "grid:3", errSub: "unknown construction"},
+		{name: "cw bad widths", spec: "cw:1,x", errSub: "comma-separated integers"},
+		{name: "vote empty weights", spec: "vote:", errSub: "empty"},
+		{name: "maj even", spec: "maj:4", errSub: "odd"},
+		{name: "explicit passthrough", spec: "explicit:anything", errSub: "NewExplicit"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
-			_, err := build(c.system, c.n, 3, 2, c.widths, c.votes)
+			_, err := build(c.spec)
 			if err == nil || !strings.Contains(err.Error(), c.errSub) {
 				t.Errorf("err = %v, want containing %q", err, c.errSub)
 			}
 		})
-	}
-}
-
-func TestParseInts(t *testing.T) {
-	got, err := parseInts("1, 2,3")
-	if err != nil || len(got) != 3 || got[2] != 3 {
-		t.Errorf("parseInts = %v, %v", got, err)
-	}
-	if _, err := parseInts("1,,2"); err == nil {
-		t.Error("parseInts accepted empty field")
 	}
 }

@@ -1,0 +1,328 @@
+package probequorum
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/rand/v2"
+	"reflect"
+	"sync"
+
+	"probequorum/internal/availability"
+	"probequorum/internal/coloring"
+	"probequorum/internal/probe"
+	"probequorum/internal/quorum"
+	"probequorum/internal/sim"
+	"probequorum/internal/strategy"
+)
+
+// evaluatorMaxSystems bounds the number of systems an Evaluator caches;
+// beyond it the oldest entry is evicted. A WitnessTable holds 2^n bits,
+// so the bound keeps long-lived sessions serving many ad-hoc systems from
+// accumulating tables without limit.
+const evaluatorMaxSystems = 64
+
+// Evaluator is a measurement session: it memoizes per-system derived
+// artifacts — the word-level mask view, the dense WitnessTable, the
+// minimal quorum masks and the availability failure-count polynomial —
+// so repeated measures on the same system hit a cache instead of
+// recomputing, which is the serving pattern the library is grown for.
+// Exact measure results (ProbeComplexity, AverageProbeComplexity) are
+// memoized as well.
+//
+// An Evaluator is safe for concurrent use. Systems are cached by
+// interface identity, so callers should reuse the same System value
+// across calls; systems of non-comparable dynamic types are evaluated
+// correctly but never cached.
+type Evaluator struct {
+	trials      int
+	seed        uint64
+	parallelism int
+
+	mu      sync.Mutex
+	entries map[System]*evalEntry
+	order   []System // insertion order, for eviction
+}
+
+// evalEntry is the per-system cache. Its mutex serializes the (expensive)
+// artifact builds; the Evaluator lock is never held while building.
+type evalEntry struct {
+	mu sync.Mutex
+
+	mask    MaskSystem
+	maskErr error
+	maskOK  bool
+
+	table    *quorum.WitnessTable
+	tableErr error
+	tableOK  bool
+
+	quorumMasks []uint64
+
+	// failCounts[g] is the number of g-element green sets containing no
+	// quorum: the availability polynomial F_p = sum_g failCounts[g] q^g
+	// p^(n-g).
+	failCounts []float64
+
+	pc    int
+	pcErr error
+	pcOK  bool
+
+	ppc map[float64]float64
+}
+
+// EvaluatorOption configures an Evaluator.
+type EvaluatorOption func(*Evaluator)
+
+// WithTrials sets the Monte Carlo trial count used by
+// EstimateAverageProbes (default 10000).
+func WithTrials(trials int) EvaluatorOption {
+	return func(e *Evaluator) { e.trials = trials }
+}
+
+// WithSeed sets the Monte Carlo PRNG seed (default 1). Estimates are
+// reproducible for a fixed (trials, seed), independent of parallelism.
+func WithSeed(seed uint64) EvaluatorOption {
+	return func(e *Evaluator) { e.seed = seed }
+}
+
+// WithParallelism caps the worker goroutines of Monte Carlo estimation
+// (default 0: GOMAXPROCS). Results are bit-identical for every setting.
+func WithParallelism(workers int) EvaluatorOption {
+	return func(e *Evaluator) { e.parallelism = workers }
+}
+
+// NewEvaluator returns a measurement session with the given options.
+func NewEvaluator(opts ...EvaluatorOption) *Evaluator {
+	e := &Evaluator{trials: 10000, seed: 1, entries: map[System]*evalEntry{}}
+	for _, opt := range opts {
+		opt(e)
+	}
+	return e
+}
+
+// defaultEvaluator backs the package-level measure functions, so plain
+// façade calls share one cache per process.
+var defaultEvaluator = NewEvaluator()
+
+// entry returns the per-system cache, creating (and, over capacity,
+// evicting) as needed. Systems of non-comparable dynamic types cannot be
+// map keys; they get a throwaway entry.
+func (e *Evaluator) entry(sys System) *evalEntry {
+	if sys == nil || !reflect.TypeOf(sys).Comparable() {
+		return &evalEntry{}
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if ent, ok := e.entries[sys]; ok {
+		return ent
+	}
+	if len(e.order) >= evaluatorMaxSystems {
+		oldest := e.order[0]
+		e.order = e.order[1:]
+		delete(e.entries, oldest)
+	}
+	ent := &evalEntry{}
+	e.entries[sys] = ent
+	e.order = append(e.order, sys)
+	return ent
+}
+
+// MaskView returns the cached word-level view of the system (the system
+// itself when it implements MaskSystem natively, a cached-enumeration
+// adapter otherwise).
+func (e *Evaluator) MaskView(sys System) (MaskSystem, error) {
+	ent := e.entry(sys)
+	ent.mu.Lock()
+	defer ent.mu.Unlock()
+	return ent.maskView(sys)
+}
+
+func (ent *evalEntry) maskView(sys System) (MaskSystem, error) {
+	if !ent.maskOK {
+		ent.mask, ent.maskErr = quorum.Masked(sys)
+		ent.maskOK = true
+	}
+	return ent.mask, ent.maskErr
+}
+
+// WitnessTable returns the cached dense characteristic-function table of
+// the system (n <= 26).
+func (e *Evaluator) WitnessTable(sys System) (*quorum.WitnessTable, error) {
+	ent := e.entry(sys)
+	ent.mu.Lock()
+	defer ent.mu.Unlock()
+	return ent.witnessTable(sys)
+}
+
+func (ent *evalEntry) witnessTable(sys System) (*quorum.WitnessTable, error) {
+	if !ent.tableOK {
+		ent.table, ent.tableErr = quorum.BuildWitnessTable(sys)
+		ent.tableOK = true
+	}
+	return ent.table, ent.tableErr
+}
+
+// QuorumMasks returns the cached minimal quorum masks of the system.
+func (e *Evaluator) QuorumMasks(sys System) ([]uint64, error) {
+	ent := e.entry(sys)
+	ent.mu.Lock()
+	defer ent.mu.Unlock()
+	if ent.quorumMasks == nil {
+		ms, err := ent.maskView(sys)
+		if err != nil {
+			return nil, err
+		}
+		ent.quorumMasks = ms.QuorumMasks()
+	}
+	out := make([]uint64, len(ent.quorumMasks))
+	copy(out, ent.quorumMasks)
+	return out, nil
+}
+
+// Availability returns F_p(S). Systems with the ExactAvailability
+// capability answer from their closed form; for others the session
+// derives an availability polynomial from the witness table once — one
+// coefficient per green count — and every later p is a Horner-style
+// O(n) evaluation instead of a fresh 2^n enumeration.
+func (e *Evaluator) Availability(sys System, p float64) float64 {
+	if ea, ok := sys.(ExactAvailability); ok {
+		return ea.AvailabilityIID(p)
+	}
+	ent := e.entry(sys)
+	ent.mu.Lock()
+	counts := ent.failCounts
+	if counts == nil {
+		if table, err := ent.witnessTable(sys); err == nil {
+			counts = failCountsOf(table)
+			ent.failCounts = counts
+		}
+	}
+	ent.mu.Unlock()
+	if counts == nil {
+		// No table (universe too large): fall back to the uncached path.
+		return availability.Of(sys, p)
+	}
+	n := sys.Size()
+	q := 1 - p
+	total := 0.0
+	for g := 0; g <= n; g++ {
+		if counts[g] != 0 {
+			total += counts[g] * math.Pow(q, float64(g)) * math.Pow(p, float64(n-g))
+		}
+	}
+	if total < 0 {
+		return 0
+	}
+	if total > 1 {
+		return 1
+	}
+	return total
+}
+
+// failCountsOf tallies, per green count, the subsets without a quorum.
+func failCountsOf(table *quorum.WitnessTable) []float64 {
+	n := table.Size()
+	counts := make([]float64, n+1)
+	for mask := uint64(0); mask < 1<<uint(n); mask++ {
+		if !table.Contains(mask) {
+			counts[bits.OnesCount64(mask)]++
+		}
+	}
+	return counts
+}
+
+// ExpectedProbes returns the exact expected probe count of the system's
+// deterministic strategy under IID(p) failures, via the ExactExpectation
+// capability.
+func (e *Evaluator) ExpectedProbes(sys System, p float64) (float64, error) {
+	if ee, ok := sys.(ExactExpectation); ok {
+		return ee.ExpectedProbesIID(p), nil
+	}
+	return 0, fmt.Errorf("probequorum: no closed-form expected probes for %s (implement ExactExpectation)", sys.Name())
+}
+
+// ProbeComplexity returns the exact worst-case probe complexity PC(S),
+// memoized and sharing the session's witness table.
+func (e *Evaluator) ProbeComplexity(sys System) (int, error) {
+	ent := e.entry(sys)
+	ent.mu.Lock()
+	defer ent.mu.Unlock()
+	if !ent.pcOK {
+		table, err := ent.witnessTable(sys)
+		if err != nil {
+			return 0, err
+		}
+		ent.pc, ent.pcErr = strategy.OptimalPCWithTable(sys, table)
+		ent.pcOK = true
+	}
+	return ent.pc, ent.pcErr
+}
+
+// AverageProbeComplexity returns the exact probabilistic probe complexity
+// PPC_p(S), memoized per (system, p) and sharing the session's witness
+// table across distinct p.
+func (e *Evaluator) AverageProbeComplexity(sys System, p float64) (float64, error) {
+	ent := e.entry(sys)
+	ent.mu.Lock()
+	defer ent.mu.Unlock()
+	if v, ok := ent.ppc[p]; ok {
+		return v, nil
+	}
+	table, err := ent.witnessTable(sys)
+	if err != nil {
+		return 0, err
+	}
+	v, err := strategy.OptimalPPCWithTable(sys, table, p)
+	if err != nil {
+		return 0, err
+	}
+	if ent.ppc == nil {
+		ent.ppc = map[float64]float64{}
+	}
+	ent.ppc[p] = v
+	return v, nil
+}
+
+// OptimalStrategyTree materializes a worst-case-optimal probe strategy
+// tree, sharing the session's witness table.
+func (e *Evaluator) OptimalStrategyTree(sys System) (*StrategyNode, error) {
+	ent := e.entry(sys)
+	ent.mu.Lock()
+	defer ent.mu.Unlock()
+	table, err := ent.witnessTable(sys)
+	if err != nil {
+		return nil, err
+	}
+	return strategy.BuildOptimalPCWithTable(sys, table)
+}
+
+// EstimateAverageProbes estimates by simulation the average probes of the
+// system's FindWitness strategy under IID(p) failures with the session's
+// trials, seed and parallelism, returning the mean and the 95% confidence
+// half-interval. The summary is bit-identical across parallelism
+// settings.
+func (e *Evaluator) EstimateAverageProbes(sys System, p float64) (mean, halfCI float64, err error) {
+	if _, err := FindWitness(sys, NewOracle(AllGreen(sys.Size()))); err != nil {
+		return 0, 0, err
+	}
+	type buffers struct {
+		col *coloring.Coloring
+		o   *probe.ColoringOracle
+	}
+	s := sim.EstimateWithWorkers(e.trials, e.seed, e.parallelism,
+		func() *buffers {
+			col := coloring.New(sys.Size())
+			return &buffers{col: col, o: probe.NewOracle(col)}
+		},
+		func(rng *rand.Rand, b *buffers) float64 {
+			coloring.IIDInto(b.col, p, rng)
+			b.o.Reset()
+			if _, err := FindWitness(sys, b.o); err != nil {
+				panic(err) // unreachable: dispatch validated above
+			}
+			return float64(b.o.Probes())
+		})
+	lo, hi := s.CI95()
+	return s.Mean, (hi - lo) / 2, nil
+}

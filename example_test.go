@@ -72,6 +72,35 @@ func ExampleFindWitnessRandomized() {
 	// quorum size: 4
 }
 
+// ExampleParse builds systems from declarative spec strings through the
+// construction registry; every built-in round-trips via Spec().
+func ExampleParse() {
+	sys, _ := probequorum.Parse("cw:1,3,2")
+	spec, _ := probequorum.SpecOf(sys)
+	fmt.Println(sys.Name(), "from", spec)
+
+	_, err := probequorum.Parse("explicit:adhoc")
+	fmt.Println("explicit parse:", err != nil)
+	// Output:
+	// CW(1,3,2) from cw:1,3,2
+	// explicit parse: true
+}
+
+// ExampleEvaluator runs repeated measures through one session: the
+// system's witness table is built once and every later measure reuses
+// it (identical results, cached artifacts).
+func ExampleEvaluator() {
+	eval := probequorum.NewEvaluator(probequorum.WithTrials(5000), probequorum.WithSeed(3))
+	sys := probequorum.MustParse("maj:5")
+
+	ppc, _ := eval.AverageProbeComplexity(sys, 0.5) // builds the table
+	pc, _ := eval.ProbeComplexity(sys)              // reuses it
+	again, _ := eval.AverageProbeComplexity(sys, 0.5)
+	fmt.Printf("PPC=%.3f PC=%d cached==first: %v\n", ppc, pc, again == ppc)
+	// Output:
+	// PPC=4.125 PC=5 cached==first: true
+}
+
 // ExampleNewRegister replicates a value across a quorum system on a
 // simulated cluster.
 func ExampleNewRegister() {

@@ -16,7 +16,7 @@ import (
 )
 
 func main() {
-	sys, err := probequorum.NewTree(3) // 15 vote servers arranged as a tree coterie
+	sys, err := probequorum.Parse("tree:3") // 15 vote servers arranged as a tree coterie
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -12,16 +12,21 @@ import (
 )
 
 func main() {
+	// One Evaluator session serves every measure below: each system's
+	// WitnessTable is built once and shared by PC, PPC and the strategy
+	// tree (and repeated measures are memo hits).
+	eval := probequorum.NewEvaluator()
+
 	// The paper's worked example: Maj3.
-	maj3, err := probequorum.NewMajority(3)
+	maj3, err := probequorum.Parse("maj:3")
 	if err != nil {
 		log.Fatal(err)
 	}
-	pc, err := probequorum.ProbeComplexity(maj3)
+	pc, err := eval.ProbeComplexity(maj3)
 	if err != nil {
 		log.Fatal(err)
 	}
-	ppc, err := probequorum.AverageProbeComplexity(maj3, 0.5)
+	ppc, err := eval.AverageProbeComplexity(maj3, 0.5)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -30,7 +35,7 @@ func main() {
 	fmt.Printf("  PPC = %.3f  (paper: 2.5)\n", ppc)
 	fmt.Println("  PCR = 8/3    (paper: 2 2/3; see the T4.2 experiment)")
 
-	tree, err := probequorum.OptimalStrategyTree(maj3)
+	tree, err := eval.OptimalStrategyTree(maj3)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -40,18 +45,16 @@ func main() {
 	// Lemma 2.2: the classic systems are evasive — the adversary forces
 	// every element to be probed.
 	fmt.Println("evasiveness (Lemma 2.2): PC(S) = n")
-	builders := []func() (probequorum.System, error){
-		func() (probequorum.System, error) { return probequorum.NewMajority(7) },
-		func() (probequorum.System, error) { return probequorum.NewWheel(6) },
-		func() (probequorum.System, error) { return probequorum.NewTriang(4) },
-		func() (probequorum.System, error) { return probequorum.NewTree(2) },
-	}
-	for _, mk := range builders {
-		sys, err := mk()
+	var classics []probequorum.System
+	for _, spec := range []string{"maj:7", "wheel:6", "triang:4", "tree:2"} {
+		sys, err := probequorum.Parse(spec)
 		if err != nil {
 			log.Fatal(err)
 		}
-		pc, err := probequorum.ProbeComplexity(sys)
+		classics = append(classics, sys)
+	}
+	for _, sys := range classics {
+		pc, err := eval.ProbeComplexity(sys)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -59,14 +62,11 @@ func main() {
 	}
 
 	// The probabilistic model changes everything: the same systems need
-	// far fewer probes on average.
+	// far fewer probes on average. The session reuses each system's
+	// witness table from the PC pass above.
 	fmt.Println("\nthe probabilistic-model gap at p = 1/2 (optimal expected probes):")
-	for _, mk := range builders {
-		sys, err := mk()
-		if err != nil {
-			log.Fatal(err)
-		}
-		ppc, err := probequorum.AverageProbeComplexity(sys, 0.5)
+	for _, sys := range classics {
+		ppc, err := eval.AverageProbeComplexity(sys, 0.5)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -75,15 +75,15 @@ func main() {
 
 	// The height-2 HQS: the exhaustive DP beats the paper's directional
 	// optimum — a reproduction finding discussed in EXPERIMENTS.md.
-	hqs, err := probequorum.NewHQS(2)
+	hqs, err := probequorum.Parse("hqs:2")
 	if err != nil {
 		log.Fatal(err)
 	}
-	opt, err := probequorum.AverageProbeComplexity(hqs, 0.5)
+	opt, err := eval.AverageProbeComplexity(hqs, 0.5)
 	if err != nil {
 		log.Fatal(err)
 	}
-	probeHQS, err := probequorum.ExpectedProbes(hqs, 0.5)
+	probeHQS, err := eval.ExpectedProbes(hqs, 0.5)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -13,17 +13,20 @@ import (
 
 func main() {
 	ps := []float64{0.1, 0.3, 0.5}
+	// One session serves the whole sweep; ExpectedProbes dispatches
+	// through the ExactExpectation capability of each construction.
+	eval := probequorum.NewEvaluator(probequorum.WithTrials(20000), probequorum.WithSeed(42))
 
 	fmt.Println("Crumbling walls: expected probes track 2k-1, not n")
 	fmt.Println("system           n      p=0.1     p=0.3     p=0.5   bound")
 	for _, k := range []int{4, 8, 16} {
-		sys, err := probequorum.NewTriang(k)
+		sys, err := probequorum.Parse(fmt.Sprintf("triang:%d", k))
 		if err != nil {
 			log.Fatal(err)
 		}
 		row := fmt.Sprintf("%-14s %4d", sys.Name(), sys.Size())
 		for _, p := range ps {
-			exp, err := probequorum.ExpectedProbes(sys, p)
+			exp, err := eval.ExpectedProbes(sys, p)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -32,71 +35,46 @@ func main() {
 		fmt.Printf("%s   %5d\n", row, 2*k-1)
 	}
 
-	fmt.Println("\nMajority: expected probes stay Θ(n) for every p")
-	fmt.Println("system           n      p=0.1     p=0.3     p=0.5")
-	for _, n := range []int{21, 51, 101} {
-		sys, err := probequorum.NewMajority(n)
-		if err != nil {
-			log.Fatal(err)
-		}
-		row := fmt.Sprintf("%-14s %4d", sys.Name(), sys.Size())
-		for _, p := range ps {
-			exp, err := probequorum.ExpectedProbes(sys, p)
+	sweep := func(title string, specs []string) {
+		fmt.Printf("\n%s\n", title)
+		fmt.Println("system           n      p=0.1     p=0.3     p=0.5")
+		for _, spec := range specs {
+			sys, err := probequorum.Parse(spec)
 			if err != nil {
 				log.Fatal(err)
 			}
-			row += fmt.Sprintf("  %8.3f", exp)
+			row := fmt.Sprintf("%-14s %4d", sys.Name(), sys.Size())
+			for _, p := range ps {
+				exp, err := eval.ExpectedProbes(sys, p)
+				if err != nil {
+					log.Fatal(err)
+				}
+				row += fmt.Sprintf("  %8.3f", exp)
+			}
+			fmt.Println(row)
 		}
-		fmt.Println(row)
 	}
+	sweep("Majority: expected probes stay Θ(n) for every p",
+		[]string{"maj:21", "maj:51", "maj:101"})
+	sweep("Tree and HQS: polynomial growth with sublinear exponents",
+		[]string{"tree:3", "tree:5", "tree:7", "hqs:2", "hqs:4", "hqs:6"})
+	sweep("Wheel and weighted voting: the new capability members",
+		[]string{"wheel:10", "wheel:100", "vote:7,2,2,1,1", "recmaj:5x2"})
 
-	fmt.Println("\nTree and HQS: polynomial growth with sublinear exponents")
-	fmt.Println("system           n      p=0.1     p=0.3     p=0.5")
-	for _, h := range []int{3, 5, 7} {
-		sys, err := probequorum.NewTree(h)
-		if err != nil {
-			log.Fatal(err)
-		}
-		row := fmt.Sprintf("%-14s %4d", sys.Name(), sys.Size())
-		for _, p := range ps {
-			exp, err := probequorum.ExpectedProbes(sys, p)
-			if err != nil {
-				log.Fatal(err)
-			}
-			row += fmt.Sprintf("  %8.3f", exp)
-		}
-		fmt.Println(row)
-	}
-	for _, h := range []int{2, 4, 6} {
-		sys, err := probequorum.NewHQS(h)
-		if err != nil {
-			log.Fatal(err)
-		}
-		row := fmt.Sprintf("%-14s %4d", sys.Name(), sys.Size())
-		for _, p := range ps {
-			exp, err := probequorum.ExpectedProbes(sys, p)
-			if err != nil {
-				log.Fatal(err)
-			}
-			row += fmt.Sprintf("  %8.3f", exp)
-		}
-		fmt.Println(row)
-	}
-
-	fmt.Println("\nSimulation cross-check (Triang(8), p=0.5):")
-	sys, _ := probequorum.NewTriang(8)
-	mean, half, err := probequorum.EstimateAverageProbes(sys, 0.5, 20000, 42)
+	fmt.Println("\nSimulation cross-check (Triang(8), p=0.5, session trials/seed):")
+	sys := probequorum.MustParse("triang:8")
+	mean, half, err := eval.EstimateAverageProbes(sys, 0.5)
 	if err != nil {
 		log.Fatal(err)
 	}
-	exact, _ := probequorum.ExpectedProbes(sys, 0.5)
+	exact, _ := eval.ExpectedProbes(sys, 0.5)
 	fmt.Printf("  simulated %.3f ± %.3f   exact %.3f\n", mean, half, exact)
 
 	fmt.Println("\nAvailability context (F_p, probability that no live quorum exists):")
-	tri, _ := probequorum.NewTriang(8)
-	maj, _ := probequorum.NewMajority(37) // similar universe size
+	tri := probequorum.MustParse("triang:8")
+	maj := probequorum.MustParse("maj:37") // similar universe size
 	for _, p := range ps {
 		fmt.Printf("  p=%.1f  Triang(8): %.6f   Maj(37): %.6f\n",
-			p, probequorum.Availability(tri, p), probequorum.Availability(maj, p))
+			p, eval.Availability(tri, p), eval.Availability(maj, p))
 	}
 }

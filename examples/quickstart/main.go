@@ -11,12 +11,14 @@ import (
 )
 
 func main() {
-	// A Triang crumbling wall with 5 rows (15 processors).
-	sys, err := probequorum.NewTriang(5)
+	// A Triang crumbling wall with 5 rows (15 processors), built from its
+	// declarative spec through the construction registry.
+	sys, err := probequorum.Parse("triang:5")
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("system %s over %d processors\n\n", sys.Name(), sys.Size())
+	spec, _ := probequorum.SpecOf(sys)
+	fmt.Printf("system %s (spec %q) over %d processors\n\n", sys.Name(), spec, sys.Size())
 
 	// Fail each processor independently with probability 0.3.
 	rng := rand.New(rand.NewPCG(2024, 1))

@@ -15,7 +15,7 @@ import (
 )
 
 func main() {
-	sys, err := probequorum.NewTriang(4) // 10 replicas
+	sys, err := probequorum.Parse("triang:4") // 10 replicas
 	if err != nil {
 		log.Fatal(err)
 	}

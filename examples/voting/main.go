@@ -13,24 +13,28 @@ import (
 )
 
 func main() {
-	// Three assignments over 6 replicas (odd totals).
-	assignments := map[string][]int{
-		"flat-ish (maj of 7 votes)": {2, 1, 1, 1, 1, 1},
-		"two strong replicas":       {3, 3, 1, 1, 1, 2},
-		"near-dictator":             {7, 1, 1, 1, 1, 2},
+	// Three assignments over 6 replicas (odd totals), as vote specs.
+	assignments := map[string]string{
+		"flat-ish (maj of 7 votes)": "vote:2,1,1,1,1,1",
+		"two strong replicas":       "vote:3,3,1,1,1,2",
+		"near-dictator":             "vote:7,1,1,1,1,2",
 	}
 	order := []string{"flat-ish (maj of 7 votes)", "two strong replicas", "near-dictator"}
 
-	fmt.Println("availability F_p and expected probes per vote assignment")
-	fmt.Println("assignment                  p=0.1           p=0.3           p=0.5")
+	fmt.Println("availability F_p and exact expected probes per vote assignment")
+	fmt.Println("assignment                  p=0.1                p=0.3                p=0.5")
 	for _, name := range order {
-		sys, err := probequorum.NewVote(assignments[name])
+		sys, err := probequorum.Parse(assignments[name])
 		if err != nil {
 			log.Fatal(err)
 		}
 		row := fmt.Sprintf("%-26s", name)
 		for _, p := range []float64{0.1, 0.3, 0.5} {
-			row += fmt.Sprintf("  F=%.4f", probequorum.Availability(sys, p))
+			exp, err := probequorum.ExpectedProbes(sys, p)
+			if err != nil {
+				log.Fatal(err)
+			}
+			row += fmt.Sprintf("  F=%.4f E=%.2f", probequorum.Availability(sys, p), exp)
 		}
 		fmt.Println(row)
 	}
@@ -38,7 +42,7 @@ func main() {
 	// Witness search against a concrete failure pattern: the strong
 	// replicas fail.
 	fmt.Println("\nfailing the two strong replicas of 'two strong replicas':")
-	sys, err := probequorum.NewVote(assignments["two strong replicas"])
+	sys, err := probequorum.Parse(assignments["two strong replicas"])
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -16,7 +16,6 @@ import (
 
 	"probequorum/internal/coloring"
 	"probequorum/internal/quorum"
-	"probequorum/internal/systems"
 )
 
 // Maj returns F_p(Maj) over n (odd) elements: the probability that fewer
@@ -250,27 +249,15 @@ func MonteCarlo(sys quorum.System, p float64, trials int, rng *rand.Rand) float6
 	return float64(fails) / float64(trials)
 }
 
-// Of dispatches to the closed form matching the system's concrete type,
-// falling back to brute force for explicit systems.
+// Of dispatches through the quorum.ExactAvailability capability — every
+// built-in construction implements it with its closed form — falling
+// back to brute-force enumeration for systems without one (small
+// universes only).
 func Of(sys quorum.System, p float64) float64 {
-	switch s := sys.(type) {
-	case *systems.Maj:
-		return Maj(s.Size(), p)
-	case *systems.Wheel:
-		return Wheel(s.Size(), p)
-	case *systems.CW:
-		return CW(s.Widths(), p)
-	case *systems.Tree:
-		return Tree(s.Height(), p)
-	case *systems.HQS:
-		return HQS(s.Height(), p)
-	case *systems.Vote:
-		return Vote(s.Weights(), p)
-	case *systems.RecMaj:
-		return RecMaj(s.Arity(), s.Height(), p)
-	default:
-		return BruteForce(sys, p)
+	if ea, ok := sys.(quorum.ExactAvailability); ok {
+		return ea.AvailabilityIID(p)
 	}
+	return BruteForce(sys, p)
 }
 
 func checkP(p float64) {

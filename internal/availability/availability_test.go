@@ -1,9 +1,11 @@
-package availability
+package availability_test
 
 import (
 	"math"
 	"math/rand/v2"
 	"testing"
+
+	"probequorum/internal/availability"
 
 	"probequorum/internal/bitset"
 	"probequorum/internal/quorum"
@@ -13,13 +15,13 @@ import (
 func TestMajClosedForm(t *testing.T) {
 	// Maj over 1 element: F_p = p.
 	for _, p := range []float64{0, 0.2, 0.5, 1} {
-		if got := Maj(1, p); math.Abs(got-p) > 1e-12 {
-			t.Errorf("Maj(1, %v) = %v, want %v", p, got, p)
+		if got := availability.Maj(1, p); math.Abs(got-p) > 1e-12 {
+			t.Errorf("availability.Maj(1, %v) = %v, want %v", p, got, p)
 		}
 	}
 	// Maj3 at p = 1/2: F = P(at most 1 green of 3) = (1 + 3)/8 = 0.5.
-	if got := Maj(3, 0.5); math.Abs(got-0.5) > 1e-12 {
-		t.Errorf("Maj(3, 0.5) = %v, want 0.5", got)
+	if got := availability.Maj(3, 0.5); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("availability.Maj(3, 0.5) = %v, want 0.5", got)
 	}
 }
 
@@ -33,17 +35,17 @@ func TestClosedFormsMatchBruteForce(t *testing.T) {
 		sys    quorum.System
 		closed func(p float64) float64
 	}{
-		{maj, func(p float64) float64 { return Maj(7, p) }},
-		{wheel, func(p float64) float64 { return Wheel(6, p) }},
-		{cw, func(p float64) float64 { return CW([]int{1, 3, 2, 4}, p) }},
-		{tree, func(p float64) float64 { return Tree(2, p) }},
-		{hqs, func(p float64) float64 { return HQS(2, p) }},
+		{maj, func(p float64) float64 { return availability.Maj(7, p) }},
+		{wheel, func(p float64) float64 { return availability.Wheel(6, p) }},
+		{cw, func(p float64) float64 { return availability.CW([]int{1, 3, 2, 4}, p) }},
+		{tree, func(p float64) float64 { return availability.Tree(2, p) }},
+		{hqs, func(p float64) float64 { return availability.HQS(2, p) }},
 	}
 	for _, c := range cases {
 		t.Run(c.sys.Name(), func(t *testing.T) {
 			for _, p := range []float64{0, 0.1, 0.3, 0.5, 0.7, 0.9, 1} {
 				got := c.closed(p)
-				want := BruteForce(c.sys, p)
+				want := availability.BruteForce(c.sys, p)
 				if math.Abs(got-want) > 1e-9 {
 					t.Errorf("p=%v: closed form %.9f != brute force %.9f", p, got, want)
 				}
@@ -55,11 +57,11 @@ func TestClosedFormsMatchBruteForce(t *testing.T) {
 // Fact 2.3(2): F_p(S) + F_{1-p}(S) = 1 for ND coteries.
 func TestSelfDualComplement(t *testing.T) {
 	closed := []func(p float64) float64{
-		func(p float64) float64 { return Maj(9, p) },
-		func(p float64) float64 { return Wheel(8, p) },
-		func(p float64) float64 { return CW([]int{1, 2, 3, 4}, p) },
-		func(p float64) float64 { return Tree(3, p) },
-		func(p float64) float64 { return HQS(3, p) },
+		func(p float64) float64 { return availability.Maj(9, p) },
+		func(p float64) float64 { return availability.Wheel(8, p) },
+		func(p float64) float64 { return availability.CW([]int{1, 2, 3, 4}, p) },
+		func(p float64) float64 { return availability.Tree(3, p) },
+		func(p float64) float64 { return availability.HQS(3, p) },
 	}
 	for i, f := range closed {
 		for _, p := range []float64{0.1, 0.25, 0.5, 0.8} {
@@ -74,11 +76,11 @@ func TestSelfDualComplement(t *testing.T) {
 func TestAvailabilityBoundedByP(t *testing.T) {
 	for _, p := range []float64{0.05, 0.2, 0.35, 0.5} {
 		checks := map[string]float64{
-			"Maj(21)":     Maj(21, p),
-			"Wheel(10)":   Wheel(10, p),
-			"CW(1,2,3,4)": CW([]int{1, 2, 3, 4}, p),
-			"Tree(4)":     Tree(4, p),
-			"HQS(4)":      HQS(4, p),
+			"availability.Maj(21)":     availability.Maj(21, p),
+			"availability.Wheel(10)":   availability.Wheel(10, p),
+			"availability.CW(1,2,3,4)": availability.CW([]int{1, 2, 3, 4}, p),
+			"availability.Tree(4)":     availability.Tree(4, p),
+			"availability.HQS(4)":      availability.HQS(4, p),
 		}
 		for name, f := range checks {
 			if f > p+1e-12 {
@@ -94,22 +96,22 @@ func TestMajCondorcet(t *testing.T) {
 	p := 0.2
 	prev := 1.0
 	for _, n := range []int{3, 9, 21, 51} {
-		f := Maj(n, p)
+		f := availability.Maj(n, p)
 		if f >= prev {
-			t.Errorf("Maj(%d): F = %v did not decrease (prev %v)", n, f, prev)
+			t.Errorf("availability.Maj(%d): F = %v did not decrease (prev %v)", n, f, prev)
 		}
 		prev = f
 	}
 	// At p > 1/2 the effect reverses toward certain failure.
-	if f := Maj(101, 0.6); f < 0.9 {
-		t.Errorf("Maj(101) at p=0.6: F = %v, want near 1", f)
+	if f := availability.Maj(101, 0.6); f < 0.9 {
+		t.Errorf("availability.Maj(101) at p=0.6: F = %v, want near 1", f)
 	}
 }
 
 func TestVoteAvailability(t *testing.T) {
 	// Unit weights reduce to Maj.
 	for _, p := range []float64{0, 0.2, 0.5, 0.8, 1} {
-		if got, want := Vote([]int{1, 1, 1, 1, 1}, p), Maj(5, p); math.Abs(got-want) > 1e-12 {
+		if got, want := availability.Vote([]int{1, 1, 1, 1, 1}, p), availability.Maj(5, p); math.Abs(got-want) > 1e-12 {
 			t.Errorf("p=%v: Vote unit = %v, Maj = %v", p, got, want)
 		}
 	}
@@ -121,18 +123,18 @@ func TestVoteAvailability(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, p := range []float64{0.1, 0.4, 0.5, 0.9} {
-			got := Vote(ws, p)
-			want := BruteForce(v, p)
+			got := availability.Vote(ws, p)
+			want := availability.BruteForce(v, p)
 			if math.Abs(got-want) > 1e-9 {
 				t.Errorf("%v p=%v: DP %.9f != brute force %.9f", ws, p, got, want)
 			}
 			// Self-duality (odd total weight).
-			if sum := Vote(ws, p) + Vote(ws, 1-p); math.Abs(sum-1) > 1e-9 {
+			if sum := availability.Vote(ws, p) + availability.Vote(ws, 1-p); math.Abs(sum-1) > 1e-9 {
 				t.Errorf("%v p=%v: F_p + F_{1-p} = %v", ws, p, sum)
 			}
 		}
 		// Of dispatch.
-		if got, want := Of(v, 0.3), Vote(ws, 0.3); math.Abs(got-want) > 1e-12 {
+		if got, want := availability.Of(v, 0.3), availability.Vote(ws, 0.3); math.Abs(got-want) > 1e-12 {
 			t.Errorf("Of dispatch = %v, want %v", got, want)
 		}
 	}
@@ -142,8 +144,8 @@ func TestMonteCarloAgreesWithClosedForm(t *testing.T) {
 	rng := rand.New(rand.NewPCG(5, 7))
 	tree, _ := systems.NewTree(3)
 	p := 0.4
-	mc := MonteCarlo(tree, p, 20000, rng)
-	want := Tree(3, p)
+	mc := availability.MonteCarlo(tree, p, 20000, rng)
+	want := availability.Tree(3, p)
 	if math.Abs(mc-want) > 0.02 {
 		t.Errorf("MC %.4f vs closed form %.4f", mc, want)
 	}
@@ -156,8 +158,8 @@ func TestOfDispatch(t *testing.T) {
 	tree, _ := systems.NewTree(1)
 	hqs, _ := systems.NewHQS(1)
 	for _, sys := range []quorum.System{maj, wheel, cw, tree, hqs} {
-		got := Of(sys, 0.3)
-		want := BruteForce(sys, 0.3)
+		got := availability.Of(sys, 0.3)
+		want := availability.BruteForce(sys, 0.3)
 		if math.Abs(got-want) > 1e-9 {
 			t.Errorf("%s: Of = %v, brute force %v", sys.Name(), got, want)
 		}
@@ -171,7 +173,7 @@ func TestOfDispatch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got, want := Of(exp, 0.5), 0.5; math.Abs(got-want) > 1e-12 {
+	if got, want := availability.Of(exp, 0.5), 0.5; math.Abs(got-want) > 1e-12 {
 		t.Errorf("explicit Of = %v, want %v", got, want)
 	}
 }
@@ -192,8 +194,8 @@ func TestBruteForceMaskMatchesColoringFallback(t *testing.T) {
 	for _, sys := range []quorum.System{maj, wheel, cw, tree, vote} {
 		t.Run(sys.Name(), func(t *testing.T) {
 			for _, p := range []float64{0, 0.15, 0.5, 0.85, 1} {
-				mask := BruteForce(sys, p)
-				fallback := BruteForce(hideMask{sys}, p)
+				mask := availability.BruteForce(sys, p)
+				fallback := availability.BruteForce(hideMask{sys}, p)
 				if mask != fallback {
 					t.Errorf("p=%v: mask %v != fallback %v", p, mask, fallback)
 				}
@@ -206,8 +208,8 @@ func TestBruteForceMaskMatchesColoringFallback(t *testing.T) {
 // stream as the coloring path, so fixed seeds give identical estimates.
 func TestMonteCarloMaskMatchesColoringFallback(t *testing.T) {
 	hqs, _ := systems.NewHQS(2)
-	got := MonteCarlo(hqs, 0.4, 3000, rand.New(rand.NewPCG(5, 9)))
-	want := MonteCarlo(hideMask{hqs}, 0.4, 3000, rand.New(rand.NewPCG(5, 9)))
+	got := availability.MonteCarlo(hqs, 0.4, 3000, rand.New(rand.NewPCG(5, 9)))
+	want := availability.MonteCarlo(hideMask{hqs}, 0.4, 3000, rand.New(rand.NewPCG(5, 9)))
 	if got != want {
 		t.Errorf("mask MC %v != coloring MC %v", got, want)
 	}

@@ -1,86 +1,47 @@
 package core
 
-import (
-	"fmt"
-	"math"
+import "probequorum/internal/systems"
 
-	"probequorum/internal/availability"
-	"probequorum/internal/walk"
-)
-
-// This file computes the exact expected probe counts of the deterministic
-// probabilistic-model algorithms under IID(p) failures, using the paper's
-// own recursions with the exact availability values substituted for the
-// bounds. The test suite validates each against full enumeration on small
-// instances.
+// The exact expected probe counts of the deterministic strategies under
+// IID(p) failures live next to the constructions (the
+// quorum.ExactExpectation capability and its parameterized recursions in
+// internal/systems/expected.go); the wrappers below are the entry points
+// used by the experiment drivers. The parameterized forms extend beyond
+// constructible universe sizes (e.g. Tree at height 32).
 
 // ExpectedProbeMajIID returns the exact expected probes of Probe_Maj on
 // the majority system over n (odd) elements under IID(p) failures: the
 // grid-walk exit time of Lemma 2.4 with N = (n+1)/2.
-func ExpectedProbeMajIID(n int, p float64) float64 {
-	if n <= 0 || n%2 == 0 {
-		panic(fmt.Sprintf("core: Maj requires odd positive n, got %d", n))
-	}
-	return walk.ExactExitTime((n+1)/2, p)
-}
+func ExpectedProbeMajIID(n int, p float64) float64 { return systems.ExpectedProbeMajIID(n, p) }
+
+// ExpectedProbeWheelIID returns the exact expected probes of the
+// hub-first wheel strategy over n elements under IID(p) failures:
+// 1 + (1 - p^(n-1)) + (1 - q^(n-1)).
+func ExpectedProbeWheelIID(n int, p float64) float64 { return systems.ExpectedProbeWheelIID(n, p) }
 
 // ExpectedProbeCWIID returns the exact expected probes of Probe_CW on the
-// crumbling wall with the given widths under IID(p) failures. Row i is
-// probed until an element of the current mode appears; the mode is red
-// with probability F_p(prefix wall), and the truncated-geometric scan of a
-// width-w row costs (1 - p^w)/q in green mode and (1 - q^w)/p in red mode.
+// crumbling wall with the given widths under IID(p) failures.
 func ExpectedProbeCWIID(widths []int, p float64) float64 {
-	if len(widths) == 0 {
-		panic("core: empty wall")
-	}
-	q := 1 - p
-	total := 1.0 // the unique element of row 1
-	for i := 1; i < len(widths); i++ {
-		fPrefix := availability.CW(widths[:i], p)
-		w := float64(widths[i])
-		var greenScan, redScan float64
-		if p == 0 {
-			greenScan, redScan = 1, w
-		} else if q == 0 {
-			greenScan, redScan = w, 1
-		} else {
-			greenScan = (1 - math.Pow(p, w)) / q
-			redScan = (1 - math.Pow(q, w)) / p
-		}
-		total += fPrefix*redScan + (1-fPrefix)*greenScan
-	}
-	return total
+	return systems.ExpectedProbeCWIID(widths, p)
 }
 
 // ExpectedProbeTreeIID returns the exact expected probes of Probe_Tree on
-// the tree system of height h under IID(p) failures, via the §3.3
-// recursion T(h) = 1 + T(h-1) + [q F(h-1) + p (1 - F(h-1))] T(h-1) with
-// the exact subtree availability F.
-func ExpectedProbeTreeIID(h int, p float64) float64 {
-	if h < 0 {
-		panic(fmt.Sprintf("core: negative tree height %d", h))
-	}
-	q := 1 - p
-	t := 1.0
-	for i := 1; i <= h; i++ {
-		f := availability.Tree(i-1, p)
-		t = 1 + t + (q*f+p*(1-f))*t
-	}
-	return t
-}
+// the tree system of height h under IID(p) failures.
+func ExpectedProbeTreeIID(h int, p float64) float64 { return systems.ExpectedProbeTreeIID(h, p) }
 
 // ExpectedProbeHQSIID returns the exact expected probes of Probe_HQS on
-// the HQS of height h under IID(p) failures, via the Theorem 3.8
-// recursion T(h) = 2 T(h-1) + 2 F(1-F) T(h-1) with the exact subtree
-// availability F.
-func ExpectedProbeHQSIID(h int, p float64) float64 {
-	if h < 0 {
-		panic(fmt.Sprintf("core: negative HQS height %d", h))
-	}
-	t := 1.0
-	for i := 1; i <= h; i++ {
-		f := availability.HQS(i-1, p)
-		t = (2 + 2*f*(1-f)) * t
-	}
-	return t
+// the HQS of height h under IID(p) failures.
+func ExpectedProbeHQSIID(h int, p float64) float64 { return systems.ExpectedProbeHQSIID(h, p) }
+
+// ExpectedProbeVoteIID returns the exact expected probes of the
+// descending-weight voting scan under IID(p) failures.
+func ExpectedProbeVoteIID(weights []int, p float64) float64 {
+	return systems.ExpectedProbeVoteIID(weights, p)
+}
+
+// ExpectedProbeRecMajIID returns the exact expected probes of
+// ProbeRecMaj on the recursive m-ary majority system of height h under
+// IID(p) failures.
+func ExpectedProbeRecMajIID(m, h int, p float64) float64 {
+	return systems.ExpectedProbeRecMajIID(m, h, p)
 }

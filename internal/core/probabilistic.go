@@ -1,130 +1,41 @@
 package core
 
 import (
-	"probequorum/internal/bitset"
-	"probequorum/internal/coloring"
 	"probequorum/internal/probe"
 	"probequorum/internal/systems"
 )
 
-// ProbeMaj finds a witness for the majority system by probing elements in
-// index order until one color reaches the quorum threshold (§3.1). Under
-// IID failures every fixed order is optimal because the unprobed elements
-// remain exchangeable.
-func ProbeMaj(m *systems.Maj, o probe.Oracle) probe.Witness {
-	t := m.Threshold()
-	greens := bitset.New(m.Size())
-	reds := bitset.New(m.Size())
-	for e := 0; e < m.Size(); e++ {
-		if o.Probe(e) == coloring.Green {
-			greens.Add(e)
-			if greens.Count() == t {
-				return probe.Witness{Color: coloring.Green, Set: greens}
-			}
-		} else {
-			reds.Add(e)
-			if reds.Count() == t {
-				return probe.Witness{Color: coloring.Red, Set: reds}
-			}
-		}
-	}
-	// Unreachable for odd n: one color must reach the threshold.
-	panic("core: ProbeMaj exhausted the universe without a witness")
-}
+// The paper's deterministic probabilistic-model strategies live on the
+// constructions themselves as implementations of the probe.Prober
+// capability (internal/systems/probing.go); the free functions below are
+// the paper-named entry points used by the experiment drivers and tests.
+
+// ProbeMaj is Algorithm Probe_Maj (§3.1): probe elements in index order
+// until one color reaches the quorum threshold.
+func ProbeMaj(m *systems.Maj, o probe.Oracle) probe.Witness { return m.ProbeWitness(o) }
+
+// ProbeWheel is the hub-first wheel strategy: probe the hub, then scan
+// the rim for the hub's color; a full disagreeing rim is itself the
+// witness. Expected probes are O(1) for p bounded away from 0 and 1.
+func ProbeWheel(w *systems.Wheel, o probe.Oracle) probe.Witness { return w.ProbeWitness(o) }
 
 // ProbeCW is Algorithm Probe_CW (Fig. 5): scan rows top to bottom,
-// maintaining a monochromatic witness set W and a mode equal to its color.
-// In each row, probe until an element of the current mode is found; if the
-// row is exhausted, the row itself is monochromatic of the opposite color,
-// so it replaces W and the mode flips.
-func ProbeCW(c *systems.CW, o probe.Oracle) probe.Witness {
-	start, _ := c.RowRange(0)
-	w := bitset.New(c.Size())
-	w.Add(start)
-	mode := o.Probe(start)
-	for i := 1; i < c.Rows(); i++ {
-		lo, hi := c.RowRange(i)
-		found := false
-		for e := lo; e < hi; e++ {
-			if o.Probe(e) == mode {
-				w.Add(e)
-				found = true
-				break
-			}
-		}
-		if !found {
-			w.Clear()
-			for e := lo; e < hi; e++ {
-				w.Add(e)
-			}
-			mode = mode.Opposite()
-		}
-	}
-	return probe.Witness{Color: mode, Set: w}
-}
+// keeping a monochromatic witness set whose color flips whenever a row is
+// exhausted without the current mode.
+func ProbeCW(c *systems.CW, o probe.Oracle) probe.Witness { return c.ProbeWitness(o) }
 
-// ProbeTree is Algorithm Probe_Tree (§3.3): probe the root, recursively
-// find a witness for the right subtree and, only if its color differs from
-// the root's, for the left subtree. The three colors cannot be pairwise
-// distinct, so a monochromatic subtree/root combination always emerges.
-func ProbeTree(t *systems.Tree, o probe.Oracle) probe.Witness {
-	return probeTreeAt(t, o, t.Root())
-}
-
-func probeTreeAt(t *systems.Tree, o probe.Oracle, v int) probe.Witness {
-	rootColor := o.Probe(v)
-	if t.IsLeaf(v) {
-		return probe.Witness{Color: rootColor, Set: bitset.FromSlice(t.Size(), []int{v})}
-	}
-	wr := probeTreeAt(t, o, t.Right(v))
-	if wr.Color == rootColor {
-		wr.Set.Add(v)
-		return probe.Witness{Color: rootColor, Set: wr.Set}
-	}
-	wl := probeTreeAt(t, o, t.Left(v))
-	if wl.Color == rootColor {
-		wl.Set.Add(v)
-		return probe.Witness{Color: rootColor, Set: wl.Set}
-	}
-	// wl and wr disagree with the root, hence agree with each other.
-	wl.Set.UnionWith(wr.Set)
-	return probe.Witness{Color: wl.Color, Set: wl.Set}
-}
+// ProbeTree is Algorithm Probe_Tree (§3.3): root, right subtree, and the
+// left subtree only when the colors disagree.
+func ProbeTree(t *systems.Tree, o probe.Oracle) probe.Witness { return t.ProbeWitness(o) }
 
 // ProbeHQS is Algorithm Probe_HQS (§3.4): evaluate each 2-of-3 gate by
-// recursively evaluating its first two children and the third only when
-// they disagree. The strategy is h-good and, by Theorem 3.9, optimal in
-// the probabilistic model at p = 1/2.
-func ProbeHQS(h *systems.HQS, o probe.Oracle) probe.Witness {
-	return probeHQSAt(h, o, 0, h.Size())
-}
+// its first two children, and the third only when they disagree.
+func ProbeHQS(h *systems.HQS, o probe.Oracle) probe.Witness { return h.ProbeWitness(o) }
 
-func probeHQSAt(h *systems.HQS, o probe.Oracle, start, size int) probe.Witness {
-	if size == 1 {
-		return probe.Witness{
-			Color: o.Probe(start),
-			Set:   bitset.FromSlice(h.Size(), []int{start}),
-		}
-	}
-	third := size / 3
-	w0 := probeHQSAt(h, o, start, third)
-	w1 := probeHQSAt(h, o, start+third, third)
-	if w0.Color == w1.Color {
-		w0.Set.UnionWith(w1.Set)
-		return probe.Witness{Color: w0.Color, Set: w0.Set}
-	}
-	w2 := probeHQSAt(h, o, start+2*third, third)
-	return mergeMajority(w2, w0, w1)
-}
+// ProbeVote probes elements in order of decreasing weight until one color
+// accumulates a strict majority of the total weight.
+func ProbeVote(v *systems.Vote, o probe.Oracle) probe.Witness { return v.ProbeWitness(o) }
 
-// mergeMajority combines the deciding child witness with whichever of the
-// other two child witnesses shares its color, yielding the gate witness.
-func mergeMajority(decider, a, b probe.Witness) probe.Witness {
-	match := a
-	if b.Color == decider.Color {
-		match = b
-	}
-	set := decider.Set.Clone()
-	set.UnionWith(match.Set)
-	return probe.Witness{Color: decider.Color, Set: set}
-}
+// ProbeRecMaj evaluates every m-ary majority gate left to right with
+// short-circuit at the gate threshold; for m = 3 this is Probe_HQS.
+func ProbeRecMaj(r *systems.RecMaj, o probe.Oracle) probe.Witness { return r.ProbeWitness(o) }

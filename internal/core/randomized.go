@@ -9,133 +9,58 @@ import (
 	"probequorum/internal/systems"
 )
 
+// The paper's randomized worst-case strategies live on the constructions
+// as implementations of the probe.RandomizedProber capability
+// (internal/systems/randomized.go); the free functions below are the
+// paper-named entry points used by the experiment drivers and tests.
+// R_Probe_HQS (Fig. 7) is kept here in full: the capability dispatches to
+// the improved IR_Probe_HQS, and Fig. 7 survives as the baseline the
+// improvement is measured against.
+
 // RProbeMaj is Algorithm R_Probe_Maj (§4.1): probe elements uniformly at
-// random without replacement until one color reaches the quorum threshold.
-// Its worst-case expected probe count is n - (n-1)/(n+3) (Theorem 4.2).
+// random without replacement until one color reaches the quorum
+// threshold. Worst-case expected probes: n - (n-1)/(n+3) (Theorem 4.2).
 func RProbeMaj(m *systems.Maj, o probe.Oracle, rng *rand.Rand) probe.Witness {
-	n := m.Size()
-	t := m.Threshold()
-	perm := rng.Perm(n)
-	greens := bitset.New(n)
-	reds := bitset.New(n)
-	for _, e := range perm {
-		if o.Probe(e) == coloring.Green {
-			greens.Add(e)
-			if greens.Count() == t {
-				return probe.Witness{Color: coloring.Green, Set: greens}
-			}
-		} else {
-			reds.Add(e)
-			if reds.Count() == t {
-				return probe.Witness{Color: coloring.Red, Set: reds}
-			}
-		}
-	}
-	panic("core: RProbeMaj exhausted the universe without a witness")
+	return m.ProbeWitnessRandomized(o, rng)
 }
 
-// RProbeCW is Algorithm R_Probe_CW (§4.2): starting from the bottom row,
-// probe each row in uniformly random order until elements of both colors
-// are seen, moving up; stop at the first monochromatic row, which together
-// with the recorded same-colored representatives below forms the witness.
+// RProbeWheel is the hub-first wheel strategy with the rim scanned in
+// uniformly random order.
+func RProbeWheel(w *systems.Wheel, o probe.Oracle, rng *rand.Rand) probe.Witness {
+	return w.ProbeWitnessRandomized(o, rng)
+}
+
+// RProbeCW is Algorithm R_Probe_CW (§4.2): probe each row bottom-up in
+// random order until both colors appear, stopping at the first
+// monochromatic row.
 func RProbeCW(c *systems.CW, o probe.Oracle, rng *rand.Rand) probe.Witness {
-	k := c.Rows()
-	n := c.Size()
-	// rep[i][color] is an element of row i observed with that color.
-	repGreen := make([]int, k)
-	repRed := make([]int, k)
-	for j := k - 1; j >= 0; j-- {
-		lo, hi := c.RowRange(j)
-		width := hi - lo
-		order := rng.Perm(width)
-		repGreen[j], repRed[j] = -1, -1
-		for _, off := range order {
-			e := lo + off
-			if o.Probe(e) == coloring.Green {
-				repGreen[j] = e
-			} else {
-				repRed[j] = e
-			}
-			if repGreen[j] >= 0 && repRed[j] >= 0 {
-				break
-			}
-		}
-		if repGreen[j] < 0 || repRed[j] < 0 {
-			// Row j is monochromatic: assemble the witness.
-			mode := coloring.Green
-			if repGreen[j] < 0 {
-				mode = coloring.Red
-			}
-			w := bitset.New(n)
-			for e := lo; e < hi; e++ {
-				w.Add(e)
-			}
-			for i := j + 1; i < k; i++ {
-				if mode == coloring.Green {
-					w.Add(repGreen[i])
-				} else {
-					w.Add(repRed[i])
-				}
-			}
-			return probe.Witness{Color: mode, Set: w}
-		}
-	}
-	// Unreachable: the top row has width 1 and is always monochromatic.
-	panic("core: RProbeCW passed the top row without a witness")
+	return c.ProbeWitnessRandomized(o, rng)
 }
 
-// RProbeTree is Algorithm R_Probe_Tree (§4.3): at every subtree choose
-// uniformly among three probe orders — root then left subtree (right only
-// if needed), root then right subtree (left only if needed), or both
-// subtrees first (root only if they disagree). PCR ≤ 5n/6 + 1/6
+// RProbeTree is Algorithm R_Probe_Tree (§4.3): a uniformly random choice
+// among three probe orders at every subtree. PCR <= 5n/6 + 1/6
 // (Theorem 4.7).
 func RProbeTree(t *systems.Tree, o probe.Oracle, rng *rand.Rand) probe.Witness {
-	return rProbeTreeAt(t, o, rng, t.Root())
+	return t.ProbeWitnessRandomized(o, rng)
 }
 
-func rProbeTreeAt(t *systems.Tree, o probe.Oracle, rng *rand.Rand, v int) probe.Witness {
-	if t.IsLeaf(v) {
-		return probe.Witness{Color: o.Probe(v), Set: bitset.FromSlice(t.Size(), []int{v})}
-	}
-	switch rng.IntN(3) {
-	case 0:
-		return rProbeTreeRootFirst(t, o, rng, v, t.Left(v), t.Right(v))
-	case 1:
-		return rProbeTreeRootFirst(t, o, rng, v, t.Right(v), t.Left(v))
-	default:
-		wl := rProbeTreeAt(t, o, rng, t.Left(v))
-		wr := rProbeTreeAt(t, o, rng, t.Right(v))
-		if wl.Color == wr.Color {
-			wl.Set.UnionWith(wr.Set)
-			return probe.Witness{Color: wl.Color, Set: wl.Set}
-		}
-		rootColor := o.Probe(v)
-		match := wl
-		if wr.Color == rootColor {
-			match = wr
-		}
-		match.Set.Add(v)
-		return probe.Witness{Color: rootColor, Set: match.Set}
-	}
+// RProbeVote probes elements in uniformly random order until one color
+// accumulates a strict weight majority.
+func RProbeVote(v *systems.Vote, o probe.Oracle, rng *rand.Rand) probe.Witness {
+	return v.ProbeWitnessRandomized(o, rng)
 }
 
-// rProbeTreeRootFirst probes the root and subtree first; if their colors
-// disagree it falls back to the other subtree, whose witness color must
-// match either the root or the first subtree.
-func rProbeTreeRootFirst(t *systems.Tree, o probe.Oracle, rng *rand.Rand, v, first, second int) probe.Witness {
-	rootColor := o.Probe(v)
-	w1 := rProbeTreeAt(t, o, rng, first)
-	if w1.Color == rootColor {
-		w1.Set.Add(v)
-		return probe.Witness{Color: rootColor, Set: w1.Set}
-	}
-	w2 := rProbeTreeAt(t, o, rng, second)
-	if w2.Color == rootColor {
-		w2.Set.Add(v)
-		return probe.Witness{Color: rootColor, Set: w2.Set}
-	}
-	w1.Set.UnionWith(w2.Set)
-	return probe.Witness{Color: w1.Color, Set: w1.Set}
+// RProbeRecMaj evaluates every gate's children in uniformly random order
+// with short-circuit at the gate threshold — the m-ary generalization of
+// R_Probe_HQS.
+func RProbeRecMaj(r *systems.RecMaj, o probe.Oracle, rng *rand.Rand) probe.Witness {
+	return r.ProbeWitnessRandomized(o, rng)
+}
+
+// IRProbeHQS is Algorithm IR_Probe_HQS (Fig. 8): the improved randomized
+// HQS prober with the grandchild peek. PCR = O(n^0.887) (Theorem 4.10).
+func IRProbeHQS(h *systems.HQS, o probe.Oracle, rng *rand.Rand) probe.Witness {
+	return h.ProbeWitnessRandomized(o, rng)
 }
 
 // RProbeHQS is Algorithm R_Probe_HQS (Fig. 7, due to Boppana [16]):
@@ -161,94 +86,16 @@ func rProbeHQSAt(h *systems.HQS, o probe.Oracle, rng *rand.Rand, start, size int
 	return mergeMajority(w2, w0, w1)
 }
 
-// IRProbeHQS is Algorithm IR_Probe_HQS (Fig. 8): the improved randomized
-// HQS prober. To evaluate a gate of height >= 2 it fully evaluates a random
-// child r1, then peeks at a random grandchild of a second random child r2.
-// If the grandchild agrees with r1 the algorithm finishes evaluating r2
-// (hoping to confirm the majority); otherwise it suspects r2 is the
-// minority child and evaluates r3 first. PCR = O(n^0.887) (Theorem 4.10).
-//
-// Following the paper, "evaluating" a node means evaluating its children
-// in uniformly random order until its value is determined, where each
-// child evaluation is a recursive IR call; the recursion therefore
-// descends two levels at a time.
-func IRProbeHQS(h *systems.HQS, o probe.Oracle, rng *rand.Rand) probe.Witness {
-	return irEval(h, o, rng, 0, h.Size())
-}
-
-// irEval evaluates the subtree [start, start+size) with the IR strategy.
-func irEval(h *systems.HQS, o probe.Oracle, rng *rand.Rand, start, size int) probe.Witness {
-	if size == 1 {
-		return probe.Witness{Color: o.Probe(start), Set: bitset.FromSlice(h.Size(), []int{start})}
+// mergeMajority combines the deciding child witness with whichever of the
+// other two child witnesses shares its color, yielding the gate witness.
+func mergeMajority(decider, a, b probe.Witness) probe.Witness {
+	match := a
+	if b.Color == decider.Color {
+		match = b
 	}
-	if size == 3 {
-		return irPlainEval(h, o, rng, start, size)
-	}
-	third := size / 3
-	order := rng.Perm(3)
-	r1 := start + order[0]*third
-	r2 := start + order[1]*third
-	r3 := start + order[2]*third
-
-	v1 := irPlainEval(h, o, rng, r1, third)
-	ninth := third / 3
-	gcIdx := rng.IntN(3)
-	gc := irEval(h, o, rng, r2+gcIdx*ninth, ninth)
-
-	if gc.Color == v1.Color {
-		v2 := irContinueEval(h, o, rng, r2, third, gcIdx, gc)
-		if v2.Color == v1.Color {
-			v1.Set.UnionWith(v2.Set)
-			return probe.Witness{Color: v1.Color, Set: v1.Set}
-		}
-		v3 := irPlainEval(h, o, rng, r3, third)
-		return mergeMajority(v3, v1, v2)
-	}
-	v3 := irPlainEval(h, o, rng, r3, third)
-	if v3.Color == v1.Color {
-		v1.Set.UnionWith(v3.Set)
-		return probe.Witness{Color: v1.Color, Set: v1.Set}
-	}
-	v2 := irContinueEval(h, o, rng, r2, third, gcIdx, gc)
-	return mergeMajority(v2, v1, v3)
-}
-
-// irPlainEval evaluates the gate at [start, start+size) by examining its
-// children in uniformly random order (each child via a recursive IR call),
-// stopping as soon as two children agree.
-func irPlainEval(h *systems.HQS, o probe.Oracle, rng *rand.Rand, start, size int) probe.Witness {
-	third := size / 3
-	order := rng.Perm(3)
-	w0 := irEval(h, o, rng, start+order[0]*third, third)
-	w1 := irEval(h, o, rng, start+order[1]*third, third)
-	if w0.Color == w1.Color {
-		w0.Set.UnionWith(w1.Set)
-		return probe.Witness{Color: w0.Color, Set: w0.Set}
-	}
-	w2 := irEval(h, o, rng, start+order[2]*third, third)
-	return mergeMajority(w2, w0, w1)
-}
-
-// irContinueEval finishes evaluating the gate at [start, start+size) given
-// that its child at knownIdx has already been evaluated to known.
-func irContinueEval(h *systems.HQS, o probe.Oracle, rng *rand.Rand, start, size, knownIdx int, known probe.Witness) probe.Witness {
-	third := size / 3
-	rest := make([]int, 0, 2)
-	for i := 0; i < 3; i++ {
-		if i != knownIdx {
-			rest = append(rest, i)
-		}
-	}
-	if rng.IntN(2) == 1 {
-		rest[0], rest[1] = rest[1], rest[0]
-	}
-	w1 := irEval(h, o, rng, start+rest[0]*third, third)
-	if w1.Color == known.Color {
-		w1.Set.UnionWith(known.Set)
-		return probe.Witness{Color: w1.Color, Set: w1.Set}
-	}
-	w2 := irEval(h, o, rng, start+rest[1]*third, third)
-	return mergeMajority(w2, known, w1)
+	set := decider.Set.Clone()
+	set.UnionWith(match.Set)
+	return probe.Witness{Color: decider.Color, Set: set}
 }
 
 // RandomScan is the generic randomized baseline: probe elements in a

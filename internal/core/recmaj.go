@@ -1,94 +1,17 @@
 package core
 
-import (
-	"fmt"
+import "probequorum/internal/systems"
 
-	"probequorum/internal/availability"
-	"probequorum/internal/bitset"
-	"probequorum/internal/coloring"
-	"probequorum/internal/probe"
-	"probequorum/internal/systems"
-)
-
-// ProbeRecMaj finds a witness for a recursive m-ary majority system by
-// short-circuit gate evaluation: children are evaluated left to right and
-// a gate stops as soon as one color reaches the gate threshold (m+1)/2.
-// For m = 3 this is exactly Probe_HQS.
-func ProbeRecMaj(r *systems.RecMaj, o probe.Oracle) probe.Witness {
-	return probeRecMajAt(r, o, 0, r.Size())
-}
-
-func probeRecMajAt(r *systems.RecMaj, o probe.Oracle, start, size int) probe.Witness {
-	if size == 1 {
-		return probe.Witness{Color: o.Probe(start), Set: bitset.FromSlice(r.Size(), []int{start})}
-	}
-	sub := size / r.Arity()
-	t := r.GateThreshold()
-	greens, reds := 0, 0
-	greenSet := bitset.New(r.Size())
-	redSet := bitset.New(r.Size())
-	for i := 0; i < r.Arity(); i++ {
-		w := probeRecMajAt(r, o, start+i*sub, sub)
-		if w.Color == coloring.Green {
-			greens++
-			greenSet.UnionWith(w.Set)
-			if greens == t {
-				return probe.Witness{Color: coloring.Green, Set: greenSet}
-			}
-		} else {
-			reds++
-			redSet.UnionWith(w.Set)
-			if reds == t {
-				return probe.Witness{Color: coloring.Red, Set: redSet}
-			}
-		}
-	}
-	panic("core: ProbeRecMaj: gate undecided after all children (invalid arity)")
-}
+// ProbeRecMaj and RProbeRecMaj live on the construction as capability
+// implementations (internal/systems/probing.go, randomized.go); their
+// wrappers are in probabilistic.go and randomized.go.
 
 // ExpectedGateEvaluations returns the expected number of children a
 // short-circuit majority gate evaluates until one side reaches the
-// threshold t, when each child is independently green with probability a
-// (DP over the (greens, reds) counts). For a = 1/2, t = 2 this is the
-// paper's 5/2.
+// threshold t, when each child is independently green with probability a.
+// For a = 1/2, t = 2 this is the paper's 5/2. It delegates to
+// systems.ExpectedGateEvaluations, which the RecMaj expectation
+// capability is built on.
 func ExpectedGateEvaluations(a float64, t int) float64 {
-	if t < 1 {
-		panic(fmt.Sprintf("core: gate threshold must be positive, got %d", t))
-	}
-	if a < 0 || a > 1 {
-		panic(fmt.Sprintf("core: probability %v out of [0,1]", a))
-	}
-	// exp[g][r] = expected further evaluations with g greens and r reds
-	// seen; absorbing at g == t or r == t.
-	exp := make([][]float64, t+1)
-	for g := range exp {
-		exp[g] = make([]float64, t+1)
-	}
-	for g := t - 1; g >= 0; g-- {
-		for r := t - 1; r >= 0; r-- {
-			exp[g][r] = 1 + a*exp[g+1][r] + (1-a)*exp[g][r+1]
-		}
-	}
-	return exp[0][0]
-}
-
-// ExpectedProbeRecMajIID returns the exact expected probes of ProbeRecMaj
-// on the recursive m-ary majority system of height h under IID(p)
-// failures: by Wald's identity, the cost per level multiplies by the
-// expected number of children a gate evaluates, with the child
-// live-probability given by the exact availability recursion.
-func ExpectedProbeRecMajIID(m, h int, p float64) float64 {
-	if m < 3 || m%2 == 0 {
-		panic(fmt.Sprintf("core: RecMaj requires odd arity >= 3, got %d", m))
-	}
-	if h < 0 {
-		panic(fmt.Sprintf("core: negative height %d", h))
-	}
-	t := (m + 1) / 2
-	cost := 1.0
-	for level := 1; level <= h; level++ {
-		a := 1 - availability.RecMaj(m, level-1, p)
-		cost *= ExpectedGateEvaluations(a, t)
-	}
-	return cost
+	return systems.ExpectedGateEvaluations(a, t)
 }

@@ -1,0 +1,23 @@
+package experiments
+
+import (
+	"fmt"
+
+	"probequorum/internal/quorum"
+	"probequorum/internal/spec"
+)
+
+// mustSystem builds a construction from its spec string through the Spec
+// registry and asserts the concrete type the driver needs. Experiment
+// inputs are static, so parse errors are programming errors and panic.
+func mustSystem[T quorum.System](s string) T {
+	sys, err := spec.Parse(s)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	t, ok := sys.(T)
+	if !ok {
+		panic(fmt.Sprintf("experiments: spec %q built %T, want %T", s, sys, *new(T)))
+	}
+	return t
+}

@@ -23,9 +23,9 @@ func AblationBaselines() Report {
 		n    int
 		alg  map[string]func(o probe.Oracle) probe.Witness
 	}
-	tri, _ := systems.NewTriang(8) // n = 36
-	tree, _ := systems.NewTree(5)  // n = 63
-	hqs, _ := systems.NewHQS(3)    // n = 27
+	tri := mustSystem[*systems.CW]("triang:8")  // n = 36
+	tree := mustSystem[*systems.Tree]("tree:5") // n = 63
+	hqs := mustSystem[*systems.HQS]("hqs:3")    // n = 27
 	entries := []entry{
 		{
 			name: tri.Name(), n: tri.Size(),

@@ -19,10 +19,10 @@ import (
 func HeuristicComparison() Report {
 	r := Report{ID: "X3", Title: "Dynamic greedy heuristic [4,11] vs the paper's strategies"}
 	const trials = 2000
-	maj, _ := systems.NewMaj(13)
-	tri, _ := systems.NewTriang(5)
-	tree, _ := systems.NewTree(3)
-	hqs, _ := systems.NewHQS(2)
+	maj := mustSystem[*systems.Maj]("maj:13")
+	tri := mustSystem[*systems.CW]("triang:5")
+	tree := mustSystem[*systems.Tree]("tree:3")
+	hqs := mustSystem[*systems.HQS]("hqs:2")
 	cases := []struct {
 		sys   quorum.System
 		paper func(o probe.Oracle) probe.Witness
@@ -58,11 +58,11 @@ func HeuristicComparison() Report {
 // max(1/c, c/n) lower bound — the companion measure cited in §1.2.
 func LoadMeasure() Report {
 	r := Report{ID: "X4", Title: "Load (Naor–Wool): uniform vs balanced strategies vs max(1/c, c/n)"}
-	maj, _ := systems.NewMaj(7)
-	wheel, _ := systems.NewWheel(8)
-	tri, _ := systems.NewTriang(3)
-	tree, _ := systems.NewTree(2)
-	hqs, _ := systems.NewHQS(2)
+	maj := mustSystem[*systems.Maj]("maj:7")
+	wheel := mustSystem[*systems.Wheel]("wheel:8")
+	tri := mustSystem[*systems.CW]("triang:3")
+	tree := mustSystem[*systems.Tree]("tree:2")
+	hqs := mustSystem[*systems.HQS]("hqs:2")
 	for _, sys := range []quorum.System{maj, wheel, tri, tree, hqs} {
 		uni := load.Uniform(sys).Load()
 		bal, err := load.Balance(sys, 2000)

@@ -16,7 +16,7 @@ import (
 // probe is an RPC.
 func ParallelTradeoff() Report {
 	r := Report{ID: "X7", Title: "Probes vs rounds: sequential vs row-parallel vs full-parallel witness search"}
-	tri, _ := systems.NewTriang(8) // n = 36, k = 8
+	tri := mustSystem[*systems.CW]("triang:8") // n = 36, k = 8
 	const trials = 4000
 	for _, p := range []float64{0.1, 0.5} {
 		var seqP, seqR, rowP, rowR, fullP, fullR float64

@@ -21,7 +21,7 @@ func addBlock(r *Report, block string) {
 // Figure1 reproduces the Triang illustration with a shaded quorum.
 func Figure1() Report {
 	r := Report{ID: "F1", Title: "Triang system with a shaded quorum (paper Fig. 1)"}
-	tri, _ := systems.NewTriang(4)
+	tri := mustSystem[*systems.CW]("triang:4")
 	quorum, ok := tri.FindQuorumWithin(bitset.FromSlice(tri.Size(), []int{1, 2, 4, 7}))
 	if !ok {
 		r.addf("internal error: quorum not found")
@@ -35,7 +35,7 @@ func Figure1() Report {
 // Figure2 reproduces the Tree illustration with a shaded quorum.
 func Figure2() Report {
 	r := Report{ID: "F2", Title: "Tree system with a shaded quorum (paper Fig. 2)"}
-	tr, _ := systems.NewTree(2)
+	tr := mustSystem[*systems.Tree]("tree:2")
 	q := bitset.FromSlice(tr.Size(), []int{0, 1, 4, 2, 5})
 	if !tr.ContainsQuorum(q) {
 		r.addf("internal error: not a quorum")
@@ -50,7 +50,7 @@ func Figure2() Report {
 // height-2 system.
 func Figure3() Report {
 	r := Report{ID: "F3", Title: "HQS with quorum {1,2,5,6} shaded (paper Fig. 3)"}
-	h, _ := systems.NewHQS(2)
+	h := mustSystem[*systems.HQS]("hqs:2")
 	q := bitset.FromSlice(9, []int{0, 1, 4, 5})
 	addBlock(&r, render.HQS(h, q))
 	r.addf("{1,2,5,6} is a quorum: %v (2-of-3 gates: gate1 and gate2 true)", h.ContainsQuorum(q))
@@ -61,7 +61,7 @@ func Figure3() Report {
 // tree: PC(Maj3) = 3, PCR(Maj3) = 8/3, PPC(Maj3) = 5/2.
 func Figure4Maj3() Report {
 	r := Report{ID: "F4", Title: "Maj3 decision tree and the three probe complexities (paper §2.3, Fig. 4)"}
-	m, _ := systems.NewMaj(3)
+	m := mustSystem[*systems.Maj]("maj:3")
 	tree, err := strategy.BuildOptimalPC(m)
 	if err != nil {
 		r.addf("error: %v", err)
@@ -96,7 +96,7 @@ func Figure4Maj3() Report {
 // probe, so the constant is the exact expected probe count.
 func Figure9RecursionConstant() Report {
 	r := Report{ID: "F9", Title: "IR_Probe_HQS expected recursion constant on class-P inputs (paper Fig. 9 / Lemma 4.12)"}
-	h2, _ := systems.NewHQS(2)
+	h2 := mustSystem[*systems.HQS]("hqs:2")
 	colP := core.WorstCaseHQS(h2, coloring.Green, nil)
 	got := core.ExactIRProbeHQS(h2, colP)
 	r.addf("exact E[probes] on class-P input, h=2:  %.6f = 191/27", got)

@@ -14,12 +14,12 @@ import (
 // exactly: the optimum by the expectimax DP, the bound by the walk DP.
 func Lemma31() Report {
 	r := Report{ID: "L3.1", Title: "PPC_p(S) >= walk exit time with N = min quorum size (Lemma 3.1, exact)"}
-	maj, _ := systems.NewMaj(7)
-	wheel, _ := systems.NewWheel(6)
-	tri, _ := systems.NewTriang(3)
-	tree, _ := systems.NewTree(2)
-	hqs, _ := systems.NewHQS(2)
-	vote, _ := systems.NewVote([]int{3, 1, 1, 2})
+	maj := mustSystem[*systems.Maj]("maj:7")
+	wheel := mustSystem[*systems.Wheel]("wheel:6")
+	tri := mustSystem[*systems.CW]("triang:3")
+	tree := mustSystem[*systems.Tree]("tree:2")
+	hqs := mustSystem[*systems.HQS]("hqs:2")
+	vote := mustSystem[*systems.Vote]("vote:3,1,1,2")
 	for _, sys := range []quorum.System{maj, wheel, tri, tree, hqs, vote} {
 		c := quorum.MinQuorumSize(sys)
 		for _, p := range []float64{0.2, 0.5} {
@@ -51,11 +51,11 @@ func PPCSweep() Report {
 		header += trimF(p) + " "
 	}
 	r.Lines = append(r.Lines, header)
-	maj, _ := systems.NewMaj(7)
-	wheel, _ := systems.NewWheel(6)
-	tri, _ := systems.NewTriang(3)
-	tree, _ := systems.NewTree(2)
-	hqs, _ := systems.NewHQS(2)
+	maj := mustSystem[*systems.Maj]("maj:7")
+	wheel := mustSystem[*systems.Wheel]("wheel:6")
+	tri := mustSystem[*systems.CW]("triang:3")
+	tree := mustSystem[*systems.Tree]("tree:2")
+	hqs := mustSystem[*systems.HQS]("hqs:2")
 	for _, sys := range []quorum.System{maj, wheel, tri, tree, hqs} {
 		line := ""
 		for _, p := range ps {

@@ -18,13 +18,13 @@ import (
 // contrast: it is evasive too on the verifiable sizes.
 func Lemma22Evasive() Report {
 	r := Report{ID: "L2.2", Title: "Evasiveness: PC(S) = n for Maj, Wheel, CW, Tree (exact minimax)"}
-	maj7, _ := systems.NewMaj(7)
-	maj9, _ := systems.NewMaj(9)
-	wheel6, _ := systems.NewWheel(6)
-	cw, _ := systems.NewCW([]int{1, 2, 3})
-	tri4, _ := systems.NewTriang(4)
-	tree2, _ := systems.NewTree(2)
-	hqs2, _ := systems.NewHQS(2)
+	maj7 := mustSystem[*systems.Maj]("maj:7")
+	maj9 := mustSystem[*systems.Maj]("maj:9")
+	wheel6 := mustSystem[*systems.Wheel]("wheel:6")
+	cw := mustSystem[*systems.CW]("cw:1,2,3")
+	tri4 := mustSystem[*systems.CW]("triang:4")
+	tree2 := mustSystem[*systems.Tree]("tree:2")
+	hqs2 := mustSystem[*systems.HQS]("hqs:2")
 	for _, sys := range []quorum.System{maj7, maj9, wheel6, cw, tri4, tree2, hqs2} {
 		pc, err := strategy.OptimalPC(sys)
 		if err != nil {

@@ -158,12 +158,12 @@ func table1TriangPCR(r *Report) {
 
 // table1TreePCR: paper row "2n/3 <= PCR <= 5n/6".
 func table1TreePCR(r *Report) {
-	tr, _ := systems.NewTree(3)
+	tr := mustSystem[*systems.Tree]("tree:3")
 	worst, _ := sim.WorstCase(sim.AllColorings(tr.Size()), func(col *coloring.Coloring) float64 {
 		return core.ExactRProbeTree(tr, col)
 	})
 	upper := analytic.TreePCRUpper(tr.Size())
-	tr2, _ := systems.NewTree(2)
+	tr2 := mustSystem[*systems.Tree]("tree:2")
 	yao, err := strategy.YaoBound(tr2, core.HardTreeDistribution(tr2))
 	yaoLine := ""
 	if err == nil {
@@ -179,8 +179,8 @@ func table1TreePCR(r *Report) {
 
 // table1HQSPCR: paper row "Ω(n^0.834) <= PCR <= O(n^0.887)".
 func table1HQSPCR(r *Report) {
-	h4, _ := systems.NewHQS(4)
-	h2, _ := systems.NewHQS(2)
+	h4 := mustSystem[*systems.HQS]("hqs:4")
+	h2 := mustSystem[*systems.HQS]("hqs:2")
 	e4 := core.ExactIRProbeHQS(h4, core.WorstCaseHQS(h4, coloring.Green, nil))
 	e2 := core.ExactIRProbeHQS(h2, core.WorstCaseHQS(h2, coloring.Green, nil))
 	ratio := e4 / e2

@@ -75,7 +75,7 @@ func TheoremProbeCW() Report {
 				cw.Name(), cw.Size(), k, p, exact, bound, ok)
 		}
 	}
-	cw, _ := systems.NewCW([]int{1, 10, 10})
+	cw := mustSystem[*systems.CW]("cw:1,10,10")
 	mc := mcDeterministic(cw.Size(), 0.5, 4000, 33, func(o probe.Oracle) probe.Witness {
 		return core.ProbeCW(cw, o)
 	})
@@ -125,7 +125,7 @@ func PropositionTree() Report {
 		}
 	}
 	// Small-instance MC cross-check of the exact recursion.
-	tr, _ := systems.NewTree(6)
+	tr := mustSystem[*systems.Tree]("tree:6")
 	mc := mcDeterministic(tr.Size(), 0.5, 3000, 36, func(o probe.Oracle) probe.Witness {
 		return core.ProbeTree(tr, o)
 	})
@@ -164,7 +164,7 @@ func TheoremHQSProbabilistic() Report {
 			pp, ratio, localExp, bound, ok)
 	}
 	// Monte Carlo cross-check at h=4.
-	hq, _ := systems.NewHQS(4)
+	hq := mustSystem[*systems.HQS]("hqs:4")
 	mc := mcDeterministic(hq.Size(), 0.5, 4000, 38, func(o probe.Oracle) probe.Witness {
 		return core.ProbeHQS(hq, o)
 	})
@@ -262,7 +262,7 @@ func TheoremCWRandomized() Report {
 		r.addf("%-14s worst=%9.4f  paper max_j formula=%9.4f %s  coarse (m+n+2k)/2=%7.3f",
 			cw.Name(), worst, paper, verdict(worst, paper, 1e-6), coarse)
 	}
-	tri, _ := systems.NewTriang(4)
+	tri := mustSystem[*systems.CW]("triang:4")
 	r.addf("Triang(4): paper (n+k)/2 + log k = %.4f >= tight %.4f (Corollary 4.5(1))",
 		analytic.TriangPCRUpper(tri.Size(), tri.Rows()), analytic.CWPCRUpper(tri.Widths()))
 	r.addf("Wheel(10): paper n-1 = %.0f, tight formula = %.4f (Corollary 4.5(2))",
@@ -307,7 +307,7 @@ func TheoremTreeRandomized() Report {
 		r.addf("h=%d n=%-3d exact worst E[probes]=%8.4f  paper bound 5n/6+1/6=%8.4f  %s",
 			h, tr.Size(), worst, upper, ok)
 	}
-	tr2, _ := systems.NewTree(2)
+	tr2 := mustSystem[*systems.Tree]("tree:2")
 	yao, err := strategy.YaoBound(tr2, core.HardTreeDistribution(tr2))
 	if err == nil {
 		paper := analytic.TreePCRLower(tr2.Size())

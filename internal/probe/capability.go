@@ -1,0 +1,30 @@
+package probe
+
+import "math/rand/v2"
+
+// Prober is the capability of quorum systems that carry their own
+// deterministic witness-search strategy (the paper's probabilistic-model
+// algorithms: Probe_Maj, Probe_CW, Probe_Tree, Probe_HQS and friends).
+// The façade's FindWitness dispatches on this interface; systems without
+// it fall back to the generic sequential scan when they implement
+// quorum.Finder.
+//
+// ProbeWitness must return a sound witness for every coloring the oracle
+// can answer from: a monochromatic quorum of probed elements whose color
+// matches the true system state.
+type Prober interface {
+	// ProbeWitness locates a witness by adaptively probing the oracle.
+	ProbeWitness(o Oracle) Witness
+}
+
+// RandomizedProber is the capability of quorum systems that carry their
+// own randomized worst-case witness-search strategy (R_Probe_Maj,
+// R_Probe_CW, R_Probe_Tree, IR_Probe_HQS and friends). The façade's
+// FindWitnessRandomized dispatches on this interface, falling back to the
+// generic random scan for Finder systems.
+type RandomizedProber interface {
+	// ProbeWitnessRandomized locates a witness using rng for its random
+	// choices. It must be sound for every coloring; only the probe count
+	// distribution depends on rng.
+	ProbeWitnessRandomized(o Oracle, rng *rand.Rand) Witness
+}

@@ -1,0 +1,54 @@
+package quorum
+
+import "probequorum/internal/bitset"
+
+// This file defines the optional capability interfaces a System may
+// implement to unlock the paper's algorithms and measures. The façade
+// dispatches on these interfaces instead of on concrete construction
+// types, so third-party systems plug into FindWitness, ExpectedProbes,
+// Availability, RenderSystem and the Spec registry by implementing the
+// matching capability. (The probing capabilities Prober and
+// RandomizedProber live in internal/probe, next to Oracle and Witness.)
+
+// ExactExpectation is the capability of systems whose deterministic
+// probing strategy (probe.Prober) admits a closed-form expected probe
+// count under IID(p) failures. The value must equal the exact expectation
+// of ProbeWitness when every element independently fails with probability
+// p. Implementations panic for p outside [0, 1].
+type ExactExpectation interface {
+	// ExpectedProbesIID returns E[probes of ProbeWitness] under IID(p).
+	ExpectedProbesIID(p float64) float64
+}
+
+// ExactAvailability is the capability of systems with a closed-form
+// failure probability F_p: the probability that no live quorum exists
+// when every element independently fails with probability p.
+// Implementations panic for p outside [0, 1].
+type ExactAvailability interface {
+	// AvailabilityIID returns F_p(S) under IID(p) failures.
+	AvailabilityIID(p float64) float64
+}
+
+// Renderer is the capability of systems that can draw their layout as
+// ASCII art in the style of the paper's Figs. 1-3. Elements of highlight
+// are bracketed as [v]; highlight may be nil.
+type Renderer interface {
+	// RenderASCII returns a multi-line drawing of the system layout.
+	RenderASCII(highlight *bitset.Set) string
+}
+
+// Specced is the capability of systems that can describe themselves as a
+// spec string (e.g. "maj:7", "cw:1,3,2"). For constructions registered in
+// the spec registry, Parse(sys.Spec()) rebuilds an equivalent system;
+// systems that cannot be rebuilt from a string (Explicit) still report a
+// spec for display, and Parse returns a descriptive error for it.
+type Specced interface {
+	// Spec returns the canonical spec string of the system.
+	Spec() string
+}
+
+// Spec implements Specced for display purposes. Explicit systems are
+// defined by their full quorum list, so the spec is not parseable;
+// Parse("explicit:...") returns an error directing callers to
+// NewExplicit.
+func (e *Explicit) Spec() string { return "explicit:" + e.name }

@@ -15,85 +15,25 @@ import (
 	"probequorum/internal/systems"
 )
 
-// label renders an element 1-based, bracketed when it belongs to the
-// highlighted set.
-func label(e int, width int, highlight *bitset.Set) string {
-	s := fmt.Sprintf("%*d", width, e+1)
-	if highlight != nil && highlight.Contains(e) {
-		return "[" + s + "]"
-	}
-	return " " + s + " "
-}
+// The per-construction layout drawings are implemented on the systems
+// themselves as the quorum.Renderer capability
+// (internal/systems/render.go), which is what the façade's RenderSystem
+// dispatches on; the free functions below are the paper-figure-named
+// entry points.
 
 // CW renders a crumbling wall row by row, centering each row and
 // bracketing the elements of the highlighted set (a quorum, witness or
 // arbitrary subset; nil for none).
-func CW(c *systems.CW, highlight *bitset.Set) string {
-	digits := len(fmt.Sprintf("%d", c.Size()))
-	cell := digits + 2
-	maxWidth := c.MaxWidth() * cell
-	var b strings.Builder
-	for i := 0; i < c.Rows(); i++ {
-		lo, hi := c.RowRange(i)
-		var row strings.Builder
-		for e := lo; e < hi; e++ {
-			row.WriteString(label(e, digits, highlight))
-		}
-		pad := (maxWidth - row.Len()) / 2
-		fmt.Fprintf(&b, "row %d: %s%s\n", i+1, strings.Repeat(" ", pad), row.String())
-	}
-	return b.String()
-}
+func CW(c *systems.CW, highlight *bitset.Set) string { return c.RenderASCII(highlight) }
 
 // Tree renders the binary tree system sideways: the root at the left
 // margin, the right subtree above the root's line and the left subtree
 // below it, bracketing highlighted elements.
-func Tree(t *systems.Tree, highlight *bitset.Set) string {
-	digits := len(fmt.Sprintf("%d", t.Size()))
-	var b strings.Builder
-	var walk func(v, depth int)
-	walk = func(v, depth int) {
-		if !t.IsLeaf(v) {
-			walk(t.Right(v), depth+1)
-		}
-		fmt.Fprintf(&b, "%s%s\n", strings.Repeat("    ", depth),
-			strings.TrimSpace(label(v, digits, highlight)))
-		if !t.IsLeaf(v) {
-			walk(t.Left(v), depth+1)
-		}
-	}
-	walk(t.Root(), 0)
-	return b.String()
-}
+func Tree(t *systems.Tree, highlight *bitset.Set) string { return t.RenderASCII(highlight) }
 
 // HQS renders the ternary gate tree level by level: internal gates as
 // "MAJ" nodes and the leaf row with highlighted elements bracketed.
-func HQS(h *systems.HQS, highlight *bitset.Set) string {
-	digits := len(fmt.Sprintf("%d", h.Size()))
-	cell := digits + 2
-	var b strings.Builder
-	// Gate levels from the root down.
-	for d := 0; d < h.Height(); d++ {
-		gates := 1
-		for i := 0; i < d; i++ {
-			gates *= 3
-		}
-		span := h.Size() / gates * cell
-		var row strings.Builder
-		for g := 0; g < gates; g++ {
-			cellStr := "MAJ"
-			pad := span - len(cellStr)
-			row.WriteString(strings.Repeat(" ", pad/2) + cellStr + strings.Repeat(" ", pad-pad/2))
-		}
-		fmt.Fprintf(&b, "%s\n", strings.TrimRight(row.String(), " "))
-	}
-	var leaves strings.Builder
-	for e := 0; e < h.Size(); e++ {
-		leaves.WriteString(label(e, digits, highlight))
-	}
-	fmt.Fprintf(&b, "%s\n", strings.TrimRight(leaves.String(), " "))
-	return b.String()
-}
+func HQS(h *systems.HQS, highlight *bitset.Set) string { return h.RenderASCII(highlight) }
 
 // StrategyTree renders a probe strategy tree (Fig. 4): internal nodes show
 // the probed element (1-based), branches are marked g/r, and leaves carry

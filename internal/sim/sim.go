@@ -43,11 +43,21 @@ func Estimate(trials int, seed uint64, f func(rng *rand.Rand) float64) stats.Sum
 // them per trial. f must be safe for concurrent invocation across
 // distinct states.
 func EstimateWith[S any](trials int, seed uint64, newState func() S, f func(rng *rand.Rand, state S) float64) stats.Summary {
+	return EstimateWithWorkers(trials, seed, 0, newState, f)
+}
+
+// EstimateWithWorkers is EstimateWith with an explicit worker-count cap
+// (0 or negative for GOMAXPROCS). Because every trial derives its PRNG
+// from (seed, trial index) and accumulation replays in trial order, the
+// summary is bit-identical for every worker count.
+func EstimateWithWorkers[S any](trials int, seed uint64, workers int, newState func() S, f func(rng *rand.Rand, state S) float64) stats.Summary {
 	if trials <= 0 {
 		panic(fmt.Sprintf("sim: trials must be positive, got %d", trials))
 	}
 	vals := make([]float64, trials)
-	workers := runtime.GOMAXPROCS(0)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if trials < parallelMinTrials || workers <= 1 {
 		state := newState()
 		for i := 0; i < trials; i++ {

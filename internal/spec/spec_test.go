@@ -1,0 +1,67 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+
+	"probequorum/internal/quorum"
+)
+
+func TestNamesContainsEverySpecForm(t *testing.T) {
+	names := Names()
+	got := map[string]bool{}
+	for _, n := range names {
+		got[n] = true
+	}
+	for _, want := range []string{"maj", "wheel", "cw", "triang", "tree", "hqs", "vote", "recmaj", "explicit"} {
+		if !got[want] {
+			t.Errorf("Names() missing %q (got %v)", want, names)
+		}
+	}
+}
+
+func TestRegisterRejectsBadNames(t *testing.T) {
+	dummy := func(string) (quorum.System, error) { return nil, nil }
+	for _, name := range []string{"", "with space", "With:Colon", "Upper", "maj"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Register(%q) did not panic", name)
+				}
+			}()
+			Register(name, dummy)
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Register with nil builder did not panic")
+			}
+		}()
+		Register("nilbuilder", nil)
+	}()
+}
+
+func TestParseWrapsBuilderErrors(t *testing.T) {
+	_, err := Parse("maj:4")
+	if err == nil || !strings.Contains(err.Error(), `"maj:4"`) {
+		t.Errorf("Parse error should quote the spec, got %v", err)
+	}
+}
+
+func TestMustParsePanicsOnError(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse did not panic")
+		}
+	}()
+	MustParse("nope")
+}
+
+func TestOf(t *testing.T) {
+	sys := MustParse("triang:3")
+	spec, ok := Of(sys)
+	if !ok || spec != "triang:3" {
+		t.Errorf("Of = %q, %v", spec, ok)
+	}
+}

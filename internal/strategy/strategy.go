@@ -67,14 +67,25 @@ type engine struct {
 	pow3    [MaxUniverse]uint64 // pow3[e] = 3^e, the base-3 place value of element e
 }
 
-func newEngine(sys quorum.System) (*engine, error) {
+func newEngine(sys quorum.System) (*engine, error) { return newEngineWith(sys, nil) }
+
+// newEngineWith builds the evaluation context around a prebuilt witness
+// table (nil to build one here). Reusing a table across measures is the
+// Evaluator session's cache hit: the 2^n-subset evaluation happens once
+// per system instead of once per call.
+func newEngineWith(sys quorum.System, table *quorum.WitnessTable) (*engine, error) {
 	n := sys.Size()
 	if n > MaxUniverse {
 		return nil, fmt.Errorf("strategy: exact DP limited to n <= %d, got %d", MaxUniverse, n)
 	}
-	table, err := quorum.BuildWitnessTable(sys)
-	if err != nil {
-		return nil, err
+	if table == nil {
+		var err error
+		table, err = quorum.BuildWitnessTable(sys)
+		if err != nil {
+			return nil, err
+		}
+	} else if table.Size() != n {
+		return nil, fmt.Errorf("strategy: witness table over %d elements does not match system over %d", table.Size(), n)
 	}
 	e := &engine{n: n, full: quorum.FullMask(n), witness: table}
 	p := uint64(1)
@@ -143,11 +154,11 @@ type ppcSolver struct {
 	d32  []uint32
 }
 
-func newPPCSolver(sys quorum.System, p float64) (*ppcSolver, error) {
+func newPPCSolver(sys quorum.System, table *quorum.WitnessTable, p float64) (*ppcSolver, error) {
 	if p < 0 || p > 1 {
 		return nil, fmt.Errorf("strategy: probability %v out of [0,1]", p)
 	}
-	eng, err := newEngine(sys)
+	eng, err := newEngineWith(sys, table)
 	if err != nil {
 		return nil, err
 	}
@@ -216,7 +227,14 @@ func (s *ppcSolver) solve() float64 {
 // the minimal expected probes over all probe strategy trees when every
 // element independently fails (is red) with probability p.
 func OptimalPPC(sys quorum.System, p float64) (float64, error) {
-	s, err := newPPCSolver(sys, p)
+	return OptimalPPCWithTable(sys, nil, p)
+}
+
+// OptimalPPCWithTable is OptimalPPC running against a prebuilt witness
+// table for the system (nil to build one), letting sessions amortize the
+// table across repeated measures.
+func OptimalPPCWithTable(sys quorum.System, table *quorum.WitnessTable, p float64) (float64, error) {
+	s, err := newPPCSolver(sys, table, p)
 	if err != nil {
 		return 0, err
 	}
@@ -231,8 +249,8 @@ type pcSolver struct {
 	dense []int32
 }
 
-func newPCSolver(sys quorum.System) (*pcSolver, error) {
-	eng, err := newEngine(sys)
+func newPCSolver(sys quorum.System, table *quorum.WitnessTable) (*pcSolver, error) {
+	eng, err := newEngineWith(sys, table)
 	if err != nil {
 		return nil, err
 	}
@@ -283,8 +301,12 @@ func (s *pcSolver) solve() int {
 // OptimalPC returns the deterministic worst-case probe complexity PC(S):
 // the depth of the best probe strategy tree. By Lemma 2.2, Maj, Wheel, CW
 // and Tree are evasive (PC = n).
-func OptimalPC(sys quorum.System) (int, error) {
-	s, err := newPCSolver(sys)
+func OptimalPC(sys quorum.System) (int, error) { return OptimalPCWithTable(sys, nil) }
+
+// OptimalPCWithTable is OptimalPC running against a prebuilt witness
+// table for the system (nil to build one).
+func OptimalPCWithTable(sys quorum.System, table *quorum.WitnessTable) (int, error) {
+	s, err := newPCSolver(sys, table)
 	if err != nil {
 		return 0, err
 	}
@@ -355,8 +377,12 @@ func (nd *Node) Execute(col *coloring.Coloring) (coloring.Color, int) {
 // breaking ties toward the lowest-index element (reproducing the natural
 // Fig. 4 tree for Maj3). The solver is run once; the descent then only
 // reads memoized values.
-func BuildOptimalPC(sys quorum.System) (*Node, error) {
-	s, err := newPCSolver(sys)
+func BuildOptimalPC(sys quorum.System) (*Node, error) { return BuildOptimalPCWithTable(sys, nil) }
+
+// BuildOptimalPCWithTable is BuildOptimalPC running against a prebuilt
+// witness table for the system (nil to build one).
+func BuildOptimalPCWithTable(sys quorum.System, table *quorum.WitnessTable) (*Node, error) {
+	s, err := newPCSolver(sys, table)
 	if err != nil {
 		return nil, err
 	}
@@ -397,7 +423,7 @@ func BuildOptimalPC(sys quorum.System) (*Node, error) {
 // probabilistic-model expected probes at failure probability p, breaking
 // ties toward the lowest-index element.
 func BuildOptimalPPC(sys quorum.System, p float64) (*Node, error) {
-	s, err := newPPCSolver(sys, p)
+	s, err := newPPCSolver(sys, nil, p)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,49 @@
+package systems
+
+import (
+	"probequorum/internal/availability"
+	"probequorum/internal/quorum"
+)
+
+// This file implements the quorum.ExactAvailability capability on every
+// construction by delegating to the closed forms of
+// internal/availability; availability.Of dispatches on the capability,
+// so third-party systems with their own closed form plug in the same way.
+
+var (
+	_ quorum.ExactAvailability = (*Maj)(nil)
+	_ quorum.ExactAvailability = (*Wheel)(nil)
+	_ quorum.ExactAvailability = (*CW)(nil)
+	_ quorum.ExactAvailability = (*Tree)(nil)
+	_ quorum.ExactAvailability = (*HQS)(nil)
+	_ quorum.ExactAvailability = (*Vote)(nil)
+	_ quorum.ExactAvailability = (*RecMaj)(nil)
+)
+
+// AvailabilityIID implements quorum.ExactAvailability via the lower
+// binomial tail.
+func (m *Maj) AvailabilityIID(p float64) float64 { return availability.Maj(m.n, p) }
+
+// AvailabilityIID implements quorum.ExactAvailability via the hub/rim
+// closed form.
+func (w *Wheel) AvailabilityIID(p float64) float64 { return availability.Wheel(w.n, p) }
+
+// AvailabilityIID implements quorum.ExactAvailability via the bottom-up
+// row DP.
+func (c *CW) AvailabilityIID(p float64) float64 { return availability.CW(c.widths, p) }
+
+// AvailabilityIID implements quorum.ExactAvailability via the subtree
+// recursion.
+func (t *Tree) AvailabilityIID(p float64) float64 { return availability.Tree(t.h, p) }
+
+// AvailabilityIID implements quorum.ExactAvailability via the 2-of-3
+// gate recursion.
+func (q *HQS) AvailabilityIID(p float64) float64 { return availability.HQS(q.h, p) }
+
+// AvailabilityIID implements quorum.ExactAvailability via the live-weight
+// knapsack DP.
+func (v *Vote) AvailabilityIID(p float64) float64 { return availability.Vote(v.weights, p) }
+
+// AvailabilityIID implements quorum.ExactAvailability via the m-ary gate
+// recursion.
+func (r *RecMaj) AvailabilityIID(p float64) float64 { return availability.RecMaj(r.m, r.h, p) }

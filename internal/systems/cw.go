@@ -16,6 +16,7 @@ import (
 // NewCW enforces those conditions.
 type CW struct {
 	name    string
+	spec    string // canonical spec string, e.g. "cw:1,3,2" or "triang:5"
 	widths  []int
 	offsets []int // offsets[i] is the index of the first element of row i
 	n       int
@@ -59,6 +60,7 @@ func NewCW(widths []int) (*CW, error) {
 	}
 	c := &CW{
 		name:    fmt.Sprintf("CW(%s)", strings.Join(parts, ",")),
+		spec:    fmt.Sprintf("cw:%s", strings.Join(parts, ",")),
 		widths:  w,
 		offsets: offsets,
 		n:       n,
@@ -87,6 +89,7 @@ func NewTriang(k int) (*CW, error) {
 		return nil, err
 	}
 	cw.name = fmt.Sprintf("Triang(%d)", k)
+	cw.spec = fmt.Sprintf("triang:%d", k)
 	return cw, nil
 }
 

@@ -1,0 +1,187 @@
+package systems
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"probequorum/internal/coloring"
+	"probequorum/internal/probe"
+	"probequorum/internal/quorum"
+)
+
+// capabilitySystems returns one small instance of every construction as
+// the full capability bundle (all seven implement every optional
+// interface).
+func capabilitySystems(t *testing.T) []quorum.System {
+	t.Helper()
+	maj, err := NewMaj(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wheel, err := NewWheel(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cw, err := NewCW([]int{1, 3, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := NewTree(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hqs, err := NewHQS(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vote, err := NewVote([]int{3, 1, 1, 2, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recmaj, err := NewRecMaj(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []quorum.System{maj, wheel, cw, tree, hqs, vote, recmaj}
+}
+
+// TestProbersSoundOnRandomColorings runs both capability strategies of
+// every construction against random failure patterns and verifies each
+// witness end to end (monochromatic quorum of probed elements, matching
+// the true system state).
+func TestProbersSoundOnRandomColorings(t *testing.T) {
+	rng := rand.New(rand.NewPCG(41, 43))
+	for _, sys := range capabilitySystems(t) {
+		pr := sys.(probe.Prober)
+		rpr := sys.(probe.RandomizedProber)
+		t.Run(sys.Name(), func(t *testing.T) {
+			for trial := 0; trial < 200; trial++ {
+				p := float64(trial%5) / 4
+				col := coloring.IID(sys.Size(), p, rng)
+				o := probe.NewOracle(col)
+				w := pr.ProbeWitness(o)
+				if err := probe.Verify(sys, w, col, o.Probed()); err != nil {
+					t.Fatalf("deterministic witness: %v", err)
+				}
+				o2 := probe.NewOracle(col)
+				w2 := rpr.ProbeWitnessRandomized(o2, rng)
+				if err := probe.Verify(sys, w2, col, o2.Probed()); err != nil {
+					t.Fatalf("randomized witness: %v", err)
+				}
+				if w.Color != w2.Color {
+					t.Fatalf("strategies disagree on the system state")
+				}
+			}
+		})
+	}
+}
+
+// enumeratedExpectation computes E[probes of ProbeWitness] under IID(p)
+// exactly, by summing over all 2^n colorings.
+func enumeratedExpectation(sys quorum.System, pr probe.Prober, p float64) float64 {
+	total := 0.0
+	coloring.All(sys.Size(), func(col *coloring.Coloring) bool {
+		o := probe.NewOracle(col)
+		pr.ProbeWitness(o)
+		total += col.Probability(p) * float64(o.Probes())
+		return true
+	})
+	return total
+}
+
+// TestExpectedProbesMatchEnumeration validates every ExactExpectation
+// implementation — including the new Wheel and Vote closed forms —
+// against full enumeration on small instances.
+func TestExpectedProbesMatchEnumeration(t *testing.T) {
+	for _, sys := range capabilitySystems(t) {
+		pr := sys.(probe.Prober)
+		ee := sys.(quorum.ExactExpectation)
+		t.Run(sys.Name(), func(t *testing.T) {
+			for _, p := range []float64{0, 0.1, 0.3, 0.5, 0.7, 0.9, 1} {
+				want := enumeratedExpectation(sys, pr, p)
+				got := ee.ExpectedProbesIID(p)
+				if math.Abs(got-want) > 1e-9 {
+					t.Errorf("p=%v: closed form %.12f != enumeration %.12f", p, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestVoteExpectationReducesToMaj pins the unit-weight degenerate case:
+// the voting scan with unit weights is Probe_Maj, so the two closed forms
+// must agree.
+func TestVoteExpectationReducesToMaj(t *testing.T) {
+	vote, err := NewVote([]int{1, 1, 1, 1, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []float64{0, 0.2, 0.5, 0.8, 1} {
+		got := vote.ExpectedProbesIID(p)
+		want := ExpectedProbeMajIID(7, p)
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("p=%v: Vote unit %.12f != Maj %.12f", p, got, want)
+		}
+	}
+}
+
+// TestWheelExpectationClosedForm spot-checks the wheel formula on the
+// smallest wheel, where the hand computation is easy: n = 3, p = 1/2
+// gives 1 + 3/4 + 3/4 = 5/2.
+func TestWheelExpectationClosedForm(t *testing.T) {
+	if got := ExpectedProbeWheelIID(3, 0.5); math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("ExpectedProbeWheelIID(3, 0.5) = %v, want 2.5", got)
+	}
+	// Degenerate probabilities: hub plus exactly one rim probe.
+	for _, p := range []float64{0, 1} {
+		if got := ExpectedProbeWheelIID(9, p); math.Abs(got-2) > 1e-12 {
+			t.Errorf("ExpectedProbeWheelIID(9, %v) = %v, want 2", p, got)
+		}
+	}
+}
+
+// TestRecMajRandomizedMatchesRProbeHQSShape pins the m = 3 claim: the
+// randomized recursive-majority prober and the HQS gate evaluation visit
+// the same expected number of elements at p = 1/2 (both evaluate a
+// uniformly random child order with 2-of-3 short-circuit).
+func TestRecMajRandomizedMatchesRProbeHQSShape(t *testing.T) {
+	recmaj, err := NewRecMaj(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hqs, err := NewHQS(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected probes over random colorings and coin flips, averaged.
+	avg := func(sys quorum.System, rpr probe.RandomizedProber, seed uint64) float64 {
+		rng := rand.New(rand.NewPCG(seed, 2*seed+1))
+		total := 0
+		const trials = 4000
+		for i := 0; i < trials; i++ {
+			col := coloring.IID(sys.Size(), 0.5, rng)
+			o := probe.NewOracle(col)
+			rpr.ProbeWitnessRandomized(o, rng)
+			total += o.Probes()
+		}
+		return float64(total) / trials
+	}
+	a := avg(recmaj, recmaj, 7)
+	b := avg(hqs, hqs.asPlainRandomized(), 7)
+	if math.Abs(a-b) > 0.15 {
+		t.Errorf("RecMaj(3,2) randomized avg %.3f, plain HQS gate avg %.3f", a, b)
+	}
+}
+
+// asPlainRandomized adapts the Fig. 7 plain gate evaluation for the
+// comparison test.
+func (q *HQS) asPlainRandomized() probe.RandomizedProber {
+	return plainHQS{q}
+}
+
+type plainHQS struct{ q *HQS }
+
+func (p plainHQS) ProbeWitnessRandomized(o probe.Oracle, rng *rand.Rand) probe.Witness {
+	return p.q.irPlainEval(o, rng, 0, p.q.n)
+}

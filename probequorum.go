@@ -28,7 +28,6 @@ import (
 	"fmt"
 	"math/rand/v2"
 
-	"probequorum/internal/availability"
 	"probequorum/internal/bitset"
 	"probequorum/internal/cluster"
 	"probequorum/internal/coloring"
@@ -36,7 +35,7 @@ import (
 	"probequorum/internal/probe"
 	"probequorum/internal/quorum"
 	"probequorum/internal/render"
-	"probequorum/internal/sim"
+	"probequorum/internal/spec"
 	"probequorum/internal/strategy"
 	"probequorum/internal/systems"
 )
@@ -51,6 +50,28 @@ type (
 	MaskSystem = quorum.MaskSystem
 	// Finder locates quorums inside an allowed element set.
 	Finder = quorum.Finder
+	// Prober is the capability of systems that carry their own
+	// deterministic witness-search strategy; FindWitness dispatches on it.
+	Prober = probe.Prober
+	// RandomizedProber is the capability of systems with their own
+	// randomized worst-case strategy; FindWitnessRandomized dispatches on
+	// it.
+	RandomizedProber = probe.RandomizedProber
+	// ExactExpectation is the capability of systems with a closed-form
+	// expected probe count under IID(p); ExpectedProbes dispatches on it.
+	ExactExpectation = quorum.ExactExpectation
+	// ExactAvailability is the capability of systems with a closed-form
+	// failure probability F_p; Availability dispatches on it.
+	ExactAvailability = quorum.ExactAvailability
+	// Renderer is the capability of systems that draw their own ASCII
+	// layout; RenderSystem dispatches on it.
+	Renderer = quorum.Renderer
+	// Specced is the capability of systems that report a canonical spec
+	// string (see Parse).
+	Specced = quorum.Specced
+	// WitnessTable is the dense 2^n-bit characteristic function of a
+	// system, the artifact Evaluator sessions cache across measures.
+	WitnessTable = quorum.WitnessTable
 	// Set is a set of universe elements.
 	Set = bitset.Set
 	// Color is the probed state of an element: Green (live) or Red
@@ -82,6 +103,9 @@ type (
 	// RecMaj is the recursive m-ary majority system; RecMaj(3, h) is the
 	// HQS.
 	RecMaj = systems.RecMaj
+	// ExplicitSystem is a quorum system given by an explicit list of
+	// minimal quorums — the natural representation for ad-hoc systems.
+	ExplicitSystem = quorum.Explicit
 
 	// Cluster is a simulated set of fail-stop processors.
 	Cluster = cluster.Cluster
@@ -130,6 +154,45 @@ func NewVote(weights []int) (*Vote, error) { return systems.NewVote(weights) }
 // height (m odd).
 func NewRecMaj(m, height int) (*RecMaj, error) { return systems.NewRecMaj(m, height) }
 
+// NewExplicit builds a system over n elements from an explicit list of
+// minimal quorums (validated for intersection and minimality). Explicit
+// systems take the generic probing and availability fallbacks; they
+// cannot be rebuilt through Parse.
+func NewExplicit(name string, n int, quorums []*Set) (*ExplicitSystem, error) {
+	return quorum.NewExplicit(name, n, quorums)
+}
+
+// Parse builds a system from a declarative spec string: "maj:13",
+// "wheel:8", "cw:1,3,2", "triang:5", "tree:3", "hqs:2",
+// "vote:3,1,1,1,1" or "recmaj:3x2". Constructions registered through
+// RegisterSpec parse the same way. Explicit systems cannot be rebuilt
+// from a string, so "explicit:..." returns a descriptive error. Every
+// built-in round-trips: Parse(s).(Specced).Spec() is the canonical form
+// of s.
+func Parse(s string) (System, error) { return spec.Parse(s) }
+
+// MustParse is Parse for statically known specs; it panics on error.
+func MustParse(s string) System { return spec.MustParse(s) }
+
+// SpecOf returns the canonical spec string of the system via the Specced
+// capability, and whether the system has one.
+func SpecOf(sys System) (string, bool) { return spec.Of(sys) }
+
+// SpecNames returns the registered construction names in sorted order.
+func SpecNames() []string { return spec.Names() }
+
+// RegisterSpec adds a construction to the spec registry under the given
+// name, making it buildable through Parse ("name:args"). It panics on
+// duplicate or malformed names and on a nil builder.
+func RegisterSpec(name string, build func(arg string) (System, error)) {
+	if build == nil {
+		// Check here: the wrapping closure below would otherwise hide the
+		// nil from spec.Register's guard until Parse time.
+		panic(fmt.Sprintf("probequorum: nil spec builder for %q", name))
+	}
+	spec.Register(name, func(arg string) (quorum.System, error) { return build(arg) })
+}
+
 // Compose builds the coterie composition of an outer system with one inner
 // system per outer element; composing nondominated coteries yields a
 // nondominated coterie. The HQS is Compose(Maj3, [Maj3, Maj3, Maj3])
@@ -176,152 +239,100 @@ func VerifyWitness(sys System, w Witness, col *Coloring) error {
 	return probe.Verify(sys, w, col, nil)
 }
 
-// FindWitness locates a witness using the paper's deterministic strategy
-// for the system's construction (Probe_Maj, Probe_CW, Probe_Tree,
-// Probe_HQS), falling back to a sequential scan for other systems that
-// implement Finder.
-func FindWitness(sys System, o Oracle) (Witness, error) {
-	switch s := sys.(type) {
-	case *systems.Maj:
-		return core.ProbeMaj(s, o), nil
-	case *systems.CW:
-		return core.ProbeCW(s, o), nil
-	case *systems.Tree:
-		return core.ProbeTree(s, o), nil
-	case *systems.HQS:
-		return core.ProbeHQS(s, o), nil
-	case *systems.Vote:
-		return core.ProbeVote(s, o), nil
-	case *systems.RecMaj:
-		return core.ProbeRecMaj(s, o), nil
-	default:
-		f, ok := sys.(interface {
-			System
-			Finder
-		})
-		if !ok {
-			return Witness{}, fmt.Errorf("probequorum: no strategy for %s (system does not implement Finder)", sys.Name())
-		}
-		return core.SequentialScan(f, o), nil
-	}
+// finderSystem is the contract of the generic fallback strategies.
+type finderSystem interface {
+	System
+	Finder
 }
 
-// FindWitnessRandomized locates a witness using the paper's randomized
-// worst-case strategy for the system's construction (R_Probe_Maj,
-// R_Probe_CW, R_Probe_Tree, IR_Probe_HQS), falling back to a random scan.
+// FindWitness locates a witness through the Prober capability — every
+// built-in construction implements it with the paper's deterministic
+// strategy (Probe_Maj, Probe_CW, Probe_Tree, Probe_HQS, the hub-first
+// wheel scan, the weighted and m-ary majority scans) — falling back to a
+// sequential scan for other systems that implement Finder.
+func FindWitness(sys System, o Oracle) (Witness, error) {
+	if pr, ok := sys.(Prober); ok {
+		return pr.ProbeWitness(o), nil
+	}
+	if f, ok := sys.(finderSystem); ok {
+		return core.SequentialScan(f, o), nil
+	}
+	return Witness{}, fmt.Errorf("probequorum: no strategy for %s (implement Prober or Finder)", sys.Name())
+}
+
+// FindWitnessRandomized locates a witness through the RandomizedProber
+// capability — every built-in construction implements it with the
+// paper's randomized worst-case strategy (R_Probe_Maj, R_Probe_CW,
+// R_Probe_Tree, IR_Probe_HQS and their wheel/vote/recursive-majority
+// counterparts) — falling back to a random scan for Finder systems.
 func FindWitnessRandomized(sys System, o Oracle, rng *rand.Rand) (Witness, error) {
-	switch s := sys.(type) {
-	case *systems.Maj:
-		return core.RProbeMaj(s, o, rng), nil
-	case *systems.CW:
-		return core.RProbeCW(s, o, rng), nil
-	case *systems.Tree:
-		return core.RProbeTree(s, o, rng), nil
-	case *systems.HQS:
-		return core.IRProbeHQS(s, o, rng), nil
-	default:
-		f, ok := sys.(interface {
-			System
-			Finder
-		})
-		if !ok {
-			return Witness{}, fmt.Errorf("probequorum: no strategy for %s (system does not implement Finder)", sys.Name())
-		}
+	if pr, ok := sys.(RandomizedProber); ok {
+		return pr.ProbeWitnessRandomized(o, rng), nil
+	}
+	if f, ok := sys.(finderSystem); ok {
 		return core.RandomScan(f, o, rng), nil
 	}
+	return Witness{}, fmt.Errorf("probequorum: no strategy for %s (implement RandomizedProber or Finder)", sys.Name())
 }
 
 // Availability returns F_p(S): the probability that no live quorum exists
-// when every element fails independently with probability p. Closed forms
-// are used for the built-in constructions and exhaustive enumeration
-// otherwise (small universes only).
+// when every element fails independently with probability p. Systems with
+// the ExactAvailability capability (all built-ins) answer from their
+// closed form; others are enumerated through the default session, which
+// caches an availability polynomial per system (small universes only).
 func Availability(sys System, p float64) float64 {
-	return availability.Of(sys, p)
+	return defaultEvaluator.Availability(sys, p)
 }
 
 // ExpectedProbes returns the exact expected probe count of the strategy
-// used by FindWitness under IID(p) failures, for the built-in
-// constructions.
+// used by FindWitness under IID(p) failures, through the
+// ExactExpectation capability (implemented by all built-ins).
 func ExpectedProbes(sys System, p float64) (float64, error) {
-	switch s := sys.(type) {
-	case *systems.Maj:
-		return core.ExpectedProbeMajIID(s.Size(), p), nil
-	case *systems.CW:
-		return core.ExpectedProbeCWIID(s.Widths(), p), nil
-	case *systems.Tree:
-		return core.ExpectedProbeTreeIID(s.Height(), p), nil
-	case *systems.HQS:
-		return core.ExpectedProbeHQSIID(s.Height(), p), nil
-	case *systems.RecMaj:
-		return core.ExpectedProbeRecMajIID(s.Arity(), s.Height(), p), nil
-	default:
-		return 0, fmt.Errorf("probequorum: no closed form for %s", sys.Name())
-	}
+	return defaultEvaluator.ExpectedProbes(sys, p)
 }
 
 // EstimateAverageProbes estimates by simulation the average probes of the
 // FindWitness strategy under IID(p) failures, returning the mean and the
 // 95% confidence half-interval. Trials run in parallel with each worker
 // reusing one coloring and one oracle; the summary is bit-identical to the
-// sequential loop for the same (trials, seed).
+// sequential loop for the same (trials, seed). Sessions configure the
+// same estimate with WithTrials/WithSeed/WithParallelism options.
 func EstimateAverageProbes(sys System, p float64, trials int, seed uint64) (mean, halfCI float64, err error) {
-	if _, e := FindWitness(sys, NewOracle(AllGreen(sys.Size()))); e != nil {
-		return 0, 0, e
-	}
-	type buffers struct {
-		col *coloring.Coloring
-		o   *probe.ColoringOracle
-	}
-	s := sim.EstimateWith(trials, seed,
-		func() *buffers {
-			col := coloring.New(sys.Size())
-			return &buffers{col: col, o: probe.NewOracle(col)}
-		},
-		func(rng *rand.Rand, b *buffers) float64 {
-			coloring.IIDInto(b.col, p, rng)
-			b.o.Reset()
-			if _, e := FindWitness(sys, b.o); e != nil {
-				panic(e) // unreachable: checked above
-			}
-			return float64(b.o.Probes())
-		})
-	lo, hi := s.CI95()
-	return s.Mean, (hi - lo) / 2, nil
+	return NewEvaluator(WithTrials(trials), WithSeed(seed)).EstimateAverageProbes(sys, p)
 }
 
 // ProbeComplexity returns the exact deterministic worst-case probe
-// complexity PC(S) for small universes (the paper's evasiveness measure).
-func ProbeComplexity(sys System) (int, error) { return strategy.OptimalPC(sys) }
+// complexity PC(S) for small universes (the paper's evasiveness measure),
+// memoized by the default session.
+func ProbeComplexity(sys System) (int, error) { return defaultEvaluator.ProbeComplexity(sys) }
 
 // AverageProbeComplexity returns the exact probabilistic probe complexity
 // PPC_p(S) — the optimal expected probes over all adaptive strategies —
-// for small universes.
+// for small universes. Results and the underlying WitnessTable are
+// memoized by the default session; dedicated sessions (NewEvaluator)
+// isolate their own caches.
 func AverageProbeComplexity(sys System, p float64) (float64, error) {
-	return strategy.OptimalPPC(sys, p)
+	return defaultEvaluator.AverageProbeComplexity(sys, p)
 }
 
 // OptimalStrategyTree materializes a worst-case-optimal probe strategy
-// tree for small universes.
-func OptimalStrategyTree(sys System) (*StrategyNode, error) { return strategy.BuildOptimalPC(sys) }
+// tree for small universes, sharing the default session's witness table.
+func OptimalStrategyTree(sys System) (*StrategyNode, error) {
+	return defaultEvaluator.OptimalStrategyTree(sys)
+}
 
 // RenderStrategyTree draws a probe strategy tree as ASCII art in the
 // paper's Fig. 4 notation.
 func RenderStrategyTree(nd *StrategyNode) string { return render.StrategyTree(nd) }
 
 // RenderSystem draws the system layout as ASCII art, bracketing the
-// elements of highlight (which may be nil). Supported for the crumbling
-// wall, tree and HQS constructions.
+// elements of highlight (which may be nil), through the Renderer
+// capability (implemented by all seven built-in constructions).
 func RenderSystem(sys System, highlight *Set) (string, error) {
-	switch s := sys.(type) {
-	case *systems.CW:
-		return render.CW(s, highlight), nil
-	case *systems.Tree:
-		return render.Tree(s, highlight), nil
-	case *systems.HQS:
-		return render.HQS(s, highlight), nil
-	default:
-		return "", fmt.Errorf("probequorum: no renderer for %s", sys.Name())
+	if r, ok := sys.(Renderer); ok {
+		return r.RenderASCII(highlight), nil
 	}
+	return "", fmt.Errorf("probequorum: no renderer for %s (implement Renderer)", sys.Name())
 }
 
 // CheckNondominated verifies by exhaustive enumeration (small universes)

@@ -100,9 +100,24 @@ func TestRenderSystem(t *testing.T) {
 	if _, err := RenderSystem(hqs, nil); err != nil {
 		t.Errorf("hqs render: %v", err)
 	}
-	maj, _ := NewMajority(3)
-	if _, err := RenderSystem(maj, nil); err == nil {
-		t.Error("expected error for majority render")
+	// Every built-in construction implements the Renderer capability.
+	for _, spec := range []string{"maj:3", "wheel:5", "vote:3,1,1,2", "recmaj:3x1"} {
+		sys := MustParse(spec)
+		if _, err := RenderSystem(sys, nil); err != nil {
+			t.Errorf("render %s: %v", spec, err)
+		}
+	}
+	// Systems without the capability report a helpful error.
+	a, _ := NewMajority(3)
+	b, _ := NewMajority(3)
+	c, _ := NewMajority(3)
+	outer, _ := NewMajority(3)
+	comp, err := Compose(outer, []System{a, b, c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RenderSystem(comp, nil); err == nil {
+		t.Error("expected error for composite render")
 	}
 }
 
