@@ -1,0 +1,169 @@
+// Package client is a small HTTP client for the probeserved evaluation
+// service: it submits Query batches to /v1/eval and decodes the shared
+// Result wire encoding, so remote evaluation reads like a local
+// Evaluator.DoBatch call.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"probequorum"
+	"probequorum/internal/probeserve"
+)
+
+// Client talks to one probeserved base URL.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (default
+// http.DefaultClient); use it to set timeouts or transports.
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) {
+		if hc != nil {
+			c.hc = hc
+		}
+	}
+}
+
+// New returns a client for the service at base, e.g.
+// "http://localhost:8773".
+func New(base string, opts ...Option) *Client {
+	c := &Client{base: strings.TrimRight(base, "/"), hc: http.DefaultClient}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// Eval submits the query batch to /v1/eval and returns one Result per
+// query, in order. Queries must name systems by Spec: a System value
+// cannot cross the wire. Individually failed queries come back with
+// Result.Error set, exactly as Evaluator.DoBatch reports them.
+func (c *Client) Eval(ctx context.Context, queries []probequorum.Query) ([]*probequorum.Result, error) {
+	for i, q := range queries {
+		if q.System != nil {
+			return nil, fmt.Errorf("client: query %d holds a System value; remote queries must name systems by Spec", i)
+		}
+	}
+	body, err := json.Marshal(probeserve.EvalRequest{Queries: queries})
+	if err != nil {
+		return nil, fmt.Errorf("client: encode eval request: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/eval", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	var resp probeserve.EvalResponse
+	if err := c.do(req, &resp); err != nil {
+		return nil, err
+	}
+	if len(resp.Results) != len(queries) {
+		return nil, fmt.Errorf("client: got %d results for %d queries", len(resp.Results), len(queries))
+	}
+	return resp.Results, nil
+}
+
+// Systems returns the construction names registered on the server.
+func (c *Client) Systems(ctx context.Context) ([]string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/systems", nil)
+	if err != nil {
+		return nil, err
+	}
+	var resp probeserve.SystemsResponse
+	if err := c.do(req, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Specs, nil
+}
+
+// Render returns the server's ASCII rendering of the system named by the
+// spec string.
+func (c *Client) Render(ctx context.Context, spec string) (string, error) {
+	u := c.base + "/v1/render?spec=" + url.QueryEscape(spec)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return "", err
+	}
+	res, err := c.hc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer res.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(res.Body, 1<<20))
+	if err != nil {
+		return "", err
+	}
+	if res.StatusCode != http.StatusOK {
+		return "", decodeError(res.StatusCode, data)
+	}
+	return string(data), nil
+}
+
+// Health checks /healthz, returning nil when the service answers OK.
+func (c *Client) Health(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	res, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer res.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(res.Body, 1<<10))
+	if res.StatusCode != http.StatusOK {
+		return fmt.Errorf("client: health check returned %s", res.Status)
+	}
+	return nil
+}
+
+// maxResponseBytes bounds how much of a response the client will read.
+// Reads that hit the bound fail loudly instead of silently truncating —
+// a truncated JSON document would otherwise surface as a confusing
+// decode error.
+const maxResponseBytes = 64 << 20
+
+// do executes the request and decodes the JSON answer into out, turning
+// non-2xx answers into errors carrying the server's message.
+func (c *Client) do(req *http.Request, out any) error {
+	res, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer res.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(res.Body, maxResponseBytes+1))
+	if err != nil {
+		return err
+	}
+	if len(data) > maxResponseBytes {
+		return fmt.Errorf("client: response exceeds %d bytes; split the batch", maxResponseBytes)
+	}
+	if res.StatusCode != http.StatusOK {
+		return decodeError(res.StatusCode, data)
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		return fmt.Errorf("client: decode response: %w", err)
+	}
+	return nil
+}
+
+func decodeError(status int, body []byte) error {
+	var e probeserve.ErrorResponse
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return fmt.Errorf("client: server returned %d: %s", status, e.Error)
+	}
+	return fmt.Errorf("client: server returned %d", status)
+}

@@ -1,0 +1,99 @@
+package client_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"probequorum"
+	"probequorum/client"
+	"probequorum/internal/probeserve"
+)
+
+func newPair(t *testing.T) *client.Client {
+	t.Helper()
+	ts := httptest.NewServer(probeserve.New(nil).Handler())
+	t.Cleanup(ts.Close)
+	return client.New(ts.URL)
+}
+
+func TestEvalRoundTrip(t *testing.T) {
+	c := newPair(t)
+	ctx := context.Background()
+	results, err := c.Eval(ctx, []probequorum.Query{
+		{
+			Spec:     "maj:7",
+			Measures: []probequorum.Measure{probequorum.MeasurePC, probequorum.MeasurePPC, probequorum.MeasureAvailability},
+			Ps:       []float64{0.5},
+		},
+		{Spec: "bogus:1", Measures: []probequorum.Measure{probequorum.MeasurePC}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results", len(results))
+	}
+	maj := probequorum.MustParse("maj:7")
+	pc, _ := probequorum.ProbeComplexity(maj)
+	ppc, _ := probequorum.AverageProbeComplexity(maj, 0.5)
+	avail := probequorum.Availability(maj, 0.5)
+	r := results[0]
+	if r.Error != "" || r.PC == nil || *r.PC != pc {
+		t.Errorf("remote PC = %+v, want %d", r, pc)
+	}
+	if pt := r.Point(0.5); pt == nil || pt.PPC == nil || *pt.PPC != ppc || pt.Availability == nil || *pt.Availability != avail {
+		t.Errorf("remote point = %+v, want ppc=%v avail=%v", r.Point(0.5), ppc, avail)
+	}
+	if results[1].Error == "" {
+		t.Errorf("bad spec should fail in its Result: %+v", results[1])
+	}
+}
+
+func TestEvalRejectsSystemValues(t *testing.T) {
+	c := newPair(t)
+	sys := probequorum.MustParse("maj:3")
+	_, err := c.Eval(context.Background(), []probequorum.Query{
+		{System: sys, Measures: []probequorum.Measure{probequorum.MeasurePC}},
+	})
+	if err == nil || !strings.Contains(err.Error(), "Spec") {
+		t.Errorf("err = %v, want a Spec-required error", err)
+	}
+}
+
+func TestSystemsRenderHealth(t *testing.T) {
+	c := newPair(t)
+	ctx := context.Background()
+	specs, err := c.Systems(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := probequorum.SpecNames()
+	if len(specs) != len(want) {
+		t.Errorf("Systems = %v, want %v", specs, want)
+	}
+	art, err := c.Render(ctx, "maj:5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, _ := probequorum.RenderSystem(probequorum.MustParse("maj:5"), nil)
+	if art != direct {
+		t.Errorf("Render = %q, want %q", art, direct)
+	}
+	if _, err := c.Render(ctx, "nope:1"); err == nil || !strings.Contains(err.Error(), "unknown construction") {
+		t.Errorf("Render of bad spec: err = %v, want server message", err)
+	}
+	if err := c.Health(ctx); err != nil {
+		t.Errorf("Health: %v", err)
+	}
+}
+
+func TestServerGone(t *testing.T) {
+	ts := httptest.NewServer(probeserve.New(nil).Handler())
+	c := client.New(ts.URL)
+	ts.Close()
+	if err := c.Health(context.Background()); err == nil {
+		t.Error("Health against a closed server should fail")
+	}
+}

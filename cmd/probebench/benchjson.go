@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math/rand/v2"
@@ -19,15 +20,19 @@ import (
 )
 
 // benchRecord is one machine-readable perf measurement. The op names are
-// stable across PRs; future sessions append their files (BENCH_PR3.json,
+// stable across PRs; future sessions append their files (BENCH_PR4.json,
 // ...) and diff NsPerOp/AllocsPerOp against the baselines (BENCH_PR1.json
-// from PR 1, BENCH_PR2.json adding the Evaluator session ops).
+// from PR 1, BENCH_PR2.json adding the Evaluator session ops,
+// BENCH_PR3.json adding the batch-query throughput ops). Batch ops
+// additionally report queries/sec — the serving-throughput headline of
+// the Query API.
 type benchRecord struct {
-	Name        string  `json:"name"`
-	Iterations  int     `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
+	Name          string  `json:"name"`
+	Iterations    int     `json:"iterations"`
+	NsPerOp       float64 `json:"ns_per_op"`
+	BytesPerOp    int64   `json:"bytes_per_op"`
+	AllocsPerOp   int64   `json:"allocs_per_op"`
+	QueriesPerSec float64 `json:"queries_per_sec,omitempty"`
 }
 
 // benchFile is the on-disk schema: measurement context plus the records.
@@ -38,15 +43,21 @@ type benchFile struct {
 	Records    []benchRecord `json:"records"`
 }
 
+// benchOp is one suite entry; queries > 0 marks a batch op whose
+// queries/sec rate is derived from ns/op.
+type benchOp struct {
+	name    string
+	queries int
+	fn      func(b *testing.B)
+}
+
 // benchOps is the fixed suite of hot-path operations: the word-level
 // witness primitive, the exact DPs on both engines, the parallel and
 // sequential Monte Carlo loops, the exhaustive availability enumerations,
-// and the Evaluator session's cached paths against their uncached
-// counterparts. Each op is sized to finish in well under a minute.
-func benchOps() []struct {
-	name string
-	fn   func(b *testing.B)
-} {
+// the Evaluator session's cached paths against their uncached
+// counterparts, and the batch-query fan-out cold vs. warm. Each op is
+// sized to finish in well under a minute.
+func benchOps() []benchOp {
 	maj63 := spec.MustParse("maj:63").(quorum.MaskSystem)
 	maj11 := spec.MustParse("maj:11")
 	maj9 := spec.MustParse("maj:9")
@@ -55,11 +66,8 @@ func benchOps() []struct {
 	tri4 := spec.MustParse("triang:4")
 	maj17NoMask := struct{ quorum.System }{maj17}
 
-	return []struct {
-		name string
-		fn   func(b *testing.B)
-	}{
-		{"witness/mask-word/Maj63", func(b *testing.B) {
+	return []benchOp{
+		{name: "witness/mask-word/Maj63", fn: func(b *testing.B) {
 			hits := 0
 			for i := 0; i < b.N; i++ {
 				if maj63.ContainsQuorumMask(uint64(i) * 0x9E3779B97F4A7C15 >> 1) {
@@ -68,7 +76,7 @@ func benchOps() []struct {
 			}
 			_ = hits
 		}},
-		{"witness/bitset/Maj63", func(b *testing.B) {
+		{name: "witness/bitset/Maj63", fn: func(b *testing.B) {
 			hits := 0
 			for i := 0; i < b.N; i++ {
 				if maj63.ContainsQuorum(quorum.SetOfMask(63, uint64(i)*0x9E3779B97F4A7C15>>1)) {
@@ -77,28 +85,28 @@ func benchOps() []struct {
 			}
 			_ = hits
 		}},
-		{"strategy/OptimalPPC-mask/Maj11", func(b *testing.B) {
+		{name: "strategy/OptimalPPC-mask/Maj11", fn: func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := strategy.OptimalPPC(maj11, 0.5); err != nil {
 					b.Fatal(err)
 				}
 			}
 		}},
-		{"strategy/OptimalPPC-legacy/Maj11", func(b *testing.B) {
+		{name: "strategy/OptimalPPC-legacy/Maj11", fn: func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := strategy.LegacyOptimalPPC(maj11, 0.5); err != nil {
 					b.Fatal(err)
 				}
 			}
 		}},
-		{"strategy/OptimalPPC-mask/Triang4", func(b *testing.B) {
+		{name: "strategy/OptimalPPC-mask/Triang4", fn: func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := strategy.OptimalPPC(tri4, 0.5); err != nil {
 					b.Fatal(err)
 				}
 			}
 		}},
-		{"strategy/OptimalPC-mask/Maj9", func(b *testing.B) {
+		{name: "strategy/OptimalPC-mask/Maj9", fn: func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := strategy.OptimalPC(maj9); err != nil {
 					b.Fatal(err)
@@ -112,7 +120,7 @@ func benchOps() []struct {
 		// (repeated call, warm session) and evaluator/PPC-freshp (new p
 		// every iteration, warm table) against strategy/OptimalPPC-mask
 		// (the uncached path above).
-		{"evaluator/PPC-cached/Maj11", func(b *testing.B) {
+		{name: "evaluator/PPC-cached/Maj11", fn: func(b *testing.B) {
 			eval := probequorum.NewEvaluator()
 			if _, err := eval.AverageProbeComplexity(maj11, 0.5); err != nil {
 				b.Fatal(err)
@@ -124,7 +132,7 @@ func benchOps() []struct {
 				}
 			}
 		}},
-		{"evaluator/PPC-freshp/Maj11", func(b *testing.B) {
+		{name: "evaluator/PPC-freshp/Maj11", fn: func(b *testing.B) {
 			eval := probequorum.NewEvaluator()
 			if _, err := eval.AverageProbeComplexity(maj11, 0.5); err != nil {
 				b.Fatal(err)
@@ -137,7 +145,7 @@ func benchOps() []struct {
 				}
 			}
 		}},
-		{"evaluator/PPC-uncached/Maj11", func(b *testing.B) {
+		{name: "evaluator/PPC-uncached/Maj11", fn: func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				p := float64(i%1000)/2000 + 1e-9*float64(i)
 				if _, err := strategy.OptimalPPC(maj11, p); err != nil {
@@ -145,7 +153,7 @@ func benchOps() []struct {
 				}
 			}
 		}},
-		{"sim/Estimate-parallel/ProbeMaj101x2000", func(b *testing.B) {
+		{name: "sim/Estimate-parallel/ProbeMaj101x2000", fn: func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				sim.Estimate(2000, 17, func(rng *rand.Rand) float64 {
 					o := probe.NewOracle(coloring.IID(101, 0.5, rng))
@@ -154,7 +162,7 @@ func benchOps() []struct {
 				})
 			}
 		}},
-		{"sim/Estimate-sequential/ProbeMaj101x2000", func(b *testing.B) {
+		{name: "sim/Estimate-sequential/ProbeMaj101x2000", fn: func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				sim.EstimateSeq(2000, 17, func(rng *rand.Rand) float64 {
 					o := probe.NewOracle(coloring.IID(101, 0.5, rng))
@@ -163,17 +171,67 @@ func benchOps() []struct {
 				})
 			}
 		}},
-		{"availability/BruteForce-mask/Maj17", func(b *testing.B) {
+		{name: "availability/BruteForce-mask/Maj17", fn: func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				availability.BruteForce(maj17, 0.3)
 			}
 		}},
-		{"availability/BruteForce-coloring/Maj17", func(b *testing.B) {
+		{name: "availability/BruteForce-coloring/Maj17", fn: func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				availability.BruteForce(maj17NoMask, 0.3)
 			}
 		}},
+		// Batch-query throughput: one DoBatch over every registered
+		// construction with a three-point grid — the probeserved
+		// /v1/eval workload. Cold rebuilds every artifact per batch (a
+		// fresh Evaluator each iteration); warm answers from one
+		// session's memo caches, the steady state of a serving process.
+		{name: "query/DoBatch-cold/8specs-x-3p", queries: len(batchSpecs), fn: func(b *testing.B) {
+			ctx := context.Background()
+			for i := 0; i < b.N; i++ {
+				if err := runBatch(ctx, probequorum.NewEvaluator()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{name: "query/DoBatch-warm/8specs-x-3p", queries: len(batchSpecs), fn: func(b *testing.B) {
+			ctx := context.Background()
+			eval := probequorum.NewEvaluator()
+			if err := runBatch(ctx, eval); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := runBatch(ctx, eval); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
 	}
+}
+
+// batchSpecs is the throughput workload: every registered construction
+// at a verifiable size.
+var batchSpecs = []string{
+	"maj:11", "wheel:10", "cw:1,3,5", "triang:4", "tree:2", "hqs:2", "vote:5,3,1,1,1,1,1", "recmaj:3x2",
+}
+
+// runBatch submits the throughput batch (pc + ppc/availability/expected
+// over a three-point grid) and fails on any per-query error.
+func runBatch(ctx context.Context, eval *probequorum.Evaluator) error {
+	queries := probequorum.SpecQueries(batchSpecs,
+		[]probequorum.Measure{probequorum.MeasurePC, probequorum.MeasurePPC, probequorum.MeasureAvailability, probequorum.MeasureExpected},
+		[]float64{0.1, 0.3, 0.5})
+	results, err := eval.DoBatch(ctx, queries)
+	if err != nil {
+		return err
+	}
+	for _, r := range results {
+		if r.Error != "" {
+			return fmt.Errorf("query %s failed: %s", r.Spec, r.Error)
+		}
+	}
+	return nil
 }
 
 // writeBenchJSON times every op with the standard benchmark harness and
@@ -198,7 +256,14 @@ func writeBenchJSON(path string) error {
 			BytesPerOp:  r.AllocedBytesPerOp(),
 			AllocsPerOp: r.AllocsPerOp(),
 		}
-		fmt.Fprintf(os.Stderr, "%12.1f ns/op  %6d allocs/op\n", rec.NsPerOp, rec.AllocsPerOp)
+		if op.queries > 0 && rec.NsPerOp > 0 {
+			rec.QueriesPerSec = float64(op.queries) * 1e9 / rec.NsPerOp
+		}
+		fmt.Fprintf(os.Stderr, "%12.1f ns/op  %6d allocs/op", rec.NsPerOp, rec.AllocsPerOp)
+		if rec.QueriesPerSec > 0 {
+			fmt.Fprintf(os.Stderr, "  %10.0f queries/s", rec.QueriesPerSec)
+		}
+		fmt.Fprintln(os.Stderr)
 		out.Records = append(out.Records, rec)
 	}
 	data, err := json.MarshalIndent(out, "", "  ")

@@ -1,0 +1,96 @@
+// Command probeserved serves the quorum-system evaluation API over HTTP
+// JSON: batched Query evaluation against one shared caching Evaluator,
+// the construction registry, and ASCII renderings.
+//
+// Endpoints:
+//
+//	POST /v1/eval     {"queries":[{"spec":"maj:7","measures":["pc","ppc"],"ps":[0.5]}, ...]}
+//	GET  /v1/systems  registered construction names and measures
+//	GET  /v1/render?spec=maj:7
+//	GET  /healthz
+//
+// Usage:
+//
+//	probeserved [-addr :8773] [-trials 10000] [-seed 1] [-parallelism 0] [-maxbatch 256]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"probequorum"
+	"probequorum/internal/probeserve"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr        = flag.String("addr", ":8773", "listen address")
+		trials      = flag.Int("trials", 10000, "default Monte Carlo trials for estimate queries")
+		seed        = flag.Uint64("seed", 1, "default Monte Carlo seed for estimate queries")
+		parallelism = flag.Int("parallelism", 0, "worker cap for batch fan-out and Monte Carlo loops (0: GOMAXPROCS)")
+		maxBatch    = flag.Int("maxbatch", probeserve.DefaultMaxBatch, "maximum queries per /v1/eval request")
+	)
+	flag.Parse()
+
+	eval := probequorum.NewEvaluator(
+		probequorum.WithTrials(*trials),
+		probequorum.WithSeed(*seed),
+		probequorum.WithParallelism(*parallelism),
+	)
+	// Request contexts derive from baseCtx so a stuck drain can cancel
+	// in-flight evaluations through the DP/sim cancellation plumbing.
+	baseCtx, cancelInflight := context.WithCancel(context.Background())
+	defer cancelInflight()
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           probeserve.New(eval, probeserve.WithMaxBatch(*maxBatch)).Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       60 * time.Second,
+		BaseContext:       func(net.Listener) context.Context { return baseCtx },
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "probeserved: listening on %s\n", *addr)
+
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "probeserved: %v\n", err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	err := srv.Shutdown(shutdownCtx)
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		// The grace period expired with requests still running — likely a
+		// long exact DP. Cancel their contexts (the evaluation stack
+		// aborts promptly) and drain again briefly.
+		cancelInflight()
+		finalCtx, cancelFinal := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancelFinal()
+		err = srv.Shutdown(finalCtx)
+	}
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "probeserved: shutdown: %v\n", err)
+		return 1
+	}
+	fmt.Fprintln(os.Stderr, "probeserved: drained, bye")
+	return 0
+}

@@ -2,7 +2,9 @@
 // failures into a system, runs the paper's probing strategy, and reports
 // average probes against the exact expectation and the availability.
 // Systems are built from declarative spec strings through the
-// construction registry (any registered construction works).
+// construction registry (any registered construction works), and the
+// deterministic-mode report is a single estimate/expected/availability
+// Query through the shared evaluation path.
 //
 // Usage:
 //
@@ -10,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand/v2"
@@ -40,17 +43,52 @@ func run() int {
 		return 1
 	}
 
-	rng := rand.New(rand.NewPCG(*seed, 2*(*seed)+1))
+	if *randomized {
+		return runRandomized(sys, *p, *trials, *seed)
+	}
+
+	// Deterministic mode: one Query answers the estimate, the exact
+	// expectation and the availability in a single pass over the
+	// session's caches. Systems without a closed-form expectation (no
+	// registered construction, but Query accepts System values) still
+	// simulate.
+	measures := []probequorum.Measure{probequorum.MeasureEstimate, probequorum.MeasureAvailability}
+	if _, ok := sys.(probequorum.ExactExpectation); ok {
+		measures = append(measures, probequorum.MeasureExpected)
+	}
+	res, err := probequorum.NewEvaluator().Do(context.Background(), probequorum.Query{
+		System:   sys,
+		Measures: measures,
+		Ps:       []float64{*p},
+		Trials:   *trials,
+		Seed:     *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "probesim:", err)
+		return 1
+	}
+	pt := res.Point(*p)
+	fmt.Printf("system:            %s (n = %d)\n", res.Name, res.N)
+	fmt.Printf("strategy:          deterministic (paper probabilistic-model strategy)\n")
+	fmt.Printf("failure p:         %.3f over %d trials (seed %d)\n", *p, res.Trials, res.Seed)
+	fmt.Printf("avg probes:        %.4f (±%.4f at 95%%)\n", pt.Estimate.Mean, pt.Estimate.HalfCI)
+	if pt.Expected != nil {
+		fmt.Printf("exact expectation: %.4f\n", *pt.Expected)
+	}
+	fmt.Printf("availability:      1 - F_p = %.4f analytically\n", 1-*pt.Availability)
+	return 0
+}
+
+// runRandomized keeps the explicit trial loop: the randomized worst-case
+// strategy draws per-trial randomness from one shared stream and
+// verifies every witness, which the declarative measures do not model.
+func runRandomized(sys probequorum.System, p float64, trials int, seed uint64) int {
+	rng := rand.New(rand.NewPCG(seed, 2*seed+1))
 	var totalProbes, greens int
-	for i := 0; i < *trials; i++ {
-		col := probequorum.IIDColoring(sys.Size(), *p, rng)
+	for i := 0; i < trials; i++ {
+		col := probequorum.IIDColoring(sys.Size(), p, rng)
 		o := probequorum.NewOracle(col)
-		var w probequorum.Witness
-		if *randomized {
-			w, err = probequorum.FindWitnessRandomized(sys, o, rng)
-		} else {
-			w, err = probequorum.FindWitness(sys, o)
-		}
+		w, err := probequorum.FindWitnessRandomized(sys, o, rng)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "probesim:", err)
 			return 1
@@ -65,18 +103,11 @@ func run() int {
 		}
 	}
 
-	mode := "deterministic (paper probabilistic-model strategy)"
-	if *randomized {
-		mode = "randomized (paper worst-case strategy)"
-	}
 	fmt.Printf("system:            %s (n = %d)\n", sys.Name(), sys.Size())
-	fmt.Printf("strategy:          %s\n", mode)
-	fmt.Printf("failure p:         %.3f over %d trials (seed %d)\n", *p, *trials, *seed)
-	fmt.Printf("avg probes:        %.4f\n", float64(totalProbes)/float64(*trials))
-	if exp, err := probequorum.ExpectedProbes(sys, *p); err == nil && !*randomized {
-		fmt.Printf("exact expectation: %.4f\n", exp)
-	}
+	fmt.Printf("strategy:          randomized (paper worst-case strategy)\n")
+	fmt.Printf("failure p:         %.3f over %d trials (seed %d)\n", p, trials, seed)
+	fmt.Printf("avg probes:        %.4f\n", float64(totalProbes)/float64(trials))
 	fmt.Printf("live-quorum rate:  %.4f (1 - F_p = %.4f analytically)\n",
-		float64(greens)/float64(*trials), 1-probequorum.Availability(sys, *p))
+		float64(greens)/float64(trials), 1-probequorum.Availability(sys, p))
 	return 0
 }

@@ -1,23 +1,23 @@
-// Command quorumctl inspects quorum-system constructions: it renders
-// layouts, enumerates quorums, reports quorum-size ranges, availability
-// and expected probe cost, and verifies the nondominated-coterie
-// property. Systems are built from declarative spec strings through the
-// construction registry.
+// Command quorumctl inspects and measures quorum-system constructions.
+// Systems are built from declarative spec strings through the
+// construction registry; measurements flow through the Query evaluation
+// API, the same path probeserved serves remotely.
 //
 // Usage:
 //
 //	quorumctl -system maj:7 [-p 0.1] [-enumerate] [-check]
-//	quorumctl -system triang:4
-//	quorumctl -system cw:1,3,2
-//	quorumctl -system tree:3
-//	quorumctl -system hqs:2
-//	quorumctl -system vote:3,1,1,2
-//	quorumctl -system recmaj:3x2
-//	quorumctl -system wheel:8
+//	quorumctl eval -system maj:7 -p 0.1,0.3,0.5 [-measures pc,ppc,availability,expected,estimate,tree]
+//	               [-trials 10000] [-seed 1] [-json]
 //	quorumctl -specs
+//
+// The eval subcommand accepts a comma-separated -p grid and evaluates
+// every requested measure at every grid point; -json prints the shared
+// Result wire encoding instead of the human table.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,6 +28,9 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "eval" {
+		os.Exit(runEval(os.Args[2:]))
+	}
 	os.Exit(run())
 }
 
@@ -52,15 +55,29 @@ func run() int {
 		return 1
 	}
 
+	// The inspect report is a two-measure Query against the shared
+	// evaluation path.
+	eval := probequorum.NewEvaluator()
+	res, err := eval.Do(context.Background(), probequorum.Query{
+		System:   sys,
+		Measures: []probequorum.Measure{probequorum.MeasureAvailability, probequorum.MeasureExpected},
+		Ps:       []float64{*p},
+	})
+
 	fmt.Printf("system:        %s\n", sys.Name())
 	if spec, ok := probequorum.SpecOf(sys); ok {
 		fmt.Printf("spec:          %s\n", spec)
 	}
 	fmt.Printf("universe:      %d elements\n", sys.Size())
 	fmt.Printf("quorum sizes:  %d .. %d\n", quorum.MinQuorumSize(sys), quorum.MaxQuorumSize(sys))
-	fmt.Printf("availability:  F_p = %.6f at p = %.3f\n", probequorum.Availability(sys, *p), *p)
-	if exp, err := probequorum.ExpectedProbes(sys, *p); err == nil {
-		fmt.Printf("probe cost:    %.4f expected probes (paper strategy, IID p = %.3f)\n", exp, *p)
+	if err == nil {
+		pt := res.Point(*p)
+		fmt.Printf("availability:  F_p = %.6f at p = %.3f\n", *pt.Availability, *p)
+		fmt.Printf("probe cost:    %.4f expected probes (paper strategy, IID p = %.3f)\n", *pt.Expected, *p)
+	} else {
+		// Systems without the ExactExpectation capability still report
+		// availability.
+		fmt.Printf("availability:  F_p = %.6f at p = %.3f\n", probequorum.Availability(sys, *p), *p)
 	}
 
 	if art, err := probequorum.RenderSystem(sys, nil); err == nil {
@@ -83,6 +100,111 @@ func run() int {
 		fmt.Println("\nND check: the system is a nondominated coterie")
 	}
 	return 0
+}
+
+// runEval is the eval subcommand: build a Query from the flags, submit
+// it, and print the Result as a human table or as the wire encoding.
+func runEval(args []string) int {
+	fs := flag.NewFlagSet("quorumctl eval", flag.ExitOnError)
+	var (
+		system   = fs.String("system", "", "system spec, e.g. maj:7 (see quorumctl -specs)")
+		pgrid    = fs.String("p", "0.5", "comma-separated failure-probability grid, e.g. 0.1,0.3,0.5")
+		measures = fs.String("measures", "availability,expected", "comma-separated measures: pc, ppc, availability, expected, estimate, tree")
+		trials   = fs.Int("trials", 0, "Monte Carlo trials for estimate (0: evaluator default)")
+		seed     = fs.Uint64("seed", 0, "Monte Carlo seed for estimate (0: evaluator default)")
+		asJSON   = fs.Bool("json", false, "print the Result wire encoding instead of the table")
+	)
+	fs.Parse(args)
+
+	q, err := buildQuery(*system, *pgrid, *measures, *trials, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "quorumctl eval:", err)
+		return 1
+	}
+	res, err := probequorum.NewEvaluator().Do(context.Background(), q)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "quorumctl eval:", err)
+		return 1
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintln(os.Stderr, "quorumctl eval:", err)
+			return 1
+		}
+		return 0
+	}
+	printResult(res)
+	return 0
+}
+
+// buildQuery assembles the eval subcommand's Query from flag values.
+func buildQuery(system, pgrid, measures string, trials int, seed uint64) (probequorum.Query, error) {
+	if system == "" {
+		return probequorum.Query{}, fmt.Errorf("missing -system spec (known constructions: %s)",
+			strings.Join(probequorum.SpecNames(), " | "))
+	}
+	ms, err := probequorum.ParseMeasures(measures)
+	if err != nil {
+		return probequorum.Query{}, err
+	}
+	ps, err := probequorum.ParsePGrid(pgrid)
+	if err != nil {
+		return probequorum.Query{}, err
+	}
+	return probequorum.Query{Spec: system, Measures: ms, Ps: ps, Trials: trials, Seed: seed}, nil
+}
+
+// printResult renders a Result as the human-facing measurement table.
+func printResult(res *probequorum.Result) {
+	fmt.Printf("system:  %s (n = %d)\n", res.Name, res.N)
+	if res.Spec != "" {
+		fmt.Printf("spec:    %s\n", res.Spec)
+	}
+	if res.PC != nil {
+		fmt.Printf("PC:      %d worst-case probes\n", *res.PC)
+	}
+	if res.Trials > 0 {
+		fmt.Printf("mc:      %d trials, seed %d\n", res.Trials, res.Seed)
+	}
+	if len(res.Points) > 0 {
+		fmt.Println()
+		header := "       p"
+		pt := res.Points[0]
+		if pt.PPC != nil {
+			header += "       PPC_p"
+		}
+		if pt.Availability != nil {
+			header += "         F_p"
+		}
+		if pt.Expected != nil {
+			header += "    E[probes]"
+		}
+		if pt.Estimate != nil {
+			header += "     estimate     ±95% CI"
+		}
+		fmt.Println(header)
+		for _, pt := range res.Points {
+			line := fmt.Sprintf("%8.4f", pt.P)
+			if pt.PPC != nil {
+				line += fmt.Sprintf("%12.6f", *pt.PPC)
+			}
+			if pt.Availability != nil {
+				line += fmt.Sprintf("%12.6f", *pt.Availability)
+			}
+			if pt.Expected != nil {
+				line += fmt.Sprintf("%13.6f", *pt.Expected)
+			}
+			if pt.Estimate != nil {
+				line += fmt.Sprintf("%13.6f%12.6f", pt.Estimate.Mean, pt.Estimate.HalfCI)
+			}
+			fmt.Println(line)
+		}
+	}
+	if res.Tree != nil {
+		fmt.Printf("\noptimal strategy tree: depth %d, %d leaves\n%s", res.Tree.Depth, res.Tree.Leaves, res.Tree.ASCII)
+	}
 }
 
 // build parses the -system spec through the construction registry.

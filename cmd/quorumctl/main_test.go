@@ -1,8 +1,11 @@
 package main
 
 import (
+	"context"
 	"strings"
 	"testing"
+
+	"probequorum"
 )
 
 func TestBuildSystems(t *testing.T) {
@@ -53,5 +56,58 @@ func TestBuildErrors(t *testing.T) {
 				t.Errorf("err = %v, want containing %q", err, c.errSub)
 			}
 		})
+	}
+}
+
+func TestBuildQuery(t *testing.T) {
+	q, err := buildQuery("maj:7", "0.1, 0.3,0.5", "pc,ppc", 500, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Spec != "maj:7" || len(q.Ps) != 3 || q.Ps[1] != 0.3 || q.Trials != 500 || q.Seed != 9 {
+		t.Errorf("query = %+v", q)
+	}
+	if len(q.Measures) != 2 || q.Measures[0] != probequorum.MeasurePC || q.Measures[1] != probequorum.MeasurePPC {
+		t.Errorf("measures = %v", q.Measures)
+	}
+	for _, tc := range []struct {
+		name, system, p, measures string
+	}{
+		{"missing system", "", "0.5", "pc"},
+		{"bad measure", "maj:7", "0.5", "pc,zoom"},
+		{"bad p", "maj:7", "0.5,oops", "pc"},
+		{"p out of range", "maj:7", "1.5", "pc"},
+		{"empty grid", "maj:7", " , ", "pc"},
+	} {
+		if _, err := buildQuery(tc.system, tc.p, tc.measures, 0, 0); err == nil {
+			t.Errorf("%s: buildQuery accepted invalid input", tc.name)
+		}
+	}
+}
+
+func TestEvalQueryMatchesFacade(t *testing.T) {
+	q, err := buildQuery("triang:3", "0.25,0.5", "pc,ppc,availability,expected", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := probequorum.NewEvaluator().Do(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := probequorum.MustParse("triang:3")
+	pc, _ := probequorum.ProbeComplexity(sys)
+	if res.PC == nil || *res.PC != pc {
+		t.Errorf("PC = %v, want %d", res.PC, pc)
+	}
+	for _, p := range []float64{0.25, 0.5} {
+		pt := res.Point(p)
+		if pt == nil {
+			t.Fatalf("no point at p=%v", p)
+		}
+		ppc, _ := probequorum.AverageProbeComplexity(sys, p)
+		exp, _ := probequorum.ExpectedProbes(sys, p)
+		if *pt.PPC != ppc || *pt.Availability != probequorum.Availability(sys, p) || *pt.Expected != exp {
+			t.Errorf("p=%v: point %+v deviates from façade", p, pt)
+		}
 	}
 }

@@ -1,18 +1,24 @@
 package probequorum
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"math/bits"
 	"math/rand/v2"
 	"reflect"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"probequorum/internal/availability"
 	"probequorum/internal/coloring"
 	"probequorum/internal/probe"
 	"probequorum/internal/quorum"
+	"probequorum/internal/render"
 	"probequorum/internal/sim"
+	"probequorum/internal/spec"
 	"probequorum/internal/strategy"
 )
 
@@ -42,6 +48,12 @@ type Evaluator struct {
 	mu      sync.Mutex
 	entries map[System]*evalEntry
 	order   []System // insertion order, for eviction
+
+	// specs maps canonical spec strings to their built System values, so
+	// Queries naming the same construction — across one batch or across
+	// requests of a long-lived server — share one artifact cache entry.
+	specs     map[string]System
+	specOrder []string // insertion order, for eviction
 }
 
 // evalEntry is the per-system cache. Its mutex serializes the (expensive)
@@ -94,7 +106,7 @@ func WithParallelism(workers int) EvaluatorOption {
 
 // NewEvaluator returns a measurement session with the given options.
 func NewEvaluator(opts ...EvaluatorOption) *Evaluator {
-	e := &Evaluator{trials: 10000, seed: 1, entries: map[System]*evalEntry{}}
+	e := &Evaluator{trials: 10000, seed: 1, entries: map[System]*evalEntry{}, specs: map[string]System{}}
 	for _, opt := range opts {
 		opt(e)
 	}
@@ -152,12 +164,23 @@ func (e *Evaluator) WitnessTable(sys System) (*quorum.WitnessTable, error) {
 	ent := e.entry(sys)
 	ent.mu.Lock()
 	defer ent.mu.Unlock()
-	return ent.witnessTable(sys)
+	return ent.witnessTable(context.Background(), sys)
 }
 
-func (ent *evalEntry) witnessTable(sys System) (*quorum.WitnessTable, error) {
+// isCtxErr distinguishes cancellation from permanent failures: the cache
+// records only the latter, so an aborted build leaves the entry clean
+// for the next caller.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+func (ent *evalEntry) witnessTable(ctx context.Context, sys System) (*quorum.WitnessTable, error) {
 	if !ent.tableOK {
-		ent.table, ent.tableErr = quorum.BuildWitnessTable(sys)
+		table, err := quorum.BuildWitnessTableCtx(ctx, sys)
+		if isCtxErr(err) {
+			return nil, err
+		}
+		ent.table, ent.tableErr = table, err
 		ent.tableOK = true
 	}
 	return ent.table, ent.tableErr
@@ -186,22 +209,41 @@ func (e *Evaluator) QuorumMasks(sys System) ([]uint64, error) {
 // coefficient per green count — and every later p is a Horner-style
 // O(n) evaluation instead of a fresh 2^n enumeration.
 func (e *Evaluator) Availability(sys System, p float64) float64 {
+	// The background context is never done, so the only errors are
+	// permanent ones, which the uncached fallback path absorbs.
+	v, _ := e.AvailabilityCtx(context.Background(), sys, p)
+	return v
+}
+
+// AvailabilityCtx is Availability honoring cancellation of the one-time
+// polynomial derivation; a done ctx returns ctx.Err(). Closed-form
+// systems never consult the context.
+func (e *Evaluator) AvailabilityCtx(ctx context.Context, sys System, p float64) (float64, error) {
 	if ea, ok := sys.(ExactAvailability); ok {
-		return ea.AvailabilityIID(p)
+		return ea.AvailabilityIID(p), nil
 	}
 	ent := e.entry(sys)
 	ent.mu.Lock()
 	counts := ent.failCounts
 	if counts == nil {
-		if table, err := ent.witnessTable(sys); err == nil {
-			counts = failCountsOf(table)
+		table, err := ent.witnessTable(ctx, sys)
+		if isCtxErr(err) {
+			ent.mu.Unlock()
+			return 0, err
+		}
+		if err == nil {
+			counts, err = failCountsOf(ctx, table)
+			if err != nil {
+				ent.mu.Unlock()
+				return 0, err
+			}
 			ent.failCounts = counts
 		}
 	}
 	ent.mu.Unlock()
 	if counts == nil {
 		// No table (universe too large): fall back to the uncached path.
-		return availability.Of(sys, p)
+		return availability.Of(sys, p), nil
 	}
 	n := sys.Size()
 	q := 1 - p
@@ -212,24 +254,28 @@ func (e *Evaluator) Availability(sys System, p float64) float64 {
 		}
 	}
 	if total < 0 {
-		return 0
+		return 0, nil
 	}
 	if total > 1 {
-		return 1
+		return 1, nil
 	}
-	return total
+	return total, nil
 }
 
-// failCountsOf tallies, per green count, the subsets without a quorum.
-func failCountsOf(table *quorum.WitnessTable) []float64 {
+// failCountsOf tallies, per green count, the subsets without a quorum,
+// checking ctx periodically along the 2^n scan.
+func failCountsOf(ctx context.Context, table *quorum.WitnessTable) ([]float64, error) {
 	n := table.Size()
 	counts := make([]float64, n+1)
 	for mask := uint64(0); mask < 1<<uint(n); mask++ {
+		if mask&0xFFFF == 0 && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		if !table.Contains(mask) {
 			counts[bits.OnesCount64(mask)]++
 		}
 	}
-	return counts
+	return counts, nil
 }
 
 // ExpectedProbes returns the exact expected probe count of the system's
@@ -245,15 +291,25 @@ func (e *Evaluator) ExpectedProbes(sys System, p float64) (float64, error) {
 // ProbeComplexity returns the exact worst-case probe complexity PC(S),
 // memoized and sharing the session's witness table.
 func (e *Evaluator) ProbeComplexity(sys System) (int, error) {
+	return e.ProbeComplexityCtx(context.Background(), sys)
+}
+
+// ProbeComplexityCtx is ProbeComplexity honoring cancellation of the
+// minimax DP; an aborted solve returns ctx.Err() and caches nothing.
+func (e *Evaluator) ProbeComplexityCtx(ctx context.Context, sys System) (int, error) {
 	ent := e.entry(sys)
 	ent.mu.Lock()
 	defer ent.mu.Unlock()
 	if !ent.pcOK {
-		table, err := ent.witnessTable(sys)
+		table, err := ent.witnessTable(ctx, sys)
 		if err != nil {
 			return 0, err
 		}
-		ent.pc, ent.pcErr = strategy.OptimalPCWithTable(sys, table)
+		pc, err := strategy.OptimalPCWithTableCtx(ctx, sys, table)
+		if isCtxErr(err) {
+			return 0, err
+		}
+		ent.pc, ent.pcErr = pc, err
 		ent.pcOK = true
 	}
 	return ent.pc, ent.pcErr
@@ -263,17 +319,24 @@ func (e *Evaluator) ProbeComplexity(sys System) (int, error) {
 // PPC_p(S), memoized per (system, p) and sharing the session's witness
 // table across distinct p.
 func (e *Evaluator) AverageProbeComplexity(sys System, p float64) (float64, error) {
+	return e.AverageProbeComplexityCtx(context.Background(), sys, p)
+}
+
+// AverageProbeComplexityCtx is AverageProbeComplexity honoring
+// cancellation of the expectimax DP; an aborted solve returns ctx.Err()
+// and caches nothing.
+func (e *Evaluator) AverageProbeComplexityCtx(ctx context.Context, sys System, p float64) (float64, error) {
 	ent := e.entry(sys)
 	ent.mu.Lock()
 	defer ent.mu.Unlock()
 	if v, ok := ent.ppc[p]; ok {
 		return v, nil
 	}
-	table, err := ent.witnessTable(sys)
+	table, err := ent.witnessTable(ctx, sys)
 	if err != nil {
 		return 0, err
 	}
-	v, err := strategy.OptimalPPCWithTable(sys, table, p)
+	v, err := strategy.OptimalPPCWithTableCtx(ctx, sys, table, p)
 	if err != nil {
 		return 0, err
 	}
@@ -287,14 +350,20 @@ func (e *Evaluator) AverageProbeComplexity(sys System, p float64) (float64, erro
 // OptimalStrategyTree materializes a worst-case-optimal probe strategy
 // tree, sharing the session's witness table.
 func (e *Evaluator) OptimalStrategyTree(sys System) (*StrategyNode, error) {
+	return e.OptimalStrategyTreeCtx(context.Background(), sys)
+}
+
+// OptimalStrategyTreeCtx is OptimalStrategyTree honoring cancellation
+// across the solve and the tree descent.
+func (e *Evaluator) OptimalStrategyTreeCtx(ctx context.Context, sys System) (*StrategyNode, error) {
 	ent := e.entry(sys)
 	ent.mu.Lock()
 	defer ent.mu.Unlock()
-	table, err := ent.witnessTable(sys)
+	table, err := ent.witnessTable(ctx, sys)
 	if err != nil {
 		return nil, err
 	}
-	return strategy.BuildOptimalPCWithTable(sys, table)
+	return strategy.BuildOptimalPCWithTableCtx(ctx, sys, table)
 }
 
 // EstimateAverageProbes estimates by simulation the average probes of the
@@ -303,6 +372,19 @@ func (e *Evaluator) OptimalStrategyTree(sys System) (*StrategyNode, error) {
 // half-interval. The summary is bit-identical across parallelism
 // settings.
 func (e *Evaluator) EstimateAverageProbes(sys System, p float64) (mean, halfCI float64, err error) {
+	return e.estimateCtx(context.Background(), sys, p, e.trials, e.seed)
+}
+
+// EstimateAverageProbesCtx is EstimateAverageProbes honoring
+// cancellation of the trial loop; a done ctx aborts between trial chunks
+// with ctx.Err().
+func (e *Evaluator) EstimateAverageProbesCtx(ctx context.Context, sys System, p float64) (mean, halfCI float64, err error) {
+	return e.estimateCtx(ctx, sys, p, e.trials, e.seed)
+}
+
+// estimateCtx is the shared Monte Carlo path with explicit trials and
+// seed (Queries override the session's settings per request).
+func (e *Evaluator) estimateCtx(ctx context.Context, sys System, p float64, trials int, seed uint64) (mean, halfCI float64, err error) {
 	if _, err := FindWitness(sys, NewOracle(AllGreen(sys.Size()))); err != nil {
 		return 0, 0, err
 	}
@@ -310,7 +392,7 @@ func (e *Evaluator) EstimateAverageProbes(sys System, p float64) (mean, halfCI f
 		col *coloring.Coloring
 		o   *probe.ColoringOracle
 	}
-	s := sim.EstimateWithWorkers(e.trials, e.seed, e.parallelism,
+	s, err := sim.EstimateWithWorkersCtx(ctx, trials, seed, e.parallelism,
 		func() *buffers {
 			col := coloring.New(sys.Size())
 			return &buffers{col: col, o: probe.NewOracle(col)}
@@ -323,6 +405,163 @@ func (e *Evaluator) EstimateAverageProbes(sys System, p float64) (mean, halfCI f
 			}
 			return float64(b.o.Probes())
 		})
+	if err != nil {
+		return 0, 0, err
+	}
 	lo, hi := s.CI95()
 	return s.Mean, (hi - lo) / 2, nil
+}
+
+// resolve maps a query to its System and canonical spec string. Systems
+// given by value are used as-is; specs go through the construction
+// registry with the built value cached by canonical spec, so every query
+// naming the same construction shares one artifact cache entry.
+func (e *Evaluator) resolve(q Query) (System, string, error) {
+	if q.System != nil {
+		s, _ := SpecOf(q.System)
+		return q.System, s, nil
+	}
+	sys, err := spec.Parse(q.Spec)
+	if err != nil {
+		return nil, "", err
+	}
+	canonical, ok := SpecOf(sys)
+	if !ok {
+		// Not canonicalizable: evaluate without spec-level sharing.
+		return sys, q.Spec, nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if cached, hit := e.specs[canonical]; hit {
+		return cached, canonical, nil
+	}
+	if len(e.specOrder) >= evaluatorMaxSystems {
+		oldest := e.specOrder[0]
+		e.specOrder = e.specOrder[1:]
+		delete(e.specs, oldest)
+	}
+	e.specs[canonical] = sys
+	e.specOrder = append(e.specOrder, canonical)
+	return sys, canonical, nil
+}
+
+// Do executes one Query against the session's caches. The returned
+// error is non-nil when the query is invalid, the spec does not parse, a
+// requested measure fails, or ctx is done — cancellation surfaces as
+// ctx.Err() (possibly wrapped) and leaves every cache consistent: later
+// calls recompute as if the cancelled call never happened.
+func (e *Evaluator) Do(ctx context.Context, q Query) (*Result, error) {
+	nq, err := q.normalized()
+	if err != nil {
+		return nil, err
+	}
+	sys, specStr, err := e.resolve(nq)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Spec: specStr, Name: sys.Name(), N: sys.Size()}
+	if nq.has(MeasurePC) {
+		pc, err := e.ProbeComplexityCtx(ctx, sys)
+		if err != nil {
+			return nil, fmt.Errorf("measure pc of %s: %w", sys.Name(), err)
+		}
+		res.PC = &pc
+	}
+	if nq.has(MeasureTree) {
+		root, err := e.OptimalStrategyTreeCtx(ctx, sys)
+		if err != nil {
+			return nil, fmt.Errorf("measure tree of %s: %w", sys.Name(), err)
+		}
+		res.Tree = &TreeSummary{Depth: root.Depth(), Leaves: root.Leaves(), ASCII: render.StrategyTree(root)}
+	}
+	trials, seed := e.trials, e.seed
+	if nq.Trials > 0 {
+		trials = nq.Trials
+	}
+	if nq.Seed != 0 {
+		seed = nq.Seed
+	}
+	if nq.has(MeasureEstimate) {
+		res.Trials, res.Seed = trials, seed
+	}
+	for _, p := range nq.Ps {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		pt := Point{P: p}
+		if nq.has(MeasurePPC) {
+			v, err := e.AverageProbeComplexityCtx(ctx, sys, p)
+			if err != nil {
+				return nil, fmt.Errorf("measure ppc of %s at p=%v: %w", sys.Name(), p, err)
+			}
+			pt.PPC = &v
+		}
+		if nq.has(MeasureAvailability) {
+			v, err := e.AvailabilityCtx(ctx, sys, p)
+			if err != nil {
+				return nil, fmt.Errorf("measure availability of %s at p=%v: %w", sys.Name(), p, err)
+			}
+			pt.Availability = &v
+		}
+		if nq.has(MeasureExpected) {
+			v, err := e.ExpectedProbes(sys, p)
+			if err != nil {
+				return nil, fmt.Errorf("measure expected of %s at p=%v: %w", sys.Name(), p, err)
+			}
+			pt.Expected = &v
+		}
+		if nq.has(MeasureEstimate) {
+			mean, half, err := e.estimateCtx(ctx, sys, p, trials, seed)
+			if err != nil {
+				return nil, fmt.Errorf("measure estimate of %s at p=%v: %w", sys.Name(), p, err)
+			}
+			pt.Estimate = &Estimate{Mean: mean, HalfCI: half}
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+// DoBatch executes the queries in parallel over the session's shared
+// caches, fanning out across min(parallelism, len(queries)) workers
+// (session parallelism 0 meaning GOMAXPROCS). It returns one Result per
+// query in order; a query that fails for its own reasons yields a Result
+// with Error set and does not disturb its batch mates. Cancelling ctx
+// aborts the whole batch promptly with ctx.Err() and nil results.
+func (e *Evaluator) DoBatch(ctx context.Context, queries []Query) ([]*Result, error) {
+	results := make([]*Result, len(queries))
+	workers := e.parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(queries) || ctx.Err() != nil {
+					return
+				}
+				r, err := e.Do(ctx, queries[i])
+				if err != nil {
+					if isCtxErr(err) {
+						return
+					}
+					r = &Result{Spec: queries[i].Spec, Error: err.Error()}
+				}
+				results[i] = r
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
 }

@@ -4,6 +4,7 @@ package probequorum_test
 // printed output.
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 
@@ -116,4 +117,32 @@ func ExampleNewRegister() {
 	fmt.Println(value)
 	// Output:
 	// hello
+}
+
+// ExampleEvaluator_DoBatch builds a multi-measure batch Query — three
+// constructions, three measures, a two-point p grid — and fans it out
+// over one session's shared artifact caches: the shape probeserved
+// serves over HTTP.
+func ExampleEvaluator_DoBatch() {
+	eval := probequorum.NewEvaluator()
+	batch := probequorum.SpecQueries(
+		[]string{"maj:5", "wheel:6", "triang:3"},
+		[]probequorum.Measure{probequorum.MeasurePC, probequorum.MeasurePPC, probequorum.MeasureAvailability},
+		[]float64{0.1, 0.5},
+	)
+	results, err := eval.DoBatch(context.Background(), batch)
+	if err != nil {
+		panic(err) // only a cancelled context errs; per-query failures ride in Result.Error
+	}
+	for _, r := range results {
+		fmt.Printf("%-9s n=%d PC=%d", r.Spec, r.N, *r.PC)
+		for _, pt := range r.Points {
+			fmt.Printf("  p=%.1f: PPC=%.4f F_p=%.4f", pt.P, *pt.PPC, *pt.Availability)
+		}
+		fmt.Println()
+	}
+	// Output:
+	// maj:5     n=5 PC=5  p=0.1: PPC=3.3186 F_p=0.0086  p=0.5: PPC=4.1250 F_p=0.5000
+	// wheel:6   n=6 PC=6  p=0.1: PPC=2.4095 F_p=0.0410  p=0.5: PPC=2.9375 F_p=0.5000
+	// triang:3  n=6 PC=6  p=0.1: PPC=3.3348 F_p=0.0086  p=0.5: PPC=4.2500 F_p=0.5000
 }

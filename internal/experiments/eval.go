@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"context"
+
+	"probequorum"
+)
+
+// session is the shared measurement session of the experiment drivers:
+// every driver that asks for a standard measure (pc, ppc, availability,
+// expected, estimate) builds a Query and submits it here, so the paper
+// reproductions exercise the same evaluation path that quorumctl and the
+// probeserved service use, and repeated measures on one construction
+// share cached artifacts across drivers.
+var session = probequorum.NewEvaluator()
+
+// evalQuery submits a Query through the shared evaluation path.
+func evalQuery(q probequorum.Query) (*probequorum.Result, error) {
+	return session.Do(context.Background(), q)
+}
+
+// queryPC returns the exact worst-case probe complexity via a one-shot
+// pc Query.
+func queryPC(sys probequorum.System) (int, error) {
+	res, err := evalQuery(probequorum.Query{
+		System:   sys,
+		Measures: []probequorum.Measure{probequorum.MeasurePC},
+	})
+	if err != nil {
+		return 0, err
+	}
+	return *res.PC, nil
+}
+
+// queryPPC returns the exact probabilistic probe complexities over the
+// grid, in grid order, via one ppc Query.
+func queryPPC(sys probequorum.System, ps ...float64) ([]float64, error) {
+	res, err := evalQuery(probequorum.Query{
+		System:   sys,
+		Measures: []probequorum.Measure{probequorum.MeasurePPC},
+		Ps:       ps,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(res.Points))
+	for i, pt := range res.Points {
+		out[i] = *pt.PPC
+	}
+	return out, nil
+}
+
+// queryAvailability returns F_p over the grid, in grid order, via one
+// availability Query against a spec string.
+func queryAvailability(spec string, ps ...float64) ([]float64, error) {
+	res, err := evalQuery(probequorum.Query{
+		Spec:     spec,
+		Measures: []probequorum.Measure{probequorum.MeasureAvailability},
+		Ps:       ps,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(res.Points))
+	for i, pt := range res.Points {
+		out[i] = *pt.Availability
+	}
+	return out, nil
+}

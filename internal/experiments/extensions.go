@@ -3,7 +3,6 @@ package experiments
 import (
 	"math/rand/v2"
 
-	"probequorum/internal/availability"
 	"probequorum/internal/coloring"
 	"probequorum/internal/core"
 	"probequorum/internal/probe"
@@ -72,14 +71,21 @@ func AblationBaselines() Report {
 }
 
 // AvailabilityCurves reports F_p(S) sweeps per construction (Peleg & Wool
-// [13]), the quantity driving the probabilistic-model analyses (§3).
+// [13]), the quantity driving the probabilistic-model analyses (§3). Each
+// row is one availability Query over the p grid, answered from the
+// constructions' closed forms through the shared evaluation path.
 func AvailabilityCurves() Report {
 	r := Report{ID: "X2", Title: "Availability F_p(S) sweeps (closed forms, cross-checked vs enumeration in tests)"}
 	ps := []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5}
-	row := func(name string, f func(p float64) float64) {
+	row := func(name, spec string) {
+		vs, err := queryAvailability(spec, ps...)
+		if err != nil {
+			r.addf("%s error: %v", name, err)
+			return
+		}
 		line := name + " "
-		for _, p := range ps {
-			line += trimF(f(p)) + " "
+		for _, v := range vs {
+			line += trimF(v) + " "
 		}
 		r.Lines = append(r.Lines, line)
 	}
@@ -88,19 +94,11 @@ func AvailabilityCurves() Report {
 		header += trimF(p) + " "
 	}
 	r.Lines = append(r.Lines, header)
-	row("Maj(101)      ", func(p float64) float64 { return availability.Maj(101, p) })
-	row("Wheel(101)    ", func(p float64) float64 { return availability.Wheel(101, p) })
-	row("Triang(13)    ", func(p float64) float64 { return availability.CW(triangWidths(13), p) })
-	row("Tree(h=6)     ", func(p float64) float64 { return availability.Tree(6, p) })
-	row("HQS(h=4)      ", func(p float64) float64 { return availability.HQS(4, p) })
+	row("Maj(101)      ", "maj:101")
+	row("Wheel(101)    ", "wheel:101")
+	row("Triang(13)    ", "triang:13")
+	row("Tree(h=6)     ", "tree:6")
+	row("HQS(h=4)      ", "hqs:4")
 	r.addf("Fact 2.3 invariants (F_p <= p for p <= 1/2; F_p + F_{1-p} = 1) hold by test.")
 	return r
-}
-
-func triangWidths(k int) []int {
-	w := make([]int, k)
-	for i := range w {
-		w[i] = i + 1
-	}
-	return w
 }

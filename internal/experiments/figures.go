@@ -3,6 +3,8 @@ package experiments
 import (
 	"strings"
 
+	"probequorum"
+
 	"probequorum/internal/analytic"
 	"probequorum/internal/bitset"
 	"probequorum/internal/coloring"
@@ -62,14 +64,19 @@ func Figure3() Report {
 func Figure4Maj3() Report {
 	r := Report{ID: "F4", Title: "Maj3 decision tree and the three probe complexities (paper §2.3, Fig. 4)"}
 	m := mustSystem[*systems.Maj]("maj:3")
-	tree, err := strategy.BuildOptimalPC(m)
+	// One Query answers the decision tree, PC and PPC together.
+	res, err := evalQuery(probequorum.Query{
+		System:   m,
+		Measures: []probequorum.Measure{probequorum.MeasurePC, probequorum.MeasurePPC, probequorum.MeasureTree},
+		Ps:       []float64{0.5},
+	})
 	if err != nil {
 		r.addf("error: %v", err)
 		return r
 	}
-	addBlock(&r, render.StrategyTree(tree))
-	pc, _ := strategy.OptimalPC(m)
-	ppc, _ := strategy.OptimalPPC(m, 0.5)
+	addBlock(&r, res.Tree.ASCII)
+	pc := *res.PC
+	ppc := *res.Points[0].PPC
 	yao, _ := strategy.YaoBound(m, core.MajHardDistribution(m))
 	worstR := 0.0
 	for rr := 0; rr <= 3; rr++ {

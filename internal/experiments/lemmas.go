@@ -6,7 +6,6 @@ import (
 	"probequorum/internal/analytic"
 	"probequorum/internal/quorum"
 	"probequorum/internal/sim"
-	"probequorum/internal/strategy"
 	"probequorum/internal/systems"
 	"probequorum/internal/urn"
 	"probequorum/internal/walk"
@@ -26,7 +25,7 @@ func Lemma22Evasive() Report {
 	tree2 := mustSystem[*systems.Tree]("tree:2")
 	hqs2 := mustSystem[*systems.HQS]("hqs:2")
 	for _, sys := range []quorum.System{maj7, maj9, wheel6, cw, tri4, tree2, hqs2} {
-		pc, err := strategy.OptimalPC(sys)
+		pc, err := queryPC(sys)
 		if err != nil {
 			r.addf("%-14s error: %v", sys.Name(), err)
 			continue

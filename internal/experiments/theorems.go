@@ -187,11 +187,12 @@ func TheoremHQSOptimality() Report {
 	r := Report{ID: "F6", Title: "Probe_HQS optimality at p=1/2 (Theorem 3.9, Fig. 6)"}
 	for h := 0; h <= 2; h++ {
 		hq, _ := systems.NewHQS(h)
-		opt, err := strategy.OptimalPPC(hq, 0.5)
+		opts, err := queryPPC(hq, 0.5)
 		if err != nil {
 			r.addf("h=%d: %v", h, err)
 			continue
 		}
+		opt := opts[0]
 		probeHQS := sim.ExpectedIID(hq.Size(), 0.5, func(col *coloring.Coloring) float64 {
 			return float64(core.DeterministicProbes(col, func(o probe.Oracle) probe.Witness {
 				return core.ProbeHQS(hq, o)

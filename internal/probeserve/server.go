@@ -1,0 +1,168 @@
+// Package probeserve is the HTTP face of the evaluation API: a handler
+// serving batched Query evaluation, the construction registry and system
+// renderings over JSON, backed by one shared concurrent Evaluator whose
+// artifact caches persist across requests. cmd/probeserved mounts it as
+// a standalone service; the client package speaks its wire format.
+package probeserve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"probequorum"
+)
+
+// DefaultMaxBatch bounds the queries accepted in one /v1/eval request.
+const DefaultMaxBatch = 256
+
+// maxBodyBytes bounds the request body; a batch of DefaultMaxBatch
+// queries with generous grids fits comfortably.
+const maxBodyBytes = 1 << 20
+
+// EvalRequest is the wire format of POST /v1/eval: a batch of queries
+// evaluated together against the server's shared caches.
+type EvalRequest struct {
+	Queries []probequorum.Query `json:"queries"`
+}
+
+// EvalResponse answers /v1/eval with one Result per query, in order.
+// Queries that failed individually carry their message in Result.Error.
+type EvalResponse struct {
+	Results []*probequorum.Result `json:"results"`
+}
+
+// SystemsResponse answers /v1/systems with the registered construction
+// names and the recognized measures.
+type SystemsResponse struct {
+	Specs    []string              `json:"specs"`
+	Measures []probequorum.Measure `json:"measures"`
+}
+
+// ErrorResponse is the JSON body of every non-2xx answer.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// Server is the HTTP handler set of the evaluation service.
+type Server struct {
+	eval     *probequorum.Evaluator
+	maxBatch int
+	mux      *http.ServeMux
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithMaxBatch caps the number of queries accepted per /v1/eval request
+// (default DefaultMaxBatch).
+func WithMaxBatch(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.maxBatch = n
+		}
+	}
+}
+
+// New returns a Server answering through eval (nil for a fresh default
+// Evaluator). The Evaluator is shared across all requests, so its memo
+// caches warm up with traffic; it is safe for the concurrent use an HTTP
+// server gives it.
+func New(eval *probequorum.Evaluator, opts ...Option) *Server {
+	if eval == nil {
+		eval = probequorum.NewEvaluator()
+	}
+	s := &Server{eval: eval, maxBatch: DefaultMaxBatch, mux: http.NewServeMux()}
+	for _, opt := range opts {
+		opt(s)
+	}
+	s.mux.HandleFunc("POST /v1/eval", s.handleEval)
+	s.mux.HandleFunc("GET /v1/systems", s.handleSystems)
+	s.mux.HandleFunc("GET /v1/render", s.handleRender)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// Handler returns the root handler of the service.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// handleEval decodes a query batch, fans it out on the shared Evaluator
+// with the request's context (a disconnecting client cancels the whole
+// batch), and writes the results in request order.
+func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
+	var req EvalRequest
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad eval request: %w", err))
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("bad eval request: empty query batch"))
+		return
+	}
+	if len(req.Queries) > s.maxBatch {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad eval request: %d queries exceed the batch cap %d", len(req.Queries), s.maxBatch))
+		return
+	}
+	results, err := s.eval.DoBatch(r.Context(), req.Queries)
+	if err != nil {
+		// Only context errors reach here; the client is gone or the
+		// server is shutting down, so the write is best-effort.
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, EvalResponse{Results: results})
+}
+
+// handleSystems lists the construction registry and the measure names.
+func (s *Server) handleSystems(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, SystemsResponse{
+		Specs:    probequorum.SpecNames(),
+		Measures: probequorum.AllMeasures(),
+	})
+}
+
+// handleRender draws the system named by ?spec= as text/plain ASCII art.
+func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
+	specStr := strings.TrimSpace(r.URL.Query().Get("spec"))
+	if specStr == "" {
+		writeError(w, http.StatusBadRequest, errors.New("missing spec parameter"))
+		return
+	}
+	sys, err := probequorum.Parse(specStr)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	art, err := probequorum.RenderSystem(sys, nil)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprint(w, art)
+}
+
+// handleHealthz answers liveness probes.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) // a failed write means the client is gone; nothing to do
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}

@@ -1,0 +1,278 @@
+package probeserve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"probequorum"
+	"probequorum/internal/probeserve"
+)
+
+// sevenSpecs is one spec per registered construction (triang is the CW
+// alias and rides along as an eighth probe of the same machinery).
+var sevenSpecs = []string{
+	"maj:7", "wheel:6", "cw:1,3,2", "tree:2", "hqs:2", "vote:3,1,1,1,1", "recmaj:3x2", "triang:4",
+}
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(probeserve.New(nil).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func postEval(t *testing.T, ts *httptest.Server, req probeserve.EvalRequest) (*http.Response, probeserve.EvalResponse) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := http.Post(ts.URL+"/v1/eval", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	var out probeserve.EvalResponse
+	if res.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(res.Body).Decode(&out); err != nil {
+			t.Fatalf("decode eval response: %v", err)
+		}
+	}
+	return res, out
+}
+
+// TestEvalAllConstructionsBitIdentical is the acceptance gate of the
+// Query API: every registered construction answered over the wire must
+// match the direct façade calls bit for bit — the JSON float encoding
+// round-trips float64 exactly, so == is the right comparison.
+func TestEvalAllConstructionsBitIdentical(t *testing.T) {
+	ts := newTestServer(t)
+	const trials, seed = 2000, 7
+	ps := []float64{0.1, 0.5}
+	queries := make([]probequorum.Query, len(sevenSpecs))
+	for i, s := range sevenSpecs {
+		queries[i] = probequorum.Query{
+			Spec:     s,
+			Measures: probequorum.AllMeasures(),
+			Ps:       ps,
+			Trials:   trials,
+			Seed:     seed,
+		}
+	}
+	res, out := postEval(t, ts, probeserve.EvalRequest{Queries: queries})
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/eval status = %s", res.Status)
+	}
+	if len(out.Results) != len(queries) {
+		t.Fatalf("got %d results, want %d", len(out.Results), len(queries))
+	}
+
+	for i, s := range sevenSpecs {
+		got := out.Results[i]
+		if got == nil || got.Error != "" {
+			t.Errorf("%s: result error: %+v", s, got)
+			continue
+		}
+		sys := probequorum.MustParse(s)
+		if got.Spec != s || got.Name != sys.Name() || got.N != sys.Size() {
+			t.Errorf("%s: identity mismatch: %q %q n=%d", s, got.Spec, got.Name, got.N)
+		}
+		pc, err := probequorum.ProbeComplexity(sys)
+		if err != nil {
+			t.Fatalf("%s: façade PC: %v", s, err)
+		}
+		if got.PC == nil || *got.PC != pc {
+			t.Errorf("%s: PC = %v, façade %d", s, got.PC, pc)
+		}
+		tree, err := probequorum.OptimalStrategyTree(sys)
+		if err != nil {
+			t.Fatalf("%s: façade tree: %v", s, err)
+		}
+		wantASCII := probequorum.RenderStrategyTree(tree)
+		if got.Tree == nil || got.Tree.Depth != tree.Depth() || got.Tree.Leaves != tree.Leaves() || got.Tree.ASCII != wantASCII {
+			t.Errorf("%s: tree summary mismatch", s)
+		}
+		if len(got.Points) != len(ps) {
+			t.Fatalf("%s: got %d points, want %d", s, len(got.Points), len(ps))
+		}
+		for j, p := range ps {
+			pt := got.Points[j]
+			if pt.P != p {
+				t.Errorf("%s: point %d at p=%v, want %v", s, j, pt.P, p)
+			}
+			ppc, err := probequorum.AverageProbeComplexity(sys, p)
+			if err != nil {
+				t.Fatalf("%s: façade PPC: %v", s, err)
+			}
+			if pt.PPC == nil || *pt.PPC != ppc {
+				t.Errorf("%s p=%v: PPC = %v, façade %v", s, p, pt.PPC, ppc)
+			}
+			if avail := probequorum.Availability(sys, p); pt.Availability == nil || *pt.Availability != avail {
+				t.Errorf("%s p=%v: availability = %v, façade %v", s, p, pt.Availability, avail)
+			}
+			exp, err := probequorum.ExpectedProbes(sys, p)
+			if err != nil {
+				t.Fatalf("%s: façade expected: %v", s, err)
+			}
+			if pt.Expected == nil || *pt.Expected != exp {
+				t.Errorf("%s p=%v: expected = %v, façade %v", s, p, pt.Expected, exp)
+			}
+			mean, half, err := probequorum.EstimateAverageProbes(sys, p, trials, seed)
+			if err != nil {
+				t.Fatalf("%s: façade estimate: %v", s, err)
+			}
+			if pt.Estimate == nil || pt.Estimate.Mean != mean || pt.Estimate.HalfCI != half {
+				t.Errorf("%s p=%v: estimate = %+v, façade (%v, %v)", s, p, pt.Estimate, mean, half)
+			}
+		}
+		if got.Trials != trials || got.Seed != seed {
+			t.Errorf("%s: effective trials/seed = %d/%d, want %d/%d", s, got.Trials, got.Seed, trials, seed)
+		}
+	}
+}
+
+func TestEvalPerQueryErrors(t *testing.T) {
+	ts := newTestServer(t)
+	res, out := postEval(t, ts, probeserve.EvalRequest{Queries: []probequorum.Query{
+		{Spec: "maj:5", Measures: []probequorum.Measure{probequorum.MeasurePC}},
+		{Spec: "grid:9", Measures: []probequorum.Measure{probequorum.MeasurePC}},
+		{Spec: "maj:7", Measures: []probequorum.Measure{"bogus"}},
+	}})
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("status = %s, want 200 (per-query errors ride inside results)", res.Status)
+	}
+	if out.Results[0] == nil || out.Results[0].Error != "" || out.Results[0].PC == nil {
+		t.Errorf("healthy query failed: %+v", out.Results[0])
+	}
+	if out.Results[1] == nil || !strings.Contains(out.Results[1].Error, "unknown construction") {
+		t.Errorf("unknown spec: %+v", out.Results[1])
+	}
+	if out.Results[2] == nil || !strings.Contains(out.Results[2].Error, "unknown measure") {
+		t.Errorf("unknown measure: %+v", out.Results[2])
+	}
+}
+
+func TestEvalBadRequests(t *testing.T) {
+	ts := newTestServer(t)
+	for name, body := range map[string]string{
+		"empty batch":    `{"queries":[]}`,
+		"not json":       `{"queries":`,
+		"unknown fields": `{"queries":[], "extra": 1}`,
+	} {
+		res, err := http.Post(ts.URL+"/v1/eval", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var e probeserve.ErrorResponse
+		json.NewDecoder(res.Body).Decode(&e)
+		res.Body.Close()
+		if res.StatusCode != http.StatusBadRequest || e.Error == "" {
+			t.Errorf("%s: status = %s, error = %q; want 400 with message", name, res.Status, e.Error)
+		}
+	}
+	// Batch cap.
+	srv := httptest.NewServer(probeserve.New(nil, probeserve.WithMaxBatch(1)).Handler())
+	defer srv.Close()
+	q := probequorum.Query{Spec: "maj:3", Measures: []probequorum.Measure{probequorum.MeasurePC}}
+	body, _ := json.Marshal(probeserve.EvalRequest{Queries: []probequorum.Query{q, q}})
+	res, err := http.Post(srv.URL+"/v1/eval", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusBadRequest {
+		t.Errorf("over-cap batch: status = %s, want 400", res.Status)
+	}
+	// Wrong method.
+	res, err = http.Get(ts.URL + "/v1/eval")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/eval: status = %s, want 405", res.Status)
+	}
+}
+
+func TestSystemsRenderHealthz(t *testing.T) {
+	ts := newTestServer(t)
+	res, err := http.Get(ts.URL + "/v1/systems")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sysResp probeserve.SystemsResponse
+	if err := json.NewDecoder(res.Body).Decode(&sysResp); err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	wantSpecs := probequorum.SpecNames()
+	if len(sysResp.Specs) != len(wantSpecs) || len(sysResp.Measures) != len(probequorum.AllMeasures()) {
+		t.Errorf("/v1/systems = %+v, want specs %v and all measures", sysResp, wantSpecs)
+	}
+
+	res, err = http.Get(ts.URL + "/v1/render?spec=triang:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	art := new(bytes.Buffer)
+	art.ReadFrom(res.Body)
+	res.Body.Close()
+	sys := probequorum.MustParse("triang:3")
+	want, err := probequorum.RenderSystem(sys, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StatusCode != http.StatusOK || art.String() != want {
+		t.Errorf("/v1/render = %q (status %s), want façade rendering", art.String(), res.Status)
+	}
+
+	res, err = http.Get(ts.URL + "/v1/render?spec=nope:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusBadRequest {
+		t.Errorf("render of bad spec: status = %s, want 400", res.Status)
+	}
+
+	res, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Errorf("/healthz status = %s, want 200", res.Status)
+	}
+}
+
+// TestEvalWarmCacheStable confirms that a repeated batch — now answered
+// from the Evaluator's memo caches — returns identical bytes, the
+// warm-path half of the bit-identical guarantee.
+func TestEvalWarmCacheStable(t *testing.T) {
+	ts := newTestServer(t)
+	req := probeserve.EvalRequest{Queries: []probequorum.Query{{
+		Spec:     "maj:9",
+		Measures: []probequorum.Measure{probequorum.MeasurePC, probequorum.MeasurePPC, probequorum.MeasureAvailability},
+		Ps:       []float64{0.2, 0.5},
+	}}}
+	body, _ := json.Marshal(req)
+	fetch := func() string {
+		res, err := http.Post(ts.URL+"/v1/eval", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer res.Body.Close()
+		buf := new(bytes.Buffer)
+		buf.ReadFrom(res.Body)
+		return buf.String()
+	}
+	cold := fetch()
+	warm := fetch()
+	if cold != warm {
+		t.Errorf("warm response differs from cold:\ncold: %s\nwarm: %s", cold, warm)
+	}
+}

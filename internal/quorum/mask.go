@@ -1,6 +1,7 @@
 package quorum
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 
@@ -153,6 +154,13 @@ type WitnessTable struct {
 // masks, and a word-level upward (superset) closure completes it in
 // O(n 2^n / 64) word operations. It fails for n > MaxTableUniverse.
 func BuildWitnessTable(sys System) (*WitnessTable, error) {
+	return BuildWitnessTableCtx(context.Background(), sys)
+}
+
+// BuildWitnessTableCtx is BuildWitnessTable honoring cancellation: the
+// 2^n evaluation loop checks ctx periodically and returns ctx.Err()
+// without a table when the context is done.
+func BuildWitnessTableCtx(ctx context.Context, sys System) (*WitnessTable, error) {
 	n := sys.Size()
 	if n > MaxTableUniverse {
 		return nil, fmt.Errorf("quorum: witness table limited to n <= %d, got %d", MaxTableUniverse, n)
@@ -169,6 +177,9 @@ func BuildWitnessTable(sys System) (*WitnessTable, error) {
 	case MaskSystem:
 		limit := uint64(1) << uint(n)
 		for m := uint64(0); m < limit; m++ {
+			if m&0xFFFF == 0 && ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
 			if ms.ContainsQuorumMask(m) {
 				t.bits[m>>6] |= 1 << (m & 63)
 			}
@@ -176,6 +187,9 @@ func BuildWitnessTable(sys System) (*WitnessTable, error) {
 		return t, nil
 	default:
 		seeds = MasksOf(sys.Quorums())
+	}
+	if ctx.Err() != nil {
+		return nil, ctx.Err()
 	}
 	for _, q := range seeds {
 		t.bits[q>>6] |= 1 << (q & 63)

@@ -1,6 +1,8 @@
 package quorum_test
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"probequorum/internal/bitset"
@@ -169,3 +171,11 @@ func (s sized) Name() string                    { return "sized" }
 func (s sized) Size() int                       { return s.n }
 func (s sized) ContainsQuorum(*bitset.Set) bool { return false }
 func (s sized) Quorums() []*bitset.Set          { return nil }
+
+func TestBuildWitnessTableCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := quorum.BuildWitnessTableCtx(ctx, explicitFixture(t)); !errors.Is(err, context.Canceled) {
+		t.Errorf("BuildWitnessTableCtx on a cancelled ctx: err = %v, want context.Canceled", err)
+	}
+}

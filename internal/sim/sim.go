@@ -9,6 +9,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 	"runtime"
@@ -51,6 +52,19 @@ func EstimateWith[S any](trials int, seed uint64, newState func() S, f func(rng 
 // from (seed, trial index) and accumulation replays in trial order, the
 // summary is bit-identical for every worker count.
 func EstimateWithWorkers[S any](trials int, seed uint64, workers int, newState func() S, f func(rng *rand.Rand, state S) float64) stats.Summary {
+	s, err := EstimateWithWorkersCtx(context.Background(), trials, seed, workers, newState, f)
+	if err != nil {
+		panic(err) // unreachable: the background context is never done
+	}
+	return s
+}
+
+// EstimateWithWorkersCtx is EstimateWithWorkers honoring cancellation:
+// both the sequential and the parallel trial loops check ctx between
+// chunks of trials, and a done context aborts the run with ctx.Err()
+// and no summary. A run that completes is bit-identical to the
+// uncancellable variants for the same (trials, seed, f).
+func EstimateWithWorkersCtx[S any](ctx context.Context, trials int, seed uint64, workers int, newState func() S, f func(rng *rand.Rand, state S) float64) (stats.Summary, error) {
 	if trials <= 0 {
 		panic(fmt.Sprintf("sim: trials must be positive, got %d", trials))
 	}
@@ -61,9 +75,12 @@ func EstimateWithWorkers[S any](trials int, seed uint64, workers int, newState f
 	if trials < parallelMinTrials || workers <= 1 {
 		state := newState()
 		for i := 0; i < trials; i++ {
+			if i%trialChunk == 0 && ctx.Err() != nil {
+				return stats.Summary{}, ctx.Err()
+			}
 			vals[i] = f(trialRNG(seed, i), state)
 		}
-		return summarize(vals)
+		return summarize(vals), nil
 	}
 	if max := (trials + trialChunk - 1) / trialChunk; workers > max {
 		workers = max
@@ -77,7 +94,7 @@ func EstimateWithWorkers[S any](trials int, seed uint64, workers int, newState f
 			state := newState()
 			for {
 				start := int(next.Add(trialChunk)) - trialChunk
-				if start >= trials {
+				if start >= trials || ctx.Err() != nil {
 					return
 				}
 				end := start + trialChunk
@@ -91,7 +108,10 @@ func EstimateWithWorkers[S any](trials int, seed uint64, workers int, newState f
 		}()
 	}
 	wg.Wait()
-	return summarize(vals)
+	if err := ctx.Err(); err != nil {
+		return stats.Summary{}, err
+	}
+	return summarize(vals), nil
 }
 
 // EstimateSeq is the single-threaded reference implementation of

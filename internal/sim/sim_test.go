@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/rand/v2"
 	"runtime"
@@ -154,4 +156,50 @@ func TestExpectedIIDGuard(t *testing.T) {
 		}
 	}()
 	ExpectedIID(25, 0.5, func(*coloring.Coloring) float64 { return 0 })
+}
+
+func TestEstimateWithWorkersCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := EstimateWithWorkersCtx(ctx, 100000, 7, 0,
+		func() struct{} { return struct{}{} },
+		func(rng *rand.Rand, _ struct{}) float64 { return rng.Float64() })
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled ctx: err = %v, want context.Canceled", err)
+	}
+}
+
+func TestEstimateWithWorkersCtxMidRun(t *testing.T) {
+	// Cancel from inside an early trial: the remaining chunks must be
+	// abandoned and the run must report the cancellation.
+	ctx, cancel := context.WithCancel(context.Background())
+	var calls atomic.Int64
+	_, err := EstimateWithWorkersCtx(ctx, 1<<20, 7, 0,
+		func() struct{} { return struct{}{} },
+		func(rng *rand.Rand, _ struct{}) float64 {
+			if calls.Add(1) == 10 {
+				cancel()
+			}
+			return rng.Float64()
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("mid-run cancel: err = %v, want context.Canceled", err)
+	}
+	if n := calls.Load(); n >= 1<<20 {
+		t.Errorf("cancellation did not stop the trial loop: %d trials ran", n)
+	}
+	cancel()
+}
+
+func TestEstimateWithWorkersCtxMatchesUncancellable(t *testing.T) {
+	f := func(rng *rand.Rand, _ struct{}) float64 { return rng.Float64() }
+	news := func() struct{} { return struct{}{} }
+	got, err := EstimateWithWorkersCtx(context.Background(), 5000, 11, 0, news, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := EstimateWithWorkers(5000, 11, 0, news, f)
+	if got != want {
+		t.Errorf("ctx variant summary %+v differs from uncancellable %+v", got, want)
+	}
 }

@@ -28,6 +28,7 @@
 package strategy
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/bits"
@@ -60,27 +61,33 @@ const parallelRootMin = 10
 
 // engine carries the shared mask-native evaluation context: the universe,
 // the dense witness predicate and the base-3 place values of each element.
+// stop is the cancellation flag of the owning solve: the DP recursions
+// poll it (one uncontended atomic load per state) and unwind with garbage
+// values that the cancelled solver discards wholesale.
 type engine struct {
 	n       int
 	full    uint64 // mask of the whole universe
 	witness *quorum.WitnessTable
 	pow3    [MaxUniverse]uint64 // pow3[e] = 3^e, the base-3 place value of element e
+	stop    atomic.Bool
 }
 
-func newEngine(sys quorum.System) (*engine, error) { return newEngineWith(sys, nil) }
+func newEngine(sys quorum.System) (*engine, error) {
+	return newEngineWith(context.Background(), sys, nil)
+}
 
 // newEngineWith builds the evaluation context around a prebuilt witness
-// table (nil to build one here). Reusing a table across measures is the
-// Evaluator session's cache hit: the 2^n-subset evaluation happens once
-// per system instead of once per call.
-func newEngineWith(sys quorum.System, table *quorum.WitnessTable) (*engine, error) {
+// table (nil to build one here, honoring ctx). Reusing a table across
+// measures is the Evaluator session's cache hit: the 2^n-subset
+// evaluation happens once per system instead of once per call.
+func newEngineWith(ctx context.Context, sys quorum.System, table *quorum.WitnessTable) (*engine, error) {
 	n := sys.Size()
 	if n > MaxUniverse {
 		return nil, fmt.Errorf("strategy: exact DP limited to n <= %d, got %d", MaxUniverse, n)
 	}
 	if table == nil {
 		var err error
-		table, err = quorum.BuildWitnessTable(sys)
+		table, err = quorum.BuildWitnessTableCtx(ctx, sys)
 		if err != nil {
 			return nil, err
 		}
@@ -94,6 +101,18 @@ func newEngineWith(sys quorum.System, table *quorum.WitnessTable) (*engine, erro
 		p *= 3
 	}
 	return e, nil
+}
+
+// watch arms the engine's stop flag from ctx, returning a release
+// function for the watcher. The DPs poll the flag instead of ctx.Err()
+// because a pointer-chasing context check per recursion step would
+// dominate the hot loop.
+func (e *engine) watch(ctx context.Context) (release func()) {
+	if ctx.Done() == nil {
+		return func() {}
+	}
+	cancel := context.AfterFunc(ctx, func() { e.stop.Store(true) })
+	return func() { cancel() }
 }
 
 // holdsWitness reports whether the mask's elements contain a quorum: one
@@ -154,11 +173,11 @@ type ppcSolver struct {
 	d32  []uint32
 }
 
-func newPPCSolver(sys quorum.System, table *quorum.WitnessTable, p float64) (*ppcSolver, error) {
+func newPPCSolver(ctx context.Context, sys quorum.System, table *quorum.WitnessTable, p float64) (*ppcSolver, error) {
 	if p < 0 || p > 1 {
 		return nil, fmt.Errorf("strategy: probability %v out of [0,1]", p)
 	}
-	eng, err := newEngineWith(sys, table)
+	eng, err := newEngineWith(ctx, sys, table)
 	if err != nil {
 		return nil, err
 	}
@@ -176,6 +195,11 @@ func newPPCSolver(sys quorum.System, table *quorum.WitnessTable, p float64) (*pp
 // incrementally along the recursion.
 func (s *ppcSolver) value(greens, reds, idx uint64) float64 {
 	e := s.eng
+	if e.stop.Load() {
+		// Cancelled: unwind immediately. The value is garbage, but the
+		// whole solve is discarded, so nothing downstream reads it.
+		return 0
+	}
 	if e.holdsWitness(greens) || e.holdsWitness(reds) {
 		return 0
 	}
@@ -208,8 +232,11 @@ func (s *ppcSolver) value(greens, reds, idx uint64) float64 {
 
 // solve computes the root value, expanding the root's branches in
 // parallel for universes big enough to amortize the goroutine handoff.
-func (s *ppcSolver) solve() float64 {
+// A done ctx makes the recursion unwind promptly; the partial memo is
+// then discarded and ctx.Err() returned.
+func (s *ppcSolver) solve(ctx context.Context) (float64, error) {
 	e := s.eng
+	defer e.watch(ctx)()
 	if e.n >= parallelRootMin {
 		e.parallelExpand(func(el int, red bool) {
 			bit := uint64(1) << uint(el)
@@ -220,7 +247,11 @@ func (s *ppcSolver) solve() float64 {
 			}
 		})
 	}
-	return s.value(0, 0, 0)
+	v := s.value(0, 0, 0)
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return v, nil
 }
 
 // OptimalPPC returns the probabilistic-model probe complexity PPC_p(S):
@@ -234,11 +265,18 @@ func OptimalPPC(sys quorum.System, p float64) (float64, error) {
 // table for the system (nil to build one), letting sessions amortize the
 // table across repeated measures.
 func OptimalPPCWithTable(sys quorum.System, table *quorum.WitnessTable, p float64) (float64, error) {
-	s, err := newPPCSolver(sys, table, p)
+	return OptimalPPCWithTableCtx(context.Background(), sys, table, p)
+}
+
+// OptimalPPCWithTableCtx is OptimalPPCWithTable honoring cancellation:
+// the expectimax recursion polls the context's cancellation flag and a
+// done ctx aborts the solve promptly with ctx.Err().
+func OptimalPPCWithTableCtx(ctx context.Context, sys quorum.System, table *quorum.WitnessTable, p float64) (float64, error) {
+	s, err := newPPCSolver(ctx, sys, table, p)
 	if err != nil {
 		return 0, err
 	}
-	return s.solve(), nil
+	return s.solve(ctx)
 }
 
 // pcSolver is the minimax DP for PC. Like ppcSolver, zero marks an unset
@@ -249,8 +287,8 @@ type pcSolver struct {
 	dense []int32
 }
 
-func newPCSolver(sys quorum.System, table *quorum.WitnessTable) (*pcSolver, error) {
-	eng, err := newEngineWith(sys, table)
+func newPCSolver(ctx context.Context, sys quorum.System, table *quorum.WitnessTable) (*pcSolver, error) {
+	eng, err := newEngineWith(ctx, sys, table)
 	if err != nil {
 		return nil, err
 	}
@@ -259,6 +297,10 @@ func newPCSolver(sys quorum.System, table *quorum.WitnessTable) (*pcSolver, erro
 
 func (s *pcSolver) value(greens, reds, idx uint64) int {
 	e := s.eng
+	if e.stop.Load() {
+		// Cancelled: unwind immediately (see ppcSolver.value).
+		return 0
+	}
 	if e.holdsWitness(greens) || e.holdsWitness(reds) {
 		return 0
 	}
@@ -283,8 +325,9 @@ func (s *pcSolver) value(greens, reds, idx uint64) int {
 	return best
 }
 
-func (s *pcSolver) solve() int {
+func (s *pcSolver) solve(ctx context.Context) (int, error) {
 	e := s.eng
+	defer e.watch(ctx)()
 	if e.n >= parallelRootMin {
 		e.parallelExpand(func(el int, red bool) {
 			bit := uint64(1) << uint(el)
@@ -295,7 +338,11 @@ func (s *pcSolver) solve() int {
 			}
 		})
 	}
-	return s.value(0, 0, 0)
+	v := s.value(0, 0, 0)
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return v, nil
 }
 
 // OptimalPC returns the deterministic worst-case probe complexity PC(S):
@@ -306,11 +353,18 @@ func OptimalPC(sys quorum.System) (int, error) { return OptimalPCWithTable(sys, 
 // OptimalPCWithTable is OptimalPC running against a prebuilt witness
 // table for the system (nil to build one).
 func OptimalPCWithTable(sys quorum.System, table *quorum.WitnessTable) (int, error) {
-	s, err := newPCSolver(sys, table)
+	return OptimalPCWithTableCtx(context.Background(), sys, table)
+}
+
+// OptimalPCWithTableCtx is OptimalPCWithTable honoring cancellation: the
+// minimax recursion polls the context's cancellation flag and a done ctx
+// aborts the solve promptly with ctx.Err().
+func OptimalPCWithTableCtx(ctx context.Context, sys quorum.System, table *quorum.WitnessTable) (int, error) {
+	s, err := newPCSolver(ctx, sys, table)
 	if err != nil {
 		return 0, err
 	}
-	return s.solve(), nil
+	return s.solve(ctx)
 }
 
 // Node is a probe strategy tree node (the decision trees of Fig. 4).
@@ -382,14 +436,26 @@ func BuildOptimalPC(sys quorum.System) (*Node, error) { return BuildOptimalPCWit
 // BuildOptimalPCWithTable is BuildOptimalPC running against a prebuilt
 // witness table for the system (nil to build one).
 func BuildOptimalPCWithTable(sys quorum.System, table *quorum.WitnessTable) (*Node, error) {
-	s, err := newPCSolver(sys, table)
+	return BuildOptimalPCWithTableCtx(context.Background(), sys, table)
+}
+
+// BuildOptimalPCWithTableCtx is BuildOptimalPCWithTable honoring
+// cancellation across both the solve and the tree descent.
+func BuildOptimalPCWithTableCtx(ctx context.Context, sys quorum.System, table *quorum.WitnessTable) (*Node, error) {
+	s, err := newPCSolver(ctx, sys, table)
 	if err != nil {
 		return nil, err
 	}
-	s.solve()
+	if _, err := s.solve(ctx); err != nil {
+		return nil, err
+	}
 	e := s.eng
+	defer e.watch(ctx)()
 	var build func(greens, reds, idx uint64) *Node
 	build = func(greens, reds, idx uint64) *Node {
+		if e.stop.Load() {
+			return nil // cancelled: the caller reports ctx.Err()
+		}
 		if e.holdsWitness(greens) {
 			return &Node{Element: -1, Leaf: coloring.Green}
 		}
@@ -414,20 +480,30 @@ func BuildOptimalPCWithTable(sys quorum.System, table *quorum.WitnessTable) (*No
 				}
 			}
 		}
+		if e.stop.Load() {
+			return nil // cancellation made the memoized values unusable
+		}
 		panic("strategy: no element achieves the memoized PC value")
 	}
-	return build(0, 0, 0), nil
+	root := build(0, 0, 0)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return root, nil
 }
 
 // BuildOptimalPPC materializes a probe strategy tree attaining the optimal
 // probabilistic-model expected probes at failure probability p, breaking
 // ties toward the lowest-index element.
 func BuildOptimalPPC(sys quorum.System, p float64) (*Node, error) {
-	s, err := newPPCSolver(sys, nil, p)
+	ctx := context.Background()
+	s, err := newPPCSolver(ctx, sys, nil, p)
 	if err != nil {
 		return nil, err
 	}
-	s.solve()
+	if _, err := s.solve(ctx); err != nil {
+		return nil, err
+	}
 	e := s.eng
 	// The float32 memo rounds the stored target (~1e-7 relative), so the
 	// recomputed float64 candidate of even the optimal element can exceed

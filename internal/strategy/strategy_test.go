@@ -1,6 +1,8 @@
 package strategy
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 
@@ -376,5 +378,29 @@ func TestPPCSymmetry(t *testing.T) {
 				t.Errorf("%s: PPC(%.1f)=%.6f != PPC(%.1f)=%.6f", sys.Name(), p, a, 1-p, b)
 			}
 		}
+	}
+}
+
+func TestOptimalDPsCtxCancelled(t *testing.T) {
+	maj, _ := systems.NewMaj(7)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := OptimalPPCWithTableCtx(ctx, maj, nil, 0.5); !errors.Is(err, context.Canceled) {
+		t.Errorf("OptimalPPCWithTableCtx: err = %v, want context.Canceled", err)
+	}
+	if _, err := OptimalPCWithTableCtx(ctx, maj, nil); !errors.Is(err, context.Canceled) {
+		t.Errorf("OptimalPCWithTableCtx: err = %v, want context.Canceled", err)
+	}
+	if _, err := BuildOptimalPCWithTableCtx(ctx, maj, nil); !errors.Is(err, context.Canceled) {
+		t.Errorf("BuildOptimalPCWithTableCtx: err = %v, want context.Canceled", err)
+	}
+	// A prebuilt table skips the (ctx-checked) table build, exercising
+	// the solver's own stop flag instead.
+	table, err := quorum.BuildWitnessTable(maj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OptimalPPCWithTableCtx(ctx, maj, table, 0.5); !errors.Is(err, context.Canceled) {
+		t.Errorf("OptimalPPCWithTableCtx with prebuilt table: err = %v, want context.Canceled", err)
 	}
 }

@@ -17,11 +17,17 @@
 //   - exact measures: availability F_p, worst-case probe complexity PC,
 //     probabilistic probe complexity PPC_p (exact for small universes),
 //     and expected probe counts of the built-in strategies;
+//   - a query-oriented evaluation API: a Query names a system, a measure
+//     set and a p grid; Evaluator.Do and Evaluator.DoBatch execute
+//     queries with context cancellation against cached per-system
+//     artifacts and answer with JSON-stable Results — the same path
+//     cmd/probeserved serves over HTTP and the client package consumes;
 //   - a simulated fail-stop cluster with quorum-replicated registers and
 //     quorum-based mutual exclusion built on witness search.
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// reproduction of every table and figure of the paper.
+// See DESIGN.md for the system inventory and the Query API, and
+// EXPERIMENTS.md for the reproduction of every table and figure of the
+// paper.
 package probequorum
 
 import (

@@ -1,0 +1,299 @@
+package probequorum
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Measure names one quantity a Query asks for. The string values are the
+// wire encoding used by the JSON API, the probeserved service and the
+// quorumctl -measures flag.
+type Measure string
+
+const (
+	// MeasurePC is the exact worst-case probe complexity PC(S).
+	MeasurePC Measure = "pc"
+	// MeasurePPC is the exact probabilistic probe complexity PPC_p(S),
+	// one value per grid point p.
+	MeasurePPC Measure = "ppc"
+	// MeasureAvailability is the failure probability F_p(S), one value
+	// per grid point p.
+	MeasureAvailability Measure = "availability"
+	// MeasureExpected is the exact expected probe count of the paper's
+	// deterministic strategy under IID(p), one value per grid point p.
+	MeasureExpected Measure = "expected"
+	// MeasureEstimate is the Monte Carlo estimate of the deterministic
+	// strategy's average probes under IID(p), one (mean, half-CI) pair
+	// per grid point p.
+	MeasureEstimate Measure = "estimate"
+	// MeasureTree is a worst-case-optimal probe strategy tree: depth,
+	// leaf count and the ASCII rendering in the paper's Fig. 4 notation.
+	MeasureTree Measure = "tree"
+)
+
+// AllMeasures returns every recognized measure in wire order.
+func AllMeasures() []Measure {
+	return []Measure{MeasurePC, MeasurePPC, MeasureAvailability, MeasureExpected, MeasureEstimate, MeasureTree}
+}
+
+// perP reports whether the measure is evaluated once per grid point p
+// (as opposed to once per system).
+func (m Measure) perP() bool {
+	switch m {
+	case MeasurePPC, MeasureAvailability, MeasureExpected, MeasureEstimate:
+		return true
+	}
+	return false
+}
+
+func (m Measure) valid() bool {
+	switch m {
+	case MeasurePC, MeasurePPC, MeasureAvailability, MeasureExpected, MeasureEstimate, MeasureTree:
+		return true
+	}
+	return false
+}
+
+// ParseMeasures parses a comma-separated measure list ("pc,ppc,availability").
+// Whitespace around items is ignored; duplicates collapse to the first
+// occurrence. The empty string is an error.
+func ParseMeasures(s string) ([]Measure, error) {
+	var out []Measure
+	seen := map[Measure]bool{}
+	for _, part := range strings.Split(s, ",") {
+		m := Measure(strings.TrimSpace(strings.ToLower(part)))
+		if !m.valid() {
+			return nil, fmt.Errorf("probequorum: unknown measure %q (known: %s)", part, knownMeasureList())
+		}
+		if !seen[m] {
+			seen[m] = true
+			out = append(out, m)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("probequorum: empty measure list (known: %s)", knownMeasureList())
+	}
+	return out, nil
+}
+
+func knownMeasureList() string {
+	names := make([]string, 0, len(AllMeasures()))
+	for _, m := range AllMeasures() {
+		names = append(names, string(m))
+	}
+	return strings.Join(names, ", ")
+}
+
+// ParsePGrid parses a comma-separated failure-probability grid
+// ("0.1,0.25,0.5") into a float slice, validating each value into [0,1].
+func ParsePGrid(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		p, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return nil, fmt.Errorf("probequorum: bad probability %q: want a float in [0,1]", part)
+		}
+		// The negated form rejects NaN, which both plain comparisons miss.
+		if !(p >= 0 && p <= 1) {
+			return nil, fmt.Errorf("probequorum: probability %v out of [0,1]", p)
+		}
+		out = append(out, p)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("probequorum: empty probability grid")
+	}
+	return out, nil
+}
+
+// PGrid returns a uniform n-point grid over [lo, hi] inclusive — the
+// usual sweep axis of the paper's figures.
+func PGrid(lo, hi float64, n int) []float64 {
+	if n <= 1 {
+		return []float64{lo}
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = lo + (hi-lo)*float64(i)/float64(n-1)
+	}
+	return out
+}
+
+// MaxQueryTrials bounds the Monte Carlo trials one Query may request.
+// The trial loop allocates 8 bytes per trial up front, and Queries cross
+// the wire, so an unbounded count would let a single small /v1/eval
+// request allocate the server to death; the cap keeps the worst case at
+// 80 MB. Operators needing more configure the session via WithTrials.
+const MaxQueryTrials = 10_000_000
+
+// Query is a declarative evaluation request: one system — named by a
+// Spec string ("maj:13") or given directly as a System value — a set of
+// measures, and a grid of failure probabilities for the p-dependent
+// measures. Evaluator.Do executes a Query; Evaluator.DoBatch fans a
+// slice of them out in parallel over the session's artifact caches.
+//
+// Zero Trials and zero Seed inherit the session's Monte Carlo settings;
+// they only matter when Measures includes MeasureEstimate.
+//
+// The JSON encoding of a Query is the wire request format of the
+// probeserved service. System does not cross the wire: remote queries
+// name systems by Spec.
+type Query struct {
+	// Spec names the system through the construction registry, e.g.
+	// "maj:13" or "cw:1,3,2". Ignored when System is non-nil.
+	Spec string `json:"spec,omitempty"`
+	// System is the system value to evaluate, for in-process callers
+	// that already hold one. Takes precedence over Spec.
+	System System `json:"-"`
+	// Measures lists the requested quantities; at least one is required.
+	Measures []Measure `json:"measures"`
+	// Ps is the failure-probability grid, required exactly when a
+	// p-dependent measure (ppc, availability, expected, estimate) is
+	// requested. Every value must lie in [0,1].
+	Ps []float64 `json:"ps,omitempty"`
+	// Trials overrides the session's Monte Carlo trial count (0 inherits).
+	Trials int `json:"trials,omitempty"`
+	// Seed overrides the session's Monte Carlo seed (0 inherits).
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// normalized validates the query and returns a canonical copy: measures
+// lower-cased, deduplicated and checked, the p grid checked, and the
+// spec trimmed.
+func (q Query) normalized() (Query, error) {
+	q.Spec = strings.TrimSpace(q.Spec)
+	if q.System == nil && q.Spec == "" {
+		return q, fmt.Errorf("probequorum: query names no system (set Spec or System)")
+	}
+	if len(q.Measures) == 0 {
+		return q, fmt.Errorf("probequorum: query requests no measures (known: %s)", knownMeasureList())
+	}
+	var ms []Measure
+	seen := map[Measure]bool{}
+	needP := false
+	for _, m := range q.Measures {
+		m = Measure(strings.TrimSpace(strings.ToLower(string(m))))
+		if !m.valid() {
+			return q, fmt.Errorf("probequorum: unknown measure %q (known: %s)", m, knownMeasureList())
+		}
+		if seen[m] {
+			continue
+		}
+		seen[m] = true
+		ms = append(ms, m)
+		needP = needP || m.perP()
+	}
+	q.Measures = ms
+	if needP && len(q.Ps) == 0 {
+		return q, fmt.Errorf("probequorum: measures %v need a probability grid (set Ps)", q.Measures)
+	}
+	if !needP {
+		// No p-dependent measure: the grid is inert, so drop it rather
+		// than emit empty points.
+		q.Ps = nil
+	}
+	for _, p := range q.Ps {
+		// The negated form rejects NaN, which both plain comparisons miss.
+		if !(p >= 0 && p <= 1) {
+			return q, fmt.Errorf("probequorum: probability %v out of [0,1]", p)
+		}
+	}
+	if q.Trials < 0 {
+		return q, fmt.Errorf("probequorum: negative trial count %d", q.Trials)
+	}
+	if q.Trials > MaxQueryTrials {
+		return q, fmt.Errorf("probequorum: trial count %d exceeds the per-query cap %d", q.Trials, MaxQueryTrials)
+	}
+	return q, nil
+}
+
+// has reports whether the normalized query requests the measure.
+func (q Query) has(m Measure) bool {
+	for _, got := range q.Measures {
+		if got == m {
+			return true
+		}
+	}
+	return false
+}
+
+// Estimate is a Monte Carlo summary: the sample mean and the 95%
+// confidence half-interval.
+type Estimate struct {
+	Mean   float64 `json:"mean"`
+	HalfCI float64 `json:"half_ci"`
+}
+
+// TreeSummary describes a worst-case-optimal probe strategy tree.
+type TreeSummary struct {
+	// Depth is the worst-case probe count of the tree (equals PC).
+	Depth int `json:"depth"`
+	// Leaves is the number of leaves (terminal knowledge states).
+	Leaves int `json:"leaves"`
+	// ASCII is the rendering in the paper's Fig. 4 notation.
+	ASCII string `json:"ascii"`
+}
+
+// Point carries the p-dependent measures of a Result at one grid point.
+// Absent measures are nil, so the JSON encoding only ships what the
+// query asked for.
+type Point struct {
+	P            float64   `json:"p"`
+	PPC          *float64  `json:"ppc,omitempty"`
+	Availability *float64  `json:"availability,omitempty"`
+	Expected     *float64  `json:"expected,omitempty"`
+	Estimate     *Estimate `json:"estimate,omitempty"`
+}
+
+// Result is the answer to one Query, with a stable JSON encoding shared
+// by Evaluator.DoBatch, the probeserved service and quorumctl -json.
+// Exactly the requested measures are populated; everything else stays at
+// its zero value and is omitted from the encoding.
+type Result struct {
+	// Spec is the canonical spec of the evaluated system ("" when the
+	// system has no Specced capability).
+	Spec string `json:"spec,omitempty"`
+	// Name and N identify the system (Name() and Size()).
+	Name string `json:"name,omitempty"`
+	N    int    `json:"n,omitempty"`
+	// PC is the worst-case probe complexity (measure "pc").
+	PC *int `json:"pc,omitempty"`
+	// Tree summarizes the optimal strategy tree (measure "tree").
+	Tree *TreeSummary `json:"tree,omitempty"`
+	// Points holds the p-dependent measures, one entry per grid point in
+	// query order.
+	Points []Point `json:"points,omitempty"`
+	// Trials and Seed are the effective Monte Carlo settings (only set
+	// when the query asked for an estimate).
+	Trials int    `json:"trials,omitempty"`
+	Seed   uint64 `json:"seed,omitempty"`
+	// Error reports a failed query in batch and wire responses; the
+	// other fields are then untrustworthy.
+	Error string `json:"error,omitempty"`
+}
+
+// Point returns the result point at probability p, or nil when the grid
+// does not contain it.
+func (r *Result) Point(p float64) *Point {
+	for i := range r.Points {
+		if r.Points[i].P == p {
+			return &r.Points[i]
+		}
+	}
+	return nil
+}
+
+// SpecQueries builds one uniform Query per spec string — the batch shape
+// of sweep workloads: the same measures and grid across a fleet of
+// systems.
+func SpecQueries(specs []string, measures []Measure, ps []float64) []Query {
+	out := make([]Query, len(specs))
+	for i, s := range specs {
+		out[i] = Query{Spec: s, Measures: measures, Ps: ps}
+	}
+	return out
+}
