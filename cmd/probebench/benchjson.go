@@ -33,6 +33,7 @@ type benchRecord struct {
 	BytesPerOp    int64   `json:"bytes_per_op"`
 	AllocsPerOp   int64   `json:"allocs_per_op"`
 	QueriesPerSec float64 `json:"queries_per_sec,omitempty"`
+	ProbesPerSec  float64 `json:"probes_per_sec,omitempty"`
 }
 
 // benchFile is the on-disk schema: measurement context plus the records.
@@ -44,10 +45,13 @@ type benchFile struct {
 }
 
 // benchOp is one suite entry; queries > 0 marks a batch op whose
-// queries/sec rate is derived from ns/op.
+// queries/sec rate is derived from ns/op, probes > 0 a Monte Carlo op
+// whose probes/sec rate is derived the same way (probes is the expected
+// total probe count of one op).
 type benchOp struct {
 	name    string
 	queries int
+	probes  int
 	fn      func(b *testing.B)
 }
 
@@ -181,6 +185,60 @@ func benchOps() []benchOp {
 				availability.BruteForce(maj17NoMask, 0.3)
 			}
 		}},
+		// Wide-universe ops (PR 4): the wide membership primitive and the
+		// allocation-free Monte Carlo estimate loop at n far beyond one
+		// machine word — the first perf baseline of the large-n regime.
+		// Estimate ops report probes/sec (expected probes per trial at
+		// p = 1/2 times the trial count, over wall time per op).
+		// The mutation loop below XORs full words only (never the trimmed
+		// last word), keeping every probed mask inside the WideMaskSystem
+		// contract of no bits at or above n.
+		{name: "witness/wide-words/Maj1025", fn: func(b *testing.B) {
+			maj1025 := spec.MustParse("maj:1025").(quorum.WideMaskSystem)
+			words := make([]uint64, quorum.WordCount(1025))
+			rng := rand.New(rand.NewPCG(2, 4))
+			for i := range words {
+				words[i] = rng.Uint64()
+			}
+			words[len(words)-1] &= 1
+			b.ResetTimer()
+			hits := 0
+			for i := 0; i < b.N; i++ {
+				words[i%(len(words)-1)] ^= 0x9E3779B97F4A7C15
+				if maj1025.ContainsQuorumWords(words) {
+					hits++
+				}
+			}
+			_ = hits
+		}},
+		{name: "witness/wide-words/Tree9", fn: func(b *testing.B) {
+			tree9 := spec.MustParse("tree:9").(quorum.WideMaskSystem)
+			words := make([]uint64, quorum.WordCount(1023))
+			rng := rand.New(rand.NewPCG(2, 4))
+			for i := range words {
+				words[i] = rng.Uint64()
+			}
+			words[len(words)-1] &= uint64(1)<<(1023%64) - 1
+			b.ResetTimer()
+			hits := 0
+			for i := 0; i < b.N; i++ {
+				words[i%(len(words)-1)] ^= 0x9E3779B97F4A7C15
+				if tree9.ContainsQuorumWords(words) {
+					hits++
+				}
+			}
+			_ = hits
+		}},
+		{name: "sim/Estimate-wide/Maj129x2000", probes: wideProbes("maj:129", 2000), fn: wideEstimateOp("maj:129", 2000)},
+		{name: "sim/Estimate-wide/Maj1025x2000", probes: wideProbes("maj:1025", 2000), fn: wideEstimateOp("maj:1025", 2000)},
+		{name: "sim/Estimate-wide/Tree6x2000", probes: wideProbes("tree:6", 2000), fn: wideEstimateOp("tree:6", 2000)},
+		{name: "sim/Estimate-wide/RecMaj3x6x2000", probes: wideProbes("recmaj:3x6", 2000), fn: wideEstimateOp("recmaj:3x6", 2000)},
+		{name: "availability/MonteCarlo-wide/Maj1025x2000", fn: func(b *testing.B) {
+			maj1025 := spec.MustParse("maj:1025")
+			for i := 0; i < b.N; i++ {
+				availability.MonteCarlo(maj1025, 0.3, 2000, rand.New(rand.NewPCG(9, uint64(i))))
+			}
+		}},
 		// Batch-query throughput: one DoBatch over every registered
 		// construction with a three-point grid — the probeserved
 		// /v1/eval workload. Cold rebuilds every artifact per batch (a
@@ -208,6 +266,30 @@ func benchOps() []benchOp {
 			}
 		}},
 	}
+}
+
+// wideEstimateOp returns a benchmark body running one full wide-path
+// Monte Carlo estimate (trials trials at p = 1/2) per op.
+func wideEstimateOp(specStr string, trials int) func(b *testing.B) {
+	return func(b *testing.B) {
+		sys := spec.MustParse(specStr)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := probequorum.EstimateAverageProbes(sys, 0.5, trials, 17); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// wideProbes returns the expected total probe count of one estimate op,
+// for the probes/sec rate.
+func wideProbes(specStr string, trials int) int {
+	expected, err := probequorum.ExpectedProbes(spec.MustParse(specStr), 0.5)
+	if err != nil {
+		return 0
+	}
+	return int(expected * float64(trials))
 }
 
 // batchSpecs is the throughput workload: every registered construction
@@ -259,9 +341,15 @@ func writeBenchJSON(path string) error {
 		if op.queries > 0 && rec.NsPerOp > 0 {
 			rec.QueriesPerSec = float64(op.queries) * 1e9 / rec.NsPerOp
 		}
+		if op.probes > 0 && rec.NsPerOp > 0 {
+			rec.ProbesPerSec = float64(op.probes) * 1e9 / rec.NsPerOp
+		}
 		fmt.Fprintf(os.Stderr, "%12.1f ns/op  %6d allocs/op", rec.NsPerOp, rec.AllocsPerOp)
 		if rec.QueriesPerSec > 0 {
 			fmt.Fprintf(os.Stderr, "  %10.0f queries/s", rec.QueriesPerSec)
+		}
+		if rec.ProbesPerSec > 0 {
+			fmt.Fprintf(os.Stderr, "  %10.0f probes/s", rec.ProbesPerSec)
 		}
 		fmt.Fprintln(os.Stderr)
 		out.Records = append(out.Records, rec)

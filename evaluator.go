@@ -9,10 +9,10 @@ import (
 	"math/rand/v2"
 	"reflect"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 
-	"probequorum/internal/availability"
 	"probequorum/internal/coloring"
 	"probequorum/internal/probe"
 	"probequorum/internal/quorum"
@@ -64,6 +64,10 @@ type evalEntry struct {
 	mask    MaskSystem
 	maskErr error
 	maskOK  bool
+
+	wide    WideMaskSystem
+	wideErr error
+	wideOK  bool
 
 	table    *quorum.WitnessTable
 	tableErr error
@@ -158,6 +162,21 @@ func (ent *evalEntry) maskView(sys System) (MaskSystem, error) {
 	return ent.mask, ent.maskErr
 }
 
+// WideMaskView returns the cached wide word-level view of the system (the
+// system itself when it implements WideMaskSystem natively, an
+// enumeration adapter under the quorum.EnumerationBudget guard
+// otherwise).
+func (e *Evaluator) WideMaskView(sys System) (WideMaskSystem, error) {
+	ent := e.entry(sys)
+	ent.mu.Lock()
+	defer ent.mu.Unlock()
+	if !ent.wideOK {
+		ent.wide, ent.wideErr = quorum.WideMasked(sys)
+		ent.wideOK = true
+	}
+	return ent.wide, ent.wideErr
+}
+
 // WitnessTable returns the cached dense characteristic-function table of
 // the system (n <= 26).
 func (e *Evaluator) WitnessTable(sys System) (*quorum.WitnessTable, error) {
@@ -207,11 +226,17 @@ func (e *Evaluator) QuorumMasks(sys System) ([]uint64, error) {
 // capability answer from their closed form; for others the session
 // derives an availability polynomial from the witness table once — one
 // coefficient per green count — and every later p is a Horner-style
-// O(n) evaluation instead of a fresh 2^n enumeration.
+// O(n) evaluation instead of a fresh 2^n enumeration. For systems with
+// neither a closed form nor a table-sized universe exact availability
+// does not exist, and this error-less form panics with the actionable
+// bound error; use AvailabilityCtx to handle it gracefully.
 func (e *Evaluator) Availability(sys System, p float64) float64 {
-	// The background context is never done, so the only errors are
-	// permanent ones, which the uncached fallback path absorbs.
-	v, _ := e.AvailabilityCtx(context.Background(), sys, p)
+	// The background context is never done, so the only possible error is
+	// the permanent exact-availability bound.
+	v, err := e.AvailabilityCtx(context.Background(), sys, p)
+	if err != nil {
+		panic(err)
+	}
 	return v
 }
 
@@ -225,6 +250,7 @@ func (e *Evaluator) AvailabilityCtx(ctx context.Context, sys System, p float64) 
 	ent := e.entry(sys)
 	ent.mu.Lock()
 	counts := ent.failCounts
+	var tableErr error
 	if counts == nil {
 		table, err := ent.witnessTable(ctx, sys)
 		if isCtxErr(err) {
@@ -239,11 +265,14 @@ func (e *Evaluator) AvailabilityCtx(ctx context.Context, sys System, p float64) 
 			}
 			ent.failCounts = counts
 		}
+		tableErr = err
 	}
 	ent.mu.Unlock()
 	if counts == nil {
-		// No table (universe too large): fall back to the uncached path.
-		return availability.Of(sys, p), nil
+		// No table (universe too large) and no closed form: exact
+		// availability is out of reach, so answer with the actionable
+		// bound error instead of the enumeration panic of old.
+		return 0, e.boundify(fmt.Errorf("exact availability of %s needs a witness table: %w", sys.Name(), tableErr), sys)
 	}
 	n := sys.Size()
 	q := 1 - p
@@ -366,6 +395,62 @@ func (e *Evaluator) OptimalStrategyTreeCtx(ctx context.Context, sys System) (*St
 	return strategy.BuildOptimalPCWithTableCtx(ctx, sys, table)
 }
 
+// measuresAvailable lists the wire measure names that still work for sys
+// at its size: the exact DPs up to strategy.MaxUniverse, the
+// table-derived availability up to quorum.MaxTableUniverse (or the
+// closed form at any size), the closed-form expectation, and Monte Carlo
+// estimation whenever a probing strategy dispatches.
+func measuresAvailable(sys System) []string {
+	n := sys.Size()
+	var out []string
+	if n <= strategy.MaxUniverse {
+		out = append(out, string(MeasurePC), string(MeasurePPC), string(MeasureTree))
+	}
+	if _, ok := sys.(ExactAvailability); ok || n <= quorum.MaxTableUniverse {
+		out = append(out, string(MeasureAvailability))
+	}
+	if _, ok := sys.(ExactExpectation); ok {
+		out = append(out, string(MeasureExpected))
+	}
+	switch sys.(type) {
+	case Prober, finderSystem:
+		out = append(out, string(MeasureEstimate))
+	}
+	return out
+}
+
+// boundify makes a bound error actionable: when err wraps a
+// quorum.BoundError that does not yet name alternatives, the returned
+// error's bound error lists the measures still available for sys. Other
+// errors pass through unchanged.
+func (e *Evaluator) boundify(err error, sys System) error {
+	var be *quorum.BoundError
+	if err == nil || !errors.As(err, &be) || len(be.Available) > 0 {
+		return err
+	}
+	filled := &quorum.BoundError{Op: be.Op, N: be.N, Max: be.Max, Available: measuresAvailable(sys)}
+	return joinBound{msg: err.Error(), bound: filled}
+}
+
+// joinBound keeps the original error text as context while exposing the
+// filled-in BoundError to errors.As/Is chains.
+type joinBound struct {
+	msg   string
+	bound *quorum.BoundError
+}
+
+func (j joinBound) Error() string { return j.msg + helpSuffix(j.bound) }
+func (j joinBound) Unwrap() error { return j.bound }
+
+// helpSuffix renders the still-available hint once (the wrapped bound
+// error's own text is already inside msg, without alternatives).
+func helpSuffix(be *quorum.BoundError) string {
+	if len(be.Available) == 0 {
+		return ""
+	}
+	return fmt.Sprintf("; still available at n = %d: %s", be.N, strings.Join(be.Available, ", "))
+}
+
 // EstimateAverageProbes estimates by simulation the average probes of the
 // system's FindWitness strategy under IID(p) failures with the session's
 // trials, seed and parallelism, returning the mean and the 95% confidence
@@ -383,9 +468,32 @@ func (e *Evaluator) EstimateAverageProbesCtx(ctx context.Context, sys System, p 
 }
 
 // estimateCtx is the shared Monte Carlo path with explicit trials and
-// seed (Queries override the session's settings per request).
+// seed (Queries override the session's settings per request). Systems
+// with the wide probing capability (all built-in constructions) run the
+// words-native trial loop: the coloring, the probe log and the witness
+// all live in per-worker word buffers, so a trial's footprint is a few
+// n/64-word buffers reused across every trial, with no per-probe heap
+// allocation at any universe size. The words path probes the same
+// elements in the same order as the bitset path, so summaries are
+// bit-identical between the two (pinned by TestWideEstimateBitIdentical).
 func (e *Evaluator) estimateCtx(ctx context.Context, sys System, p float64, trials int, seed uint64) (mean, halfCI float64, err error) {
-	if _, err := FindWitness(sys, NewOracle(AllGreen(sys.Size()))); err != nil {
+	n := sys.Size()
+	if wp, ok := sys.(probe.WordsProber); ok {
+		s, err := sim.EstimateWithWorkersCtx(ctx, trials, seed, e.parallelism,
+			func() *probe.WordsOracle { return probe.NewWordsOracle(n) },
+			func(rng *rand.Rand, o *probe.WordsOracle) float64 {
+				coloring.IIDWordsInto(o.RedWords(), n, p, rng)
+				o.Reset()
+				wp.ProbeWitnessWords(o)
+				return float64(o.Probes())
+			})
+		if err != nil {
+			return 0, 0, err
+		}
+		lo, hi := s.CI95()
+		return s.Mean, (hi - lo) / 2, nil
+	}
+	if _, err := FindWitness(sys, NewOracle(AllGreen(n))); err != nil {
 		return 0, 0, err
 	}
 	type buffers struct {
@@ -394,7 +502,7 @@ func (e *Evaluator) estimateCtx(ctx context.Context, sys System, p float64, tria
 	}
 	s, err := sim.EstimateWithWorkersCtx(ctx, trials, seed, e.parallelism,
 		func() *buffers {
-			col := coloring.New(sys.Size())
+			col := coloring.New(n)
 			return &buffers{col: col, o: probe.NewOracle(col)}
 		},
 		func(rng *rand.Rand, b *buffers) float64 {
@@ -463,14 +571,14 @@ func (e *Evaluator) Do(ctx context.Context, q Query) (*Result, error) {
 	if nq.has(MeasurePC) {
 		pc, err := e.ProbeComplexityCtx(ctx, sys)
 		if err != nil {
-			return nil, fmt.Errorf("measure pc of %s: %w", sys.Name(), err)
+			return nil, fmt.Errorf("measure pc of %s: %w", sys.Name(), e.boundify(err, sys))
 		}
 		res.PC = &pc
 	}
 	if nq.has(MeasureTree) {
 		root, err := e.OptimalStrategyTreeCtx(ctx, sys)
 		if err != nil {
-			return nil, fmt.Errorf("measure tree of %s: %w", sys.Name(), err)
+			return nil, fmt.Errorf("measure tree of %s: %w", sys.Name(), e.boundify(err, sys))
 		}
 		res.Tree = &TreeSummary{Depth: root.Depth(), Leaves: root.Leaves(), ASCII: render.StrategyTree(root)}
 	}
@@ -492,7 +600,7 @@ func (e *Evaluator) Do(ctx context.Context, q Query) (*Result, error) {
 		if nq.has(MeasurePPC) {
 			v, err := e.AverageProbeComplexityCtx(ctx, sys, p)
 			if err != nil {
-				return nil, fmt.Errorf("measure ppc of %s at p=%v: %w", sys.Name(), p, err)
+				return nil, fmt.Errorf("measure ppc of %s at p=%v: %w", sys.Name(), p, e.boundify(err, sys))
 			}
 			pt.PPC = &v
 		}

@@ -217,7 +217,10 @@ func redCountProbs(n int, p float64) []float64 {
 // MonteCarlo estimates F_p(S) from the given number of IID trials. For
 // mask-native systems each trial draws a word mask directly — consuming
 // the same PRNG stream as coloring.IID, so estimates are unchanged — and
-// performs no allocation.
+// performs no allocation. Wide-mask systems above one word route through
+// ContainsQuorumWords with two per-call word buffers reused across every
+// trial; only systems without any mask capability fall back to
+// per-coloring bitsets.
 func MonteCarlo(sys quorum.System, p float64, trials int, rng *rand.Rand) float64 {
 	checkP(p)
 	if trials <= 0 {
@@ -235,6 +238,18 @@ func MonteCarlo(sys quorum.System, p float64, trials int, rng *rand.Rand) float6
 				}
 			}
 			if !ms.ContainsQuorumMask(full &^ reds) {
+				fails++
+			}
+		}
+		return float64(fails) / float64(trials)
+	}
+	if ws, ok := sys.(quorum.WideMaskSystem); ok {
+		reds := make([]uint64, quorum.WordCount(n))
+		greens := make([]uint64, quorum.WordCount(n))
+		for i := 0; i < trials; i++ {
+			coloring.IIDWordsInto(reds, n, p, rng)
+			quorum.ComplementWordsInto(greens, reds, n)
+			if !ws.ContainsQuorumWords(greens) {
 				fails++
 			}
 		}

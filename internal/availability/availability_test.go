@@ -214,3 +214,38 @@ func TestMonteCarloMaskMatchesColoringFallback(t *testing.T) {
 		t.Errorf("mask MC %v != coloring MC %v", got, want)
 	}
 }
+
+// The wide-mask path of MonteCarlo (n > 64) also consumes one Float64 per
+// element per trial, so it is bit-identical to the per-coloring fallback
+// for the same seed.
+func TestMonteCarloWideMatchesColoringFallback(t *testing.T) {
+	tree, _ := systems.NewTree(6) // n = 127: wide path, no single-word masks
+	got := availability.MonteCarlo(tree, 0.45, 2000, rand.New(rand.NewPCG(21, 2)))
+	want := availability.MonteCarlo(hideMask{tree}, 0.45, 2000, rand.New(rand.NewPCG(21, 2)))
+	if got != want {
+		t.Errorf("wide MC %v != coloring MC %v", got, want)
+	}
+}
+
+// At wide sizes the Monte Carlo estimate must land on the closed form.
+func TestMonteCarloWideAgreesWithClosedForm(t *testing.T) {
+	maj, _ := systems.NewMaj(129)
+	wheel, _ := systems.NewWheel(200)
+	tree, _ := systems.NewTree(7)
+	hqs, _ := systems.NewHQS(5)
+	for _, tc := range []struct {
+		sys quorum.System
+		p   float64
+	}{
+		{maj, 0.45},
+		{wheel, 0.3},
+		{tree, 0.5},
+		{hqs, 0.55},
+	} {
+		exact := availability.Of(tc.sys, tc.p)
+		mc := availability.MonteCarlo(tc.sys, tc.p, 20000, rand.New(rand.NewPCG(3, 33)))
+		if math.Abs(mc-exact) > 0.015 {
+			t.Errorf("%s at p=%v: MC %v vs closed form %v", tc.sys.Name(), tc.p, mc, exact)
+		}
+	}
+}

@@ -178,6 +178,36 @@ func IIDInto(c *Coloring, p float64, rng *rand.Rand) {
 	}
 }
 
+// IIDWords returns an IID(p) failure pattern as a wide red mask: bit e of
+// words[e/64] is set iff element e is red. It consumes the same PRNG
+// stream as IID (one Float64 per element), so word-path and bitset-path
+// Monte Carlo trials see identical colorings for the same rng state.
+func IIDWords(n int, p float64, rng *rand.Rand) []uint64 {
+	dst := make([]uint64, (n+63)/64)
+	IIDWordsInto(dst, n, p, rng)
+	return dst
+}
+
+// IIDWordsInto redraws dst in place under the IID(p) model. len(dst) must
+// be ceil(n/64); bits at or above n stay zero. Like IIDInto it exists so
+// hot trial loops reuse one buffer instead of allocating per trial.
+func IIDWordsInto(dst []uint64, n int, p float64, rng *rand.Rand) {
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("coloring: probability %v out of [0,1]", p))
+	}
+	if len(dst) != (n+63)/64 {
+		panic(fmt.Sprintf("coloring: IIDWordsInto needs %d words for n=%d, got %d", (n+63)/64, n, len(dst)))
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	for e := 0; e < n; e++ {
+		if rng.Float64() < p {
+			dst[e/64] |= 1 << (uint(e) % 64)
+		}
+	}
+}
+
 // FixedWeight returns a uniformly random coloring with exactly r red
 // elements, drawn by a partial Fisher–Yates shuffle.
 func FixedWeight(n, r int, rng *rand.Rand) *Coloring {

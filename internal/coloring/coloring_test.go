@@ -246,3 +246,21 @@ func TestUniformOverWeight(t *testing.T) {
 		t.Errorf("weights sum to %v", total)
 	}
 }
+
+// IIDWords must consume exactly the PRNG stream of IID (one Float64 per
+// element) and set exactly the red bits.
+func TestIIDWordsMatchesIID(t *testing.T) {
+	for _, n := range []int{1, 63, 64, 65, 127, 1025} {
+		words := IIDWords(n, 0.35, rand.New(rand.NewPCG(7, uint64(n))))
+		col := IID(n, 0.35, rand.New(rand.NewPCG(7, uint64(n))))
+		for e := 0; e < n; e++ {
+			wordRed := words[e/64]>>(uint(e)%64)&1 != 0
+			if wordRed != col.IsRed(e) {
+				t.Fatalf("n=%d element %d: words red=%v, coloring red=%v", n, e, wordRed, col.IsRed(e))
+			}
+		}
+		if n%64 != 0 && words[len(words)-1]>>(uint(n)%64) != 0 {
+			t.Fatalf("n=%d: bits above the universe are set", n)
+		}
+	}
+}

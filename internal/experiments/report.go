@@ -87,6 +87,7 @@ func Registry() []func() Report {
 		PPCSweep,
 		RecMajGeneralization,
 		ParallelTradeoff,
+		WideUniverseSweep,
 	}
 }
 

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"probequorum"
+)
+
+// WideUniverseSweep (X8) drives the wide mask engine across the paper's
+// probe-complexity trends at universes the exact DPs (n <= 18) and the
+// single-word masks (n <= 64) both exclude: the Monte Carlo estimate of
+// each deterministic strategy at n up to 1025 is checked against its
+// closed-form expectation, reproducing the shapes of §3 at scale —
+// Probe_Maj grows linearly in n, the wheel stays O(1), Probe_CW is
+// bounded by 2k-1 independent of the row widths, and the gate recursions
+// of Tree and HQS grow by their per-level constants.
+func WideUniverseSweep() Report {
+	r := Report{ID: "X8", Title: "Wide universes: Monte Carlo probes vs closed forms at n up to 1025"}
+	const trials = 4000
+	groups := []struct {
+		label string
+		specs []string
+		shape string
+	}{
+		{"Maj", []string{"maj:65", "maj:257", "maj:1025"}, "linear in n (Proposition 3.2)"},
+		{"Wheel", []string{"wheel:65", "wheel:257", "wheel:1025"}, "O(1) for p away from {0,1} (Corollary 3.4)"},
+		{"Triang", []string{"triang:11", "triang:22", "triang:45"}, "<= 2k-1, independent of widths (Theorem 3.3)"},
+		{"Tree", []string{"tree:6", "tree:8", "tree:9"}, "growth (1+p) per level (Proposition 3.6)"},
+		{"HQS", []string{"hqs:4", "hqs:5", "hqs:6"}, "growth 5/2 per level at p=1/2 (Theorem 3.8)"},
+		{"RecMaj", []string{"recmaj:5x3", "recmaj:5x4"}, "m-ary gate growth (extension X6 at scale)"},
+	}
+	for _, g := range groups {
+		for _, spec := range g.specs {
+			res, err := evalQuery(probequorum.Query{
+				Spec:     spec,
+				Measures: []probequorum.Measure{probequorum.MeasureEstimate, probequorum.MeasureExpected},
+				Ps:       []float64{0.5},
+				Trials:   trials,
+				Seed:     411,
+			})
+			if err != nil {
+				r.addf("%-12s error: %v", spec, err)
+				continue
+			}
+			pt := res.Points[0]
+			mean, exact := pt.Estimate.Mean, *pt.Expected
+			r.addf("%-12s n=%-5d estimate=%9.3f  exact=%9.3f  ±%.3f  %s",
+				spec, res.N, mean, exact, pt.Estimate.HalfCI, verdict(mean, exact, 0.05))
+		}
+		r.addf("  shape: %s", g.shape)
+	}
+	r.addf("engine: every row above n=64 runs the wide word path (WideMaskSystem +")
+	r.addf("WordsProber); estimates are bit-identical to the bitset path by the")
+	r.addf("differential tests, at zero heap allocations per trial.")
+	return r
+}

@@ -28,3 +28,33 @@ type RandomizedProber interface {
 	// distribution depends on rng.
 	ProbeWitnessRandomized(o Oracle, rng *rand.Rand) Witness
 }
+
+// WordsProber is the wide-universe form of Prober: the same strategy
+// probing a WordsOracle and assembling the witness in the oracle's
+// reusable word buffers, so trial loops stay allocation-free at any
+// universe size. Implementations must probe exactly the elements
+// ProbeWitness probes, in the same order, and return the same witness
+// set — the Monte Carlo differential tests pin the two paths to each
+// other. The returned witness aliases oracle arena memory (valid until
+// the next Reset).
+//
+// All built-in constructions implement it; the façade's estimate path
+// dispatches on it and falls back to the bitset Prober path otherwise.
+type WordsProber interface {
+	Prober
+
+	// ProbeWitnessWords locates a witness by adaptively probing o.
+	ProbeWitnessWords(o *WordsOracle) WordsWitness
+}
+
+// RandomizedWordsProber is the wide-universe form of RandomizedProber,
+// under the same contract as WordsProber: identical probe sequence and
+// witness as ProbeWitnessRandomized for the same oracle coloring and rng
+// stream.
+type RandomizedWordsProber interface {
+	RandomizedProber
+
+	// ProbeWitnessWordsRandomized locates a witness using rng for its
+	// random choices.
+	ProbeWitnessWordsRandomized(o *WordsOracle, rng *rand.Rand) WordsWitness
+}

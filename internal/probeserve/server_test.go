@@ -276,3 +276,62 @@ func TestEvalWarmCacheStable(t *testing.T) {
 		t.Errorf("warm response differs from cold:\ncold: %s\nwarm: %s", cold, warm)
 	}
 }
+
+// TestEvalWideUniverse is the wide-engine acceptance over the wire: a
+// /v1/eval request for large specs (n up to 1025) answers estimate and
+// availability, bit-identical to the direct façade path, and a request
+// for an exact measure at wide n fails with the actionable bound message
+// in the per-query error.
+func TestEvalWideUniverse(t *testing.T) {
+	ts := newTestServer(t)
+	const trials, seed = 400, 11
+	wide := []string{"maj:1025", "tree:6", "recmaj:3x6"}
+	ps := []float64{0.3}
+	queries := make([]probequorum.Query, len(wide))
+	for i, s := range wide {
+		queries[i] = probequorum.Query{
+			Spec:     s,
+			Measures: []probequorum.Measure{probequorum.MeasureEstimate, probequorum.MeasureAvailability},
+			Ps:       ps,
+			Trials:   trials,
+			Seed:     seed,
+		}
+	}
+	res, out := postEval(t, ts, probeserve.EvalRequest{Queries: queries})
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/eval status = %s", res.Status)
+	}
+	for i, s := range wide {
+		got := out.Results[i]
+		if got == nil || got.Error != "" {
+			t.Fatalf("%s: result error: %+v", s, got)
+		}
+		sys := probequorum.MustParse(s)
+		mean, half, err := probequorum.EstimateAverageProbes(sys, ps[0], trials, seed)
+		if err != nil {
+			t.Fatalf("%s: façade estimate: %v", s, err)
+		}
+		pt := got.Point(ps[0])
+		if pt == nil || pt.Estimate == nil {
+			t.Fatalf("%s: no estimate point", s)
+		}
+		if pt.Estimate.Mean != mean || pt.Estimate.HalfCI != half {
+			t.Errorf("%s: wire estimate (%v, %v) != façade (%v, %v)", s, pt.Estimate.Mean, pt.Estimate.HalfCI, mean, half)
+		}
+		if pt.Availability == nil || *pt.Availability != probequorum.Availability(sys, ps[0]) {
+			t.Errorf("%s: wire availability mismatch", s)
+		}
+	}
+
+	// Exact measures at wide n surface the actionable bound error.
+	res, out = postEval(t, ts, probeserve.EvalRequest{Queries: []probequorum.Query{{
+		Spec:     "maj:1025",
+		Measures: []probequorum.Measure{probequorum.MeasurePC},
+	}}})
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/eval status = %s", res.Status)
+	}
+	if got := out.Results[0]; got.Error == "" || !strings.Contains(got.Error, "still available") {
+		t.Errorf("wide pc error not actionable: %+v", got)
+	}
+}

@@ -91,16 +91,21 @@ func MasksOf(sets []*bitset.Set) []uint64 {
 // MaskSystem natively (all built-in constructions) are returned as-is;
 // any other system is wrapped in an adapter that enumerates and caches its
 // minimal quorum masks once, so that every later superset test is a scan
-// of mask&q == q word comparisons. It fails for universes above MaskWords
-// elements.
+// of mask&q == q word comparisons. It fails with a BoundError for
+// universes above MaskWords elements (use WideMasked there) and with a
+// BudgetError when the enumeration would exceed EnumerationBudget.
 func Masked(sys System) (MaskSystem, error) {
 	if sys.Size() > MaskWords {
-		return nil, fmt.Errorf("quorum: mask engine requires n <= %d, got %d", MaskWords, sys.Size())
+		return nil, &BoundError{Op: "quorum: word mask engine", N: sys.Size(), Max: MaskWords}
 	}
 	if ms, ok := sys.(MaskSystem); ok {
 		return ms, nil
 	}
-	return &maskAdapter{System: sys, masks: MasksOf(sys.Quorums())}, nil
+	quorums := sys.Quorums()
+	if len(quorums) > EnumerationBudget {
+		return nil, &BudgetError{Name: sys.Name(), Count: len(quorums), Budget: EnumerationBudget}
+	}
+	return &maskAdapter{System: sys, masks: MasksOf(quorums)}, nil
 }
 
 // maskAdapter is the cached-enumeration MaskSystem for arbitrary systems.
@@ -163,7 +168,7 @@ func BuildWitnessTable(sys System) (*WitnessTable, error) {
 func BuildWitnessTableCtx(ctx context.Context, sys System) (*WitnessTable, error) {
 	n := sys.Size()
 	if n > MaxTableUniverse {
-		return nil, fmt.Errorf("quorum: witness table limited to n <= %d, got %d", MaxTableUniverse, n)
+		return nil, &BoundError{Op: "quorum: witness table", N: n, Max: MaxTableUniverse}
 	}
 	words := 1
 	if n >= 6 {

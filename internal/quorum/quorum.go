@@ -277,14 +277,16 @@ type Explicit struct {
 	name    string
 	n       int
 	quorums []*bitset.Set
-	masks   []uint64 // word masks of quorums, precomputed when n <= MaskWords
+	masks   []uint64   // word masks of quorums, precomputed when n <= MaskWords
+	wide    [][]uint64 // wide masks of quorums, precomputed at every size
 }
 
 var (
-	_ System     = (*Explicit)(nil)
-	_ Finder     = (*Explicit)(nil)
-	_ Sized      = (*Explicit)(nil)
-	_ MaskSystem = (*Explicit)(nil)
+	_ System         = (*Explicit)(nil)
+	_ Finder         = (*Explicit)(nil)
+	_ Sized          = (*Explicit)(nil)
+	_ MaskSystem     = (*Explicit)(nil)
+	_ WideMaskSystem = (*Explicit)(nil)
 )
 
 // NewExplicit builds an explicit system over n elements with the given
@@ -311,7 +313,10 @@ func NewExplicit(name string, n int, quorums []*bitset.Set) (*Explicit, error) {
 	if !IsAntichain(cp) {
 		return nil, errors.New("quorum: family violates minimality (not a coterie)")
 	}
-	e := &Explicit{name: name, n: n, quorums: cp}
+	e := &Explicit{name: name, n: n, quorums: cp, wide: make([][]uint64, len(cp))}
+	for i, q := range cp {
+		e.wide[i] = WordsOf(q)
+	}
 	if n <= MaskWords {
 		e.masks = MasksOf(cp)
 	}
@@ -374,6 +379,18 @@ func (e *Explicit) cachedQuorumMasks() []uint64 {
 		panic(fmt.Sprintf("quorum: Explicit mask path requires n <= %d, got %d", MaskWords, e.n))
 	}
 	return e.masks
+}
+
+// ContainsQuorumWords implements WideMaskSystem by a subset scan over the
+// precomputed wide quorum masks. Unlike the single-word path it works at
+// every universe size.
+func (e *Explicit) ContainsQuorumWords(words []uint64) bool {
+	for _, q := range e.wide {
+		if SubsetOfWords(q, words) {
+			return true
+		}
+	}
+	return false
 }
 
 // FindQuorumWithin implements Finder.

@@ -81,6 +81,11 @@ func Parse(s string) (quorum.System, error) {
 	if err != nil {
 		return nil, fmt.Errorf("spec: %q: %w", s, err)
 	}
+	if n := sys.Size(); n > quorum.MaxWideUniverse {
+		return nil, fmt.Errorf("spec: %q: %w", s, &quorum.BoundError{
+			Op: "the mask engine", N: n, Max: quorum.MaxWideUniverse,
+		})
+	}
 	return sys, nil
 }
 

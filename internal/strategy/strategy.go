@@ -83,7 +83,7 @@ func newEngine(sys quorum.System) (*engine, error) {
 func newEngineWith(ctx context.Context, sys quorum.System, table *quorum.WitnessTable) (*engine, error) {
 	n := sys.Size()
 	if n > MaxUniverse {
-		return nil, fmt.Errorf("strategy: exact DP limited to n <= %d, got %d", MaxUniverse, n)
+		return nil, &quorum.BoundError{Op: "strategy: exact probe-complexity DP", N: n, Max: MaxUniverse}
 	}
 	if table == nil {
 		var err error

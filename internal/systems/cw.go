@@ -268,6 +268,23 @@ func (c *CW) ContainsQuorumMask(mask uint64) bool {
 	return false
 }
 
+// ContainsQuorumWords implements quorum.WideMaskSystem: the bottom-up row
+// scan of ContainsQuorumMask with each row's full/hit test evaluated as a
+// word-window test over the row's element range.
+func (c *CW) ContainsQuorumWords(words []uint64) bool {
+	for j := len(c.widths) - 1; j >= 0; j-- {
+		lo, hi := c.RowRange(j)
+		if wordsRangeFull(words, lo, hi) {
+			return true
+		}
+		if j > 0 && !wordsRangeAny(words, lo, hi) {
+			// Every row above j needs a representative from row j.
+			return false
+		}
+	}
+	return false
+}
+
 // QuorumMasks implements quorum.MaskSystem: for every row j, the full row
 // mask ORed with every choice of one representative bit from each row
 // below. It shares the feasibility panic of Quorums.

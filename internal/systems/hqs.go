@@ -137,6 +137,30 @@ func (q *HQS) evalMask(start, size int, mask uint64) bool {
 	return false
 }
 
+// ContainsQuorumWords implements quorum.WideMaskSystem: the 2-of-3 gate
+// recursion over leaf ranges with word-bit tests, valid at every height
+// the universe bound admits.
+func (q *HQS) ContainsQuorumWords(words []uint64) bool {
+	return q.evalWords(0, q.n, words)
+}
+
+func (q *HQS) evalWords(start, size int, words []uint64) bool {
+	if size == 1 {
+		return quorum.WordBit(words, start)
+	}
+	third := size / 3
+	cnt := 0
+	for i := 0; i < 3; i++ {
+		if q.evalWords(start+i*third, third, words) {
+			cnt++
+			if cnt == 2 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // QuorumMasks implements quorum.MaskSystem by recursive minterm
 // enumeration over word masks. Like Quorums it panics for heights above 3.
 func (q *HQS) QuorumMasks() []uint64 {

@@ -105,6 +105,20 @@ func (m *Maj) QuorumMasks() []uint64 {
 	return out
 }
 
+// ContainsQuorumWords implements quorum.WideMaskSystem: a popcount over
+// the words against the threshold, stopping at the word that reaches it.
+func (m *Maj) ContainsQuorumWords(words []uint64) bool {
+	t := m.Threshold()
+	total := 0
+	for _, w := range words {
+		total += bits.OnesCount64(w)
+		if total >= t {
+			return true
+		}
+	}
+	return false
+}
+
 // FindQuorumWithin implements quorum.Finder: any Threshold() elements of
 // allowed form a quorum.
 func (m *Maj) FindQuorumWithin(allowed *bitset.Set) (*bitset.Set, bool) {

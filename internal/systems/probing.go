@@ -199,14 +199,18 @@ func (v *Vote) ProbeWitness(o probe.Oracle) probe.Witness {
 }
 
 // probeOrder returns the deterministic probe order of ProbeWitness:
-// descending weight, ties broken by index.
+// descending weight, ties broken by index. The order is computed once and
+// cached; callers must not mutate it.
 func (v *Vote) probeOrder() []int {
-	order := make([]int, len(v.weights))
-	for i := range order {
-		order[i] = i
-	}
-	sort.SliceStable(order, func(a, b int) bool { return v.weights[order[a]] > v.weights[order[b]] })
-	return order
+	v.orderOnce.Do(func() {
+		order := make([]int, len(v.weights))
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool { return v.weights[order[a]] > v.weights[order[b]] })
+		v.order = order
+	})
+	return v.order
 }
 
 // ProbeWitness implements probe.Prober by short-circuit gate evaluation:

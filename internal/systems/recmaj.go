@@ -209,6 +209,29 @@ func (r *RecMaj) evalMask(start, size int, mask uint64) bool {
 	return false
 }
 
+// ContainsQuorumWords implements quorum.WideMaskSystem: the m-ary
+// majority gate recursion over leaf ranges with word-bit tests.
+func (r *RecMaj) ContainsQuorumWords(words []uint64) bool {
+	return r.evalWords(0, r.n, words)
+}
+
+func (r *RecMaj) evalWords(start, size int, words []uint64) bool {
+	if size == 1 {
+		return quorum.WordBit(words, start)
+	}
+	sub := size / r.m
+	cnt := 0
+	for i := 0; i < r.m; i++ {
+		if r.evalWords(start+i*sub, sub, words) {
+			cnt++
+			if cnt == r.GateThreshold() {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // QuorumMasks implements quorum.MaskSystem via the minterm enumeration of
 // Quorums, sharing its feasibility panic.
 func (r *RecMaj) QuorumMasks() []uint64 {

@@ -133,6 +133,25 @@ func (t *Tree) liveMask(v int, mask uint64) bool {
 	return mask>>uint(v)&1 != 0 && (l || r)
 }
 
+// ContainsQuorumWords implements quorum.WideMaskSystem: the gate
+// recursion descending over subtree ranges with word-bit tests, so the
+// tree coterie evaluates at any height the universe bound admits.
+func (t *Tree) ContainsQuorumWords(words []uint64) bool {
+	return t.liveWords(0, words)
+}
+
+func (t *Tree) liveWords(v int, words []uint64) bool {
+	if t.IsLeaf(v) {
+		return quorum.WordBit(words, v)
+	}
+	l := t.liveWords(t.Left(v), words)
+	r := t.liveWords(t.Right(v), words)
+	if l && r {
+		return true
+	}
+	return quorum.WordBit(words, v) && (l || r)
+}
+
 // QuorumMasks implements quorum.MaskSystem by recursive minterm
 // enumeration over word masks. Like Quorums it panics for heights above 3.
 func (t *Tree) QuorumMasks() []uint64 {

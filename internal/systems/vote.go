@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/bits"
 	"sort"
+	"sync"
 
 	"probequorum/internal/bitset"
 	"probequorum/internal/quorum"
@@ -17,6 +18,12 @@ import (
 type Vote struct {
 	weights []int
 	total   int
+
+	// orderOnce/order cache the deterministic probe order (descending
+	// weight, ties by index) so the hot trial loops do not re-sort per
+	// witness search.
+	orderOnce sync.Once
+	order     []int
 }
 
 var (
@@ -134,6 +141,24 @@ func (v *Vote) MaskWeight(mask uint64) int {
 func (v *Vote) ContainsQuorumMask(mask uint64) bool {
 	maskGuard("Vote", len(v.weights))
 	return v.MaskWeight(mask) >= v.Threshold()
+}
+
+// ContainsQuorumWords implements quorum.WideMaskSystem: a weighted scan
+// over the set bits of every word, stopping at the bit that reaches the
+// majority threshold.
+func (v *Vote) ContainsQuorumWords(words []uint64) bool {
+	t := v.Threshold()
+	total := 0
+	for i, w := range words {
+		base := i * 64
+		for ; w != 0; w &= w - 1 {
+			total += v.weights[base+bits.TrailingZeros64(w)]
+			if total >= t {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // QuorumMasks implements quorum.MaskSystem: the minimal majority-weight

@@ -89,6 +89,23 @@ func (w *Wheel) QuorumMasks() []uint64 {
 	return append(out, w.rimMask())
 }
 
+// ContainsQuorumWords implements quorum.WideMaskSystem: the hub bit plus
+// any rim bit, or a full-rim popcount.
+func (w *Wheel) ContainsQuorumWords(words []uint64) bool {
+	if words[0]&1 != 0 {
+		if words[0]&^1 != 0 {
+			return true // hub plus a rim element in the first word
+		}
+		for _, x := range words[1:] {
+			if x != 0 {
+				return true
+			}
+		}
+		return false
+	}
+	return quorum.PopcountWords(words) == w.n-1 // full rim
+}
+
 // FindQuorumWithin implements quorum.Finder.
 func (w *Wheel) FindQuorumWithin(allowed *bitset.Set) (*bitset.Set, bool) {
 	if allowed.Contains(0) {

@@ -54,6 +54,18 @@ type (
 	// fits one uint64: superset tests against precomputed quorum masks
 	// with zero allocation. All built-in constructions implement it.
 	MaskSystem = quorum.MaskSystem
+	// WideMaskSystem is the wide-universe mask capability: the
+	// characteristic function evaluated on a []uint64 wide mask, scaling
+	// every hot path to universes of up to 4096 elements. All built-in
+	// constructions implement it natively at every size.
+	WideMaskSystem = quorum.WideMaskSystem
+	// BoundError is the typed error of every engine bound: it names the
+	// operation, the bound, the requested size and — when raised through
+	// the Evaluator — the measures still available at that size.
+	BoundError = quorum.BoundError
+	// BudgetError reports a refused enumeration-based mask adaptation
+	// (see quorum.EnumerationBudget).
+	BudgetError = quorum.BudgetError
 	// Finder locates quorums inside an allowed element set.
 	Finder = quorum.Finder
 	// Prober is the capability of systems that carry their own
@@ -63,6 +75,13 @@ type (
 	// randomized worst-case strategy; FindWitnessRandomized dispatches on
 	// it.
 	RandomizedProber = probe.RandomizedProber
+	// WordsProber is the wide-universe probing capability: the same
+	// deterministic strategy probing a word-buffer oracle with no
+	// per-probe allocation; the estimate measure dispatches on it.
+	WordsProber = probe.WordsProber
+	// RandomizedWordsProber is the wide-universe form of
+	// RandomizedProber.
+	RandomizedWordsProber = probe.RandomizedWordsProber
 	// ExactExpectation is the capability of systems with a closed-form
 	// expected probe count under IID(p); ExpectedProbes dispatches on it.
 	ExactExpectation = quorum.ExactExpectation
@@ -89,6 +108,12 @@ type (
 	Witness = probe.Witness
 	// Oracle reveals element colors one probe at a time.
 	Oracle = probe.Oracle
+	// WordsOracle is the wide-universe oracle: coloring, probe log and
+	// witness scratch all live in reusable word buffers.
+	WordsOracle = probe.WordsOracle
+	// WordsWitness is a monochromatic quorum as a wide mask, aliasing
+	// oracle arena memory until the next Reset.
+	WordsWitness = probe.WordsWitness
 	// StrategyNode is a node of an explicit probe strategy (decision)
 	// tree.
 	StrategyNode = strategy.Node
@@ -209,8 +234,18 @@ func Compose(outer System, inner []System) (System, error) {
 
 // AsMaskSystem returns a word-level view of the system: the system itself
 // when it implements MaskSystem natively, or a cached-enumeration adapter
-// otherwise. It fails for universes above 64 elements.
+// otherwise. It fails with a BoundError for universes above 64 elements
+// (use AsWideMaskSystem there) and with a BudgetError when adaptation
+// would enumerate more quorums than quorum.EnumerationBudget.
 func AsMaskSystem(sys System) (MaskSystem, error) { return quorum.Masked(sys) }
+
+// AsWideMaskSystem returns a wide word-level view of the system: the
+// system itself when it implements WideMaskSystem natively (every
+// built-in construction, at every size), a one-word bridge for plain
+// MaskSystems, or a cached-enumeration adapter under the
+// quorum.EnumerationBudget guard. It fails with a BoundError above 4096
+// elements.
+func AsWideMaskSystem(sys System) (WideMaskSystem, error) { return quorum.WideMasked(sys) }
 
 // MaskOfSet packs a set into a word mask (universes of at most 64
 // elements).
@@ -235,6 +270,14 @@ func ColoringFromReds(n int, reds []int) *Coloring { return coloring.FromReds(n,
 // IIDColoring draws a coloring where each element fails independently with
 // probability p.
 func IIDColoring(n int, p float64, rng *rand.Rand) *Coloring { return coloring.IID(n, p, rng) }
+
+// IIDColoringWordsInto redraws a wide red mask in place under IID(p),
+// consuming the same PRNG stream as IIDColoring (one Float64 per
+// element); pair it with a WordsOracle's RedWords buffer in wide trial
+// loops.
+func IIDColoringWordsInto(dst []uint64, n int, p float64, rng *rand.Rand) {
+	coloring.IIDWordsInto(dst, n, p, rng)
+}
 
 // NewOracle returns a probing oracle answering from the coloring, counting
 // distinct probed elements.
@@ -281,11 +324,39 @@ func FindWitnessRandomized(sys System, o Oracle, rng *rand.Rand) (Witness, error
 	return Witness{}, fmt.Errorf("probequorum: no strategy for %s (implement RandomizedProber or Finder)", sys.Name())
 }
 
+// NewWordsOracle returns a wide-universe oracle over an all-green
+// coloring of n elements; redraw its RedWords buffer (for example with
+// an IID draw) and Reset it between trials.
+func NewWordsOracle(n int) *WordsOracle { return probe.NewWordsOracle(n) }
+
+// FindWitnessWords locates a witness through the WordsProber capability
+// (implemented by every built-in construction): the same strategy as
+// FindWitness, probing the words oracle with no per-probe allocation.
+// The witness aliases oracle arena memory until the next Reset.
+func FindWitnessWords(sys System, o *WordsOracle) (WordsWitness, error) {
+	if wp, ok := sys.(WordsProber); ok {
+		return wp.ProbeWitnessWords(o), nil
+	}
+	return WordsWitness{}, fmt.Errorf("probequorum: no wide strategy for %s (implement WordsProber)", sys.Name())
+}
+
+// FindWitnessWordsRandomized is FindWitnessWords for the randomized
+// worst-case strategies (RandomizedWordsProber).
+func FindWitnessWordsRandomized(sys System, o *WordsOracle, rng *rand.Rand) (WordsWitness, error) {
+	if wp, ok := sys.(RandomizedWordsProber); ok {
+		return wp.ProbeWitnessWordsRandomized(o, rng), nil
+	}
+	return WordsWitness{}, fmt.Errorf("probequorum: no wide randomized strategy for %s (implement RandomizedWordsProber)", sys.Name())
+}
+
 // Availability returns F_p(S): the probability that no live quorum exists
 // when every element fails independently with probability p. Systems with
 // the ExactAvailability capability (all built-ins) answer from their
 // closed form; others are enumerated through the default session, which
-// caches an availability polynomial per system (small universes only).
+// caches an availability polynomial per system (small universes only) —
+// beyond the table bound with no closed form it panics with the
+// actionable BoundError (use Evaluator.AvailabilityCtx for an error
+// instead).
 func Availability(sys System, p float64) float64 {
 	return defaultEvaluator.Availability(sys, p)
 }
