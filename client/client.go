@@ -1,15 +1,20 @@
 // Package client is a small HTTP client for the probeserved evaluation
 // service: it submits Query batches to /v1/eval and decodes the shared
 // Result wire encoding, so remote evaluation reads like a local
-// Evaluator.DoBatch call.
+// Evaluator.DoBatch call — and it consumes the /v1/stream NDJSON cell
+// frames as an iterator, so remote streaming reads like a local
+// Evaluator.StreamBatch call.
 package client
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"iter"
 	"net/http"
 	"net/url"
 	"strings"
@@ -74,6 +79,91 @@ func (c *Client) Eval(ctx context.Context, queries []probequorum.Query) ([]*prob
 		return nil, fmt.Errorf("client: got %d results for %d queries", len(resp.Results), len(queries))
 	}
 	return resp.Results, nil
+}
+
+// maxStreamLineBytes bounds one NDJSON frame the streaming reader will
+// accept; a frame carrying a strategy-tree rendering is the largest
+// legitimate line by far and fits comfortably. Oversized lines fail
+// loudly instead of being split mid-JSON.
+const maxStreamLineBytes = 8 << 20
+
+// ErrStreamTruncated reports a /v1/stream response that ended without a
+// terminal done or error frame: the transport failed mid-stream, so the
+// cells received so far are a prefix, not the whole answer.
+var ErrStreamTruncated = errors.New("client: stream ended without a terminal frame")
+
+// StreamEval submits the query batch to /v1/stream and returns the cell
+// stream as an iterator, each cell yielded as its NDJSON frame arrives —
+// remote streaming reads like a local Evaluator.StreamBatch call, and
+// probequorum.FoldCells folds the cells into the same Results /v1/eval
+// would have answered. The terminal pair of a failed stream carries a
+// non-nil error: the server's error frame, ErrStreamTruncated on a
+// silent EOF, or the transport failure. Breaking out of the iteration
+// closes the response body, which cancels the server-side evaluation.
+func (c *Client) StreamEval(ctx context.Context, queries []probequorum.Query) iter.Seq2[probequorum.Cell, error] {
+	return func(yield func(probequorum.Cell, error) bool) {
+		for i, q := range queries {
+			if q.System != nil {
+				yield(probequorum.Cell{}, fmt.Errorf("client: query %d holds a System value; remote queries must name systems by Spec", i))
+				return
+			}
+		}
+		body, err := json.Marshal(probeserve.EvalRequest{Queries: queries})
+		if err != nil {
+			yield(probequorum.Cell{}, fmt.Errorf("client: encode stream request: %w", err))
+			return
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/stream", bytes.NewReader(body))
+		if err != nil {
+			yield(probequorum.Cell{}, err)
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		res, err := c.hc.Do(req)
+		if err != nil {
+			yield(probequorum.Cell{}, err)
+			return
+		}
+		defer res.Body.Close()
+		if res.StatusCode != http.StatusOK {
+			data, _ := io.ReadAll(io.LimitReader(res.Body, 1<<20))
+			yield(probequorum.Cell{}, decodeError(res.StatusCode, data))
+			return
+		}
+
+		sc := bufio.NewScanner(res.Body)
+		sc.Buffer(make([]byte, 64<<10), maxStreamLineBytes)
+		for sc.Scan() {
+			line := sc.Bytes()
+			if len(bytes.TrimSpace(line)) == 0 {
+				continue
+			}
+			var frame probeserve.StreamFrame
+			if err := json.Unmarshal(line, &frame); err != nil {
+				yield(probequorum.Cell{}, fmt.Errorf("client: decode stream frame: %w", err))
+				return
+			}
+			switch {
+			case frame.Error != "":
+				yield(probequorum.Cell{}, fmt.Errorf("client: stream failed: %s", frame.Error))
+				return
+			case frame.Done != nil:
+				return
+			case frame.Cell != nil:
+				if !yield(*frame.Cell, nil) {
+					return
+				}
+			default:
+				yield(probequorum.Cell{}, fmt.Errorf("client: empty stream frame %q", line))
+				return
+			}
+		}
+		if err := sc.Err(); err != nil {
+			yield(probequorum.Cell{}, fmt.Errorf("client: read stream: %w", err))
+			return
+		}
+		yield(probequorum.Cell{}, ErrStreamTruncated)
+	}
 }
 
 // Systems returns the construction names registered on the server.

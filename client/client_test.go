@@ -1,7 +1,11 @@
 package client_test
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
+	"io"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -95,5 +99,175 @@ func TestServerGone(t *testing.T) {
 	ts.Close()
 	if err := c.Health(context.Background()); err == nil {
 		t.Error("Health against a closed server should fail")
+	}
+}
+
+// TestStreamEvalMatchesLocal pins remote streaming against the local
+// iterator: the cells StreamEval yields are exactly what a local
+// StreamBatch produces (same canonical order, same values), and folding
+// them reproduces the Eval results.
+func TestStreamEvalMatchesLocal(t *testing.T) {
+	c := newPair(t)
+	queries := []probequorum.Query{
+		{
+			Spec:     "maj:9",
+			Measures: []probequorum.Measure{probequorum.MeasurePC, probequorum.MeasurePPC, probequorum.MeasureEstimate},
+			Ps:       []float64{0.2, 0.5},
+			Trials:   1000,
+			Seed:     7,
+		},
+		{Spec: "wheel:8", Measures: []probequorum.Measure{probequorum.MeasureAvailability}, Ps: []float64{0.3}},
+	}
+	var remote []probequorum.Cell
+	for cell, err := range c.StreamEval(context.Background(), queries) {
+		if err != nil {
+			t.Fatalf("stream error after %d cells: %v", len(remote), err)
+		}
+		remote = append(remote, cell)
+	}
+	var local []probequorum.Cell
+	for cell, err := range probequorum.NewEvaluator().StreamBatch(context.Background(), queries) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		local = append(local, cell)
+	}
+	if len(remote) != len(local) {
+		t.Fatalf("remote stream has %d cells, local %d", len(remote), len(local))
+	}
+	for i := range remote {
+		rj, _ := json.Marshal(remote[i])
+		lj, _ := json.Marshal(local[i])
+		if string(rj) != string(lj) {
+			t.Errorf("cell %d differs:\nremote %s\nlocal  %s", i, rj, lj)
+		}
+	}
+
+	folded, err := probequorum.FoldCells(probequorum.CellSeq(remote), len(queries))
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := c.Eval(context.Background(), queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range queries {
+		fj, _ := json.Marshal(folded[i])
+		dj, _ := json.Marshal(direct[i])
+		if string(fj) != string(dj) {
+			t.Errorf("query %d: folded stream != Eval:\n%s\n%s", i, fj, dj)
+		}
+	}
+}
+
+func TestStreamEvalRejectsSystemValues(t *testing.T) {
+	c := newPair(t)
+	var got error
+	for _, err := range c.StreamEval(context.Background(), []probequorum.Query{
+		{System: probequorum.MustParse("maj:3"), Measures: []probequorum.Measure{probequorum.MeasurePC}},
+	}) {
+		got = err
+	}
+	if got == nil || !strings.Contains(got.Error(), "Spec") {
+		t.Errorf("err = %v, want a Spec-required error", got)
+	}
+}
+
+// TestStreamEvalTerminalFrames pins the client's handling of the three
+// stream endings: an error frame surfaces as the terminal iterator
+// error, EOF without a terminal frame reports ErrStreamTruncated, and a
+// line beyond the reader bound fails loudly instead of being split.
+func TestStreamEvalTerminalFrames(t *testing.T) {
+	cases := map[string]struct {
+		body    string
+		wantErr string
+	}{
+		"error frame": {
+			body:    `{"cell":{"query":0,"value":0,"done":false}}` + "\n" + `{"error":"context canceled"}` + "\n",
+			wantErr: "stream failed: context canceled",
+		},
+		"silent EOF": {
+			body:    `{"cell":{"query":0,"value":0,"done":false}}` + "\n",
+			wantErr: client.ErrStreamTruncated.Error(),
+		},
+		"empty frame": {
+			body:    `{}` + "\n",
+			wantErr: "empty stream frame",
+		},
+	}
+	for name, tc := range cases {
+		t.Run(name, func(t *testing.T) {
+			ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				w.Header().Set("Content-Type", "application/x-ndjson")
+				io.WriteString(w, tc.body)
+			}))
+			defer ts.Close()
+			var got error
+			for _, err := range client.New(ts.URL).StreamEval(context.Background(), []probequorum.Query{
+				{Spec: "maj:3", Measures: []probequorum.Measure{probequorum.MeasurePC}},
+			}) {
+				if err != nil {
+					got = err
+				}
+			}
+			if got == nil || !strings.Contains(got.Error(), tc.wantErr) {
+				t.Errorf("err = %v, want containing %q", got, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestStreamEvalBoundedLineReader feeds a frame far beyond the line
+// bound; the iterator must fail with a read error rather than hang or
+// mis-parse.
+func TestStreamEvalBoundedLineReader(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.Write([]byte(`{"cell":{"query":0,"spec":"`))
+		filler := bytes.Repeat([]byte("x"), 1<<20)
+		for i := 0; i < 9; i++ {
+			w.Write(filler)
+		}
+		w.Write([]byte(`","value":0,"done":false}}` + "\n"))
+	}))
+	defer ts.Close()
+	var got error
+	for _, err := range client.New(ts.URL).StreamEval(context.Background(), []probequorum.Query{
+		{Spec: "maj:3", Measures: []probequorum.Measure{probequorum.MeasurePC}},
+	}) {
+		if err != nil {
+			got = err
+		}
+	}
+	if got == nil || !strings.Contains(got.Error(), "read stream") {
+		t.Errorf("err = %v, want a bounded-read failure", got)
+	}
+}
+
+// TestStreamEvalBreakCancelsServer breaks out of the iteration after
+// the first cell; the deferred body close must cancel the server-side
+// evaluation (observable as the shared session staying consistent) and
+// later calls must work.
+func TestStreamEvalBreakCancelsServer(t *testing.T) {
+	c := newPair(t)
+	queries := []probequorum.Query{{
+		Spec:     "maj:11",
+		Measures: []probequorum.Measure{probequorum.MeasurePC, probequorum.MeasurePPC},
+		Ps:       []float64{0.1, 0.2, 0.3},
+	}}
+	seen := 0
+	for _, err := range c.StreamEval(context.Background(), queries) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen++
+		break
+	}
+	if seen != 1 {
+		t.Fatalf("consumed %d cells, want 1", seen)
+	}
+	results, err := c.Eval(context.Background(), queries)
+	if err != nil || results[0].Error != "" {
+		t.Errorf("Eval after broken stream: results=%+v err=%v", results, err)
 	}
 }

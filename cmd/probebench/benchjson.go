@@ -34,6 +34,7 @@ type benchRecord struct {
 	AllocsPerOp   int64   `json:"allocs_per_op"`
 	QueriesPerSec float64 `json:"queries_per_sec,omitempty"`
 	ProbesPerSec  float64 `json:"probes_per_sec,omitempty"`
+	CellsPerSec   float64 `json:"cells_per_sec,omitempty"`
 }
 
 // benchFile is the on-disk schema: measurement context plus the records.
@@ -47,11 +48,13 @@ type benchFile struct {
 // benchOp is one suite entry; queries > 0 marks a batch op whose
 // queries/sec rate is derived from ns/op, probes > 0 a Monte Carlo op
 // whose probes/sec rate is derived the same way (probes is the expected
-// total probe count of one op).
+// total probe count of one op), and cells > 0 a streaming op whose
+// cells/sec delivery rate is derived likewise.
 type benchOp struct {
 	name    string
 	queries int
 	probes  int
+	cells   int
 	fn      func(b *testing.B)
 }
 
@@ -265,7 +268,117 @@ func benchOps() []benchOp {
 				}
 			}
 		}},
+		// Streaming ops (PR 5): the /v1/stream serving shape. Cell
+		// throughput drains the full batch stream warm (the steady state
+		// of a long-lived service); time-to-first-cell measures the
+		// latency advantage streaming buys over a complete /v1/eval
+		// answer — cold includes every artifact build, warm is the memo
+		// path. DoBatch above now runs *through* the stream fold, so its
+		// cold/warm numbers against BENCH_PR3/PR4 are the no-regression
+		// check of the single evaluation path.
+		{name: "stream/cells-warm/8specs-x-3p", cells: countBatchCells(), fn: func(b *testing.B) {
+			ctx := context.Background()
+			eval := probequorum.NewEvaluator()
+			if err := runBatch(ctx, eval); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := drainBatchStream(ctx, eval); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{name: "stream/first-cell-cold/8specs-x-3p", fn: func(b *testing.B) {
+			ctx := context.Background()
+			for i := 0; i < b.N; i++ {
+				if err := firstBatchCell(ctx, probequorum.NewEvaluator()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{name: "stream/first-cell-warm/8specs-x-3p", fn: func(b *testing.B) {
+			ctx := context.Background()
+			eval := probequorum.NewEvaluator()
+			if err := runBatch(ctx, eval); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := firstBatchCell(ctx, eval); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		// Adaptive-precision Monte Carlo: one tolerance-driven estimate
+		// of the wide majority, stopping at the first in-order chunk
+		// whose 95% half-interval meets ±2 probes — the trials saved
+		// against a blind fixed budget are the op's headline.
+		{name: "stream/adaptive-estimate/Maj1025-tol2", fn: func(b *testing.B) {
+			ctx := context.Background()
+			eval := probequorum.NewEvaluator()
+			q := probequorum.Query{
+				Spec:      "maj:1025",
+				Measures:  []probequorum.Measure{probequorum.MeasureEstimate},
+				Ps:        []float64{0.5},
+				Seed:      11,
+				Tolerance: 2.0,
+			}
+			for i := 0; i < b.N; i++ {
+				if _, err := eval.Do(ctx, q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
 	}
+}
+
+// batchQueries is the throughput batch: every registered construction
+// with pc plus three per-p measures over a three-point grid.
+func batchQueries() []probequorum.Query {
+	return probequorum.SpecQueries(batchSpecs,
+		[]probequorum.Measure{probequorum.MeasurePC, probequorum.MeasurePPC, probequorum.MeasureAvailability, probequorum.MeasureExpected},
+		[]float64{0.1, 0.3, 0.5})
+}
+
+// drainBatchStream consumes the whole batch cell stream, failing on any
+// stream or per-query error.
+func drainBatchStream(ctx context.Context, eval *probequorum.Evaluator) error {
+	for cell, err := range eval.StreamBatch(ctx, batchQueries()) {
+		if err != nil {
+			return err
+		}
+		if cell.Err != "" {
+			return fmt.Errorf("query %s failed: %s", cell.Spec, cell.Err)
+		}
+	}
+	return nil
+}
+
+// firstBatchCell consumes exactly one cell of the batch stream and
+// abandons the rest (producers unwind through the stream's cancel).
+func firstBatchCell(ctx context.Context, eval *probequorum.Evaluator) error {
+	for _, err := range eval.StreamBatch(ctx, batchQueries()) {
+		return err
+	}
+	return fmt.Errorf("empty stream")
+}
+
+// countBatchCells counts the deterministic cell total of one batch
+// stream, for the cells/sec rate. A broken stream must fail the run
+// loudly, not quietly drop cells_per_sec from the perf artifact.
+func countBatchCells() int {
+	n := 0
+	for c, err := range probequorum.NewEvaluator().StreamBatch(context.Background(), batchQueries()) {
+		if err != nil {
+			panic(fmt.Sprintf("probebench: batch stream failed: %v", err))
+		}
+		if c.Err != "" {
+			panic(fmt.Sprintf("probebench: batch query %d failed: %s", c.Query, c.Err))
+		}
+		n++
+	}
+	return n
 }
 
 // wideEstimateOp returns a benchmark body running one full wide-path
@@ -301,10 +414,7 @@ var batchSpecs = []string{
 // runBatch submits the throughput batch (pc + ppc/availability/expected
 // over a three-point grid) and fails on any per-query error.
 func runBatch(ctx context.Context, eval *probequorum.Evaluator) error {
-	queries := probequorum.SpecQueries(batchSpecs,
-		[]probequorum.Measure{probequorum.MeasurePC, probequorum.MeasurePPC, probequorum.MeasureAvailability, probequorum.MeasureExpected},
-		[]float64{0.1, 0.3, 0.5})
-	results, err := eval.DoBatch(ctx, queries)
+	results, err := eval.DoBatch(ctx, batchQueries())
 	if err != nil {
 		return err
 	}
@@ -344,12 +454,18 @@ func writeBenchJSON(path string) error {
 		if op.probes > 0 && rec.NsPerOp > 0 {
 			rec.ProbesPerSec = float64(op.probes) * 1e9 / rec.NsPerOp
 		}
+		if op.cells > 0 && rec.NsPerOp > 0 {
+			rec.CellsPerSec = float64(op.cells) * 1e9 / rec.NsPerOp
+		}
 		fmt.Fprintf(os.Stderr, "%12.1f ns/op  %6d allocs/op", rec.NsPerOp, rec.AllocsPerOp)
 		if rec.QueriesPerSec > 0 {
 			fmt.Fprintf(os.Stderr, "  %10.0f queries/s", rec.QueriesPerSec)
 		}
 		if rec.ProbesPerSec > 0 {
 			fmt.Fprintf(os.Stderr, "  %10.0f probes/s", rec.ProbesPerSec)
+		}
+		if rec.CellsPerSec > 0 {
+			fmt.Fprintf(os.Stderr, "  %10.0f cells/s", rec.CellsPerSec)
 		}
 		fmt.Fprintln(os.Stderr)
 		out.Records = append(out.Records, rec)

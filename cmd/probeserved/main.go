@@ -5,6 +5,9 @@
 // Endpoints:
 //
 //	POST /v1/eval     {"queries":[{"spec":"maj:7","measures":["pc","ppc"],"ps":[0.5]}, ...]}
+//	POST /v1/stream   same body; answers NDJSON cell frames flushed as
+//	                  each measure or Monte Carlo trial chunk completes,
+//	                  ending with a terminal done (or error) frame
 //	GET  /v1/systems  registered construction names and measures
 //	GET  /v1/render?spec=maj:7
 //	GET  /healthz
@@ -37,7 +40,7 @@ func main() {
 func run() int {
 	var (
 		addr        = flag.String("addr", ":8773", "listen address")
-		trials      = flag.Int("trials", 10000, "default Monte Carlo trials for estimate queries")
+		trials      = flag.Int("trials", 10000, "default Monte Carlo trials for fixed estimate queries (adaptive tolerance queries are bounded by their own trials field, or MaxQueryTrials)")
 		seed        = flag.Uint64("seed", 1, "default Monte Carlo seed for estimate queries")
 		parallelism = flag.Int("parallelism", 0, "worker cap for batch fan-out and Monte Carlo loops (0: GOMAXPROCS)")
 		maxBatch    = flag.Int("maxbatch", probeserve.DefaultMaxBatch, "maximum queries per /v1/eval request")

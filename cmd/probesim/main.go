@@ -9,6 +9,12 @@
 // Usage:
 //
 //	probesim -system triang:10 -p 0.3 -trials 10000 [-randomized] [-seed 1]
+//	         [-stream] [-tolerance 0]
+//
+// With -stream the deterministic mode prints the evaluation cells live —
+// the running estimate refining per trial chunk until its done cell. A
+// positive -tolerance stops the trials adaptively once the 95%
+// confidence half-interval reaches the target, bounded by -trials.
 package main
 
 import (
@@ -30,9 +36,11 @@ func run() int {
 	var (
 		system     = flag.String("system", "triang:4", "system spec, e.g. maj:7 | triang:10 | cw:1,3,2 | tree:3 | hqs:2 | vote:3,1,1,2 | recmaj:3x2 | wheel:8")
 		p          = flag.Float64("p", 0.3, "failure probability")
-		trials     = flag.Int("trials", 10000, "number of simulated failure patterns")
+		trials     = flag.Int("trials", 10000, "number of simulated failure patterns (with -tolerance, the budget)")
 		seed       = flag.Uint64("seed", 1, "PRNG seed")
 		randomized = flag.Bool("randomized", false, "use the randomized worst-case strategy instead")
+		stream     = flag.Bool("stream", false, "print the running estimate live as trial chunks accumulate")
+		tolerance  = flag.Float64("tolerance", 0, "stop trials once the 95% confidence half-interval reaches this target (0: fixed trials)")
 	)
 	flag.Parse()
 
@@ -56,21 +64,56 @@ func run() int {
 	if _, ok := sys.(probequorum.ExactExpectation); ok {
 		measures = append(measures, probequorum.MeasureExpected)
 	}
-	res, err := probequorum.NewEvaluator().Do(context.Background(), probequorum.Query{
-		System:   sys,
-		Measures: measures,
-		Ps:       []float64{*p},
-		Trials:   *trials,
-		Seed:     *seed,
-	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "probesim:", err)
-		return 1
+	query := probequorum.Query{
+		System:    sys,
+		Measures:  measures,
+		Ps:        []float64{*p},
+		Trials:    *trials,
+		Seed:      *seed,
+		Tolerance: *tolerance,
+	}
+	var res *probequorum.Result
+	if *stream {
+		// Print the estimate cells live, then fold the collected cells
+		// into the same Result the one-shot path reports.
+		var cells []probequorum.Cell
+		for cell, err := range probequorum.NewEvaluator().Stream(context.Background(), query) {
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "probesim:", err)
+				return 1
+			}
+			cells = append(cells, cell)
+			if cell.Measure == probequorum.MeasureEstimate {
+				state := "…"
+				if cell.Done {
+					state = "done"
+				}
+				fmt.Printf("trials %-9d avg probes %10.4f  ±%.4f  %s\n", cell.Trials, cell.Value, cell.HalfCI, state)
+			}
+		}
+		results, err := probequorum.FoldCells(probequorum.CellSeq(cells), 1)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "probesim:", err)
+			return 1
+		}
+		res = results[0]
+		fmt.Println()
+	} else {
+		res, err = probequorum.NewEvaluator().Do(context.Background(), query)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "probesim:", err)
+			return 1
+		}
 	}
 	pt := res.Point(*p)
 	fmt.Printf("system:            %s (n = %d)\n", res.Name, res.N)
 	fmt.Printf("strategy:          deterministic (paper probabilistic-model strategy)\n")
-	fmt.Printf("failure p:         %.3f over %d trials (seed %d)\n", *p, res.Trials, res.Seed)
+	if *tolerance > 0 {
+		fmt.Printf("failure p:         %.3f over %d adaptive trials (target ±%g, budget %d, seed %d)\n",
+			*p, pt.Estimate.Trials, *tolerance, res.Trials, res.Seed)
+	} else {
+		fmt.Printf("failure p:         %.3f over %d trials (seed %d)\n", *p, res.Trials, res.Seed)
+	}
 	fmt.Printf("avg probes:        %.4f (±%.4f at 95%%)\n", pt.Estimate.Mean, pt.Estimate.HalfCI)
 	if pt.Expected != nil {
 		fmt.Printf("exact expectation: %.4f\n", *pt.Expected)

@@ -7,12 +7,18 @@
 //
 //	quorumctl -system maj:7 [-p 0.1] [-enumerate] [-check]
 //	quorumctl eval -system maj:7 -p 0.1,0.3,0.5 [-measures pc,ppc,availability,expected,estimate,tree]
-//	               [-trials 10000] [-seed 1] [-json]
+//	               [-trials 10000] [-seed 1] [-tolerance 0] [-stream] [-json]
 //	quorumctl -specs
 //
 // The eval subcommand accepts a comma-separated -p grid and evaluates
 // every requested measure at every grid point; -json prints the shared
-// Result wire encoding instead of the human table.
+// Result wire encoding instead of the human table. With -stream the
+// cells of the streaming evaluation API print live as each measure (or
+// Monte Carlo trial chunk) completes — one line per cell, or NDJSON
+// cell encodings under -json. A positive -tolerance makes the estimate
+// measure adaptive: trials stop as soon as the 95% confidence
+// half-interval reaches the target, bounded by -trials (or the
+// MaxQueryTrials budget when -trials is 0).
 package main
 
 import (
@@ -107,12 +113,14 @@ func run() int {
 func runEval(args []string) int {
 	fs := flag.NewFlagSet("quorumctl eval", flag.ExitOnError)
 	var (
-		system   = fs.String("system", "", "system spec, e.g. maj:7 (see quorumctl -specs)")
-		pgrid    = fs.String("p", "0.5", "comma-separated failure-probability grid, e.g. 0.1,0.3,0.5")
-		measures = fs.String("measures", "availability,expected", "comma-separated measures: pc, ppc, availability, expected, estimate, tree")
-		trials   = fs.Int("trials", 0, "Monte Carlo trials for estimate (0: evaluator default)")
-		seed     = fs.Uint64("seed", 0, "Monte Carlo seed for estimate (0: evaluator default)")
-		asJSON   = fs.Bool("json", false, "print the Result wire encoding instead of the table")
+		system    = fs.String("system", "", "system spec, e.g. maj:7 (see quorumctl -specs)")
+		pgrid     = fs.String("p", "0.5", "comma-separated failure-probability grid, e.g. 0.1,0.3,0.5")
+		measures  = fs.String("measures", "availability,expected", "comma-separated measures: pc, ppc, availability, expected, estimate, tree")
+		trials    = fs.Int("trials", 0, "Monte Carlo trials for estimate (0: evaluator default; with -tolerance, the budget)")
+		seed      = fs.Uint64("seed", 0, "Monte Carlo seed for estimate (0: evaluator default)")
+		tolerance = fs.Float64("tolerance", 0, "adaptive estimate precision: target 95% confidence half-interval (0: fixed trials)")
+		stream    = fs.Bool("stream", false, "print evaluation cells live as they complete instead of the final table")
+		asJSON    = fs.Bool("json", false, "print the Result wire encoding (or, with -stream, NDJSON cells) instead of the table")
 	)
 	fs.Parse(args)
 
@@ -120,6 +128,10 @@ func runEval(args []string) int {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "quorumctl eval:", err)
 		return 1
+	}
+	q.Tolerance = *tolerance
+	if *stream {
+		return runEvalStream(q, *asJSON)
 	}
 	res, err := probequorum.NewEvaluator().Do(context.Background(), q)
 	if err != nil {
@@ -137,6 +149,55 @@ func runEval(args []string) int {
 	}
 	printResult(res)
 	return 0
+}
+
+// runEvalStream prints the cells of one streaming evaluation live: one
+// human line (or NDJSON cell encoding) per cell, flushed as each measure
+// or trial chunk completes, estimate points refining monotonically until
+// their done cell.
+func runEvalStream(q probequorum.Query, asJSON bool) int {
+	enc := json.NewEncoder(os.Stdout)
+	for cell, err := range probequorum.NewEvaluator().Stream(context.Background(), q) {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "quorumctl eval:", err)
+			return 1
+		}
+		if asJSON {
+			enc.Encode(cell)
+			continue
+		}
+		printCell(cell)
+	}
+	return 0
+}
+
+// printCell renders one evaluation cell as a human line.
+func printCell(c probequorum.Cell) {
+	switch {
+	case c.Measure == "" && c.Err == "":
+		fmt.Printf("system    %s (n = %d)", c.Name, c.N)
+		if c.Spec != "" {
+			fmt.Printf("  spec %s", c.Spec)
+		}
+		if c.Trials > 0 {
+			fmt.Printf("  mc trials<=%d seed=%d", c.Trials, c.Seed)
+		}
+		fmt.Println()
+	case c.Err != "":
+		fmt.Printf("error     %s\n", c.Err)
+	case c.Measure == probequorum.MeasureTree:
+		fmt.Printf("tree      depth=%d leaves=%d\n%s", c.Tree.Depth, c.Tree.Leaves, c.Tree.ASCII)
+	case c.P == nil:
+		fmt.Printf("%-9s %g\n", c.Measure, c.Value)
+	case c.Measure == probequorum.MeasureEstimate:
+		state := "…"
+		if c.Done {
+			state = "done"
+		}
+		fmt.Printf("%-9s p=%-7.4f %12.6f  ±%.6f  trials=%-9d %s\n", c.Measure, *c.P, c.Value, c.HalfCI, c.Trials, state)
+	default:
+		fmt.Printf("%-9s p=%-7.4f %12.6f\n", c.Measure, *c.P, c.Value)
+	}
 }
 
 // buildQuery assembles the eval subcommand's Query from flag values.

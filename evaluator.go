@@ -8,17 +8,15 @@ import (
 	"math/bits"
 	"math/rand/v2"
 	"reflect"
-	"runtime"
 	"strings"
 	"sync"
-	"sync/atomic"
 
 	"probequorum/internal/coloring"
 	"probequorum/internal/probe"
 	"probequorum/internal/quorum"
-	"probequorum/internal/render"
 	"probequorum/internal/sim"
 	"probequorum/internal/spec"
+	"probequorum/internal/stats"
 	"probequorum/internal/strategy"
 )
 
@@ -467,40 +465,53 @@ func (e *Evaluator) EstimateAverageProbesCtx(ctx context.Context, sys System, p 
 	return e.estimateCtx(ctx, sys, p, e.trials, e.seed)
 }
 
-// estimateCtx is the shared Monte Carlo path with explicit trials and
-// seed (Queries override the session's settings per request). Systems
-// with the wide probing capability (all built-in constructions) run the
-// words-native trial loop: the coloring, the probe log and the witness
-// all live in per-worker word buffers, so a trial's footprint is a few
-// n/64-word buffers reused across every trial, with no per-probe heap
-// allocation at any universe size. The words path probes the same
-// elements in the same order as the bitset path, so summaries are
-// bit-identical between the two (pinned by TestWideEstimateBitIdentical).
-func (e *Evaluator) estimateCtx(ctx context.Context, sys System, p float64, trials int, seed uint64) (mean, halfCI float64, err error) {
+// estimateCtx is the fixed-budget Monte Carlo path with explicit trials
+// and seed (Queries override the session's settings per request).
+func (e *Evaluator) estimateCtx(ctx context.Context, sys System, p float64, trials int, seed uint64) (mean, half float64, err error) {
+	s, err := e.estimateAdaptiveCtx(ctx, sys, p, trials, seed, nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	return s.Mean, halfCI(s), nil
+}
+
+// halfCI is the 95% confidence half-interval of a summary.
+func halfCI(s stats.Summary) float64 {
+	lo, hi := s.CI95()
+	return (hi - lo) / 2
+}
+
+// estimateAdaptiveCtx is the single Monte Carlo trial loop behind every
+// estimate: fixed-budget runs pass a nil observer, streaming and
+// tolerance-driven runs observe the in-order accumulation checkpoints
+// (sim.Chunk) and may stop early. Systems with the wide probing
+// capability (all built-in constructions) run the words-native trial
+// loop: the coloring, the probe log and the witness all live in
+// per-worker word buffers, so a trial's footprint is a few n/64-word
+// buffers reused across every trial, with no per-probe heap allocation
+// at any universe size. The words path probes the same elements in the
+// same order as the bitset path, so summaries are bit-identical between
+// the two (pinned by TestWideEstimateBitIdentical).
+func (e *Evaluator) estimateAdaptiveCtx(ctx context.Context, sys System, p float64, maxTrials int, seed uint64, observe func(sim.Chunk) bool) (stats.Summary, error) {
 	n := sys.Size()
 	if wp, ok := sys.(probe.WordsProber); ok {
-		s, err := sim.EstimateWithWorkersCtx(ctx, trials, seed, e.parallelism,
+		return sim.EstimateAdaptiveCtx(ctx, maxTrials, seed, e.parallelism,
 			func() *probe.WordsOracle { return probe.NewWordsOracle(n) },
 			func(rng *rand.Rand, o *probe.WordsOracle) float64 {
 				coloring.IIDWordsInto(o.RedWords(), n, p, rng)
 				o.Reset()
 				wp.ProbeWitnessWords(o)
 				return float64(o.Probes())
-			})
-		if err != nil {
-			return 0, 0, err
-		}
-		lo, hi := s.CI95()
-		return s.Mean, (hi - lo) / 2, nil
+			}, observe)
 	}
 	if _, err := FindWitness(sys, NewOracle(AllGreen(n))); err != nil {
-		return 0, 0, err
+		return stats.Summary{}, err
 	}
 	type buffers struct {
 		col *coloring.Coloring
 		o   *probe.ColoringOracle
 	}
-	s, err := sim.EstimateWithWorkersCtx(ctx, trials, seed, e.parallelism,
+	return sim.EstimateAdaptiveCtx(ctx, maxTrials, seed, e.parallelism,
 		func() *buffers {
 			col := coloring.New(n)
 			return &buffers{col: col, o: probe.NewOracle(col)}
@@ -512,12 +523,7 @@ func (e *Evaluator) estimateCtx(ctx context.Context, sys System, p float64, tria
 				panic(err) // unreachable: dispatch validated above
 			}
 			return float64(b.o.Probes())
-		})
-	if err != nil {
-		return 0, 0, err
-	}
-	lo, hi := s.CI95()
-	return s.Mean, (hi - lo) / 2, nil
+		}, observe)
 }
 
 // resolve maps a query to its System and canonical spec string. Systems
@@ -553,123 +559,28 @@ func (e *Evaluator) resolve(q Query) (System, string, error) {
 	return sys, canonical, nil
 }
 
-// Do executes one Query against the session's caches. The returned
-// error is non-nil when the query is invalid, the spec does not parse, a
-// requested measure fails, or ctx is done — cancellation surfaces as
-// ctx.Err() (possibly wrapped) and leaves every cache consistent: later
-// calls recompute as if the cancelled call never happened.
+// Do executes one Query against the session's caches: it is a fold of
+// the Stream cells into one Result — the single evaluation path. The
+// returned error is non-nil when the query is invalid, the spec does not
+// parse, a requested measure fails, or ctx is done — cancellation
+// surfaces as ctx.Err() (possibly wrapped) and leaves every cache
+// consistent: later calls recompute as if the cancelled call never
+// happened.
 func (e *Evaluator) Do(ctx context.Context, q Query) (*Result, error) {
-	nq, err := q.normalized()
+	results, err := FoldCells(e.Stream(ctx, q), 1)
 	if err != nil {
 		return nil, err
 	}
-	sys, specStr, err := e.resolve(nq)
-	if err != nil {
-		return nil, err
-	}
-	res := &Result{Spec: specStr, Name: sys.Name(), N: sys.Size()}
-	if nq.has(MeasurePC) {
-		pc, err := e.ProbeComplexityCtx(ctx, sys)
-		if err != nil {
-			return nil, fmt.Errorf("measure pc of %s: %w", sys.Name(), e.boundify(err, sys))
-		}
-		res.PC = &pc
-	}
-	if nq.has(MeasureTree) {
-		root, err := e.OptimalStrategyTreeCtx(ctx, sys)
-		if err != nil {
-			return nil, fmt.Errorf("measure tree of %s: %w", sys.Name(), e.boundify(err, sys))
-		}
-		res.Tree = &TreeSummary{Depth: root.Depth(), Leaves: root.Leaves(), ASCII: render.StrategyTree(root)}
-	}
-	trials, seed := e.trials, e.seed
-	if nq.Trials > 0 {
-		trials = nq.Trials
-	}
-	if nq.Seed != 0 {
-		seed = nq.Seed
-	}
-	if nq.has(MeasureEstimate) {
-		res.Trials, res.Seed = trials, seed
-	}
-	for _, p := range nq.Ps {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		pt := Point{P: p}
-		if nq.has(MeasurePPC) {
-			v, err := e.AverageProbeComplexityCtx(ctx, sys, p)
-			if err != nil {
-				return nil, fmt.Errorf("measure ppc of %s at p=%v: %w", sys.Name(), p, e.boundify(err, sys))
-			}
-			pt.PPC = &v
-		}
-		if nq.has(MeasureAvailability) {
-			v, err := e.AvailabilityCtx(ctx, sys, p)
-			if err != nil {
-				return nil, fmt.Errorf("measure availability of %s at p=%v: %w", sys.Name(), p, err)
-			}
-			pt.Availability = &v
-		}
-		if nq.has(MeasureExpected) {
-			v, err := e.ExpectedProbes(sys, p)
-			if err != nil {
-				return nil, fmt.Errorf("measure expected of %s at p=%v: %w", sys.Name(), p, err)
-			}
-			pt.Expected = &v
-		}
-		if nq.has(MeasureEstimate) {
-			mean, half, err := e.estimateCtx(ctx, sys, p, trials, seed)
-			if err != nil {
-				return nil, fmt.Errorf("measure estimate of %s at p=%v: %w", sys.Name(), p, err)
-			}
-			pt.Estimate = &Estimate{Mean: mean, HalfCI: half}
-		}
-		res.Points = append(res.Points, pt)
-	}
-	return res, nil
+	return results[0], nil
 }
 
 // DoBatch executes the queries in parallel over the session's shared
 // caches, fanning out across min(parallelism, len(queries)) workers
-// (session parallelism 0 meaning GOMAXPROCS). It returns one Result per
+// (session parallelism 0 meaning GOMAXPROCS): it is a fold of the
+// StreamBatch cells into per-query Results. It returns one Result per
 // query in order; a query that fails for its own reasons yields a Result
 // with Error set and does not disturb its batch mates. Cancelling ctx
 // aborts the whole batch promptly with ctx.Err() and nil results.
 func (e *Evaluator) DoBatch(ctx context.Context, queries []Query) ([]*Result, error) {
-	results := make([]*Result, len(queries))
-	workers := e.parallelism
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(queries) {
-		workers = len(queries)
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(queries) || ctx.Err() != nil {
-					return
-				}
-				r, err := e.Do(ctx, queries[i])
-				if err != nil {
-					if isCtxErr(err) {
-						return
-					}
-					r = &Result{Spec: queries[i].Spec, Error: err.Error()}
-				}
-				results[i] = r
-			}
-		}()
-	}
-	wg.Wait()
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	return results, nil
+	return FoldCells(e.StreamBatch(ctx, queries), len(queries))
 }

@@ -102,6 +102,37 @@ func ExampleEvaluator() {
 	// PPC=4.125 PC=5 cached==first: true
 }
 
+// ExampleEvaluator_Stream iterates the cells of one query as they
+// complete: the header identifies the system, then one Done cell per
+// (measure, grid point) in canonical order. Estimates additionally
+// stream progress cells; Do is exactly FoldCells over this stream.
+func ExampleEvaluator_Stream() {
+	eval := probequorum.NewEvaluator()
+	query := probequorum.Query{
+		Spec:     "maj:5",
+		Measures: []probequorum.Measure{probequorum.MeasurePC, probequorum.MeasurePPC},
+		Ps:       []float64{0.1, 0.5},
+	}
+	for cell, err := range eval.Stream(context.Background(), query) {
+		if err != nil {
+			panic(err)
+		}
+		switch {
+		case cell.Measure == "":
+			fmt.Printf("header: %s n=%d\n", cell.Name, cell.N)
+		case cell.P == nil:
+			fmt.Printf("%s = %g\n", cell.Measure, cell.Value)
+		default:
+			fmt.Printf("%s(p=%.1f) = %.4f\n", cell.Measure, *cell.P, cell.Value)
+		}
+	}
+	// Output:
+	// header: Maj(5) n=5
+	// pc = 5
+	// ppc(p=0.1) = 3.3186
+	// ppc(p=0.5) = 4.1250
+}
+
 // ExampleNewRegister replicates a value across a quorum system on a
 // simulated cluster.
 func ExampleNewRegister() {

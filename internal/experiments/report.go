@@ -88,6 +88,7 @@ func Registry() []func() Report {
 		RecMajGeneralization,
 		ParallelTradeoff,
 		WideUniverseSweep,
+		StreamingSweep,
 	}
 }
 

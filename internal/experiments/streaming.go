@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"probequorum"
+)
+
+// StreamingSweep (X9) reproduces the Fig. 4 probe-complexity curves —
+// the optimal PPC_p next to the paper strategy's average probes over a
+// p sweep — through the streaming evaluation path: one Stream query per
+// system delivers exact cells as each grid point solves and
+// tolerance-driven estimate cells that refine per trial chunk until
+// their 95% half-interval reaches the target. The driver consumes the
+// cells live, so it also measures what the incremental API buys: the
+// time to the first delivered value against the time the full sweep
+// takes, and the trials each point actually spent under the adaptive
+// stopping rule.
+func StreamingSweep() Report {
+	r := Report{ID: "X9", Title: "Streaming sweep: Fig. 4 PPC/estimate curves via tolerance-driven cells"}
+	ps := []float64{0.1, 0.3, 0.5, 0.7, 0.9}
+	const tol = 0.05
+	for _, spec := range []string{"maj:9", "maj:13"} {
+		q := probequorum.Query{
+			Spec:      spec,
+			Measures:  []probequorum.Measure{probequorum.MeasurePPC, probequorum.MeasureExpected, probequorum.MeasureEstimate},
+			Ps:        ps,
+			Seed:      411,
+			Tolerance: tol,
+		}
+		type row struct {
+			ppc, expected, mean, half float64
+			trials                    int
+		}
+		rows := make([]row, len(ps))
+		var firstCell time.Duration
+		cells, progress := 0, 0
+		start := time.Now()
+		failed := false
+		for c, err := range session.Stream(context.Background(), q) {
+			if err != nil {
+				r.addf("%-8s error: %v", spec, err)
+				failed = true
+				break
+			}
+			if cells == 0 {
+				firstCell = time.Since(start)
+			}
+			cells++
+			if c.Measure == probequorum.MeasureEstimate && !c.Done {
+				progress++
+				continue
+			}
+			if !c.Done || c.P == nil {
+				continue
+			}
+			switch c.Measure {
+			case probequorum.MeasurePPC:
+				rows[c.Point].ppc = c.Value
+			case probequorum.MeasureExpected:
+				rows[c.Point].expected = c.Value
+			case probequorum.MeasureEstimate:
+				rows[c.Point].mean, rows[c.Point].half, rows[c.Point].trials = c.Value, c.HalfCI, c.Trials
+			}
+		}
+		if failed {
+			continue
+		}
+		total := time.Since(start)
+		r.addf("%s: first cell after %s, full sweep %s (%d cells, %d estimate progress frames)",
+			spec, fmtDuration(firstCell), fmtDuration(total), cells, progress)
+		for i, p := range ps {
+			row := rows[i]
+			r.addf("  p=%.1f  PPC_p=%7.4f  E[probes]=%7.4f  estimate=%7.4f ±%.4f (%d trials)  %s",
+				p, row.ppc, row.expected, row.mean, row.half, row.trials,
+				verdict(row.mean, row.expected, 0.05))
+		}
+	}
+	r.addf("contract: cells arrive in canonical order, every estimate stopped at the")
+	r.addf("first in-order chunk whose half-interval met ±%.2f (bounded by the", tol)
+	r.addf("MaxQueryTrials budget), and folding the cells reproduces Do bit for bit.")
+	return r
+}
+
+// fmtDuration renders a duration at ms resolution for report rows.
+func fmtDuration(d time.Duration) string {
+	return fmt.Sprintf("%.1fms", float64(d.Microseconds())/1000)
+}

@@ -1,8 +1,10 @@
 // Package probeserve is the HTTP face of the evaluation API: a handler
-// serving batched Query evaluation, the construction registry and system
-// renderings over JSON, backed by one shared concurrent Evaluator whose
-// artifact caches persist across requests. cmd/probeserved mounts it as
-// a standalone service; the client package speaks its wire format.
+// serving batched Query evaluation — complete Results on /v1/eval,
+// incremental NDJSON cell frames on /v1/stream — plus the construction
+// registry and system renderings over JSON, backed by one shared
+// concurrent Evaluator whose artifact caches persist across requests.
+// cmd/probeserved mounts it as a standalone service; the client package
+// speaks both wire formats.
 package probeserve
 
 import (
@@ -46,6 +48,26 @@ type ErrorResponse struct {
 	Error string `json:"error"`
 }
 
+// StreamFrame is one NDJSON line of POST /v1/stream. Exactly one field
+// is set per frame: a cell frame carries the next evaluation Cell, and
+// every stream ends with exactly one terminal frame — a done frame
+// summarizing a completed stream, or an error frame when the stream was
+// cut short (cancellation, shutdown), so a consumer reading EOF without
+// a terminal frame knows the transport failed mid-stream.
+type StreamFrame struct {
+	Cell  *probequorum.Cell `json:"cell,omitempty"`
+	Done  *StreamDone       `json:"done,omitempty"`
+	Error string            `json:"error,omitempty"`
+}
+
+// StreamDone is the terminal summary of a completed cell stream.
+type StreamDone struct {
+	// Cells counts the cell frames delivered before this frame.
+	Cells int `json:"cells"`
+	// Queries is the size of the evaluated batch.
+	Queries int `json:"queries"`
+}
+
 // Server is the HTTP handler set of the evaluation service.
 type Server struct {
 	eval     *probequorum.Evaluator
@@ -79,6 +101,7 @@ func New(eval *probequorum.Evaluator, opts ...Option) *Server {
 		opt(s)
 	}
 	s.mux.HandleFunc("POST /v1/eval", s.handleEval)
+	s.mux.HandleFunc("POST /v1/stream", s.handleStream)
 	s.mux.HandleFunc("GET /v1/systems", s.handleSystems)
 	s.mux.HandleFunc("GET /v1/render", s.handleRender)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -88,27 +111,37 @@ func New(eval *probequorum.Evaluator, opts ...Option) *Server {
 // Handler returns the root handler of the service.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// handleEval decodes a query batch, fans it out on the shared Evaluator
-// with the request's context (a disconnecting client cancels the whole
-// batch), and writes the results in request order.
-func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
+// decodeEvalRequest reads and validates the shared request body of
+// /v1/eval and /v1/stream, answering the 400 itself on failure.
+func (s *Server) decodeEvalRequest(w http.ResponseWriter, r *http.Request) ([]probequorum.Query, bool) {
 	var req EvalRequest
 	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad eval request: %w", err))
-		return
+		return nil, false
 	}
 	if len(req.Queries) == 0 {
 		writeError(w, http.StatusBadRequest, errors.New("bad eval request: empty query batch"))
-		return
+		return nil, false
 	}
 	if len(req.Queries) > s.maxBatch {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad eval request: %d queries exceed the batch cap %d", len(req.Queries), s.maxBatch))
+		return nil, false
+	}
+	return req.Queries, true
+}
+
+// handleEval decodes a query batch, fans it out on the shared Evaluator
+// with the request's context (a disconnecting client cancels the whole
+// batch), and writes the results in request order.
+func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
+	queries, ok := s.decodeEvalRequest(w, r)
+	if !ok {
 		return
 	}
-	results, err := s.eval.DoBatch(r.Context(), req.Queries)
+	results, err := s.eval.DoBatch(r.Context(), queries)
 	if err != nil {
 		// Only context errors reach here; the client is gone or the
 		// server is shutting down, so the write is best-effort.
@@ -116,6 +149,42 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, EvalResponse{Results: results})
+}
+
+// handleStream serves the same batch shape as /v1/eval incrementally:
+// NDJSON StreamFrames, one cell frame per evaluation Cell flushed as it
+// is produced, ending with a terminal done frame — or an error frame
+// when the evaluation is cut short, so clients can tell a completed
+// stream from a truncated one. A disconnecting client cancels the
+// evaluation through the request context, leaving the shared session's
+// caches as if the queries never ran.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	queries, ok := s.decodeEvalRequest(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	rc := http.NewResponseController(w)
+	cells := 0
+	for cell, err := range s.eval.StreamBatch(r.Context(), queries) {
+		if err != nil {
+			// Terminal: cancellation or shutdown. Best-effort — on a
+			// client disconnect the frame has nowhere to go.
+			enc.Encode(StreamFrame{Error: err.Error()})
+			rc.Flush()
+			return
+		}
+		c := cell
+		if err := enc.Encode(StreamFrame{Cell: &c}); err != nil {
+			return // client gone; the context cancel unwinds the batch
+		}
+		rc.Flush()
+		cells++
+	}
+	enc.Encode(StreamFrame{Done: &StreamDone{Cells: cells, Queries: len(queries)}})
+	rc.Flush()
 }
 
 // handleSystems lists the construction registry and the measure names.

@@ -25,7 +25,24 @@ import (
 const parallelMinTrials = 256
 
 // trialChunk is the number of consecutive trials a worker claims at once.
+// It is also the accumulation granularity of the streaming estimate: the
+// in-order Welford frontier advances one chunk at a time, so Chunk
+// observers fire (and adaptive stopping decisions land) on trialChunk
+// boundaries.
 const trialChunk = 64
+
+// Chunk is one in-order accumulation checkpoint of a running estimate:
+// the Welford summary of the first Trials trial values, accumulated in
+// trial order. Because every checkpoint is a fixed prefix of the
+// deterministic (seed, trial index) value sequence, the sequence of
+// Chunks — and any stopping decision made on it — is identical across
+// worker counts and scheduling.
+type Chunk struct {
+	// Trials is the prefix length summarized so far.
+	Trials int
+	// Summary is the running mean/variance/stderr of that prefix.
+	Summary stats.Summary
+}
 
 // Estimate runs trials independent evaluations of f, each with its own
 // deterministically derived PRNG, and summarizes the results. Trials run
@@ -65,27 +82,74 @@ func EstimateWithWorkers[S any](trials int, seed uint64, workers int, newState f
 // and no summary. A run that completes is bit-identical to the
 // uncancellable variants for the same (trials, seed, f).
 func EstimateWithWorkersCtx[S any](ctx context.Context, trials int, seed uint64, workers int, newState func() S, f func(rng *rand.Rand, state S) float64) (stats.Summary, error) {
-	if trials <= 0 {
-		panic(fmt.Sprintf("sim: trials must be positive, got %d", trials))
+	return EstimateAdaptiveCtx(ctx, trials, seed, workers, newState, f, nil)
+}
+
+// EstimateAdaptiveCtx is the chunked core of every estimate loop: up to
+// maxTrials trials run across workers, trial values are accumulated by
+// Welford's algorithm in strict trial order, and observe (when non-nil)
+// is called after every accumulated trialChunk-sized prefix and at the
+// final trial with the running Chunk. observe returning true stops the
+// run at that checkpoint: the returned summary is exactly the observed
+// prefix, workers quit claiming further chunks, and values computed
+// beyond the checkpoint are discarded.
+//
+// Because checkpoints are fixed prefixes of the deterministic
+// (seed, trial index) value sequence, the Chunk sequence, any stopping
+// decision made on it, and the returned summary are bit-identical across
+// worker counts and goroutine scheduling. A run whose observer never
+// stops returns the same summary as EstimateWithWorkersCtx over
+// maxTrials trials.
+func EstimateAdaptiveCtx[S any](ctx context.Context, maxTrials int, seed uint64, workers int, newState func() S, f func(rng *rand.Rand, state S) float64, observe func(Chunk) (stop bool)) (stats.Summary, error) {
+	if maxTrials <= 0 {
+		panic(fmt.Sprintf("sim: trials must be positive, got %d", maxTrials))
 	}
-	vals := make([]float64, trials)
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if trials < parallelMinTrials || workers <= 1 {
+	if maxTrials < parallelMinTrials || workers <= 1 {
+		var acc stats.Accumulator
 		state := newState()
-		for i := 0; i < trials; i++ {
+		for i := 0; i < maxTrials; i++ {
 			if i%trialChunk == 0 && ctx.Err() != nil {
 				return stats.Summary{}, ctx.Err()
 			}
-			vals[i] = f(trialRNG(seed, i), state)
+			acc.Add(f(trialRNG(seed, i), state))
+			if done := i + 1; done%trialChunk == 0 || done == maxTrials {
+				if observe != nil && observe(Chunk{Trials: done, Summary: acc.Summary()}) {
+					return acc.Summary(), nil
+				}
+			}
 		}
-		return summarize(vals), nil
+		return acc.Summary(), nil
 	}
-	if max := (trials + trialChunk - 1) / trialChunk; workers > max {
-		workers = max
+
+	nChunks := (maxTrials + trialChunk - 1) / trialChunk
+	if workers > nChunks {
+		workers = nChunks
 	}
+
+	// Workers claim chunks through the atomic counter and post each
+	// finished chunk's value buffer to donec; the caller's goroutine is
+	// the accumulator, advancing the in-order frontier over the posted
+	// chunks (buffering the out-of-order ones) so the Welford sequence
+	// replays exactly the sequential order. An adaptive stop closes stopc,
+	// which both halts claiming and unblocks workers mid-post; buffers
+	// recycle through a pool, so the loop's footprint is the out-of-order
+	// window rather than the 8 bytes per trial the old slice needed.
+	type doneChunk struct {
+		index int
+		buf   *[]float64
+		n     int
+	}
+	pool := sync.Pool{New: func() any {
+		b := make([]float64, trialChunk)
+		return &b
+	}}
+	donec := make(chan doneChunk, 2*workers)
+	stopc := make(chan struct{})
 	var next atomic.Int64
+	var stopped atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -93,25 +157,77 @@ func EstimateWithWorkersCtx[S any](ctx context.Context, trials int, seed uint64,
 			defer wg.Done()
 			state := newState()
 			for {
+				if stopped.Load() || ctx.Err() != nil {
+					return
+				}
 				start := int(next.Add(trialChunk)) - trialChunk
-				if start >= trials || ctx.Err() != nil {
+				if start >= maxTrials {
 					return
 				}
 				end := start + trialChunk
-				if end > trials {
-					end = trials
+				if end > maxTrials {
+					end = maxTrials
 				}
+				buf := pool.Get().(*[]float64)
+				vals := (*buf)[:end-start]
 				for i := start; i < end; i++ {
-					vals[i] = f(trialRNG(seed, i), state)
+					vals[i-start] = f(trialRNG(seed, i), state)
+				}
+				select {
+				case donec <- doneChunk{index: start / trialChunk, buf: buf, n: end - start}:
+				case <-stopc:
+					pool.Put(buf)
+					return
+				case <-ctx.Done():
+					pool.Put(buf)
+					return
 				}
 			}
 		}()
 	}
-	wg.Wait()
+	go func() {
+		wg.Wait()
+		close(donec)
+	}()
+
+	pending := map[int]doneChunk{}
+	frontier, accumulated := 0, 0
+	var acc stats.Accumulator
+	var result *stats.Summary
+	for dc := range donec {
+		if result != nil {
+			pool.Put(dc.buf) // post-stop stragglers: discard
+			continue
+		}
+		pending[dc.index] = dc
+		for {
+			nc, ok := pending[frontier]
+			if !ok {
+				break
+			}
+			delete(pending, frontier)
+			for _, v := range (*nc.buf)[:nc.n] {
+				acc.Add(v)
+			}
+			pool.Put(nc.buf)
+			frontier++
+			accumulated += nc.n
+			if observe != nil && observe(Chunk{Trials: accumulated, Summary: acc.Summary()}) {
+				s := acc.Summary()
+				result = &s
+				stopped.Store(true)
+				close(stopc)
+				break
+			}
+		}
+	}
+	if result != nil {
+		return *result, nil
+	}
 	if err := ctx.Err(); err != nil {
 		return stats.Summary{}, err
 	}
-	return summarize(vals), nil
+	return acc.Summary(), nil
 }
 
 // EstimateSeq is the single-threaded reference implementation of
@@ -131,16 +247,6 @@ func EstimateSeq(trials int, seed uint64, f func(rng *rand.Rand) float64) stats.
 // results do not depend on which worker runs the trial.
 func trialRNG(seed uint64, i int) *rand.Rand {
 	return rand.New(rand.NewPCG(seed, uint64(i)+1))
-}
-
-// summarize accumulates the trial values in trial order, reproducing the
-// sequential loop's floating-point operation order exactly.
-func summarize(vals []float64) stats.Summary {
-	var acc stats.Accumulator
-	for _, v := range vals {
-		acc.Add(v)
-	}
-	return acc.Summary()
 }
 
 // WorstCase evaluates eval on every coloring produced by gen and returns

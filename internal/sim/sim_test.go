@@ -203,3 +203,93 @@ func TestEstimateWithWorkersCtxMatchesUncancellable(t *testing.T) {
 		t.Errorf("ctx variant summary %+v differs from uncancellable %+v", got, want)
 	}
 }
+
+// TestEstimateAdaptiveCheckpointsAreSequentialPrefixes pins the streaming
+// contract: every Chunk a parallel run observes is the Welford summary of
+// a trial-order prefix, bit-identical to what the sequential reference
+// computes over the same prefix, independent of worker count.
+func TestEstimateAdaptiveCheckpointsAreSequentialPrefixes(t *testing.T) {
+	const trials, seed = 2048, 13
+	f := func(rng *rand.Rand, _ struct{}) float64 { return rng.NormFloat64() }
+	news := func() struct{} { return struct{}{} }
+
+	for _, workers := range []int{1, 2, 7, 0} {
+		var chunks []Chunk
+		s, err := EstimateAdaptiveCtx(context.Background(), trials, seed, workers, news, f,
+			func(c Chunk) bool {
+				chunks = append(chunks, c)
+				return false
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(chunks) != trials/64 {
+			t.Fatalf("workers=%d: %d checkpoints, want %d", workers, len(chunks), trials/64)
+		}
+		for i, c := range chunks {
+			if c.Trials != (i+1)*64 {
+				t.Fatalf("workers=%d: checkpoint %d at %d trials, want %d", workers, i, c.Trials, (i+1)*64)
+			}
+			ref, err := EstimateWithWorkersCtx(context.Background(), c.Trials, seed, 1, news, f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c.Summary != ref {
+				t.Fatalf("workers=%d: checkpoint at %d trials %+v != sequential prefix %+v", workers, c.Trials, c.Summary, ref)
+			}
+		}
+		if s != chunks[len(chunks)-1].Summary {
+			t.Errorf("workers=%d: final summary %+v != last checkpoint %+v", workers, s, chunks[len(chunks)-1].Summary)
+		}
+	}
+}
+
+// TestEstimateAdaptiveStops pins early stopping: the run ends at the
+// first checkpoint the observer rejects, the returned summary is exactly
+// that prefix, and the stopping point is identical across worker counts.
+func TestEstimateAdaptiveStops(t *testing.T) {
+	const trials, seed, stopAt = 1 << 16, 5, 320
+	f := func(rng *rand.Rand, _ struct{}) float64 { return rng.Float64() }
+	news := func() struct{} { return struct{}{} }
+
+	want, err := EstimateWithWorkersCtx(context.Background(), stopAt, seed, 1, news, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 3, 0} {
+		var last Chunk
+		s, err := EstimateAdaptiveCtx(context.Background(), trials, seed, workers, news, f,
+			func(c Chunk) bool {
+				last = c
+				return c.Trials >= stopAt
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if last.Trials != stopAt {
+			t.Errorf("workers=%d: stopped at %d trials, want %d", workers, last.Trials, stopAt)
+		}
+		if s != want {
+			t.Errorf("workers=%d: stopped summary %+v != %d-trial reference %+v", workers, s, stopAt, want)
+		}
+	}
+}
+
+// TestEstimateAdaptiveCancellation cancels mid-run from inside the
+// observer and requires a prompt ctx.Err() with no summary.
+func TestEstimateAdaptiveCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_, err := EstimateAdaptiveCtx(ctx, 1<<20, 7, 0,
+		func() struct{} { return struct{}{} },
+		func(rng *rand.Rand, _ struct{}) float64 { return rng.Float64() },
+		func(c Chunk) bool {
+			if c.Trials >= 256 {
+				cancel()
+			}
+			return false
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("observer-cancelled run: err = %v, want context.Canceled", err)
+	}
+}

@@ -2,6 +2,7 @@ package probequorum
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -123,11 +124,14 @@ func PGrid(lo, hi float64, n int) []float64 {
 	return out
 }
 
-// MaxQueryTrials bounds the Monte Carlo trials one Query may request.
-// The trial loop allocates 8 bytes per trial up front, and Queries cross
-// the wire, so an unbounded count would let a single small /v1/eval
-// request allocate the server to death; the cap keeps the worst case at
-// 80 MB. Operators needing more configure the session via WithTrials.
+// MaxQueryTrials bounds the Monte Carlo trials one Query may request,
+// and is the default trial budget of a tolerance-driven estimate that
+// never reaches its target precision. Queries cross the wire, so an
+// unbounded count would let a single small /v1/eval or /v1/stream
+// request occupy the server indefinitely. Note the session's WithTrials
+// default applies only to fixed-trial estimates: an adaptive query with
+// no Trials of its own runs against this cap, so operators bounding
+// adaptive work per request set Trials on the query.
 const MaxQueryTrials = 10_000_000
 
 // Query is a declarative evaluation request: one system — named by a
@@ -156,9 +160,21 @@ type Query struct {
 	// requested. Every value must lie in [0,1].
 	Ps []float64 `json:"ps,omitempty"`
 	// Trials overrides the session's Monte Carlo trial count (0 inherits).
+	// When Tolerance is set, Trials instead bounds the adaptive run (0
+	// meaning MaxQueryTrials).
 	Trials int `json:"trials,omitempty"`
 	// Seed overrides the session's Monte Carlo seed (0 inherits).
 	Seed uint64 `json:"seed,omitempty"`
+	// Tolerance, when positive, turns the estimate measure adaptive: at
+	// every accumulated trial chunk the running 95% confidence
+	// half-interval is checked against it, and the point stops as soon as
+	// the half-interval reaches the target — bounded by Trials (or
+	// MaxQueryTrials when Trials is 0). The achieved half-interval and
+	// the trials spent are recorded per point in Estimate. Zero or
+	// negative keeps today's fixed-trial behavior, bit-identical for the
+	// same (trials, seed). The stopping point depends only on
+	// (seed, tolerance, budget), never on parallelism or timing.
+	Tolerance float64 `json:"tolerance,omitempty"`
 }
 
 // normalized validates the query and returns a canonical copy: measures
@@ -208,7 +224,27 @@ func (q Query) normalized() (Query, error) {
 	if q.Trials > MaxQueryTrials {
 		return q, fmt.Errorf("probequorum: trial count %d exceeds the per-query cap %d", q.Trials, MaxQueryTrials)
 	}
+	if math.IsNaN(q.Tolerance) {
+		return q, fmt.Errorf("probequorum: tolerance is NaN")
+	}
+	if q.Tolerance < 0 {
+		// Negative means "disabled", same as zero; canonicalize so the
+		// fixed-trial path is taken on exactly one value.
+		q.Tolerance = 0
+	}
 	return q, nil
+}
+
+// adaptive reports whether the normalized query runs tolerance-driven
+// estimation, and the trial budget bounding it.
+func (q Query) adaptive() (bool, int) {
+	if q.Tolerance <= 0 || !q.has(MeasureEstimate) {
+		return false, 0
+	}
+	if q.Trials > 0 {
+		return true, q.Trials
+	}
+	return true, MaxQueryTrials
 }
 
 // has reports whether the normalized query requests the measure.
@@ -222,10 +258,13 @@ func (q Query) has(m Measure) bool {
 }
 
 // Estimate is a Monte Carlo summary: the sample mean and the 95%
-// confidence half-interval.
+// confidence half-interval. Trials is the number of trials the point
+// actually consumed — under a Tolerance target that is where the
+// adaptive run stopped, and HalfCI records the precision it achieved.
 type Estimate struct {
 	Mean   float64 `json:"mean"`
 	HalfCI float64 `json:"half_ci"`
+	Trials int     `json:"trials,omitempty"`
 }
 
 // TreeSummary describes a worst-case-optimal probe strategy tree.

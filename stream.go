@@ -1,0 +1,452 @@
+package probequorum
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"iter"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"probequorum/internal/render"
+	"probequorum/internal/sim"
+)
+
+// Cell is the incremental unit of evaluation: one (query, measure, grid
+// point) value, delivered as soon as it is known. Streams emit three
+// kinds of cell, distinguishable without extra framing:
+//
+//   - a header cell (empty Measure, empty Err) opens each query and
+//     carries its identity — Spec, Name, N, and the effective Monte
+//     Carlo Trials/Seed when an estimate is requested;
+//   - data cells carry one measure value; per-p measures set P and Point
+//     (the grid index), estimates additionally stream progress cells
+//     (Done false) with the running mean, trials so far and confidence
+//     interval before the final Done cell;
+//   - an error cell (Err set, Done true) ends a failed query.
+//
+// The JSON encoding of a Cell is the frame payload of the probeserved
+// /v1/stream NDJSON protocol. Cells of one stream arrive in a canonical
+// deterministic order — queries by index; within a query the header,
+// then pc, then tree, then the grid points in order with ppc,
+// availability, expected, estimate at each — regardless of parallelism
+// or scheduling, so folding a stream is reproducible byte for byte.
+type Cell struct {
+	// Query is the index of the originating query in the submitted batch
+	// (0 for single-query streams).
+	Query int `json:"query"`
+	// Spec is the canonical spec of the evaluated system.
+	Spec string `json:"spec,omitempty"`
+	// Name and N identify the system on the header cell.
+	Name string `json:"name,omitempty"`
+	N    int    `json:"n,omitempty"`
+	// Measure names the quantity this cell carries; empty on header and
+	// error cells.
+	Measure Measure `json:"measure,omitempty"`
+	// P is the grid point of a per-p measure (nil for pc and tree), and
+	// Point its index in the query's grid.
+	P     *float64 `json:"p,omitempty"`
+	Point int      `json:"point,omitempty"`
+	// Value is the measure value so far: the final value on a Done cell,
+	// the running mean on an estimate progress cell. For pc it is the
+	// probe complexity, for tree the tree depth.
+	Value float64 `json:"value"`
+	// Trials, StdErr and HalfCI describe an estimate cell: trials
+	// accumulated so far, the standard error of the running mean and the
+	// 95% confidence half-interval. The header cell reuses Trials and
+	// Seed for the query's effective Monte Carlo settings.
+	Trials int     `json:"trials,omitempty"`
+	Seed   uint64  `json:"seed,omitempty"`
+	StdErr float64 `json:"stderr,omitempty"`
+	HalfCI float64 `json:"half_ci,omitempty"`
+	// Tree is the strategy-tree summary of a tree cell.
+	Tree *TreeSummary `json:"tree,omitempty"`
+	// Done marks the cell final for its (measure, point); progress cells
+	// are refined by later cells of the same coordinates.
+	Done bool `json:"done"`
+	// Err reports a failed query; the cell is terminal for that query.
+	Err string `json:"error,omitempty"`
+}
+
+// streamChanBuffer is the per-query cell buffer of a batch stream: deep
+// enough that a producing worker rarely blocks on a consumer that is
+// still draining an earlier query.
+const streamChanBuffer = 64
+
+// minAdaptiveTrials is the smallest prefix a tolerance check may stop
+// at: below it the variance estimate of the running mean is too noisy to
+// trust a confidence-interval target.
+const minAdaptiveTrials = 256
+
+// errStreamStopped is the internal signal that the stream consumer broke
+// out of the iteration; producers unwind without treating it as a query
+// failure.
+var errStreamStopped = errors.New("probequorum: stream consumer stopped")
+
+// Stream executes one Query and returns its cells as an iterator, each
+// yielded as soon as the underlying measure (or, for estimates, trial
+// chunk) completes. The terminal pair of a failed stream carries a
+// non-nil error alongside an error cell; a successful stream ends after
+// its last Done cell. Cancelling ctx ends the stream with ctx.Err() and
+// leaves every session cache as if the query never ran.
+//
+// Cell order is deterministic given (Query, session settings) — see
+// Cell. Do is exactly FoldCells over this stream.
+func (e *Evaluator) Stream(ctx context.Context, q Query) iter.Seq2[Cell, error] {
+	return func(yield func(Cell, error) bool) {
+		cont := true
+		err := e.streamOne(ctx, 0, q, func(c Cell) bool {
+			cont = yield(c, nil)
+			return cont
+		})
+		if err != nil && !errors.Is(err, errStreamStopped) && cont {
+			yield(Cell{Query: 0, Spec: q.Spec, Err: err.Error(), Done: true}, err)
+		}
+	}
+}
+
+// StreamBatch executes the queries in parallel over the session's shared
+// caches — the same fan-out as DoBatch — and merges their cells into one
+// iterator in deterministic order: all cells of query 0 first (streamed
+// live while later queries compute in the background), then query 1, and
+// so on. A query that fails for its own reasons contributes a terminal
+// error cell and does not disturb its batch mates; cancelling ctx ends
+// the whole stream with a terminal non-nil error. DoBatch is exactly
+// FoldCells over this stream.
+func (e *Evaluator) StreamBatch(ctx context.Context, queries []Query) iter.Seq2[Cell, error] {
+	return func(yield func(Cell, error) bool) {
+		if len(queries) == 0 {
+			return
+		}
+		if err := ctx.Err(); err != nil {
+			yield(Cell{}, err)
+			return
+		}
+		workers := e.parallelism
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		if workers > len(queries) {
+			workers = len(queries)
+		}
+		if workers == 1 {
+			// One worker computes in emission order anyway: stream each
+			// query directly, skipping the channel fan-out. Cell order —
+			// and every stopping decision — is identical to the parallel
+			// path by the determinism contract.
+			for i, q := range queries {
+				stopped := false
+				err := e.streamOne(ctx, i, q, func(c Cell) bool {
+					stopped = !yield(c, nil)
+					return !stopped
+				})
+				switch {
+				case stopped:
+					return
+				case err == nil:
+				case isCtxErr(err):
+					if cerr := ctx.Err(); cerr != nil {
+						yield(Cell{}, cerr)
+						return
+					}
+				default:
+					if !yield(Cell{Query: i, Spec: q.Spec, Err: err.Error(), Done: true}, nil) {
+						return
+					}
+				}
+			}
+			return
+		}
+
+		// Producers claim queries in index order and write cells to
+		// per-query buffered channels; the consumer drains the channels
+		// in index order, so emission is deterministic while computation
+		// races ahead. streamCtx aborts producers when the consumer
+		// breaks or ctx is cancelled; a producer blocked on a full
+		// buffer unblocks through the same select.
+		streamCtx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		cells := make([]chan Cell, len(queries))
+		errs := make([]error, len(queries))
+		for i := range cells {
+			cells[i] = make(chan Cell, streamChanBuffer)
+		}
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(queries) || streamCtx.Err() != nil {
+						return
+					}
+					errs[i] = e.streamOne(streamCtx, i, queries[i], func(c Cell) bool {
+						select {
+						case cells[i] <- c:
+							return true
+						case <-streamCtx.Done():
+							return false
+						}
+					})
+					close(cells[i])
+				}
+			}()
+		}
+		defer wg.Wait()
+
+		for i := range queries {
+		drain:
+			for {
+				select {
+				case c, ok := <-cells[i]:
+					if !ok {
+						break drain
+					}
+					if !yield(c, nil) {
+						cancel()
+						return
+					}
+				case <-streamCtx.Done():
+					// Producers are unwinding; surface the caller's
+					// cancellation as the terminal error.
+					if err := ctx.Err(); err != nil {
+						yield(Cell{}, err)
+					}
+					return
+				}
+			}
+			err := errs[i]
+			switch {
+			case err == nil || errors.Is(err, errStreamStopped):
+			case isCtxErr(err):
+				if cerr := ctx.Err(); cerr != nil {
+					yield(Cell{}, cerr)
+					return
+				}
+			default:
+				if !yield(Cell{Query: i, Spec: queries[i].Spec, Err: err.Error(), Done: true}, nil) {
+					cancel()
+					return
+				}
+			}
+		}
+	}
+}
+
+// FoldCells folds a cell stream back into per-query Results — the single
+// evaluation path shared by Do, DoBatch and remote consumers of
+// /v1/stream: folding a stream reproduces what /v1/eval would have
+// answered for the same queries, bit for bit. n is the query count of
+// the originating batch. A terminal non-nil error aborts the fold and is
+// returned as-is; per-query error cells land in Result.Error, replacing
+// any partial cells of that query exactly as DoBatch reports failures.
+// Progress cells (Done false) refine nothing and are skipped.
+func FoldCells(cells iter.Seq2[Cell, error], n int) ([]*Result, error) {
+	results := make([]*Result, n)
+	for c, err := range cells {
+		if err != nil {
+			return nil, err
+		}
+		if c.Query < 0 || c.Query >= n {
+			return nil, fmt.Errorf("probequorum: cell for query %d outside batch of %d", c.Query, n)
+		}
+		if c.Err != "" {
+			results[c.Query] = &Result{Spec: c.Spec, Error: c.Err}
+			continue
+		}
+		res := results[c.Query]
+		if res == nil {
+			res = &Result{}
+			results[c.Query] = res
+		}
+		if c.Measure == "" { // header cell
+			res.Spec, res.Name, res.N = c.Spec, c.Name, c.N
+			res.Trials, res.Seed = c.Trials, c.Seed
+			continue
+		}
+		if !c.Done {
+			continue
+		}
+		if c.P == nil {
+			switch c.Measure {
+			case MeasurePC:
+				pc := int(c.Value)
+				res.PC = &pc
+			case MeasureTree:
+				res.Tree = c.Tree
+			}
+			continue
+		}
+		for len(res.Points) <= c.Point {
+			res.Points = append(res.Points, Point{})
+		}
+		pt := &res.Points[c.Point]
+		pt.P = *c.P
+		v := c.Value
+		switch c.Measure {
+		case MeasurePPC:
+			pt.PPC = &v
+		case MeasureAvailability:
+			pt.Availability = &v
+		case MeasureExpected:
+			pt.Expected = &v
+		case MeasureEstimate:
+			pt.Estimate = &Estimate{Mean: v, HalfCI: c.HalfCI, Trials: c.Trials}
+		}
+	}
+	return results, nil
+}
+
+// CellSeq replays collected cells as an error-free stream — the
+// canonical way to refold cells a consumer buffered (from a wire
+// transcript, a log, or a live stream it drained first) through
+// FoldCells.
+func CellSeq(cells []Cell) iter.Seq2[Cell, error] {
+	return func(yield func(Cell, error) bool) {
+		for _, c := range cells {
+			if !yield(c, nil) {
+				return
+			}
+		}
+	}
+}
+
+// streamOne evaluates one normalized-on-entry query and hands its cells
+// to emit in canonical order. A false return from emit stops evaluation
+// with errStreamStopped; any other non-nil error is the query's failure,
+// already wrapped with its measure context. Cancellation surfaces as
+// ctx.Err() and, as everywhere in the session, caches nothing.
+func (e *Evaluator) streamOne(ctx context.Context, idx int, q Query, emit func(Cell) bool) error {
+	nq, err := q.normalized()
+	if err != nil {
+		return err
+	}
+	sys, specStr, err := e.resolve(nq)
+	if err != nil {
+		return err
+	}
+	trials, seed := e.trials, e.seed
+	if nq.Trials > 0 {
+		trials = nq.Trials
+	}
+	if nq.Seed != 0 {
+		seed = nq.Seed
+	}
+	adaptive, budget := nq.adaptive()
+	if adaptive {
+		trials = budget
+	}
+
+	head := Cell{Query: idx, Spec: specStr, Name: sys.Name(), N: sys.Size()}
+	if nq.has(MeasureEstimate) {
+		head.Trials, head.Seed = trials, seed
+	}
+	if !emit(head) {
+		return errStreamStopped
+	}
+
+	if nq.has(MeasurePC) {
+		pc, err := e.ProbeComplexityCtx(ctx, sys)
+		if err != nil {
+			return fmt.Errorf("measure pc of %s: %w", sys.Name(), e.boundify(err, sys))
+		}
+		if !emit(Cell{Query: idx, Spec: specStr, Measure: MeasurePC, Value: float64(pc), Done: true}) {
+			return errStreamStopped
+		}
+	}
+	if nq.has(MeasureTree) {
+		root, err := e.OptimalStrategyTreeCtx(ctx, sys)
+		if err != nil {
+			return fmt.Errorf("measure tree of %s: %w", sys.Name(), e.boundify(err, sys))
+		}
+		summary := &TreeSummary{Depth: root.Depth(), Leaves: root.Leaves(), ASCII: render.StrategyTree(root)}
+		if !emit(Cell{Query: idx, Spec: specStr, Measure: MeasureTree, Value: float64(summary.Depth), Tree: summary, Done: true}) {
+			return errStreamStopped
+		}
+	}
+	for i := range nq.Ps {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		p := nq.Ps[i]
+		cell := func(m Measure) Cell {
+			return Cell{Query: idx, Spec: specStr, Measure: m, P: &p, Point: i}
+		}
+		if nq.has(MeasurePPC) {
+			v, err := e.AverageProbeComplexityCtx(ctx, sys, p)
+			if err != nil {
+				return fmt.Errorf("measure ppc of %s at p=%v: %w", sys.Name(), p, e.boundify(err, sys))
+			}
+			c := cell(MeasurePPC)
+			c.Value, c.Done = v, true
+			if !emit(c) {
+				return errStreamStopped
+			}
+		}
+		if nq.has(MeasureAvailability) {
+			v, err := e.AvailabilityCtx(ctx, sys, p)
+			if err != nil {
+				return fmt.Errorf("measure availability of %s at p=%v: %w", sys.Name(), p, err)
+			}
+			c := cell(MeasureAvailability)
+			c.Value, c.Done = v, true
+			if !emit(c) {
+				return errStreamStopped
+			}
+		}
+		if nq.has(MeasureExpected) {
+			v, err := e.ExpectedProbes(sys, p)
+			if err != nil {
+				return fmt.Errorf("measure expected of %s at p=%v: %w", sys.Name(), p, err)
+			}
+			c := cell(MeasureExpected)
+			c.Value, c.Done = v, true
+			if !emit(c) {
+				return errStreamStopped
+			}
+		}
+		if nq.has(MeasureEstimate) {
+			stopped := false
+			progressAt := progressStride // first progress cell after one stride
+			s, err := e.estimateAdaptiveCtx(ctx, sys, p, trials, seed, func(ch sim.Chunk) bool {
+				if stopped {
+					return true
+				}
+				if adaptive && ch.Trials >= minAdaptiveTrials && halfCI(ch.Summary) <= nq.Tolerance {
+					return true // final value emitted below, from the returned summary
+				}
+				if ch.Trials >= progressAt && ch.Trials < trials {
+					progressAt *= 2
+					c := cell(MeasureEstimate)
+					c.Value, c.Trials, c.StdErr, c.HalfCI = ch.Summary.Mean, ch.Trials, ch.Summary.StdErr, halfCI(ch.Summary)
+					if !emit(c) {
+						stopped = true
+						return true
+					}
+				}
+				return false
+			})
+			if stopped {
+				return errStreamStopped
+			}
+			if err != nil {
+				return fmt.Errorf("measure estimate of %s at p=%v: %w", sys.Name(), p, err)
+			}
+			c := cell(MeasureEstimate)
+			c.Value, c.Trials, c.StdErr, c.HalfCI, c.Done = s.Mean, s.N, s.StdErr, halfCI(s), true
+			if !emit(c) {
+				return errStreamStopped
+			}
+		}
+	}
+	return nil
+}
+
+// progressStride is the first estimate checkpoint that emits a progress
+// cell; later progress cells come at doubling trial counts (64, 128,
+// 256, ...), so a point streams O(log trials) cells however long it
+// runs, while the tolerance check still fires on every chunk.
+const progressStride = 64
