@@ -1,0 +1,368 @@
+package client_test
+
+// The chaos-transport test matrix (PR 6): the client driven through the
+// internal/chaos fault injector against a real probeserve server. Every
+// schedule is deterministic — fixed plans, fixed seeds, byte budgets
+// computed from the actual wire bytes — so these hold under -race, and
+// every test asserts through the chaos counters that the faults really
+// fired.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"probequorum"
+	"probequorum/client"
+	"probequorum/internal/chaos"
+	"probequorum/internal/probeserve"
+)
+
+// chaosPair wires a fresh server to a client whose transport injects the
+// plan, with fast backoff so retry tests stay quick.
+func chaosPair(t *testing.T, plan chaos.Plan, opts ...client.Option) (*client.Client, *chaos.Transport, *httptest.Server) {
+	t.Helper()
+	ts := httptest.NewServer(probeserve.New(nil).Handler())
+	t.Cleanup(ts.Close)
+	tr := chaos.NewTransport(nil, plan)
+	opts = append([]client.Option{
+		client.WithHTTPClient(&http.Client{Transport: tr}),
+		client.WithBackoff(time.Millisecond, 5*time.Millisecond),
+	}, opts...)
+	return client.New(ts.URL, opts...), tr, ts
+}
+
+func wireQueries() []probequorum.Query {
+	return []probequorum.Query{{
+		Spec:     "maj:5",
+		Measures: []probequorum.Measure{probequorum.MeasurePC, probequorum.MeasurePPC, probequorum.MeasureAvailability},
+		Ps:       []float64{0.3, 0.6},
+	}}
+}
+
+// TestEvalRetries429Burst pins the headline retry property: a burst of
+// sheds is retried under backoff and the eventual answer is bit-identical
+// to an unchaosed call — /v1/eval is deterministic.
+func TestEvalRetries429Burst(t *testing.T) {
+	clean, _, _ := chaosPair(t, nil)
+	want, err := clean.Eval(context.Background(), wireQueries())
+	if err != nil {
+		t.Fatalf("clean eval: %v", err)
+	}
+
+	c, tr, _ := chaosPair(t, chaos.Burst(2, chaos.Step{Action: chaos.Reject429, RetryAfter: 5 * time.Millisecond}))
+	got, err := c.Eval(context.Background(), wireQueries())
+	if err != nil {
+		t.Fatalf("eval through 429 burst: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("retried answer differs from clean answer:\n got %+v\nwant %+v", got[0], want[0])
+	}
+	counts := tr.Counts()
+	if counts["reject429"] != 2 || counts["pass"] != 1 {
+		t.Errorf("chaos counts = %v, want exactly 2 sheds then 1 pass", counts)
+	}
+}
+
+// TestEvalRetryBudgetExhausted pins the bound: sheds past the retry
+// budget surface as a typed error matching ErrOverloaded, after exactly
+// 1 + retries attempts.
+func TestEvalRetryBudgetExhausted(t *testing.T) {
+	c, tr, _ := chaosPair(t, chaos.Burst(10, chaos.Step{Action: chaos.Reject429, RetryAfter: time.Millisecond}),
+		client.WithRetries(2))
+	_, err := c.Eval(context.Background(), wireQueries())
+	if err == nil {
+		t.Fatal("eval succeeded through an unbroken shed wall")
+	}
+	if !errors.Is(err, client.ErrOverloaded) {
+		t.Errorf("err = %v, want ErrOverloaded", err)
+	}
+	var se *client.ServerError
+	if !errors.As(err, &se) || se.Status != http.StatusTooManyRequests {
+		t.Errorf("err = %v, want a *ServerError with status 429", err)
+	}
+	if counts := tr.Counts(); counts["reject429"] != 3 {
+		t.Errorf("chaos counts = %v, want 3 attempts (1 + 2 retries)", counts)
+	}
+}
+
+// TestEvalRetriesConnectionReset pins transport-error retries: a reset
+// round trip is retried and succeeds.
+func TestEvalRetriesConnectionReset(t *testing.T) {
+	c, tr, _ := chaosPair(t, chaos.Plan{{Action: chaos.Reset}})
+	res, err := c.Eval(context.Background(), wireQueries())
+	if err != nil {
+		t.Fatalf("eval through reset: %v", err)
+	}
+	if res[0].PC == nil || *res[0].PC != 5 {
+		t.Errorf("result = %+v, want pc 5", res[0])
+	}
+	counts := tr.Counts()
+	if counts["reset"] != 1 || counts["pass"] != 1 {
+		t.Errorf("chaos counts = %v, want 1 reset then 1 pass", counts)
+	}
+}
+
+// TestEvalRetriesSeededSchedule drives a reproducible mixed-fault
+// schedule: under a 50/50 shed/pass seeded plan the client still answers
+// every call, and the same seed injects the same faults.
+func TestEvalRetriesSeededSchedule(t *testing.T) {
+	weights := []chaos.Weighted{
+		{Step: chaos.Step{Action: chaos.Pass}, Weight: 1},
+		{Step: chaos.Step{Action: chaos.Reject429, RetryAfter: time.Millisecond}, Weight: 1},
+	}
+	plan := chaos.Seeded(42, 12, weights)
+	if !reflect.DeepEqual(plan, chaos.Seeded(42, 12, weights)) {
+		t.Fatal("Seeded is not reproducible for a fixed seed")
+	}
+	c, _, _ := chaosPair(t, plan, client.WithRetries(12))
+	for call := 0; call < 3; call++ {
+		if _, err := c.Eval(context.Background(), wireQueries()); err != nil {
+			t.Fatalf("call %d through seeded schedule: %v", call, err)
+		}
+	}
+}
+
+// TestEvalDoesNotRetryShutdown pins the final-error contract: a draining
+// server's typed shutdown answer is not retried — one attempt, a typed
+// error.
+func TestEvalDoesNotRetryShutdown(t *testing.T) {
+	eval := probequorum.NewEvaluator()
+	srv := probeserve.New(eval)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	srv.BeginDrain()
+
+	tr := chaos.NewTransport(nil, nil)
+	c := client.New(ts.URL,
+		client.WithHTTPClient(&http.Client{Transport: tr}),
+		client.WithBackoff(time.Millisecond, 5*time.Millisecond))
+	_, err := c.Eval(context.Background(), wireQueries())
+	if !errors.Is(err, client.ErrServerShutdown) {
+		t.Fatalf("err = %v, want ErrServerShutdown", err)
+	}
+	if counts := tr.Counts(); counts["pass"] != 1 {
+		t.Errorf("chaos counts = %v, want exactly one attempt (shutdown is final)", counts)
+	}
+}
+
+// rawStream posts the batch directly and returns the raw NDJSON bytes —
+// the ground truth the truncation budgets are computed from.
+func rawStream(t *testing.T, url string, queries []probequorum.Query) []byte {
+	t.Helper()
+	body, err := json.Marshal(probeserve.EvalRequest{Queries: queries})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := http.Post(url+"/v1/stream", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	data, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("raw stream status %d: %s", res.StatusCode, data)
+	}
+	return data
+}
+
+// collect drains a StreamEval iterator into cells and the terminal
+// error (nil for a completed stream).
+func collect(c *client.Client, queries []probequorum.Query) ([]probequorum.Cell, error) {
+	var cells []probequorum.Cell
+	for cell, err := range c.StreamEval(context.Background(), queries) {
+		if err != nil {
+			return cells, err
+		}
+		cells = append(cells, cell)
+	}
+	return cells, nil
+}
+
+// TestStreamResumesAfterTruncation pins stream resume: a response cut
+// mid-NDJSON is retried, the already-delivered cells are skipped on the
+// resumed attempt, and the final cell sequence is bit-identical to an
+// unchaosed stream — no losses, no duplicates.
+func TestStreamResumesAfterTruncation(t *testing.T) {
+	queries := wireQueries()
+	clean, _, ts := chaosPair(t, nil)
+	want, err := collect(clean, queries)
+	if err != nil {
+		t.Fatalf("clean stream: %v", err)
+	}
+	if len(want) < 3 {
+		t.Fatalf("test batch yields %d cells; need >= 3 to truncate mid-stream", len(want))
+	}
+
+	// Cut mid-way through the third NDJSON line: two whole cells arrive,
+	// the third dies mid-JSON. Computed from the actual bytes so the cut
+	// never lands on a frame boundary by accident.
+	raw := rawStream(t, ts.URL, queries)
+	cut := int64(0)
+	for i, newlines := 0, 0; i < len(raw); i++ {
+		if raw[i] == '\n' {
+			newlines++
+			if newlines == 2 {
+				cut = int64(i) + 5
+				break
+			}
+		}
+	}
+	if cut == 0 || cut >= int64(len(raw)) {
+		t.Fatalf("could not place a mid-stream cut in %d stream bytes", len(raw))
+	}
+
+	c, tr, _ := chaosPairAt(t, ts, chaos.Plan{{Action: chaos.Truncate, TruncateAfter: cut}})
+	got, err := collect(c, queries)
+	if err != nil {
+		t.Fatalf("stream through truncation: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("resumed stream differs from clean stream:\n got %d cells %+v\nwant %d cells %+v", len(got), got, len(want), want)
+	}
+	counts := tr.Counts()
+	if counts["truncate"] != 1 || counts["pass"] != 1 {
+		t.Errorf("chaos counts = %v, want 1 truncation then 1 clean pass", counts)
+	}
+}
+
+// chaosPairAt is chaosPair against an existing server, for tests that
+// need two clients on one server.
+func chaosPairAt(t *testing.T, ts *httptest.Server, plan chaos.Plan, opts ...client.Option) (*client.Client, *chaos.Transport, *httptest.Server) {
+	t.Helper()
+	tr := chaos.NewTransport(nil, plan)
+	opts = append([]client.Option{
+		client.WithHTTPClient(&http.Client{Transport: tr}),
+		client.WithBackoff(time.Millisecond, 5*time.Millisecond),
+	}, opts...)
+	return client.New(ts.URL, opts...), tr, ts
+}
+
+// TestStreamTruncationBudgetExhausted pins the stream retry bound: a
+// transport that truncates every attempt ends the iterator with an error
+// matching ErrStreamTruncated after 1 + retries attempts.
+func TestStreamTruncationBudgetExhausted(t *testing.T) {
+	c, tr, _ := chaosPair(t, chaos.Burst(10, chaos.Step{Action: chaos.Truncate, TruncateAfter: 3}),
+		client.WithRetries(1))
+	_, err := collect(c, wireQueries())
+	if err == nil {
+		t.Fatal("stream succeeded through unbroken truncation")
+	}
+	if counts := tr.Counts(); counts["truncate"] != 2 {
+		t.Errorf("chaos counts = %v, want 2 attempts (1 + 1 retry)", counts)
+	}
+}
+
+// gatedClientSystem gates artifact builds so the drain test can catch a
+// stream mid-evaluation; registered once as the "blockclient" spec.
+type gatedClientSystem struct {
+	inner   probequorum.System
+	gate    chan struct{}
+	entered chan struct{}
+	once    sync.Once
+}
+
+func (g *gatedClientSystem) Name() string { return "GatedClient(3)" }
+func (g *gatedClientSystem) Size() int    { return 3 }
+func (g *gatedClientSystem) ContainsQuorum(s *probequorum.Set) bool {
+	g.block()
+	return g.inner.ContainsQuorum(s)
+}
+func (g *gatedClientSystem) Quorums() []*probequorum.Set {
+	g.block()
+	return g.inner.Quorums()
+}
+func (g *gatedClientSystem) block() {
+	g.once.Do(func() { close(g.entered) })
+	<-g.gate
+}
+
+var (
+	currentGatedClient  atomic.Pointer[gatedClientSystem]
+	registerClientGated sync.Once
+)
+
+// TestStreamShutdownFrameNotRetried pins satellite (b) end to end: drain
+// cutting a live stream reaches the client as a typed shutdown error —
+// not ErrStreamTruncated — and is not retried.
+func TestStreamShutdownFrameNotRetried(t *testing.T) {
+	registerClientGated.Do(func() {
+		probequorum.RegisterSpec("blockclient", func(arg string) (probequorum.System, error) {
+			return currentGatedClient.Load(), nil
+		})
+	})
+	g := &gatedClientSystem{
+		inner:   probequorum.MustParse("maj:3"),
+		gate:    make(chan struct{}),
+		entered: make(chan struct{}),
+	}
+	currentGatedClient.Store(g)
+	defer close(g.gate)
+
+	srv := probeserve.New(nil)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	tr := chaos.NewTransport(nil, nil)
+	c := client.New(ts.URL,
+		client.WithHTTPClient(&http.Client{Transport: tr}),
+		client.WithBackoff(time.Millisecond, 5*time.Millisecond))
+
+	queries := []probequorum.Query{{Spec: "blockclient:", Measures: []probequorum.Measure{probequorum.MeasurePC}}}
+	errc := make(chan error, 1)
+	go func() {
+		_, err := collect(c, queries)
+		errc <- err
+	}()
+	<-g.entered // the server-side evaluation is inside its build
+	srv.BeginDrain()
+
+	err := <-errc
+	if !errors.Is(err, client.ErrServerShutdown) {
+		t.Fatalf("err = %v, want ErrServerShutdown", err)
+	}
+	if errors.Is(err, client.ErrStreamTruncated) {
+		t.Error("shutdown surfaced as truncation — the typed frame was missed")
+	}
+	if counts := tr.Counts(); counts["pass"] != 1 {
+		t.Errorf("chaos counts = %v, want exactly one attempt (shutdown is final)", counts)
+	}
+}
+
+// TestUnaryTimeout pins satellite (a): a server that never answers can
+// no longer hang a unary call — the configured timeout ends the attempt,
+// and an attempt timeout is not confused with the caller's own context.
+func TestUnaryTimeout(t *testing.T) {
+	release := make(chan struct{})
+	var hung atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hung.Add(1)
+		<-release
+	}))
+	defer ts.Close()
+	defer close(release)
+
+	c := client.New(ts.URL, client.WithTimeout(50*time.Millisecond), client.WithRetries(0))
+	start := time.Now()
+	err := c.Health(context.Background())
+	if err == nil {
+		t.Fatal("health call succeeded against a hung server")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("timeout took %v; the default-client hang is back", elapsed)
+	}
+	if hung.Load() != 1 {
+		t.Errorf("server saw %d requests, want 1", hung.Load())
+	}
+}

@@ -23,9 +23,13 @@ import (
 // stable across PRs; future sessions append their files (BENCH_PR4.json,
 // ...) and diff NsPerOp/AllocsPerOp against the baselines (BENCH_PR1.json
 // from PR 1, BENCH_PR2.json adding the Evaluator session ops,
-// BENCH_PR3.json adding the batch-query throughput ops). Batch ops
-// additionally report queries/sec — the serving-throughput headline of
-// the Query API.
+// BENCH_PR3.json adding the batch-query throughput ops, BENCH_PR5.json
+// adding the streaming ops, BENCH_PR6.json adding the robustness ops).
+// Batch ops additionally report queries/sec — the serving-throughput
+// headline of the Query API. Robustness ops (PR 6) report shed_rate (the
+// fraction of requests the admission gate refused under deliberate
+// overload) and coalesce_hits (single-flight followers served per build
+// in a cold stampede).
 type benchRecord struct {
 	Name          string  `json:"name"`
 	Iterations    int     `json:"iterations"`
@@ -35,6 +39,8 @@ type benchRecord struct {
 	QueriesPerSec float64 `json:"queries_per_sec,omitempty"`
 	ProbesPerSec  float64 `json:"probes_per_sec,omitempty"`
 	CellsPerSec   float64 `json:"cells_per_sec,omitempty"`
+	ShedRate      float64 `json:"shed_rate,omitempty"`
+	CoalesceHits  float64 `json:"coalesce_hits,omitempty"`
 }
 
 // benchFile is the on-disk schema: measurement context plus the records.
@@ -56,6 +62,9 @@ type benchOp struct {
 	probes  int
 	cells   int
 	fn      func(b *testing.B)
+	// post, when set, annotates the finished record with counters the op
+	// accumulated (shed rate, coalesce hits).
+	post func(rec *benchRecord)
 }
 
 // benchOps is the fixed suite of hot-path operations: the word-level
@@ -314,6 +323,8 @@ func benchOps() []benchOp {
 		// of the wide majority, stopping at the first in-order chunk
 		// whose 95% half-interval meets ±2 probes — the trials saved
 		// against a blind fixed budget are the op's headline.
+		overloadOp(),
+		coalesceOp(),
 		{name: "stream/adaptive-estimate/Maj1025-tol2", fn: func(b *testing.B) {
 			ctx := context.Background()
 			eval := probequorum.NewEvaluator()
@@ -448,6 +459,9 @@ func writeBenchJSON(path string) error {
 			BytesPerOp:  r.AllocedBytesPerOp(),
 			AllocsPerOp: r.AllocsPerOp(),
 		}
+		if op.post != nil {
+			op.post(&rec)
+		}
 		if op.queries > 0 && rec.NsPerOp > 0 {
 			rec.QueriesPerSec = float64(op.queries) * 1e9 / rec.NsPerOp
 		}
@@ -466,6 +480,12 @@ func writeBenchJSON(path string) error {
 		}
 		if rec.CellsPerSec > 0 {
 			fmt.Fprintf(os.Stderr, "  %10.0f cells/s", rec.CellsPerSec)
+		}
+		if rec.ShedRate > 0 {
+			fmt.Fprintf(os.Stderr, "  shed %.2f", rec.ShedRate)
+		}
+		if rec.CoalesceHits > 0 {
+			fmt.Fprintf(os.Stderr, "  coalesce %.1f", rec.CoalesceHits)
 		}
 		fmt.Fprintln(os.Stderr)
 		out.Records = append(out.Records, rec)

@@ -1,0 +1,172 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"probequorum"
+	"probequorum/internal/probeserve"
+)
+
+// Robustness ops (PR 6): the two fleet behaviors worth a perf number.
+// overloadOp measures the admission gate under deliberate saturation —
+// 16 concurrent clients against a single-slot server with no queue —
+// and reports the shed rate alongside the full shed-round latency.
+// coalesceOp measures the cold-stampede path: 64 concurrent identical
+// queries on a fresh Evaluator, where single-flight should collapse 64
+// artifact builds into one; coalesce_hits is the followers served per
+// build. Neither counter is a pass/fail gate here (the chaos tests pin
+// the exact contracts); the bench tracks the rates across PRs.
+
+// benchGate is a registry-reachable construction whose artifact build
+// parks on a gate channel. The admitted request blocks there — yielding
+// the processor, which matters at GOMAXPROCS=1, where a CPU-bound
+// request would otherwise finish without ever letting a competing
+// handler reach the admission gate — while the other fifteen requests
+// arrive, find the slot held and the queue zero-depth, and shed.
+type benchGate struct {
+	inner probequorum.System
+	gate  chan struct{}
+}
+
+func (g *benchGate) Name() string { return "BlockBench(5)" }
+func (g *benchGate) Size() int    { return 5 }
+func (g *benchGate) ContainsQuorum(s *probequorum.Set) bool {
+	<-g.gate
+	return g.inner.ContainsQuorum(s)
+}
+func (g *benchGate) Quorums() []*probequorum.Set {
+	<-g.gate
+	return g.inner.Quorums()
+}
+
+// The spec registry is process-global; each op round swaps in its own
+// gate instance.
+var (
+	currentBenchGate  atomic.Pointer[benchGate]
+	registerBenchGate sync.Once
+)
+
+// overloadOp drives a saturated probeserve server and records the shed
+// rate: per op, sixteen concurrent clients fire one cold query at a
+// one-slot zero-queue server; the admitted request parks in its
+// artifact build until the other fifteen have shed with 429, then the
+// gate opens and the survivor completes. Each round uses a fresh
+// Evaluator so the admitted query is always a real build. The expected
+// steady state is shed_rate = 15/16.
+func overloadOp() benchOp {
+	const clients = 16
+	var shed, served atomic.Int64
+	return benchOp{
+		name:    "robustness/overload-shed/limit1x16",
+		queries: clients,
+		fn: func(b *testing.B) {
+			registerBenchGate.Do(func() {
+				probequorum.RegisterSpec("blockbench", func(arg string) (probequorum.System, error) {
+					return currentBenchGate.Load(), nil
+				})
+			})
+			q := probequorum.Query{Spec: "blockbench:", Measures: []probequorum.Measure{probequorum.MeasurePC}}
+			body, err := json.Marshal(probeserve.EvalRequest{Queries: []probequorum.Query{q}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g := &benchGate{inner: probequorum.MustParse("maj:5"), gate: make(chan struct{})}
+				currentBenchGate.Store(g)
+				srv := probeserve.New(probequorum.NewEvaluator(),
+					probeserve.WithConcurrencyLimit(1),
+					probeserve.WithQueueDepth(0),
+					probeserve.WithRetryAfter(time.Millisecond))
+				ts := httptest.NewServer(srv.Handler())
+				hc := ts.Client()
+				var wg sync.WaitGroup
+				for c := 0; c < clients; c++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						res, err := hc.Post(ts.URL+"/v1/eval", "application/json", bytes.NewReader(body))
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						io.Copy(io.Discard, res.Body)
+						res.Body.Close()
+						switch res.StatusCode {
+						case 429:
+							shed.Add(1)
+						case 200:
+							served.Add(1)
+						default:
+							b.Errorf("unexpected status %d under overload", res.StatusCode)
+						}
+					}()
+				}
+				deadline := time.Now().Add(30 * time.Second)
+				for srv.AdmissionStats().Shed < clients-1 {
+					if time.Now().After(deadline) {
+						b.Fatalf("shed never reached %d: stats %+v", clients-1, srv.AdmissionStats())
+					}
+					time.Sleep(100 * time.Microsecond)
+				}
+				close(g.gate)
+				wg.Wait()
+				ts.Close()
+			}
+		},
+		post: func(rec *benchRecord) {
+			if total := shed.Load() + served.Load(); total > 0 {
+				rec.ShedRate = float64(shed.Load()) / float64(total)
+			}
+		},
+	}
+}
+
+// coalesceOp stampedes a fresh Evaluator with 64 concurrent identical
+// cold queries per op and records the single-flight coalesce hits per
+// build round.
+func coalesceOp() benchOp {
+	const callers = 64
+	var hits, rounds atomic.Int64
+	return benchOp{
+		name:    "robustness/coalesce-stampede/64xPC-cold",
+		queries: callers,
+		fn: func(b *testing.B) {
+			ctx := context.Background()
+			q := probequorum.Query{
+				Spec:     "maj:13",
+				Measures: []probequorum.Measure{probequorum.MeasurePC},
+			}
+			for i := 0; i < b.N; i++ {
+				eval := probequorum.NewEvaluator()
+				var wg sync.WaitGroup
+				for g := 0; g < callers; g++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						if _, err := eval.Do(ctx, q); err != nil {
+							b.Error(err)
+						}
+					}()
+				}
+				wg.Wait()
+				st := eval.Stats()
+				hits.Add(int64(st.Coalesced["pc"]))
+				rounds.Add(1)
+			}
+		},
+		post: func(rec *benchRecord) {
+			if n := rounds.Load(); n > 0 {
+				rec.CoalesceHits = float64(hits.Load()) / float64(n)
+			}
+		},
+	}
+}

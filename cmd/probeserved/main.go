@@ -10,11 +10,23 @@
 //	                  ending with a terminal done (or error) frame
 //	GET  /v1/systems  registered construction names and measures
 //	GET  /v1/render?spec=maj:7
-//	GET  /healthz
+//	GET  /healthz     liveness: 200 while the process serves
+//	GET  /readyz      readiness: 503 while draining or overloaded
+//
+// With -limit set, at most that many evaluation requests run at once;
+// -queue more may wait, and past that the server sheds with 429 +
+// Retry-After (tuned by -retryafter) and a typed JSON body. -maxdeadline
+// caps every query's DeadlineMS budget so one exact solve cannot hold a
+// slot indefinitely — it degrades to a Monte Carlo estimate instead. On
+// SIGINT/SIGTERM the server drains: /readyz sheds, open NDJSON streams
+// end with a terminal shutdown error frame, and in-flight unary work
+// gets a grace period before its contexts are cancelled.
 //
 // Usage:
 //
-//	probeserved [-addr :8773] [-trials 10000] [-seed 1] [-parallelism 0] [-maxbatch 256]
+//	probeserved [-addr :8773] [-trials 10000] [-seed 1] [-parallelism 0]
+//	            [-maxbatch 256] [-limit 0] [-queue 64] [-retryafter 1s]
+//	            [-maxdeadline 0]
 package main
 
 import (
@@ -44,6 +56,10 @@ func run() int {
 		seed        = flag.Uint64("seed", 1, "default Monte Carlo seed for estimate queries")
 		parallelism = flag.Int("parallelism", 0, "worker cap for batch fan-out and Monte Carlo loops (0: GOMAXPROCS)")
 		maxBatch    = flag.Int("maxbatch", probeserve.DefaultMaxBatch, "maximum queries per /v1/eval request")
+		limit       = flag.Int("limit", 0, "maximum evaluation requests in flight; excess waits in the -queue, past that the server sheds with 429 (0: unlimited)")
+		queue       = flag.Int("queue", probeserve.DefaultQueueDepth, "evaluation requests allowed to wait for a slot before shedding")
+		retryAfter  = flag.Duration("retryafter", probeserve.DefaultRetryAfter, "Retry-After hint on shed (429) responses")
+		maxDeadline = flag.Duration("maxdeadline", 0, "cap on every query's deadline budget; exact solves past it degrade to Monte Carlo estimates (0: uncapped)")
 	)
 	flag.Parse()
 
@@ -56,9 +72,16 @@ func run() int {
 	// in-flight evaluations through the DP/sim cancellation plumbing.
 	baseCtx, cancelInflight := context.WithCancel(context.Background())
 	defer cancelInflight()
+	server := probeserve.New(eval,
+		probeserve.WithMaxBatch(*maxBatch),
+		probeserve.WithConcurrencyLimit(*limit),
+		probeserve.WithQueueDepth(*queue),
+		probeserve.WithRetryAfter(*retryAfter),
+		probeserve.WithMaxDeadline(*maxDeadline),
+	)
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           probeserve.New(eval, probeserve.WithMaxBatch(*maxBatch)).Handler(),
+		Handler:           server.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 		IdleTimeout:       60 * time.Second,
 		BaseContext:       func(net.Listener) context.Context { return baseCtx },
@@ -78,6 +101,10 @@ func run() int {
 	case <-ctx.Done():
 	}
 
+	// Drain first: /readyz starts shedding and open NDJSON streams end
+	// with a typed terminal shutdown frame — never a silent EOF — then
+	// Shutdown stops the listeners and waits out the stragglers.
+	server.BeginDrain()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	err := srv.Shutdown(shutdownCtx)

@@ -8,6 +8,7 @@ import (
 	"math/bits"
 	"math/rand/v2"
 	"reflect"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -52,12 +53,23 @@ type Evaluator struct {
 	// requests of a long-lived server — share one artifact cache entry.
 	specs     map[string]System
 	specOrder []string // insertion order, for eviction
+
+	// statsMu guards the single-flight accounting (see Stats).
+	statsMu       sync.Mutex
+	buildCount    map[string]uint64
+	coalesceCount map[string]uint64
 }
 
-// evalEntry is the per-system cache. Its mutex serializes the (expensive)
-// artifact builds; the Evaluator lock is never held while building.
+// evalEntry is the per-system cache. Its mutex guards the cached fields
+// and the in-flight build registry only — it is never held while an
+// expensive artifact builds; concurrent cold queries coalesce onto one
+// detached single-flight build instead (see singleflight).
 type evalEntry struct {
 	mu sync.Mutex
+
+	// builds registers the in-flight single-flight artifact builds by
+	// key, so concurrent cold queries share one build per artifact.
+	builds map[string]*buildCall
 
 	mask    MaskSystem
 	maskErr error
@@ -178,10 +190,14 @@ func (e *Evaluator) WideMaskView(sys System) (WideMaskSystem, error) {
 // WitnessTable returns the cached dense characteristic-function table of
 // the system (n <= 26).
 func (e *Evaluator) WitnessTable(sys System) (*quorum.WitnessTable, error) {
-	ent := e.entry(sys)
-	ent.mu.Lock()
-	defer ent.mu.Unlock()
-	return ent.witnessTable(context.Background(), sys)
+	return e.WitnessTableCtx(context.Background(), sys)
+}
+
+// WitnessTableCtx is WitnessTable honoring cancellation, with the build
+// single-flighted: any number of concurrent cold callers share exactly
+// one build, and a caller whose ctx dies leaves the build to the rest.
+func (e *Evaluator) WitnessTableCtx(ctx context.Context, sys System) (*quorum.WitnessTable, error) {
+	return e.entryTable(ctx, e.entry(sys), sys)
 }
 
 // isCtxErr distinguishes cancellation from permanent failures: the cache
@@ -191,16 +207,28 @@ func isCtxErr(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
-func (ent *evalEntry) witnessTable(ctx context.Context, sys System) (*quorum.WitnessTable, error) {
-	if !ent.tableOK {
-		table, err := quorum.BuildWitnessTableCtx(ctx, sys)
-		if isCtxErr(err) {
-			return nil, err
-		}
-		ent.table, ent.tableErr = table, err
-		ent.tableOK = true
+// entryTable is the single-flight witness-table path shared by every
+// measure that needs the table.
+func (e *Evaluator) entryTable(ctx context.Context, ent *evalEntry, sys System) (*quorum.WitnessTable, error) {
+	v, err := e.singleflight(ctx, ent, artifactTable, artifactTable,
+		func() (any, error, bool) {
+			if ent.tableOK {
+				return ent.table, ent.tableErr, true
+			}
+			return nil, nil, false
+		},
+		func(v any, err error) {
+			ent.table, _ = v.(*quorum.WitnessTable)
+			ent.tableErr, ent.tableOK = err, true
+		},
+		func(bctx context.Context) (any, error) {
+			return quorum.BuildWitnessTableCtx(bctx, sys)
+		})
+	if err != nil {
+		return nil, err
 	}
-	return ent.table, ent.tableErr
+	table, _ := v.(*quorum.WitnessTable)
+	return table, nil
 }
 
 // QuorumMasks returns the cached minimal quorum masks of the system.
@@ -246,32 +274,37 @@ func (e *Evaluator) AvailabilityCtx(ctx context.Context, sys System, p float64) 
 		return ea.AvailabilityIID(p), nil
 	}
 	ent := e.entry(sys)
-	ent.mu.Lock()
-	counts := ent.failCounts
-	var tableErr error
-	if counts == nil {
-		table, err := ent.witnessTable(ctx, sys)
+	v, err := e.singleflight(ctx, ent, artifactAvailPoly, artifactAvailPoly,
+		func() (any, error, bool) {
+			if ent.failCounts != nil {
+				return ent.failCounts, nil, true
+			}
+			return nil, nil, false
+		},
+		func(v any, err error) {
+			// Permanent failures (the table bound) are cheap to rediscover
+			// through the cached table entry, so only successes are kept.
+			if err == nil {
+				ent.failCounts, _ = v.([]float64)
+			}
+		},
+		func(bctx context.Context) (any, error) {
+			table, err := e.entryTable(bctx, ent, sys)
+			if err != nil {
+				return nil, err
+			}
+			return failCountsOf(bctx, table)
+		})
+	if err != nil {
 		if isCtxErr(err) {
-			ent.mu.Unlock()
 			return 0, err
 		}
-		if err == nil {
-			counts, err = failCountsOf(ctx, table)
-			if err != nil {
-				ent.mu.Unlock()
-				return 0, err
-			}
-			ent.failCounts = counts
-		}
-		tableErr = err
-	}
-	ent.mu.Unlock()
-	if counts == nil {
 		// No table (universe too large) and no closed form: exact
 		// availability is out of reach, so answer with the actionable
 		// bound error instead of the enumeration panic of old.
-		return 0, e.boundify(fmt.Errorf("exact availability of %s needs a witness table: %w", sys.Name(), tableErr), sys)
+		return 0, e.boundify(fmt.Errorf("exact availability of %s needs a witness table: %w", sys.Name(), err), sys)
 	}
+	counts, _ := v.([]float64)
 	n := sys.Size()
 	q := 1 - p
 	total := 0.0
@@ -323,23 +356,34 @@ func (e *Evaluator) ProbeComplexity(sys System) (int, error) {
 
 // ProbeComplexityCtx is ProbeComplexity honoring cancellation of the
 // minimax DP; an aborted solve returns ctx.Err() and caches nothing.
+// The solve (and the table build under it) is single-flighted: N
+// concurrent cold queries for PC(S) run one build, and a cancelled
+// leader hands the build to the waiting followers.
 func (e *Evaluator) ProbeComplexityCtx(ctx context.Context, sys System) (int, error) {
 	ent := e.entry(sys)
-	ent.mu.Lock()
-	defer ent.mu.Unlock()
-	if !ent.pcOK {
-		table, err := ent.witnessTable(ctx, sys)
-		if err != nil {
-			return 0, err
-		}
-		pc, err := strategy.OptimalPCWithTableCtx(ctx, sys, table)
-		if isCtxErr(err) {
-			return 0, err
-		}
-		ent.pc, ent.pcErr = pc, err
-		ent.pcOK = true
+	v, err := e.singleflight(ctx, ent, artifactPC, artifactPC,
+		func() (any, error, bool) {
+			if ent.pcOK {
+				return ent.pc, ent.pcErr, true
+			}
+			return nil, nil, false
+		},
+		func(v any, err error) {
+			ent.pc, _ = v.(int)
+			ent.pcErr, ent.pcOK = err, true
+		},
+		func(bctx context.Context) (any, error) {
+			table, err := e.entryTable(bctx, ent, sys)
+			if err != nil {
+				return nil, err
+			}
+			return strategy.OptimalPCWithTableCtx(bctx, sys, table)
+		})
+	if err != nil {
+		return 0, err
 	}
-	return ent.pc, ent.pcErr
+	pc, _ := v.(int)
+	return pc, nil
 }
 
 // AverageProbeComplexity returns the exact probabilistic probe complexity
@@ -354,24 +398,34 @@ func (e *Evaluator) AverageProbeComplexity(sys System, p float64) (float64, erro
 // and caches nothing.
 func (e *Evaluator) AverageProbeComplexityCtx(ctx context.Context, sys System, p float64) (float64, error) {
 	ent := e.entry(sys)
-	ent.mu.Lock()
-	defer ent.mu.Unlock()
-	if v, ok := ent.ppc[p]; ok {
-		return v, nil
-	}
-	table, err := ent.witnessTable(ctx, sys)
+	v, err := e.singleflight(ctx, ent, artifactPPC, artifactPPC+":"+strconv.FormatFloat(p, 'g', -1, 64),
+		func() (any, error, bool) {
+			if v, ok := ent.ppc[p]; ok {
+				return v, nil, true
+			}
+			return nil, nil, false
+		},
+		func(v any, err error) {
+			if err != nil {
+				return
+			}
+			if ent.ppc == nil {
+				ent.ppc = map[float64]float64{}
+			}
+			ent.ppc[p], _ = v.(float64)
+		},
+		func(bctx context.Context) (any, error) {
+			table, err := e.entryTable(bctx, ent, sys)
+			if err != nil {
+				return nil, err
+			}
+			return strategy.OptimalPPCWithTableCtx(bctx, sys, table, p)
+		})
 	if err != nil {
 		return 0, err
 	}
-	v, err := strategy.OptimalPPCWithTableCtx(ctx, sys, table, p)
-	if err != nil {
-		return 0, err
-	}
-	if ent.ppc == nil {
-		ent.ppc = map[float64]float64{}
-	}
-	ent.ppc[p] = v
-	return v, nil
+	f, _ := v.(float64)
+	return f, nil
 }
 
 // OptimalStrategyTree materializes a worst-case-optimal probe strategy
@@ -383,10 +437,7 @@ func (e *Evaluator) OptimalStrategyTree(sys System) (*StrategyNode, error) {
 // OptimalStrategyTreeCtx is OptimalStrategyTree honoring cancellation
 // across the solve and the tree descent.
 func (e *Evaluator) OptimalStrategyTreeCtx(ctx context.Context, sys System) (*StrategyNode, error) {
-	ent := e.entry(sys)
-	ent.mu.Lock()
-	defer ent.mu.Unlock()
-	table, err := ent.witnessTable(ctx, sys)
+	table, err := e.entryTable(ctx, e.entry(sys), sys)
 	if err != nil {
 		return nil, err
 	}
@@ -504,7 +555,7 @@ func (e *Evaluator) estimateAdaptiveCtx(ctx context.Context, sys System, p float
 				return float64(o.Probes())
 			}, observe)
 	}
-	if _, err := FindWitness(sys, NewOracle(AllGreen(n))); err != nil {
+	if _, err := guardPanic("estimate probe", func() (Witness, error) { return FindWitness(sys, NewOracle(AllGreen(n))) }); err != nil {
 		return stats.Summary{}, err
 	}
 	type buffers struct {
@@ -524,6 +575,35 @@ func (e *Evaluator) estimateAdaptiveCtx(ctx context.Context, sys System, p float
 			}
 			return float64(b.o.Probes())
 		}, observe)
+}
+
+// estimateAvailabilityCtx Monte Carlo-estimates the failure probability
+// F_p(S) as the mean of the no-live-quorum indicator over seeded IID
+// colorings, with the harness's usual deterministic 95% CI — the
+// graceful-degradation fallback when the exact availability polynomial
+// cannot be derived inside a query's deadline budget. It needs a wide
+// mask view (native on every built-in construction, an enumeration
+// adapter within budget otherwise).
+func (e *Evaluator) estimateAvailabilityCtx(ctx context.Context, sys System, p float64, trials int, seed uint64) (stats.Summary, error) {
+	ws, err := e.WideMaskView(sys)
+	if err != nil {
+		return stats.Summary{}, err
+	}
+	n := sys.Size()
+	type buffers struct{ red, green []uint64 }
+	return sim.EstimateWithWorkersCtx(ctx, trials, seed, e.parallelism,
+		func() *buffers {
+			w := quorum.WordCount(n)
+			return &buffers{red: make([]uint64, w), green: make([]uint64, w)}
+		},
+		func(rng *rand.Rand, b *buffers) float64 {
+			coloring.IIDWordsInto(b.red, n, p, rng)
+			quorum.ComplementWordsInto(b.green, b.red, n)
+			if ws.ContainsQuorumWords(b.green) {
+				return 0
+			}
+			return 1
+		})
 }
 
 // resolve maps a query to its System and canonical spec string. Systems

@@ -1,0 +1,310 @@
+// Package chaos is a deterministic fault-injection harness for the
+// serving stack's robustness tests: an http.RoundTripper that injects
+// failures into round trips by a fixed or seeded schedule — connection
+// resets, synthesized 429/5xx bursts, added latency, and mid-body
+// truncation — plus a net.Listener wrapper that cuts accepted
+// connections after a write budget, so server-side truncation can be
+// exercised too. Every injected fault is counted, so a test can assert
+// not just that the client survived but that the faults actually fired.
+//
+// The harness is driven by explicit schedules rather than wall-clock
+// randomness: a Plan is a list of Steps consumed one per request (Pass
+// forever once exhausted), and Seeded derives a reproducible Plan from a
+// PRNG seed. Tests under -race stay deterministic either way.
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// Action is the failure mode a Step injects into one round trip.
+type Action int
+
+const (
+	// Pass forwards the request unharmed.
+	Pass Action = iota
+	// Reset fails the round trip with a connection-reset transport
+	// error, as a mid-handshake RST would.
+	Reset
+	// Reject429 answers a synthesized 429 Too Many Requests with a
+	// Retry-After hint and the service's typed JSON body, without the
+	// request ever reaching the server — an upstream shed.
+	Reject429
+	// Reject503 answers a synthesized 503 Service Unavailable.
+	Reject503
+	// Truncate forwards the request but cuts the response body to
+	// TruncateAfter bytes, ending it with a clean EOF — the silent
+	// truncation a dying proxy produces mid-NDJSON.
+	Truncate
+)
+
+// String names the action for counters and test output.
+func (a Action) String() string {
+	switch a {
+	case Pass:
+		return "pass"
+	case Reset:
+		return "reset"
+	case Reject429:
+		return "reject429"
+	case Reject503:
+		return "reject503"
+	case Truncate:
+		return "truncate"
+	}
+	return fmt.Sprintf("action(%d)", int(a))
+}
+
+// Step is one scheduled injection. Latency, when positive, is applied
+// before the action regardless of which it is.
+type Step struct {
+	Action Action
+	// Latency delays the round trip (interruptibly — the request's
+	// context can cut it short).
+	Latency time.Duration
+	// TruncateAfter is the response-body byte budget of a Truncate step.
+	TruncateAfter int64
+	// RetryAfter is the hint attached to a Reject429 (default one
+	// second).
+	RetryAfter time.Duration
+}
+
+// Plan is a request-ordered injection schedule.
+type Plan []Step
+
+// Burst returns n copies of the step — e.g. Burst(3, Step{Action:
+// Reject429}) sheds the first three requests.
+func Burst(n int, s Step) Plan {
+	p := make(Plan, n)
+	for i := range p {
+		p[i] = s
+	}
+	return p
+}
+
+// Seeded draws an n-step plan from the seeded PRNG: each step is picked
+// from choices by weight. The same (seed, n, choices) always yields the
+// same plan, so a randomized schedule is still a reproducible one.
+func Seeded(seed uint64, n int, choices []Weighted) Plan {
+	total := 0.0
+	for _, c := range choices {
+		if c.Weight > 0 {
+			total += c.Weight
+		}
+	}
+	if total <= 0 || n <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewPCG(seed, 0))
+	plan := make(Plan, n)
+	for i := range plan {
+		x := rng.Float64() * total
+		for _, c := range choices {
+			if c.Weight <= 0 {
+				continue
+			}
+			if x -= c.Weight; x < 0 {
+				plan[i] = c.Step
+				break
+			}
+		}
+	}
+	return plan
+}
+
+// Weighted is one Seeded choice.
+type Weighted struct {
+	Step   Step
+	Weight float64
+}
+
+// Transport injects the plan's faults into round trips, one step per
+// request in arrival order; requests past the end of the plan pass
+// through unharmed. It is safe for concurrent use and counts every
+// action it performs.
+type Transport struct {
+	// Base performs the real round trips (http.DefaultTransport when
+	// nil).
+	Base http.RoundTripper
+
+	mu     sync.Mutex
+	plan   Plan
+	next   int
+	counts map[Action]int
+}
+
+// NewTransport returns a Transport injecting plan over base.
+func NewTransport(base http.RoundTripper, plan Plan) *Transport {
+	return &Transport{Base: base, plan: plan, counts: map[Action]int{}}
+}
+
+// Counts is a snapshot of actions performed so far, keyed by
+// Action.String().
+func (t *Transport) Counts() map[string]int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]int, len(t.counts))
+	for a, n := range t.counts {
+		out[a.String()] = n
+	}
+	return out
+}
+
+// step claims the next scheduled step.
+func (t *Transport) step() Step {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := Step{Action: Pass}
+	if t.next < len(t.plan) {
+		s = t.plan[t.next]
+		t.next++
+	}
+	t.counts[s.Action]++
+	return s
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	s := t.step()
+	if s.Latency > 0 {
+		timer := time.NewTimer(s.Latency)
+		select {
+		case <-timer.C:
+		case <-req.Context().Done():
+			timer.Stop()
+			return nil, req.Context().Err()
+		}
+	}
+	switch s.Action {
+	case Reset:
+		// The wrapped errno matches what a real RST surfaces through the
+		// net package, so callers branching on ECONNRESET see the truth.
+		return nil, &net.OpError{Op: "read", Net: "tcp", Err: syscall.ECONNRESET}
+	case Reject429:
+		retryAfter := s.RetryAfter
+		if retryAfter <= 0 {
+			retryAfter = time.Second
+		}
+		secs := int((retryAfter + time.Second - 1) / time.Second)
+		body := fmt.Sprintf(`{"error":"chaos: injected shed","code":"overloaded","retry_after_ms":%d}`, retryAfter.Milliseconds())
+		res := synthesize(req, http.StatusTooManyRequests, body)
+		res.Header.Set("Retry-After", strconv.Itoa(secs))
+		return res, nil
+	case Reject503:
+		return synthesize(req, http.StatusServiceUnavailable, `{"error":"chaos: injected unavailability"}`), nil
+	case Truncate:
+		res, err := t.base().RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		res.Body = &truncatedBody{rc: res.Body, remaining: s.TruncateAfter}
+		res.ContentLength = -1
+		return res, nil
+	default:
+		return t.base().RoundTrip(req)
+	}
+}
+
+func (t *Transport) base() http.RoundTripper {
+	if t.Base != nil {
+		return t.Base
+	}
+	return http.DefaultTransport
+}
+
+// synthesize builds an in-memory JSON response that never touched a
+// server.
+func synthesize(req *http.Request, status int, body string) *http.Response {
+	return &http.Response{
+		Status:        fmt.Sprintf("%d %s", status, http.StatusText(status)),
+		StatusCode:    status,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        http.Header{"Content-Type": []string{"application/json; charset=utf-8"}},
+		Body:          io.NopCloser(strings.NewReader(body)),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}
+
+// truncatedBody lets budget bytes through, then reports a clean EOF and
+// drops the rest — indistinguishable, to the reader, from a response
+// that simply ended there.
+type truncatedBody struct {
+	rc        io.ReadCloser
+	remaining int64
+}
+
+func (b *truncatedBody) Read(p []byte) (int, error) {
+	if b.remaining <= 0 {
+		return 0, io.EOF
+	}
+	if int64(len(p)) > b.remaining {
+		p = p[:b.remaining]
+	}
+	n, err := b.rc.Read(p)
+	b.remaining -= int64(n)
+	if b.remaining <= 0 && err == nil {
+		err = io.EOF
+	}
+	return n, err
+}
+
+func (b *truncatedBody) Close() error { return b.rc.Close() }
+
+// CutListener wraps a listener so every accepted connection is severed
+// after budget written bytes: the next write fails and the connection
+// closes, cutting whatever response was in flight mid-byte — the
+// server-side half of truncation testing. budget <= 0 leaves
+// connections untouched.
+func CutListener(l net.Listener, budget int64) net.Listener {
+	return &cutListener{Listener: l, budget: budget}
+}
+
+type cutListener struct {
+	net.Listener
+	budget int64
+}
+
+func (l *cutListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil || l.budget <= 0 {
+		return c, err
+	}
+	return &cutConn{Conn: c, remaining: l.budget}, nil
+}
+
+// cutConn enforces the write budget on one connection.
+type cutConn struct {
+	net.Conn
+	mu        sync.Mutex
+	remaining int64
+}
+
+func (c *cutConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.remaining <= 0 {
+		c.Conn.Close()
+		return 0, &net.OpError{Op: "write", Net: "tcp", Err: syscall.EPIPE}
+	}
+	if int64(len(p)) > c.remaining {
+		n, _ := c.Conn.Write(p[:c.remaining])
+		c.remaining = 0
+		c.Conn.Close()
+		return n, &net.OpError{Op: "write", Net: "tcp", Err: syscall.EPIPE}
+	}
+	n, err := c.Conn.Write(p)
+	c.remaining -= int64(n)
+	return n, err
+}

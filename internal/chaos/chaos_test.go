@@ -1,0 +1,165 @@
+package chaos
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestBurst(t *testing.T) {
+	p := Burst(3, Step{Action: Reject429, RetryAfter: time.Second})
+	if len(p) != 3 {
+		t.Fatalf("len = %d, want 3", len(p))
+	}
+	for i, s := range p {
+		if s.Action != Reject429 || s.RetryAfter != time.Second {
+			t.Errorf("step %d = %+v", i, s)
+		}
+	}
+}
+
+func TestSeededReproducible(t *testing.T) {
+	choices := []Weighted{
+		{Step: Step{Action: Pass}, Weight: 2},
+		{Step: Step{Action: Reset}, Weight: 1},
+		{Step: Step{Action: Truncate, TruncateAfter: 64}, Weight: 1},
+	}
+	a := Seeded(7, 100, choices)
+	b := Seeded(7, 100, choices)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different plans")
+	}
+	if len(a) != 100 {
+		t.Fatalf("len = %d, want 100", len(a))
+	}
+	// All weighted actions should appear in a long enough draw.
+	seen := map[Action]int{}
+	for _, s := range a {
+		seen[s.Action]++
+	}
+	for _, c := range choices {
+		if seen[c.Step.Action] == 0 {
+			t.Errorf("action %s never drawn in 100 steps", c.Step.Action)
+		}
+	}
+	if c := Seeded(8, 100, choices); reflect.DeepEqual(a, c) {
+		t.Error("different seeds produced identical plans (vanishingly unlikely)")
+	}
+	if Seeded(7, 0, choices) != nil || Seeded(7, 10, nil) != nil {
+		t.Error("degenerate Seeded inputs should yield nil plans")
+	}
+}
+
+// TestTransportSchedule drives one step of each kind through a real
+// server and checks both the injected behavior and the counters.
+func TestTransportSchedule(t *testing.T) {
+	const payload = "0123456789abcdef0123456789abcdef"
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, payload)
+	}))
+	defer ts.Close()
+
+	tr := NewTransport(nil, Plan{
+		{Action: Reject429, RetryAfter: 3 * time.Second},
+		{Action: Reject503},
+		{Action: Reset},
+		{Action: Truncate, TruncateAfter: 10},
+		// plan exhausted: passes from here on
+	})
+	hc := &http.Client{Transport: tr}
+
+	res, err := hc.Get(ts.URL)
+	if err != nil {
+		t.Fatalf("429 step: %v", err)
+	}
+	body, _ := io.ReadAll(res.Body)
+	res.Body.Close()
+	if res.StatusCode != http.StatusTooManyRequests || res.Header.Get("Retry-After") != "3" {
+		t.Errorf("429 step: status %d Retry-After %q", res.StatusCode, res.Header.Get("Retry-After"))
+	}
+	if !strings.Contains(string(body), `"retry_after_ms":3000`) {
+		t.Errorf("429 body = %s, want the typed shed body", body)
+	}
+
+	res, err = hc.Get(ts.URL)
+	if err != nil {
+		t.Fatalf("503 step: %v", err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("503 step: status %d", res.StatusCode)
+	}
+
+	if _, err = hc.Get(ts.URL); err == nil {
+		t.Error("reset step: round trip succeeded")
+	} else if !strings.Contains(err.Error(), "connection reset") {
+		t.Errorf("reset step: err = %v, want a connection reset", err)
+	}
+
+	res, err = hc.Get(ts.URL)
+	if err != nil {
+		t.Fatalf("truncate step: %v", err)
+	}
+	body, err = io.ReadAll(res.Body)
+	res.Body.Close()
+	if err != nil {
+		t.Fatalf("truncate step read: %v (truncation must be a clean EOF)", err)
+	}
+	if string(body) != payload[:10] {
+		t.Errorf("truncate step body = %q, want the first 10 bytes", body)
+	}
+
+	res, err = hc.Get(ts.URL)
+	if err != nil {
+		t.Fatalf("pass-after-exhaustion: %v", err)
+	}
+	body, _ = io.ReadAll(res.Body)
+	res.Body.Close()
+	if string(body) != payload {
+		t.Errorf("pass-after-exhaustion body = %q", body)
+	}
+
+	want := map[string]int{"reject429": 1, "reject503": 1, "reset": 1, "truncate": 1, "pass": 1}
+	if got := tr.Counts(); !reflect.DeepEqual(got, want) {
+		t.Errorf("counts = %v, want %v", got, want)
+	}
+}
+
+// TestCutListener pins the server-side cut: a connection dies after its
+// write budget, truncating the response mid-byte.
+func TestCutListener(t *testing.T) {
+	payload := strings.Repeat("x", 4096)
+	ts := httptest.NewUnstartedServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, payload)
+	}))
+	ts.Listener = CutListener(ts.Listener, 256)
+	ts.Start()
+	defer ts.Close()
+
+	res, err := http.Get(ts.URL)
+	if err != nil {
+		// The cut may land inside the response header; that is a valid
+		// severed-connection outcome too.
+		return
+	}
+	defer res.Body.Close()
+	body, err := io.ReadAll(res.Body)
+	if err == nil && len(body) == len(payload) {
+		t.Fatalf("full %d-byte response crossed a 256-byte write budget", len(body))
+	}
+}
+
+func TestActionString(t *testing.T) {
+	for a, want := range map[Action]string{
+		Pass: "pass", Reset: "reset", Reject429: "reject429",
+		Reject503: "reject503", Truncate: "truncate", Action(99): "action(99)",
+	} {
+		if got := a.String(); got != want {
+			t.Errorf("Action(%d).String() = %q, want %q", int(a), got, want)
+		}
+	}
+}

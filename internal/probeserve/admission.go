@@ -1,0 +1,95 @@
+package probeserve
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// admission is the server's load-shedding gate: a fixed pool of
+// evaluation slots plus a bounded wait queue in front of it. A request
+// that finds a free slot runs at once; with every slot busy it waits in
+// the queue for one to free — interruptibly, its own context can walk
+// it away — and with the queue full too it is shed immediately, which
+// the handlers answer with 429 + Retry-After. Bounding both pools keeps
+// the server's latency honest under overload: work either runs soon or
+// is refused now, never parked unboundedly.
+type admission struct {
+	slots chan struct{} // capacity = concurrency limit; tokens = running
+	queue chan struct{} // capacity = queue depth; tokens = waiting
+	// admitted and shed count decisions over the server's lifetime.
+	admitted atomic.Uint64
+	shed     atomic.Uint64
+}
+
+func newAdmission(limit, queueDepth int) *admission {
+	if queueDepth < 0 {
+		queueDepth = 0
+	}
+	return &admission{
+		slots: make(chan struct{}, limit),
+		queue: make(chan struct{}, queueDepth),
+	}
+}
+
+// acquire claims an evaluation slot. ok means the caller holds a slot
+// and must release it; shed means the queue was full and the request
+// must be refused with 429; neither means ctx ended while waiting.
+// acquire never blocks longer than ctx allows.
+func (a *admission) acquire(ctx context.Context) (ok, shed bool) {
+	select {
+	case a.slots <- struct{}{}:
+		a.admitted.Add(1)
+		return true, false
+	default:
+	}
+	// Every slot is busy: join the bounded wait queue, or shed.
+	select {
+	case a.queue <- struct{}{}:
+	default:
+		a.shed.Add(1)
+		return false, true
+	}
+	defer func() { <-a.queue }()
+	select {
+	case a.slots <- struct{}{}:
+		a.admitted.Add(1)
+		return true, false
+	case <-ctx.Done():
+		return false, false
+	}
+}
+
+// release returns a slot claimed by acquire.
+func (a *admission) release() { <-a.slots }
+
+// saturated reports whether a request arriving now would be shed — the
+// overload half of the /readyz contract.
+func (a *admission) saturated() bool {
+	return len(a.slots) == cap(a.slots) && len(a.queue) == cap(a.queue)
+}
+
+// AdmissionStats is a snapshot of the server's admission gate.
+type AdmissionStats struct {
+	// InFlight and Waiting are instantaneous occupancy of the slot pool
+	// and the wait queue.
+	InFlight int `json:"in_flight"`
+	Waiting  int `json:"waiting"`
+	// Admitted and Shed count admission decisions since the server
+	// started.
+	Admitted uint64 `json:"admitted"`
+	Shed     uint64 `json:"shed"`
+}
+
+// AdmissionStats returns a snapshot of the admission gate. With no
+// concurrency limit configured it is all zeros.
+func (s *Server) AdmissionStats() AdmissionStats {
+	if s.adm == nil {
+		return AdmissionStats{}
+	}
+	return AdmissionStats{
+		InFlight: len(s.adm.slots),
+		Waiting:  len(s.adm.queue),
+		Admitted: s.adm.admitted.Load(),
+		Shed:     s.adm.shed.Load(),
+	}
+}

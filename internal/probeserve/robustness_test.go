@@ -1,0 +1,358 @@
+package probeserve
+
+// White-box tests for the PR 6 robustness layer: deterministic admission
+// control (the tests occupy evaluation slots directly instead of racing
+// real requests), drain semantics on every endpoint, the terminal
+// shutdown frame of in-flight NDJSON streams, server-side deadline
+// clamping, and panic isolation over the wire.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"probequorum"
+)
+
+func evalBody(t *testing.T, queries ...probequorum.Query) []byte {
+	t.Helper()
+	body, err := json.Marshal(EvalRequest{Queries: queries})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+func pcQuery(spec string) probequorum.Query {
+	return probequorum.Query{Spec: spec, Measures: []probequorum.Measure{probequorum.MeasurePC}}
+}
+
+func postJSON(t *testing.T, url string, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	res, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	data, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, data
+}
+
+func getStatus(t *testing.T, url string) (int, string) {
+	t.Helper()
+	res, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	data, _ := io.ReadAll(res.Body)
+	return res.StatusCode, strings.TrimSpace(string(data))
+}
+
+// TestShedWhenSaturated pins the shed contract: with every slot and
+// queue position taken, /v1/eval answers 429 with a Retry-After header
+// and a typed JSON body, /readyz reports overloaded, and the shared
+// Evaluator's caches are untouched — a shed request never reaches
+// evaluation.
+func TestShedWhenSaturated(t *testing.T) {
+	eval := probequorum.NewEvaluator()
+	s := New(eval, WithConcurrencyLimit(1), WithQueueDepth(0), WithRetryAfter(2*time.Second))
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	s.adm.slots <- struct{}{} // occupy the only evaluation slot
+	res, data := postJSON(t, ts.URL+"/v1/eval", evalBody(t, pcQuery("maj:3")))
+	if res.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429; body %s", res.StatusCode, data)
+	}
+	if ra := res.Header.Get("Retry-After"); ra != "2" {
+		t.Errorf("Retry-After = %q, want \"2\"", ra)
+	}
+	var body ErrorResponse
+	if err := json.Unmarshal(data, &body); err != nil {
+		t.Fatalf("shed body %s: %v", data, err)
+	}
+	if body.Code != CodeOverloaded || body.RetryAfterMS != 2000 || body.Error == "" {
+		t.Errorf("shed body = %+v, want code %q and retry_after_ms 2000", body, CodeOverloaded)
+	}
+	if st := eval.Stats(); len(st.Builds) != 0 {
+		t.Errorf("shed request touched the evaluator: builds %v", st.Builds)
+	}
+	if code, text := getStatus(t, ts.URL+"/readyz"); code != http.StatusServiceUnavailable || text != "overloaded" {
+		t.Errorf("/readyz while saturated = %d %q, want 503 overloaded", code, text)
+	}
+	if st := s.AdmissionStats(); st.Shed != 1 || st.InFlight != 1 {
+		t.Errorf("admission stats = %+v, want one shed and one in flight", st)
+	}
+
+	<-s.adm.slots // free the slot
+	if code, text := getStatus(t, ts.URL+"/readyz"); code != http.StatusOK || text != "ok" {
+		t.Errorf("/readyz after release = %d %q, want 200 ok", code, text)
+	}
+	res, data = postJSON(t, ts.URL+"/v1/eval", evalBody(t, pcQuery("maj:3")))
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("status after release = %d, body %s", res.StatusCode, data)
+	}
+	var er EvalResponse
+	if err := json.Unmarshal(data, &er); err != nil {
+		t.Fatal(err)
+	}
+	if len(er.Results) != 1 || er.Results[0].PC == nil || *er.Results[0].PC != 3 {
+		t.Errorf("results after release = %+v, want pc 3", er.Results)
+	}
+	if st := s.AdmissionStats(); st.Admitted != 1 {
+		t.Errorf("admission stats = %+v, want one admitted", st)
+	}
+}
+
+// TestQueueAdmitsWhenSlotFrees pins the wait queue: a request past the
+// concurrency limit waits (visible in AdmissionStats), a request past
+// the queue sheds, and freeing the slot lets the queued one run.
+func TestQueueAdmitsWhenSlotFrees(t *testing.T) {
+	s := New(nil, WithConcurrencyLimit(1), WithQueueDepth(1))
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	s.adm.slots <- struct{}{} // occupy the only slot
+	type answer struct {
+		status int
+		data   []byte
+	}
+	queued := make(chan answer, 1)
+	go func() {
+		res, data := postJSON(t, ts.URL+"/v1/eval", evalBody(t, pcQuery("maj:5")))
+		queued <- answer{res.StatusCode, data}
+	}()
+	deadline := time.Now().Add(30 * time.Second)
+	for s.AdmissionStats().Waiting != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("request never queued; stats %+v", s.AdmissionStats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	res, _ := postJSON(t, ts.URL+"/v1/eval", evalBody(t, pcQuery("maj:5")))
+	if res.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status with full queue = %d, want 429", res.StatusCode)
+	}
+
+	<-s.adm.slots // free the slot; the queued request proceeds
+	got := <-queued
+	if got.status != http.StatusOK {
+		t.Fatalf("queued request status = %d, body %s", got.status, got.data)
+	}
+	var er EvalResponse
+	if err := json.Unmarshal(got.data, &er); err != nil {
+		t.Fatal(err)
+	}
+	if len(er.Results) != 1 || er.Results[0].PC == nil || *er.Results[0].PC != 5 {
+		t.Errorf("queued results = %+v, want pc 5", er.Results)
+	}
+}
+
+// TestDrainShedsNewWork pins drain on every entry point: /readyz flips
+// to draining, /healthz keeps reporting the process alive, and new
+// evaluation requests are refused with the typed shutdown code.
+func TestDrainShedsNewWork(t *testing.T) {
+	s := New(nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if code, text := getStatus(t, ts.URL+"/readyz"); code != http.StatusOK || text != "ok" {
+		t.Fatalf("/readyz before drain = %d %q", code, text)
+	}
+	s.BeginDrain()
+	s.BeginDrain() // idempotent
+	if code, text := getStatus(t, ts.URL+"/readyz"); code != http.StatusServiceUnavailable || text != "draining" {
+		t.Errorf("/readyz during drain = %d %q, want 503 draining", code, text)
+	}
+	if code, _ := getStatus(t, ts.URL+"/healthz"); code != http.StatusOK {
+		t.Errorf("/healthz during drain = %d, want 200 (liveness is not readiness)", code)
+	}
+	for _, path := range []string{"/v1/eval", "/v1/stream"} {
+		res, data := postJSON(t, ts.URL+path, evalBody(t, pcQuery("maj:3")))
+		if res.StatusCode != http.StatusServiceUnavailable {
+			t.Errorf("%s during drain = %d, want 503", path, res.StatusCode)
+			continue
+		}
+		var body ErrorResponse
+		if err := json.Unmarshal(data, &body); err != nil {
+			t.Fatalf("%s drain body %s: %v", path, data, err)
+		}
+		if body.Code != CodeShutdown {
+			t.Errorf("%s drain code = %q, want %q", path, body.Code, CodeShutdown)
+		}
+	}
+}
+
+// gatedServeSystem is a registry-reachable construction whose artifact
+// builds park on a gate (plain-System witness tables seed from Quorums),
+// so a wire test can hold a stream mid-evaluation deterministically.
+type gatedServeSystem struct {
+	inner   probequorum.System
+	gate    chan struct{}
+	entered chan struct{}
+	once    sync.Once
+}
+
+func newGatedServeSystem() *gatedServeSystem {
+	return &gatedServeSystem{
+		inner:   probequorum.MustParse("maj:3"),
+		gate:    make(chan struct{}),
+		entered: make(chan struct{}),
+	}
+}
+
+func (g *gatedServeSystem) Name() string { return "GatedServe(3)" }
+func (g *gatedServeSystem) Size() int    { return 3 }
+func (g *gatedServeSystem) ContainsQuorum(s *probequorum.Set) bool {
+	g.block()
+	return g.inner.ContainsQuorum(s)
+}
+func (g *gatedServeSystem) Quorums() []*probequorum.Set {
+	g.block()
+	return g.inner.Quorums()
+}
+func (g *gatedServeSystem) block() {
+	g.once.Do(func() { close(g.entered) })
+	<-g.gate
+}
+
+// currentGated is what the process-global "blockserve" spec resolves to;
+// the registry outlives each test, the gate must not.
+var (
+	currentGated      atomic.Pointer[gatedServeSystem]
+	registerGatedOnce sync.Once
+)
+
+// TestDrainEndsStreamWithShutdownFrame pins the drain satellite: a
+// stream caught mid-evaluation by BeginDrain ends with a terminal
+// CodeShutdown error frame, not a silent EOF.
+func TestDrainEndsStreamWithShutdownFrame(t *testing.T) {
+	registerGatedOnce.Do(func() {
+		probequorum.RegisterSpec("blockserve", func(arg string) (probequorum.System, error) {
+			return currentGated.Load(), nil
+		})
+	})
+	g := newGatedServeSystem()
+	currentGated.Store(g)
+	defer close(g.gate) // let the abandoned build notice its cancelled ctx and die
+
+	s := New(nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	res, err := http.Post(ts.URL+"/v1/stream", "application/json",
+		bytes.NewReader(evalBody(t, pcQuery("blockserve:"))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("stream status = %d", res.StatusCode)
+	}
+
+	<-g.entered // the evaluation is inside its artifact build
+	s.BeginDrain()
+
+	var frames []StreamFrame
+	sc := bufio.NewScanner(res.Body)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var f StreamFrame
+		if err := json.Unmarshal([]byte(line), &f); err != nil {
+			t.Fatalf("bad frame %q: %v", line, err)
+		}
+		frames = append(frames, f)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("reading stream: %v", err)
+	}
+	if len(frames) == 0 {
+		t.Fatal("stream ended with no terminal frame — the silent EOF this PR removes")
+	}
+	last := frames[len(frames)-1]
+	if last.Code != CodeShutdown || last.Error == "" {
+		t.Errorf("terminal frame = %+v, want an error frame with code %q", last, CodeShutdown)
+	}
+	if last.Done != nil {
+		t.Errorf("terminal frame reports done on a drained stream: %+v", last)
+	}
+}
+
+// TestClampDeadlines pins the server-side budget cap: requested budgets
+// are clamped down to -maxdeadline, and queries without a budget get it
+// (server self-protection); without the option nothing changes.
+func TestClampDeadlines(t *testing.T) {
+	s := New(nil, WithMaxDeadline(50*time.Millisecond))
+	qs := []probequorum.Query{{DeadlineMS: 0}, {DeadlineMS: 20}, {DeadlineMS: 500}}
+	s.clampDeadlines(qs)
+	for i, want := range []int{50, 20, 50} {
+		if qs[i].DeadlineMS != want {
+			t.Errorf("clamped[%d] = %d, want %d", i, qs[i].DeadlineMS, want)
+		}
+	}
+
+	unlimited := New(nil)
+	qs = []probequorum.Query{{DeadlineMS: 0}, {DeadlineMS: 500}}
+	unlimited.clampDeadlines(qs)
+	if qs[0].DeadlineMS != 0 || qs[1].DeadlineMS != 500 {
+		t.Errorf("uncapped server changed deadlines: %+v", qs)
+	}
+}
+
+// panickyServeSystem panics inside artifact builds, registry-reachable.
+type panickyServeSystem struct{}
+
+func (panickyServeSystem) Name() string                           { return "PanickyServe(3)" }
+func (panickyServeSystem) Size() int                              { return 3 }
+func (panickyServeSystem) ContainsQuorum(s *probequorum.Set) bool { panic("panickyServeSystem") }
+func (panickyServeSystem) Quorums() []*probequorum.Set            { panic("panickyServeSystem") }
+
+var registerPanickyOnce sync.Once
+
+// TestPanicIsolatedPerQuery pins panic isolation over the wire: a query
+// over a panicking system fails alone (its Result carries the error) and
+// the server keeps answering.
+func TestPanicIsolatedPerQuery(t *testing.T) {
+	registerPanickyOnce.Do(func() {
+		probequorum.RegisterSpec("panicserve", func(arg string) (probequorum.System, error) {
+			return panickyServeSystem{}, nil
+		})
+	})
+	s := New(nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	res, data := postJSON(t, ts.URL+"/v1/eval", evalBody(t, pcQuery("panicserve:"), pcQuery("maj:3")))
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", res.StatusCode, data)
+	}
+	var er EvalResponse
+	if err := json.Unmarshal(data, &er); err != nil {
+		t.Fatal(err)
+	}
+	if len(er.Results) != 2 {
+		t.Fatalf("got %d results, want 2", len(er.Results))
+	}
+	if !strings.Contains(er.Results[0].Error, "panicked") {
+		t.Errorf("panicking query error = %q, want a panic report", er.Results[0].Error)
+	}
+	if er.Results[1].Error != "" || er.Results[1].PC == nil || *er.Results[1].PC != 3 {
+		t.Errorf("healthy query in the same batch = %+v, want pc 3", er.Results[1])
+	}
+}

@@ -8,17 +8,39 @@
 package probeserve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
 
 	"probequorum"
 )
 
 // DefaultMaxBatch bounds the queries accepted in one /v1/eval request.
 const DefaultMaxBatch = 256
+
+// DefaultRetryAfter is the Retry-After hint attached to shed (429)
+// responses when the server is built without WithRetryAfter.
+const DefaultRetryAfter = time.Second
+
+// Error codes carried by ErrorResponse.Code and StreamFrame.Code so
+// clients can branch on the failure class without parsing messages.
+const (
+	// CodeOverloaded marks a shed request (429): every evaluation slot
+	// and queue position was taken. Retry after the hinted delay.
+	CodeOverloaded = "overloaded"
+	// CodeShutdown marks a request or stream ended by server drain.
+	// Retrying against the same endpoint is futile; a fleet client
+	// re-resolves and retries elsewhere.
+	CodeShutdown = "shutdown"
+	// CodePanic marks a request that died to a recovered evaluation
+	// panic. The server survives it; the request does not.
+	CodePanic = "panic"
+)
 
 // maxBodyBytes bounds the request body; a batch of DefaultMaxBatch
 // queries with generous grids fits comfortably.
@@ -43,9 +65,13 @@ type SystemsResponse struct {
 	Measures []probequorum.Measure `json:"measures"`
 }
 
-// ErrorResponse is the JSON body of every non-2xx answer.
+// ErrorResponse is the JSON body of every non-2xx answer. Code, when
+// set, classifies the failure (CodeOverloaded, CodeShutdown, CodePanic);
+// RetryAfterMS mirrors the Retry-After header of a 429 in milliseconds.
 type ErrorResponse struct {
-	Error string `json:"error"`
+	Error        string `json:"error"`
+	Code         string `json:"code,omitempty"`
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
 }
 
 // StreamFrame is one NDJSON line of POST /v1/stream. Exactly one field
@@ -58,6 +84,9 @@ type StreamFrame struct {
 	Cell  *probequorum.Cell `json:"cell,omitempty"`
 	Done  *StreamDone       `json:"done,omitempty"`
 	Error string            `json:"error,omitempty"`
+	// Code classifies an error frame (CodeShutdown, CodePanic); empty on
+	// cell and done frames.
+	Code string `json:"code,omitempty"`
 }
 
 // StreamDone is the terminal summary of a completed cell stream.
@@ -70,9 +99,19 @@ type StreamDone struct {
 
 // Server is the HTTP handler set of the evaluation service.
 type Server struct {
-	eval     *probequorum.Evaluator
-	maxBatch int
-	mux      *http.ServeMux
+	eval        *probequorum.Evaluator
+	maxBatch    int
+	mux         *http.ServeMux
+	limit       int
+	queueDepth  int
+	adm         *admission
+	retryAfter  time.Duration
+	maxDeadline time.Duration
+	// drainCtx is cancelled by BeginDrain; in-flight streams watch it so
+	// they can end with a typed terminal frame instead of a silent EOF,
+	// and /readyz sheds on it.
+	drainCtx context.Context
+	drain    context.CancelFunc
 }
 
 // Option configures a Server.
@@ -88,6 +127,44 @@ func WithMaxBatch(n int) Option {
 	}
 }
 
+// WithConcurrencyLimit caps the evaluation requests (/v1/eval and
+// /v1/stream bodies) running at once; excess requests wait in a bounded
+// queue (WithQueueDepth) and past that are shed with 429 + Retry-After.
+// Zero or negative disables admission control (the default).
+func WithConcurrencyLimit(n int) Option {
+	return func(s *Server) { s.limit = n }
+}
+
+// WithQueueDepth sets how many requests may wait for an evaluation slot
+// before the server sheds (default DefaultQueueDepth). Zero means shed
+// the moment every slot is busy. Ignored without WithConcurrencyLimit.
+func WithQueueDepth(n int) Option {
+	return func(s *Server) { s.queueDepth = n }
+}
+
+// DefaultQueueDepth is the wait-queue bound used when WithConcurrencyLimit
+// is set without WithQueueDepth.
+const DefaultQueueDepth = 64
+
+// WithRetryAfter sets the Retry-After hint on shed responses (default
+// DefaultRetryAfter).
+func WithRetryAfter(d time.Duration) Option {
+	return func(s *Server) {
+		if d > 0 {
+			s.retryAfter = d
+		}
+	}
+}
+
+// WithMaxDeadline caps Query.DeadlineMS server-side: requested budgets
+// are clamped down to it, and queries with no budget of their own get
+// it, so one exact query can never hold a slot longer than the operator
+// allows — it degrades instead. Zero (the default) leaves deadlines to
+// the clients.
+func WithMaxDeadline(d time.Duration) Option {
+	return func(s *Server) { s.maxDeadline = d }
+}
+
 // New returns a Server answering through eval (nil for a fresh default
 // Evaluator). The Evaluator is shared across all requests, so its memo
 // caches warm up with traffic; it is safe for the concurrent use an HTTP
@@ -96,20 +173,92 @@ func New(eval *probequorum.Evaluator, opts ...Option) *Server {
 	if eval == nil {
 		eval = probequorum.NewEvaluator()
 	}
-	s := &Server{eval: eval, maxBatch: DefaultMaxBatch, mux: http.NewServeMux()}
+	s := &Server{eval: eval, maxBatch: DefaultMaxBatch, mux: http.NewServeMux(), queueDepth: -1, retryAfter: DefaultRetryAfter}
 	for _, opt := range opts {
 		opt(s)
 	}
+	if s.limit > 0 {
+		if s.queueDepth < 0 {
+			s.queueDepth = DefaultQueueDepth
+		}
+		s.adm = newAdmission(s.limit, s.queueDepth)
+	}
+	s.drainCtx, s.drain = context.WithCancel(context.Background())
 	s.mux.HandleFunc("POST /v1/eval", s.handleEval)
 	s.mux.HandleFunc("POST /v1/stream", s.handleStream)
 	s.mux.HandleFunc("GET /v1/systems", s.handleSystems)
 	s.mux.HandleFunc("GET /v1/render", s.handleRender)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	return s
 }
 
 // Handler returns the root handler of the service.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// BeginDrain flips the server into drain: /readyz sheds so balancers
+// stop routing here, new evaluation requests are refused with a typed
+// shutdown error, and in-flight NDJSON streams end promptly with a
+// terminal CodeShutdown error frame instead of a silent EOF. Call it
+// before http.Server.Shutdown. Idempotent.
+func (s *Server) BeginDrain() { s.drain() }
+
+// draining reports whether BeginDrain has been called.
+func (s *Server) draining() bool { return s.drainCtx.Err() != nil }
+
+// admit runs a request through the admission gate, answering the shed
+// (429) or shutdown (503) response itself when the request may not
+// proceed. The returned release must be called when ok.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) (release func(), ok bool) {
+	if s.draining() {
+		writeErrorCode(w, http.StatusServiceUnavailable, CodeShutdown, errors.New("server is draining"))
+		return nil, false
+	}
+	if s.adm == nil {
+		return func() {}, true
+	}
+	got, shed := s.adm.acquire(r.Context())
+	switch {
+	case shed:
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.retryAfter)))
+		writeJSON(w, http.StatusTooManyRequests, ErrorResponse{
+			Error:        fmt.Sprintf("overloaded: %d evaluations running and %d queued; retry after %v", s.limit, s.queueDepth, s.retryAfter),
+			Code:         CodeOverloaded,
+			RetryAfterMS: s.retryAfter.Milliseconds(),
+		})
+		return nil, false
+	case !got:
+		// The client's context ended while it waited for a slot; any
+		// response is best-effort.
+		writeError(w, http.StatusServiceUnavailable, r.Context().Err())
+		return nil, false
+	}
+	return s.adm.release, true
+}
+
+// retryAfterSeconds renders a Retry-After duration in whole seconds,
+// rounded up so the hint never undershoots.
+func retryAfterSeconds(d time.Duration) int {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// clampDeadlines applies the server's WithMaxDeadline cap to a decoded
+// batch in place.
+func (s *Server) clampDeadlines(queries []probequorum.Query) {
+	if s.maxDeadline <= 0 {
+		return
+	}
+	maxMS := int(s.maxDeadline.Milliseconds())
+	for i := range queries {
+		if queries[i].DeadlineMS <= 0 || queries[i].DeadlineMS > maxMS {
+			queries[i].DeadlineMS = maxMS
+		}
+	}
+}
 
 // decodeEvalRequest reads and validates the shared request body of
 // /v1/eval and /v1/stream, answering the 400 itself on failure.
@@ -137,10 +286,17 @@ func (s *Server) decodeEvalRequest(w http.ResponseWriter, r *http.Request) ([]pr
 // with the request's context (a disconnecting client cancels the whole
 // batch), and writes the results in request order.
 func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
+	defer s.recoverRequest(w)
 	queries, ok := s.decodeEvalRequest(w, r)
 	if !ok {
 		return
 	}
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	s.clampDeadlines(queries)
 	results, err := s.eval.DoBatch(r.Context(), queries)
 	if err != nil {
 		// Only context errors reach here; the client is gone or the
@@ -149,6 +305,16 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, EvalResponse{Results: results})
+}
+
+// recoverRequest is the last-resort panic boundary of a unary handler:
+// evaluation panics are already converted to errors downstream, so
+// anything arriving here is a server bug — answer 500 (best-effort; the
+// header may be out) and keep the process serving.
+func (s *Server) recoverRequest(w http.ResponseWriter) {
+	if r := recover(); r != nil {
+		writeErrorCode(w, http.StatusInternalServerError, CodePanic, fmt.Errorf("request handler panicked: %v", r))
+	}
 }
 
 // handleStream serves the same batch shape as /v1/eval incrementally:
@@ -163,16 +329,46 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	s.clampDeadlines(queries)
+
+	// The stream's context dies with the client or with server drain —
+	// whichever comes first — so a drain always reaches the terminal
+	// error frame below instead of leaving the client a silent EOF.
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	unlink := context.AfterFunc(s.drainCtx, cancel)
+	defer unlink()
+
 	w.Header().Set("Content-Type", "application/x-ndjson; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
 	enc := json.NewEncoder(w)
 	rc := http.NewResponseController(w)
+
+	// Once the NDJSON body has started, every failure — including a
+	// handler panic — must surface as a terminal error frame; a plain
+	// connection drop is indistinguishable from truncation.
+	defer func() {
+		if p := recover(); p != nil {
+			enc.Encode(StreamFrame{Error: fmt.Sprintf("stream handler panicked: %v", p), Code: CodePanic})
+			rc.Flush()
+		}
+	}()
+
 	cells := 0
-	for cell, err := range s.eval.StreamBatch(r.Context(), queries) {
+	for cell, err := range s.eval.StreamBatch(ctx, queries) {
 		if err != nil {
 			// Terminal: cancellation or shutdown. Best-effort — on a
 			// client disconnect the frame has nowhere to go.
-			enc.Encode(StreamFrame{Error: err.Error()})
+			frame := StreamFrame{Error: err.Error()}
+			if s.draining() {
+				frame.Error, frame.Code = "server is draining", CodeShutdown
+			}
+			enc.Encode(frame)
 			rc.Flush()
 			return
 		}
@@ -217,11 +413,31 @@ func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprint(w, art)
 }
 
-// handleHealthz answers liveness probes.
+// handleHealthz answers liveness probes: the process is up and serving,
+// even while draining or overloaded. Readiness is /readyz's business.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
 	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz answers readiness probes: 200 while the server will
+// admit a new evaluation request, 503 while it is draining or its
+// admission gate is saturated — the signal a balancer uses to route
+// traffic elsewhere while /healthz still reports the process alive.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	switch {
+	case s.draining():
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+	case s.adm != nil && s.adm.saturated():
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "overloaded")
+	default:
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -234,4 +450,8 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}
+
+func writeErrorCode(w http.ResponseWriter, status int, code string, err error) {
+	writeJSON(w, status, ErrorResponse{Error: err.Error(), Code: code})
 }

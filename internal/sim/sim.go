@@ -110,15 +110,20 @@ func EstimateAdaptiveCtx[S any](ctx context.Context, maxTrials int, seed uint64,
 	if maxTrials < parallelMinTrials || workers <= 1 {
 		var acc stats.Accumulator
 		state := newState()
-		for i := 0; i < maxTrials; i++ {
-			if i%trialChunk == 0 && ctx.Err() != nil {
+		var vals [trialChunk]float64
+		for start := 0; start < maxTrials; start += trialChunk {
+			if ctx.Err() != nil {
 				return stats.Summary{}, ctx.Err()
 			}
-			acc.Add(f(trialRNG(seed, i), state))
-			if done := i + 1; done%trialChunk == 0 || done == maxTrials {
-				if observe != nil && observe(Chunk{Trials: done, Summary: acc.Summary()}) {
-					return acc.Summary(), nil
-				}
+			end := min(start+trialChunk, maxTrials)
+			if err := runTrials(seed, start, end, vals[:end-start], state, f); err != nil {
+				return stats.Summary{}, err
+			}
+			for _, v := range vals[:end-start] {
+				acc.Add(v)
+			}
+			if observe != nil && observe(Chunk{Trials: end, Summary: acc.Summary()}) {
+				return acc.Summary(), nil
 			}
 		}
 		return acc.Summary(), nil
@@ -150,6 +155,8 @@ func EstimateAdaptiveCtx[S any](ctx context.Context, maxTrials int, seed uint64,
 	stopc := make(chan struct{})
 	var next atomic.Int64
 	var stopped atomic.Bool
+	var trialErr error
+	var trialErrOnce sync.Once
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -170,8 +177,11 @@ func EstimateAdaptiveCtx[S any](ctx context.Context, maxTrials int, seed uint64,
 				}
 				buf := pool.Get().(*[]float64)
 				vals := (*buf)[:end-start]
-				for i := start; i < end; i++ {
-					vals[i-start] = f(trialRNG(seed, i), state)
+				if err := runTrials(seed, start, end, vals, state, f); err != nil {
+					pool.Put(buf)
+					trialErrOnce.Do(func() { trialErr = err })
+					stopped.Store(true)
+					return
 				}
 				select {
 				case donec <- doneChunk{index: start / trialChunk, buf: buf, n: end - start}:
@@ -224,10 +234,32 @@ func EstimateAdaptiveCtx[S any](ctx context.Context, maxTrials int, seed uint64,
 	if result != nil {
 		return *result, nil
 	}
+	// trialErr was written before its worker's wg.Done, which
+	// happens-before the donec close that ended the loop above.
+	if trialErr != nil {
+		return stats.Summary{}, trialErr
+	}
 	if err := ctx.Err(); err != nil {
 		return stats.Summary{}, err
 	}
 	return acc.Summary(), nil
+}
+
+// runTrials evaluates trials [start, end) into vals, converting a panic
+// in the trial function — a third-party prober gone wrong — into an
+// error, so one poisonous trial fails its estimate instead of killing
+// the process. Recovery is per chunk, not per trial, to keep the defer
+// off the hot path.
+func runTrials[S any](seed uint64, start, end int, vals []float64, state S, f func(*rand.Rand, S) float64) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("sim: trial function panicked: %v", r)
+		}
+	}()
+	for i := start; i < end; i++ {
+		vals[i-start] = f(trialRNG(seed, i), state)
+	}
+	return nil
 }
 
 // EstimateSeq is the single-threaded reference implementation of

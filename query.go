@@ -175,6 +175,14 @@ type Query struct {
 	// same (trials, seed). The stopping point depends only on
 	// (seed, tolerance, budget), never on parallelism or timing.
 	Tolerance float64 `json:"tolerance,omitempty"`
+	// DeadlineMS is the query's deadline budget in milliseconds for the
+	// exact measures (pc, tree, ppc, availability). When an exact solve
+	// cannot finish inside the budget the query does not fail: the Result
+	// (or stream Cell) carries a typed Degraded note for that measure,
+	// and where a Monte Carlo fallback exists (ppc, availability) an
+	// estimate with its 95% CI stands in for the exact value. Zero means
+	// no budget. Servers cap it at their -maxdeadline.
+	DeadlineMS int `json:"deadline_ms,omitempty"`
 }
 
 // normalized validates the query and returns a canonical copy: measures
@@ -227,6 +235,9 @@ func (q Query) normalized() (Query, error) {
 	if math.IsNaN(q.Tolerance) {
 		return q, fmt.Errorf("probequorum: tolerance is NaN")
 	}
+	if q.DeadlineMS < 0 {
+		return q, fmt.Errorf("probequorum: negative deadline %dms", q.DeadlineMS)
+	}
 	if q.Tolerance < 0 {
 		// Negative means "disabled", same as zero; canonicalize so the
 		// fixed-trial path is taken on exactly one value.
@@ -267,6 +278,23 @@ type Estimate struct {
 	Trials int     `json:"trials,omitempty"`
 }
 
+// DegradeDeadline is the Degradation reason for an exact solve that ran
+// out of its Query.DeadlineMS budget.
+const DegradeDeadline = "deadline"
+
+// Degradation is a typed note that one exact measure could not be
+// computed within the query's constraints and was degraded rather than
+// failed. Measure names what degraded; Reason says why (currently only
+// DegradeDeadline). For measures with a Monte Carlo fallback (ppc,
+// availability) Estimate carries the substitute value with its 95% CI;
+// for the rest (pc, tree) the note stands alone and the exact field is
+// simply absent.
+type Degradation struct {
+	Measure  Measure   `json:"measure"`
+	Reason   string    `json:"reason"`
+	Estimate *Estimate `json:"estimate,omitempty"`
+}
+
 // TreeSummary describes a worst-case-optimal probe strategy tree.
 type TreeSummary struct {
 	// Depth is the worst-case probe count of the tree (equals PC).
@@ -286,6 +314,10 @@ type Point struct {
 	Availability *float64  `json:"availability,omitempty"`
 	Expected     *float64  `json:"expected,omitempty"`
 	Estimate     *Estimate `json:"estimate,omitempty"`
+	// Degraded lists the p-dependent exact measures that ran out of the
+	// query's deadline budget at this grid point, each with its Monte
+	// Carlo substitute where one exists.
+	Degraded []Degradation `json:"degraded,omitempty"`
 }
 
 // Result is the answer to one Query, with a stable JSON encoding shared
@@ -306,6 +338,10 @@ type Result struct {
 	// Points holds the p-dependent measures, one entry per grid point in
 	// query order.
 	Points []Point `json:"points,omitempty"`
+	// Degraded lists the per-system exact measures (pc, tree) that ran
+	// out of the query's deadline budget; per-point degradations live on
+	// the Points entries.
+	Degraded []Degradation `json:"degraded,omitempty"`
 	// Trials and Seed are the effective Monte Carlo settings (only set
 	// when the query asked for an estimate).
 	Trials int    `json:"trials,omitempty"`

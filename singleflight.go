@@ -1,0 +1,179 @@
+package probequorum
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// Artifact kinds counted by the session's build/coalesce statistics.
+// "table" is the dense witness table (the 2^n-bit artifact a stampede of
+// cold queries would otherwise build N times over), "pc" and "ppc" the
+// exact DP solves, "availpoly" the availability failure-count polynomial.
+const (
+	artifactTable     = "table"
+	artifactPC        = "pc"
+	artifactPPC       = "ppc"
+	artifactAvailPoly = "availpoly"
+)
+
+// PanicError reports an evaluation that panicked — a third-party System
+// whose ContainsQuorum or prober blows up, or a bug in a measure body.
+// The panic is recovered at the query (or artifact-build) boundary and
+// surfaced as this error, so one poisonous query degrades to a failed
+// Result instead of taking down a serving process. Panics are never
+// cached: a later query retries cleanly.
+type PanicError struct {
+	// Op names the computation that panicked, e.g. "table build".
+	Op string
+	// Value is the recovered panic value.
+	Value any
+}
+
+func (p *PanicError) Error() string {
+	return fmt.Sprintf("probequorum: %s panicked: %v", p.Op, p.Value)
+}
+
+// guardPanic runs fn, converting a panic into a *PanicError.
+func guardPanic[T any](op string, fn func() (T, error)) (v T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Op: op, Value: r}
+		}
+	}()
+	return fn()
+}
+
+// EvalStats is a snapshot of the session's artifact-build accounting,
+// keyed by artifact kind ("table", "pc", "ppc", "availpoly"). Builds
+// counts builds actually started; Coalesced counts callers that found a
+// build of the artifact they needed already in flight and shared its
+// result instead of starting their own — under a stampede of identical
+// cold queries, Builds stays at 1 while Coalesced absorbs the rest.
+type EvalStats struct {
+	Builds    map[string]uint64
+	Coalesced map[string]uint64
+}
+
+// Stats returns a snapshot of the session's build and single-flight
+// coalescing counters. It is safe for concurrent use.
+func (e *Evaluator) Stats() EvalStats {
+	e.statsMu.Lock()
+	defer e.statsMu.Unlock()
+	s := EvalStats{Builds: make(map[string]uint64, len(e.buildCount)), Coalesced: make(map[string]uint64, len(e.coalesceCount))}
+	for k, v := range e.buildCount {
+		s.Builds[k] = v
+	}
+	for k, v := range e.coalesceCount {
+		s.Coalesced[k] = v
+	}
+	return s
+}
+
+// count bumps one stats counter.
+func (e *Evaluator) count(m *map[string]uint64, kind string) {
+	e.statsMu.Lock()
+	if *m == nil {
+		*m = map[string]uint64{}
+	}
+	(*m)[kind]++
+	e.statsMu.Unlock()
+}
+
+// buildCall is one in-flight single-flight artifact build. waiters is
+// guarded by the owning entry's mutex; everything else is written once
+// by the build goroutine before done closes.
+type buildCall struct {
+	done    chan struct{}
+	val     any
+	err     error
+	waiters int
+	cancel  context.CancelFunc
+}
+
+// singleflight coalesces concurrent builds of one artifact of one cache
+// entry: however many queries need it, exactly one build runs, and every
+// caller — the leader that started it included — parks on a channel it
+// abandons the moment its own context is done. The build itself runs on
+// a context detached from any single request, cancelled only when the
+// last interested waiter has walked away; a cancelled leader therefore
+// hands the build over to the surviving followers instead of aborting
+// it, and an abandoned build caches nothing, so the PR 3 invariant —
+// cancellation never poisons a cache — holds with coalescing layered on.
+//
+// cached and store run under ent.mu and must not block; build runs with
+// no locks held. Cancellations and recovered panics are returned to the
+// waiters of the moment but never stored.
+func (e *Evaluator) singleflight(ctx context.Context, ent *evalEntry, kind, key string,
+	cached func() (any, error, bool),
+	store func(val any, err error),
+	build func(ctx context.Context) (any, error),
+) (any, error) {
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		ent.mu.Lock()
+		if v, err, ok := cached(); ok {
+			ent.mu.Unlock()
+			return v, err
+		}
+		call, inflight := ent.builds[key]
+		if inflight {
+			call.waiters++
+			e.count(&e.coalesceCount, kind)
+		} else {
+			buildCtx, cancel := context.WithCancel(context.WithoutCancel(ctx))
+			call = &buildCall{done: make(chan struct{}), waiters: 1, cancel: cancel}
+			if ent.builds == nil {
+				ent.builds = map[string]*buildCall{}
+			}
+			ent.builds[key] = call
+			e.count(&e.buildCount, kind)
+			go e.runBuild(buildCtx, ent, kind, key, call, store, build)
+		}
+		ent.mu.Unlock()
+
+		select {
+		case <-call.done:
+			if isCtxErr(call.err) {
+				// The build died of abandonment in the window between our
+				// registration and its completion; our own context is
+				// still live, so loop and start a fresh one.
+				continue
+			}
+			return call.val, call.err
+		case <-ctx.Done():
+			ent.mu.Lock()
+			call.waiters--
+			abandoned := call.waiters == 0
+			ent.mu.Unlock()
+			if abandoned {
+				call.cancel()
+			}
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// runBuild executes one detached artifact build and publishes its
+// outcome. Permanent results and errors are stored in the entry cache;
+// cancellations (every waiter gone) and recovered panics are handed to
+// the current waiters but never cached, so the next query rebuilds
+// cleanly.
+func (e *Evaluator) runBuild(buildCtx context.Context, ent *evalEntry, kind, key string, call *buildCall,
+	store func(val any, err error),
+	build func(ctx context.Context) (any, error),
+) {
+	defer call.cancel()
+	val, err := guardPanic(kind+" build", func() (any, error) { return build(buildCtx) })
+	var pe *PanicError
+	ent.mu.Lock()
+	delete(ent.builds, key)
+	call.val, call.err = val, err
+	if !isCtxErr(err) && !errors.As(err, &pe) {
+		store(val, err)
+	}
+	ent.mu.Unlock()
+	close(call.done)
+}

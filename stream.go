@@ -8,6 +8,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"probequorum/internal/render"
 	"probequorum/internal/sim"
@@ -62,6 +63,11 @@ type Cell struct {
 	HalfCI float64 `json:"half_ci,omitempty"`
 	// Tree is the strategy-tree summary of a tree cell.
 	Tree *TreeSummary `json:"tree,omitempty"`
+	// Degraded marks a Done cell whose exact solve ran out of the query's
+	// deadline budget: the note names the measure and reason, and carries
+	// the Monte Carlo substitute (also mirrored in Value/Trials/HalfCI)
+	// where one exists. The exact value is absent from the folded Result.
+	Degraded *Degradation `json:"degraded,omitempty"`
 	// Done marks the cell final for its (measure, point); progress cells
 	// are refined by later cells of the same coordinates.
 	Done bool `json:"done"`
@@ -271,6 +277,10 @@ func FoldCells(cells iter.Seq2[Cell, error], n int) ([]*Result, error) {
 			continue
 		}
 		if c.P == nil {
+			if c.Degraded != nil {
+				res.Degraded = append(res.Degraded, *c.Degraded)
+				continue
+			}
 			switch c.Measure {
 			case MeasurePC:
 				pc := int(c.Value)
@@ -285,6 +295,10 @@ func FoldCells(cells iter.Seq2[Cell, error], n int) ([]*Result, error) {
 		}
 		pt := &res.Points[c.Point]
 		pt.P = *c.P
+		if c.Degraded != nil {
+			pt.Degraded = append(pt.Degraded, *c.Degraded)
+			continue
+		}
 		v := c.Value
 		switch c.Measure {
 		case MeasurePPC:
@@ -314,11 +328,23 @@ func CellSeq(cells []Cell) iter.Seq2[Cell, error] {
 	}
 }
 
+// degradeFallbackTrials is the fixed Monte Carlo budget of a
+// deadline-degradation fallback. It is deliberately small — the caller
+// already spent its budget on the exact attempt — and fixed rather than
+// adaptive so the substitute estimate is deterministic for a given seed.
+const degradeFallbackTrials = 4096
+
 // streamOne evaluates one normalized-on-entry query and hands its cells
 // to emit in canonical order. A false return from emit stops evaluation
 // with errStreamStopped; any other non-nil error is the query's failure,
 // already wrapped with its measure context. Cancellation surfaces as
 // ctx.Err() and, as everywhere in the session, caches nothing.
+//
+// Exact measures run under the query's DeadlineMS budget; when one runs
+// out, the cell degrades (typed note, Monte Carlo substitute where one
+// exists) and the query carries on — only the caller's own ctx aborts
+// it. A measure that panics (a third-party System gone wrong) fails the
+// query with a *PanicError instead of taking down the process.
 func (e *Evaluator) streamOne(ctx context.Context, idx int, q Query, emit func(Cell) bool) error {
 	nq, err := q.normalized()
 	if err != nil {
@@ -340,6 +366,20 @@ func (e *Evaluator) streamOne(ctx context.Context, idx int, q Query, emit func(C
 		trials = budget
 	}
 
+	// Exact solves run under the deadline budget; the fallbacks and the
+	// estimate measure run under the caller's ctx, so a query keeps
+	// degrading point after point once its budget is gone. degraded
+	// distinguishes the budget expiring from the caller walking away.
+	exactCtx := ctx
+	if nq.DeadlineMS > 0 {
+		var cancel context.CancelFunc
+		exactCtx, cancel = context.WithTimeout(ctx, time.Duration(nq.DeadlineMS)*time.Millisecond)
+		defer cancel()
+	}
+	degraded := func(err error) bool {
+		return nq.DeadlineMS > 0 && errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil
+	}
+
 	head := Cell{Query: idx, Spec: specStr, Name: sys.Name(), N: sys.Size()}
 	if nq.has(MeasureEstimate) {
 		head.Trials, head.Seed = trials, seed
@@ -349,21 +389,35 @@ func (e *Evaluator) streamOne(ctx context.Context, idx int, q Query, emit func(C
 	}
 
 	if nq.has(MeasurePC) {
-		pc, err := e.ProbeComplexityCtx(ctx, sys)
-		if err != nil {
+		pc, err := guardPanic("measure pc", func() (int, error) { return e.ProbeComplexityCtx(exactCtx, sys) })
+		c := Cell{Query: idx, Spec: specStr, Measure: MeasurePC, Done: true}
+		switch {
+		case err == nil:
+			c.Value = float64(pc)
+		case degraded(err):
+			// No Monte Carlo stand-in exists for the worst-case measure:
+			// the note alone marks it missing.
+			c.Degraded = &Degradation{Measure: MeasurePC, Reason: DegradeDeadline}
+		default:
 			return fmt.Errorf("measure pc of %s: %w", sys.Name(), e.boundify(err, sys))
 		}
-		if !emit(Cell{Query: idx, Spec: specStr, Measure: MeasurePC, Value: float64(pc), Done: true}) {
+		if !emit(c) {
 			return errStreamStopped
 		}
 	}
 	if nq.has(MeasureTree) {
-		root, err := e.OptimalStrategyTreeCtx(ctx, sys)
-		if err != nil {
+		root, err := guardPanic("measure tree", func() (*StrategyNode, error) { return e.OptimalStrategyTreeCtx(exactCtx, sys) })
+		c := Cell{Query: idx, Spec: specStr, Measure: MeasureTree, Done: true}
+		switch {
+		case err == nil:
+			summary := &TreeSummary{Depth: root.Depth(), Leaves: root.Leaves(), ASCII: render.StrategyTree(root)}
+			c.Value, c.Tree = float64(summary.Depth), summary
+		case degraded(err):
+			c.Degraded = &Degradation{Measure: MeasureTree, Reason: DegradeDeadline}
+		default:
 			return fmt.Errorf("measure tree of %s: %w", sys.Name(), e.boundify(err, sys))
 		}
-		summary := &TreeSummary{Depth: root.Depth(), Leaves: root.Leaves(), ASCII: render.StrategyTree(root)}
-		if !emit(Cell{Query: idx, Spec: specStr, Measure: MeasureTree, Value: float64(summary.Depth), Tree: summary, Done: true}) {
+		if !emit(c) {
 			return errStreamStopped
 		}
 	}
@@ -376,29 +430,51 @@ func (e *Evaluator) streamOne(ctx context.Context, idx int, q Query, emit func(C
 			return Cell{Query: idx, Spec: specStr, Measure: m, P: &p, Point: i}
 		}
 		if nq.has(MeasurePPC) {
-			v, err := e.AverageProbeComplexityCtx(ctx, sys, p)
-			if err != nil {
+			v, err := guardPanic("measure ppc", func() (float64, error) { return e.AverageProbeComplexityCtx(exactCtx, sys, p) })
+			c := cell(MeasurePPC)
+			switch {
+			case err == nil:
+				c.Value, c.Done = v, true
+			case degraded(err):
+				s, ferr := e.estimateAdaptiveCtx(ctx, sys, p, degradeFallbackTrials, seed, nil)
+				if ferr != nil {
+					// The fallback failed too; report the original budget
+					// overrun, which is the root cause.
+					return fmt.Errorf("measure ppc of %s at p=%v: %w", sys.Name(), p, e.boundify(err, sys))
+				}
+				c.Done = true
+				c.Value, c.Trials, c.StdErr, c.HalfCI = s.Mean, s.N, s.StdErr, halfCI(s)
+				c.Degraded = &Degradation{Measure: MeasurePPC, Reason: DegradeDeadline, Estimate: &Estimate{Mean: s.Mean, HalfCI: halfCI(s), Trials: s.N}}
+			default:
 				return fmt.Errorf("measure ppc of %s at p=%v: %w", sys.Name(), p, e.boundify(err, sys))
 			}
-			c := cell(MeasurePPC)
-			c.Value, c.Done = v, true
 			if !emit(c) {
 				return errStreamStopped
 			}
 		}
 		if nq.has(MeasureAvailability) {
-			v, err := e.AvailabilityCtx(ctx, sys, p)
-			if err != nil {
+			v, err := guardPanic("measure availability", func() (float64, error) { return e.AvailabilityCtx(exactCtx, sys, p) })
+			c := cell(MeasureAvailability)
+			switch {
+			case err == nil:
+				c.Value, c.Done = v, true
+			case degraded(err):
+				s, ferr := e.estimateAvailabilityCtx(ctx, sys, p, degradeFallbackTrials, seed)
+				if ferr != nil {
+					return fmt.Errorf("measure availability of %s at p=%v: %w", sys.Name(), p, err)
+				}
+				c.Done = true
+				c.Value, c.Trials, c.StdErr, c.HalfCI = s.Mean, s.N, s.StdErr, halfCI(s)
+				c.Degraded = &Degradation{Measure: MeasureAvailability, Reason: DegradeDeadline, Estimate: &Estimate{Mean: s.Mean, HalfCI: halfCI(s), Trials: s.N}}
+			default:
 				return fmt.Errorf("measure availability of %s at p=%v: %w", sys.Name(), p, err)
 			}
-			c := cell(MeasureAvailability)
-			c.Value, c.Done = v, true
 			if !emit(c) {
 				return errStreamStopped
 			}
 		}
 		if nq.has(MeasureExpected) {
-			v, err := e.ExpectedProbes(sys, p)
+			v, err := guardPanic("measure expected", func() (float64, error) { return e.ExpectedProbes(sys, p) })
 			if err != nil {
 				return fmt.Errorf("measure expected of %s at p=%v: %w", sys.Name(), p, err)
 			}
