@@ -161,7 +161,7 @@ func TestParseErrors(t *testing.T) {
 		errSub string
 	}{
 		{"maj", "no ':'"},
-		{"grid:3", "unknown construction"},
+		{"zigzag:3", "unknown construction"},
 		{"maj:x", "integer"},
 		{"maj:4", "odd"},
 		{"wheel:2", "n >= 3"},

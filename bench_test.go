@@ -448,7 +448,7 @@ func BenchmarkBruteForceAvailabilityColoring(b *testing.B) {
 func BenchmarkExtensionLoadBalance(b *testing.B) {
 	w, _ := systems.NewWheel(12)
 	for i := 0; i < b.N; i++ {
-		if _, err := load.Balance(w, 200); err != nil {
+		if _, _, err := load.Balance(w, 200); err != nil {
 			b.Fatal(err)
 		}
 	}

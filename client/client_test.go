@@ -55,6 +55,80 @@ func TestEvalRoundTrip(t *testing.T) {
 	}
 }
 
+// TestEvalPlannerRoundTrip pins the PR 7 planner measures through the
+// client: load, capacity and resilience of a read/write pair round-trip
+// the wire bit-identically to the local façade, and the streamed cells
+// match the local stream frame for frame.
+func TestEvalPlannerRoundTrip(t *testing.T) {
+	c := newPair(t)
+	ctx := context.Background()
+	queries := []probequorum.Query{{
+		Spec:          "grid:2x3",
+		Measures:      []probequorum.Measure{probequorum.MeasureLoad, probequorum.MeasureCapacity, probequorum.MeasureResilience},
+		ReadFractions: []float64{0.25, 0.75},
+	}}
+	results, err := c.Eval(ctx, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := results[0]
+	if r.Error != "" {
+		t.Fatalf("remote planner query failed: %s", r.Error)
+	}
+	sys := probequorum.MustParse("grid:2x3")
+	wantRes, err := probequorum.Resilience(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Resilience == nil || *r.Resilience != wantRes {
+		t.Errorf("remote resilience = %+v, want %d", r.Resilience, wantRes)
+	}
+	if len(r.RWPoints) != 2 {
+		t.Fatalf("got %d rw points, want 2", len(r.RWPoints))
+	}
+	for _, fr := range []float64{0.25, 0.75} {
+		pt := r.RWPoint(fr)
+		if pt == nil {
+			t.Fatalf("no rw point at read fraction %v", fr)
+		}
+		w := probequorum.Workload{ReadFraction: fr}
+		s, err := probequorum.OptimizeStrategy(sys, probequorum.StrategyOptions{Workload: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		load, err := s.Load(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pt.Load == nil || *pt.Load != load || pt.Capacity == nil || *pt.Capacity != 1/load {
+			t.Errorf("fr=%v: remote point %+v, want load=%v capacity=%v", fr, pt, load, 1/load)
+		}
+	}
+	var remote, local []probequorum.Cell
+	for cell, err := range c.StreamEval(ctx, queries) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		remote = append(remote, cell)
+	}
+	for cell, err := range probequorum.NewEvaluator().StreamBatch(ctx, queries) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		local = append(local, cell)
+	}
+	if len(remote) != len(local) {
+		t.Fatalf("remote stream has %d cells, local %d", len(remote), len(local))
+	}
+	for i := range remote {
+		rj, _ := json.Marshal(remote[i])
+		lj, _ := json.Marshal(local[i])
+		if string(rj) != string(lj) {
+			t.Errorf("cell %d differs:\nremote %s\nlocal  %s", i, rj, lj)
+		}
+	}
+}
+
 func TestEvalRejectsSystemValues(t *testing.T) {
 	c := newPair(t)
 	sys := probequorum.MustParse("maj:3")

@@ -41,6 +41,10 @@ type benchRecord struct {
 	CellsPerSec   float64 `json:"cells_per_sec,omitempty"`
 	ShedRate      float64 `json:"shed_rate,omitempty"`
 	CoalesceHits  float64 `json:"coalesce_hits,omitempty"`
+	// StrategiesPerSec is the planner-op rate (PR 7): optimized
+	// read/write strategies delivered per second, whether each came from
+	// a fresh LP solve (cold) or the session memo (warm).
+	StrategiesPerSec float64 `json:"strategies_per_sec,omitempty"`
 }
 
 // benchFile is the on-disk schema: measurement context plus the records.
@@ -57,11 +61,12 @@ type benchFile struct {
 // total probe count of one op), and cells > 0 a streaming op whose
 // cells/sec delivery rate is derived likewise.
 type benchOp struct {
-	name    string
-	queries int
-	probes  int
-	cells   int
-	fn      func(b *testing.B)
+	name       string
+	queries    int
+	probes     int
+	cells      int
+	strategies int
+	fn         func(b *testing.B)
 	// post, when set, annotates the finished record with counters the op
 	// accumulated (shed rate, coalesce hits).
 	post func(rec *benchRecord)
@@ -325,6 +330,9 @@ func benchOps() []benchOp {
 		// against a blind fixed budget are the op's headline.
 		overloadOp(),
 		coalesceOp(),
+		plannerColdOp(),
+		plannerWarmOp(),
+		plannerRankOp(),
 		{name: "stream/adaptive-estimate/Maj1025-tol2", fn: func(b *testing.B) {
 			ctx := context.Background()
 			eval := probequorum.NewEvaluator()
@@ -471,6 +479,9 @@ func writeBenchJSON(path string) error {
 		if op.cells > 0 && rec.NsPerOp > 0 {
 			rec.CellsPerSec = float64(op.cells) * 1e9 / rec.NsPerOp
 		}
+		if op.strategies > 0 && rec.NsPerOp > 0 {
+			rec.StrategiesPerSec = float64(op.strategies) * 1e9 / rec.NsPerOp
+		}
 		fmt.Fprintf(os.Stderr, "%12.1f ns/op  %6d allocs/op", rec.NsPerOp, rec.AllocsPerOp)
 		if rec.QueriesPerSec > 0 {
 			fmt.Fprintf(os.Stderr, "  %10.0f queries/s", rec.QueriesPerSec)
@@ -486,6 +497,9 @@ func writeBenchJSON(path string) error {
 		}
 		if rec.CoalesceHits > 0 {
 			fmt.Fprintf(os.Stderr, "  coalesce %.1f", rec.CoalesceHits)
+		}
+		if rec.StrategiesPerSec > 0 {
+			fmt.Fprintf(os.Stderr, "  %10.0f strategies/s", rec.StrategiesPerSec)
 		}
 		fmt.Fprintln(os.Stderr)
 		out.Records = append(out.Records, rec)

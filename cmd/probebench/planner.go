@@ -1,0 +1,105 @@
+package main
+
+// Planner perf ops (PR 7): the read/write strategy optimizer cold (a
+// fresh LP solve per strategy) vs warm (the Evaluator session memo), and
+// the quorumctl-plan shape — ranking a 9-node candidate slate through
+// one DoBatch. Each op reports strategies/sec, the planner's serving
+// rate; the warm/cold ratio is the headline the session memo buys.
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"probequorum"
+)
+
+// plannerFractions is the read-fraction grid of the optimize ops: three
+// workload points, three optimized strategies per query.
+var plannerFractions = []float64{0.25, 0.5, 0.75}
+
+// plannerQuery is the optimize-op workload: the grid pair of the
+// quoracle tutorial, load and capacity over the three-point grid.
+func plannerQuery() probequorum.Query {
+	return probequorum.Query{
+		Spec:          "grid:3x3",
+		Measures:      []probequorum.Measure{probequorum.MeasureLoad, probequorum.MeasureCapacity, probequorum.MeasureResilience},
+		ReadFractions: plannerFractions,
+	}
+}
+
+// planSlate is the rank-op batch: the quorumctl plan default 9-node
+// candidate slate at one read fraction, unit capacities, no resilience
+// requirement so every candidate is feasible.
+var planSlate = []string{"rw:maj:9", "rowa:9", "rw:wheel:9", "grid:3x3", "rw:recmaj:3x2"}
+
+func planQueries() []probequorum.Query {
+	out := make([]probequorum.Query, len(planSlate))
+	for i, s := range planSlate {
+		out[i] = probequorum.Query{
+			Spec:          s,
+			Measures:      []probequorum.Measure{probequorum.MeasureLoad, probequorum.MeasureCapacity, probequorum.MeasureResilience},
+			ReadFractions: []float64{0.75},
+		}
+	}
+	return out
+}
+
+// runPlannerQuery submits one optimize query and fails on any error.
+func runPlannerQuery(ctx context.Context, eval *probequorum.Evaluator) error {
+	res, err := eval.Do(ctx, plannerQuery())
+	if err != nil {
+		return err
+	}
+	if res.Error != "" {
+		return fmt.Errorf("planner query failed: %s", res.Error)
+	}
+	if len(res.RWPoints) != len(plannerFractions) {
+		return fmt.Errorf("planner query returned %d points, want %d", len(res.RWPoints), len(plannerFractions))
+	}
+	return nil
+}
+
+func plannerColdOp() benchOp {
+	return benchOp{name: "plan/optimize-cold/grid3x3-x-3fr", strategies: len(plannerFractions), fn: func(b *testing.B) {
+		ctx := context.Background()
+		for i := 0; i < b.N; i++ {
+			if err := runPlannerQuery(ctx, probequorum.NewEvaluator()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}}
+}
+
+func plannerWarmOp() benchOp {
+	return benchOp{name: "plan/optimize-warm/grid3x3-x-3fr", strategies: len(plannerFractions), fn: func(b *testing.B) {
+		ctx := context.Background()
+		eval := probequorum.NewEvaluator()
+		if err := runPlannerQuery(ctx, eval); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := runPlannerQuery(ctx, eval); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}}
+}
+
+func plannerRankOp() benchOp {
+	return benchOp{name: "plan/rank-9node/5specs", queries: len(planSlate), strategies: len(planSlate), fn: func(b *testing.B) {
+		ctx := context.Background()
+		for i := 0; i < b.N; i++ {
+			results, err := probequorum.NewEvaluator().DoBatch(ctx, planQueries())
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, r := range results {
+				if r.Error != "" {
+					b.Fatalf("candidate %s failed: %s", r.Spec, r.Error)
+				}
+			}
+		}
+	}}
+}

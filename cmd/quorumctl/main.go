@@ -8,6 +8,9 @@
 //	quorumctl -system maj:7 [-p 0.1] [-enumerate] [-check]
 //	quorumctl eval -system maj:7 -p 0.1,0.3,0.5 [-measures pc,ppc,availability,expected,estimate,tree]
 //	               [-trials 10000] [-seed 1] [-tolerance 0] [-stream] [-json]
+//	quorumctl plan [-nodes 9] [-candidates rw:maj:9,grid:3x3] [-read-fraction 0.75]
+//	               [-capacities 1000,500,...] [-read-capacities ...] [-write-capacities ...]
+//	               [-f 1] [-json]
 //	quorumctl -specs
 //
 // The eval subcommand accepts a comma-separated -p grid and evaluates
@@ -19,6 +22,10 @@
 // measure adaptive: trials stop as soon as the 95% confidence
 // half-interval reaches the target, bounded by -trials (or the
 // MaxQueryTrials budget when -trials is 0).
+//
+// The plan subcommand ranks candidate read/write systems by the
+// capacity they sustain under a workload (read fraction, per-node
+// capacities, a resilience requirement -f); see plan.go.
 package main
 
 import (
@@ -34,8 +41,13 @@ import (
 )
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "eval" {
-		os.Exit(runEval(os.Args[2:]))
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "eval":
+			os.Exit(runEval(os.Args[2:]))
+		case "plan":
+			os.Exit(runPlan(os.Args[2:]))
+		}
 	}
 	os.Exit(run())
 }

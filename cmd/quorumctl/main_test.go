@@ -43,7 +43,7 @@ func TestBuildErrors(t *testing.T) {
 	}{
 		{name: "missing system", spec: "", errSub: "missing -system"},
 		{name: "no colon", spec: "maj", errSub: "no ':'"},
-		{name: "unknown system", spec: "grid:3", errSub: "unknown construction"},
+		{name: "unknown system", spec: "zigzag:3", errSub: "unknown construction"},
 		{name: "cw bad widths", spec: "cw:1,x", errSub: "comma-separated integers"},
 		{name: "vote empty weights", spec: "vote:", errSub: "empty"},
 		{name: "maj even", spec: "maj:4", errSub: "odd"},

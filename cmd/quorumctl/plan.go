@@ -1,0 +1,193 @@
+package main
+
+// The plan subcommand: rank candidate read/write quorum systems for a
+// deployment by the capacity they sustain under a workload. Candidates
+// are spec strings; measurement flows through the same Query path as
+// /v1/eval (measures load, capacity, resilience over a read-fraction
+// grid), so a plan printed here is exactly what the service would
+// report. Candidates that cannot be built or cannot meet the -f
+// resilience requirement rank last, with the reason shown.
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"probequorum"
+)
+
+func runPlan(args []string) int {
+	fs := flag.NewFlagSet("quorumctl plan", flag.ExitOnError)
+	var (
+		nodes      = fs.Int("nodes", 9, "deployment size; picks the default candidate slate")
+		candidates = fs.String("candidates", "", "comma-separated candidate specs (default: a slate for -nodes)")
+		frGrid     = fs.String("read-fraction", "0.5", "comma-separated read-fraction grid; ranking uses the first point")
+		caps       = fs.String("capacities", "", "comma-separated per-node capacities for both roles (default: unit)")
+		readCaps   = fs.String("read-capacities", "", "per-node read capacities (overrides -capacities for reads)")
+		writeCaps  = fs.String("write-capacities", "", "per-node write capacities (overrides -capacities for writes)")
+		f          = fs.Int("f", 0, "resilience requirement: strategies must survive any f node failures")
+		asJSON     = fs.Bool("json", false, "print the ranked Results in the wire encoding instead of the table")
+	)
+	fs.Parse(args)
+
+	frs, err := probequorum.ParsePGrid(*frGrid)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "quorumctl plan:", err)
+		return 1
+	}
+	specs := defaultCandidates(*nodes)
+	if *candidates != "" {
+		specs = strings.Split(*candidates, ",")
+	}
+	q := probequorum.Query{
+		Measures:      []probequorum.Measure{probequorum.MeasureLoad, probequorum.MeasureCapacity, probequorum.MeasureResilience},
+		ReadFractions: frs,
+		F:             *f,
+	}
+	for _, c := range []struct {
+		flag string
+		dst  *[]float64
+	}{
+		{*caps, &q.Capacities},
+		{*readCaps, &q.ReadCapacities},
+		{*writeCaps, &q.WriteCapacities},
+	} {
+		if c.flag == "" {
+			continue
+		}
+		if *c.dst, err = parseCapacities(c.flag); err != nil {
+			fmt.Fprintln(os.Stderr, "quorumctl plan:", err)
+			return 1
+		}
+	}
+	queries := make([]probequorum.Query, len(specs))
+	for i, s := range specs {
+		queries[i] = q
+		queries[i].Spec = strings.TrimSpace(s)
+	}
+
+	results, err := probequorum.NewEvaluator().DoBatch(context.Background(), queries)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "quorumctl plan:", err)
+		return 1
+	}
+	ranked := rankByCapacity(results, frs[0])
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(ranked); err != nil {
+			fmt.Fprintln(os.Stderr, "quorumctl plan:", err)
+			return 1
+		}
+		return 0
+	}
+	printPlan(ranked, frs[0], *f)
+	return 0
+}
+
+// defaultCandidates is the slate ranked when -candidates is not given:
+// the classic coteries self-paired, read-one/write-all, and — when the
+// node count factors — the grid pair, the planner's showcase.
+func defaultCandidates(n int) []string {
+	specs := []string{
+		fmt.Sprintf("rw:maj:%d", n),
+		fmt.Sprintf("rowa:%d", n),
+	}
+	if n >= 3 {
+		specs = append(specs, fmt.Sprintf("rw:wheel:%d", n))
+	}
+	for r := 2; r*r <= n; r++ {
+		if n%r == 0 {
+			specs = append(specs, fmt.Sprintf("grid:%dx%d", r, n/r))
+			break
+		}
+	}
+	if n == 9 {
+		specs = append(specs, "rw:recmaj:3x2")
+	}
+	return specs
+}
+
+// rankByCapacity orders results by capacity at the ranking read
+// fraction, highest first; results whose capacity is unavailable (build
+// failure, infeasible resilience requirement, degraded measure) keep
+// their relative order at the bottom.
+func rankByCapacity(results []*probequorum.Result, fr float64) []*probequorum.Result {
+	ranked := make([]*probequorum.Result, len(results))
+	copy(ranked, results)
+	sort.SliceStable(ranked, func(i, j int) bool {
+		ci, cj := planCapacity(ranked[i], fr), planCapacity(ranked[j], fr)
+		switch {
+		case ci == nil:
+			return false
+		case cj == nil:
+			return true
+		default:
+			return *ci > *cj
+		}
+	})
+	return ranked
+}
+
+// planCapacity extracts the ranking key: the capacity at the read
+// fraction, or nil when the result has no usable value there.
+func planCapacity(r *probequorum.Result, fr float64) *float64 {
+	if r == nil || r.Error != "" {
+		return nil
+	}
+	pt := r.RWPoint(fr)
+	if pt == nil || pt.Capacity == nil {
+		return nil
+	}
+	return pt.Capacity
+}
+
+// printPlan renders the ranked table.
+func printPlan(ranked []*probequorum.Result, fr float64, f int) {
+	fmt.Printf("plan: ranked by capacity at read fraction %g", fr)
+	if f > 0 {
+		fmt.Printf(", surviving any %d failures", f)
+	}
+	fmt.Println()
+	fmt.Println()
+	fmt.Println("rank  spec             n  resil      load     capacity")
+	for i, r := range ranked {
+		if r.Error != "" {
+			fmt.Printf("%4d  %-15s  --  infeasible: %s\n", i+1, r.Spec, r.Error)
+			continue
+		}
+		resil := "?"
+		if r.Resilience != nil {
+			resil = strconv.Itoa(*r.Resilience)
+		}
+		pt := r.RWPoint(fr)
+		if pt == nil || pt.Capacity == nil {
+			reason := "no capacity at this read fraction"
+			if pt != nil && len(pt.Degraded) > 0 {
+				reason = pt.Degraded[0].Reason
+			}
+			fmt.Printf("%4d  %-15s %3d  %5s  infeasible: %s\n", i+1, r.Spec, r.N, resil, reason)
+			continue
+		}
+		fmt.Printf("%4d  %-15s %3d  %5s  %8.4f  %11.4f\n", i+1, r.Spec, r.N, resil, *pt.Load, *pt.Capacity)
+	}
+}
+
+// parseCapacities parses a comma-separated positive float list.
+func parseCapacities(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad capacity %q: %v", p, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

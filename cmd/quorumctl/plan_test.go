@@ -1,0 +1,96 @@
+package main
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"probequorum"
+)
+
+func TestDefaultCandidates(t *testing.T) {
+	nine := defaultCandidates(9)
+	want := []string{"rw:maj:9", "rowa:9", "rw:wheel:9", "grid:3x3", "rw:recmaj:3x2"}
+	if strings.Join(nine, ",") != strings.Join(want, ",") {
+		t.Errorf("defaultCandidates(9) = %v, want %v", nine, want)
+	}
+	if len(nine) < 4 {
+		t.Errorf("the 9-node slate must rank at least 4 candidates, got %d", len(nine))
+	}
+	// Every default candidate must actually build.
+	for _, s := range nine {
+		if _, err := probequorum.Parse(s); err != nil {
+			t.Errorf("candidate %s does not build: %v", s, err)
+		}
+	}
+	// A prime node count still yields a slate (no grid).
+	for _, s := range defaultCandidates(7) {
+		if strings.HasPrefix(s, "grid:") {
+			t.Errorf("defaultCandidates(7) offers a grid: %v", s)
+		}
+		if _, err := probequorum.Parse(s); err != nil {
+			t.Errorf("candidate %s does not build: %v", s, err)
+		}
+	}
+}
+
+func TestParseCapacities(t *testing.T) {
+	caps, err := parseCapacities("1000, 500,1000")
+	if err != nil || len(caps) != 3 || caps[1] != 500 {
+		t.Errorf("parseCapacities = %v, %v", caps, err)
+	}
+	if _, err := parseCapacities("1,x"); err == nil {
+		t.Error("parseCapacities accepted a non-number")
+	}
+}
+
+// TestRankByCapacity runs the 9-node acceptance plan through the same
+// DoBatch path runPlan uses and checks the ranking invariants: capacity
+// descending, infeasible candidates (rowa:9 under f=1 has no 1-resilient
+// write quorums) at the bottom with their reason preserved.
+func TestRankByCapacity(t *testing.T) {
+	const fr = 0.75
+	specs := defaultCandidates(9)
+	queries := make([]probequorum.Query, len(specs))
+	for i, s := range specs {
+		queries[i] = probequorum.Query{
+			Spec:          s,
+			Measures:      []probequorum.Measure{probequorum.MeasureLoad, probequorum.MeasureCapacity, probequorum.MeasureResilience},
+			ReadFractions: []float64{fr},
+			F:             1,
+		}
+	}
+	results, err := probequorum.NewEvaluator().DoBatch(context.Background(), queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranked := rankByCapacity(results, fr)
+	if len(ranked) != len(specs) {
+		t.Fatalf("ranked %d results, want %d", len(ranked), len(specs))
+	}
+	feasible := 0
+	prev := -1.0
+	for i, r := range ranked {
+		c := planCapacity(r, fr)
+		if c == nil {
+			for _, rest := range ranked[i:] {
+				if planCapacity(rest, fr) != nil {
+					t.Fatalf("feasible candidate %s ranked below an infeasible one", rest.Spec)
+				}
+			}
+			break
+		}
+		feasible++
+		if prev >= 0 && *c > prev+1e-12 {
+			t.Errorf("rank %d (%s) capacity %v exceeds rank %d's %v", i+1, r.Spec, *c, i, prev)
+		}
+		prev = *c
+	}
+	if feasible < 4 {
+		t.Errorf("only %d feasible candidates under f=1, want >= 4", feasible)
+	}
+	last := ranked[len(ranked)-1]
+	if last.Spec != "rowa:9" || last.Error == "" || !strings.Contains(last.Error, "resilient") {
+		t.Errorf("rowa:9 should rank last as infeasible under f=1, got %+v", last)
+	}
+}

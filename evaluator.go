@@ -15,6 +15,7 @@ import (
 	"probequorum/internal/coloring"
 	"probequorum/internal/probe"
 	"probequorum/internal/quorum"
+	"probequorum/internal/rw"
 	"probequorum/internal/sim"
 	"probequorum/internal/spec"
 	"probequorum/internal/stats"
@@ -95,6 +96,14 @@ type evalEntry struct {
 	pcOK  bool
 
 	ppc map[float64]float64
+
+	// strategies memoizes optimized strategies by options key (see
+	// Evaluator.StrategyCtx); successes only.
+	strategies map[string]*rw.Strategy
+
+	resilience int
+	resErr     error
+	resOK      bool
 }
 
 // EvaluatorOption configures an Evaluator.
@@ -465,7 +474,22 @@ func measuresAvailable(sys System) []string {
 	case Prober, finderSystem:
 		out = append(out, string(MeasureEstimate))
 	}
+	if n <= quorum.MaxTableUniverse {
+		out = append(out, string(MeasureLoad), string(MeasureCapacity))
+	}
+	if hasExactResilience(sys) || n <= quorum.MaxTableUniverse {
+		out = append(out, string(MeasureResilience))
+	}
 	return out
+}
+
+// hasExactResilience reports whether both roles of the system's
+// read/write view answer resilience in closed form (at any size).
+func hasExactResilience(sys System) bool {
+	rwv := rw.As(sys)
+	_, rok := rwv.ReadRole().(quorum.ExactResilience)
+	_, wok := rwv.WriteRole().(quorum.ExactResilience)
+	return rok && wok
 }
 
 // boundify makes a bound error actionable: when err wraps a

@@ -65,7 +65,7 @@ func LoadMeasure() Report {
 	hqs := mustSystem[*systems.HQS]("hqs:2")
 	for _, sys := range []quorum.System{maj, wheel, tri, tree, hqs} {
 		uni := load.Uniform(sys).Load()
-		bal, err := load.Balance(sys, 2000)
+		bal, gap, err := load.Balance(sys, 2000)
 		if err != nil {
 			r.addf("%s: error: %v", sys.Name(), err)
 			continue
@@ -75,8 +75,8 @@ func LoadMeasure() Report {
 		if bal.Load() < lower-1e-9 {
 			ok = "DEVIATES (below bound)"
 		}
-		r.addf("%-14s uniform=%7.4f  balanced=%7.4f  lower max(1/c,c/n)=%7.4f  %s",
-			sys.Name(), uni, bal.Load(), lower, ok)
+		r.addf("%-14s uniform=%7.4f  balanced=%7.4f (gap<=%.4f)  lower max(1/c,c/n)=%7.4f  %s",
+			sys.Name(), uni, bal.Load(), gap, lower, ok)
 	}
 	r.addf("note: the wheel shows the gap — uniform overloads the hub, balancing")
 	r.addf("shifts mass to the rim quorum.")

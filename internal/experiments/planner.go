@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"context"
+
+	"probequorum"
+)
+
+// ReadWritePlanner (X10) drives the PR 7 read/write planner through the
+// Query path — the same evaluation /v1/eval serves — and checks it
+// against the published numbers of the quoracle tutorial (Whittaker et
+// al., "quoracle: A Quorum Exploration Tool"): the 2x3 grid's optimal
+// strategy loads across the read-fraction axis, the capacity it
+// sustains under heterogeneous per-node capacities, and the resilience
+// and f-constrained trade-off the tool demonstrates.
+func ReadWritePlanner() Report {
+	r := Report{ID: "X10", Title: "Read/write planner: quoracle tutorial numbers via the Query path"}
+	eval := probequorum.NewEvaluator()
+	ctx := context.Background()
+
+	// Tutorial step 1: the 2x3 grid (reads = rows, writes = one-per-row
+	// transversals) optimized per read fraction. The tutorial's headline
+	// is load 0.458 at fr = 0.75.
+	frs := []float64{0, 0.25, 0.5, 0.75, 1}
+	wantLoads := []float64{1.0 / 3, 3.0 / 8, 5.0 / 12, 11.0 / 24, 1.0 / 2}
+	res, err := eval.Do(ctx, probequorum.Query{
+		Spec:          "grid:2x3",
+		Measures:      []probequorum.Measure{probequorum.MeasureLoad, probequorum.MeasureCapacity, probequorum.MeasureResilience},
+		ReadFractions: frs,
+	})
+	if err != nil {
+		r.addf("grid query failed: %v", err)
+		return r
+	}
+	if res.Resilience != nil {
+		r.addf("grid:2x3 resilience = %d (tutorial: survives %d failure)  %s",
+			*res.Resilience, 1, verdict(float64(*res.Resilience), 1, 0))
+	}
+	for i, fr := range frs {
+		pt := res.RWPoints[i]
+		r.addf("grid:2x3 fr=%.2f  optimal load=%.6f  capacity=%.4f  want load %.6f  %s",
+			fr, *pt.Load, *pt.Capacity, wantLoads[i], verdict(*pt.Load, wantLoads[i], 1e-9))
+	}
+
+	// Tutorial step 2: heterogeneous capacities. With per-node capacity
+	// alternating 1000/500 in both roles the grid sustains 1333.33
+	// ops/sec at fr = 0.75; splitting read capacity (10000/5000) from
+	// write capacity (1000/500) lifts it to 3913.04 at fr = 0.5.
+	caps := []float64{1000, 500, 1000, 500, 1000, 500}
+	readCaps := []float64{10000, 5000, 10000, 5000, 10000, 5000}
+	for _, tc := range []struct {
+		label   string
+		q       probequorum.Query
+		fr, cap float64
+	}{
+		{
+			label: "caps 1000/500 both roles",
+			q:     probequorum.Query{Spec: "grid:2x3", Measures: q2measures(), ReadFractions: []float64{0.75}, Capacities: caps},
+			fr:    0.75, cap: 4000.0 / 3,
+		},
+		{
+			label: "read caps 10000/5000, write caps 1000/500",
+			q:     probequorum.Query{Spec: "grid:2x3", Measures: q2measures(), ReadFractions: []float64{0.5}, ReadCapacities: readCaps, WriteCapacities: caps},
+			fr:    0.5, cap: 90000.0 / 23,
+		},
+	} {
+		res, err := eval.Do(ctx, tc.q)
+		if err != nil {
+			r.addf("%s: query failed: %v", tc.label, err)
+			continue
+		}
+		pt := res.RWPoint(tc.fr)
+		r.addf("grid:2x3 fr=%.2f  %s  capacity=%.2f  want %.2f  %s",
+			tc.fr, tc.label, *pt.Capacity, tc.cap, verdict(*pt.Capacity, tc.cap, 1e-6))
+	}
+
+	// Tutorial step 3: the f=1 trade-off. Requiring every picked quorum
+	// to survive one failure forces bigger quorums — at fr = 0.5 the
+	// optimal 1-resilient load rises from 5/12 to 5/6, halving capacity.
+	fres, err := eval.Do(ctx, probequorum.Query{
+		Spec:          "grid:2x3",
+		Measures:      q2measures(),
+		ReadFractions: []float64{0.5},
+		F:             1,
+	})
+	if err != nil {
+		r.addf("f=1 query failed: %v", err)
+	} else {
+		pt := fres.RWPoint(0.5)
+		r.addf("grid:2x3 fr=0.50 f=1  optimal load=%.6f  want %.6f  %s",
+			*pt.Load, 5.0/6, verdict(*pt.Load, 5.0/6, 1e-9))
+	}
+	r.addf("shape: the planner reproduces the quoracle tutorial end to end through")
+	r.addf("the served Query path: the fr-axis trade-off, heterogeneous capacities,")
+	r.addf("and the capacity price of an f=1 resilience requirement.")
+	return r
+}
+
+// q2measures is the planner measure set of the X10 capacity checks.
+func q2measures() []probequorum.Measure {
+	return []probequorum.Measure{probequorum.MeasureLoad, probequorum.MeasureCapacity}
+}

@@ -89,6 +89,7 @@ func Registry() []func() Report {
 		ParallelTradeoff,
 		WideUniverseSweep,
 		StreamingSweep,
+		ReadWritePlanner,
 	}
 }
 

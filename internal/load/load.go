@@ -1,138 +1,83 @@
-// Package load implements the load measure of Naor & Wool [12] and
-// Holzman, Marcus & Peleg [6] — the companion quality measure the paper
-// cites alongside availability and probe complexity (§1.2).
-//
-// A quorum-picking strategy is a probability distribution over the
-// quorums; the load it induces on an element is the probability that the
-// element's quorum is picked, and the system load is the best achievable
-// maximum element load. The package provides exact element loads, the
-// uniform strategy, the Naor–Wool lower bound max(1/c, c/n), and an
-// iterative balancer (multiplicative-weights play of the associated
-// zero-sum game) that approaches the optimal load.
+// Package load keeps the paper-named entry points for the load measure
+// of Naor & Wool [12] and Holzman, Marcus & Peleg [6] — the companion
+// quality measure the paper cites alongside availability and probe
+// complexity (§1.2). The implementation lives in internal/rw, which
+// generalizes single-role load to read/write strategies, per-node
+// capacities and an exact LP optimizer; this package delegates,
+// presenting the single-role view: a strategy is a distribution over
+// the minimal quorums, its load the best achievable maximum element
+// load, bounded below by max(1/c, c/n).
 package load
 
 import (
-	"fmt"
-	"math"
-
 	"probequorum/internal/bitset"
 	"probequorum/internal/quorum"
+	"probequorum/internal/rw"
 )
 
+// readOnly is the unit-capacity all-reads workload under which a
+// read/write strategy's load is exactly the classic single-role load.
+var readOnly = rw.Workload{ReadFraction: 1}
+
 // Strategy is a probability distribution over the minimal quorums of a
-// system.
+// system — the single-role view of an rw.Strategy.
 type Strategy struct {
-	n       int
-	quorums []*bitset.Set
-	probs   []float64
+	inner *rw.Strategy
 }
 
 // Quorums returns the support quorums (not copied; do not mutate).
-func (s *Strategy) Quorums() []*bitset.Set { return s.quorums }
+func (s *Strategy) Quorums() []*bitset.Set { return s.inner.ReadQuorums() }
 
 // Probs returns the probabilities aligned with Quorums (not copied).
-func (s *Strategy) Probs() []float64 { return s.probs }
+func (s *Strategy) Probs() []float64 { return s.inner.ReadProbs() }
 
 // ElementLoads returns, per element, the probability that a picked quorum
 // contains it.
 func (s *Strategy) ElementLoads() []float64 {
-	loads := make([]float64, s.n)
-	for i, q := range s.quorums {
-		p := s.probs[i]
-		q.ForEach(func(e int) bool {
-			loads[e] += p
-			return true
-		})
+	loads, err := s.inner.NodeLoads(readOnly)
+	if err != nil {
+		panic(err) // unreachable: the unit workload always validates
 	}
 	return loads
 }
 
 // Load returns the maximum element load induced by the strategy.
 func (s *Strategy) Load() float64 {
-	max := 0.0
-	for _, l := range s.ElementLoads() {
-		if l > max {
-			max = l
-		}
+	l, err := s.inner.Load(readOnly)
+	if err != nil {
+		panic(err) // unreachable: the unit workload always validates
 	}
-	return max
+	return l
 }
 
 // Uniform returns the strategy that picks each minimal quorum with equal
-// probability. Requires explicit quorum enumeration (small systems).
+// probability. Requires explicit quorum enumeration (small systems); it
+// panics where Quorums would (over the enumeration budget), matching
+// the historical behavior.
 func Uniform(sys quorum.System) *Strategy {
-	qs := sys.Quorums()
-	probs := make([]float64, len(qs))
-	for i := range probs {
-		probs[i] = 1 / float64(len(qs))
+	s, err := rw.Uniform(sys, rw.Options{Workload: readOnly})
+	if err != nil {
+		panic(err)
 	}
-	return &Strategy{n: sys.Size(), quorums: qs, probs: probs}
+	return &Strategy{inner: s}
 }
 
 // LowerBound returns the Naor–Wool bound: every strategy's load is at
 // least max(1/c, c/n) where c is the minimal quorum cardinality.
-func LowerBound(sys quorum.System) float64 {
-	c := float64(quorum.MinQuorumSize(sys))
-	n := float64(sys.Size())
-	return math.Max(1/c, c/n)
-}
+func LowerBound(sys quorum.System) float64 { return rw.LowerBound(sys) }
 
-// Balance approximately minimizes the maximum element load by playing the
-// load game for the given number of rounds: an adversary maintains
-// multiplicative weights over elements, the strategy player responds with
-// the quorum of least adversary weight, and the empirical distribution of
-// responses converges to a near-optimal strategy. More rounds tighten the
-// result; a few hundred suffice for the systems in this repository.
-func Balance(sys quorum.System, rounds int) (*Strategy, error) {
-	if rounds <= 0 {
-		return nil, fmt.Errorf("load: rounds must be positive, got %d", rounds)
+// Balance approximately minimizes the maximum element load by playing
+// the load game for at most the given number of rounds, and reports how
+// converged it is: the returned gap is the width of a certified
+// interval around the optimal load (the strategy's own load is within
+// gap of optimal), so callers see what the rounds bought instead of
+// trusting a blind iteration count. Play stops early once the gap
+// reaches rw.DefaultBalanceGap. The exact solver is rw.Optimize; this
+// remains the paper-named iterative balancer.
+func Balance(sys quorum.System, rounds int) (*Strategy, float64, error) {
+	s, gap, err := rw.BalanceLoad(sys, rounds, rw.DefaultBalanceGap)
+	if err != nil {
+		return nil, 0, err
 	}
-	qs := sys.Quorums()
-	if len(qs) == 0 {
-		return nil, fmt.Errorf("load: system has no quorums")
-	}
-	n := sys.Size()
-	weights := make([]float64, n)
-	for e := range weights {
-		weights[e] = 1
-	}
-	counts := make([]float64, len(qs))
-	eta := math.Sqrt(math.Log(float64(n)+1) / float64(rounds))
-	for t := 0; t < rounds; t++ {
-		// Best response: the quorum with the least total adversary weight.
-		best, bestW := 0, math.Inf(1)
-		for i, q := range qs {
-			w := 0.0
-			q.ForEach(func(e int) bool {
-				w += weights[e]
-				return true
-			})
-			if w < bestW {
-				best, bestW = i, w
-			}
-		}
-		counts[best]++
-		// The adversary boosts the elements the chosen quorum loads.
-		qs[best].ForEach(func(e int) bool {
-			weights[e] *= 1 + eta
-			return true
-		})
-		// Renormalize occasionally to avoid overflow.
-		if t%64 == 63 {
-			maxW := 0.0
-			for _, w := range weights {
-				if w > maxW {
-					maxW = w
-				}
-			}
-			for e := range weights {
-				weights[e] /= maxW
-			}
-		}
-	}
-	probs := make([]float64, len(qs))
-	for i, c := range counts {
-		probs[i] = c / float64(rounds)
-	}
-	return &Strategy{n: n, quorums: qs, probs: probs}, nil
+	return &Strategy{inner: s}, gap, nil
 }

@@ -52,11 +52,19 @@ func TestBalanceRespectsLowerBound(t *testing.T) {
 	hqs, _ := systems.NewHQS(2)
 	for _, sys := range []quorum.System{maj, wheel, tri, tree, hqs} {
 		t.Run(sys.Name(), func(t *testing.T) {
-			bal, err := Balance(sys, 800)
+			bal, gap, err := Balance(sys, 800)
 			if err != nil {
 				t.Fatal(err)
 			}
+			if gap < 0 {
+				t.Errorf("negative certified gap %v", gap)
+			}
 			balanced := bal.Load()
+			// The gap is the balancer's own honesty check: its load can
+			// exceed the optimum (hence the lower bound) by at most gap.
+			if balanced > LowerBound(sys)+gap+0.25 {
+				t.Errorf("balanced load %v not within certified gap %v of plausible optimum", balanced, gap)
+			}
 			uniform := Uniform(sys).Load()
 			lower := LowerBound(sys)
 			if balanced < lower-1e-9 {
@@ -76,7 +84,7 @@ func TestBalanceRespectsLowerBound(t *testing.T) {
 func TestBalanceImprovesWheel(t *testing.T) {
 	w, _ := systems.NewWheel(8)
 	uniform := Uniform(w).Load()
-	bal, err := Balance(w, 2000)
+	bal, _, err := Balance(w, 2000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +95,7 @@ func TestBalanceImprovesWheel(t *testing.T) {
 
 func TestBalanceErrors(t *testing.T) {
 	m, _ := systems.NewMaj(3)
-	if _, err := Balance(m, 0); err == nil {
+	if _, _, err := Balance(m, 0); err == nil {
 		t.Error("Balance accepted zero rounds")
 	}
 }

@@ -1,0 +1,106 @@
+package probeserve_test
+
+// Golden wire tests for the PR 7 planner measures: the exact /v1/eval
+// JSON bytes and the exact /v1/stream frame sequence of a query asking
+// for load, capacity and resilience over a read-fraction grid. These pin
+// the field names ("resilience", "rw_points", "read_fraction", "load",
+// "capacity"), the float encodings (the grid:2x3 quoracle tutorial
+// numbers 5/12 and 11/24) and the canonical cell order — any wire drift
+// is a breaking change for deployed clients and must fail here first.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"probequorum/internal/probeserve"
+)
+
+const plannerQueryBody = `{"queries":[{"spec":"grid:2x3","measures":["load","capacity","resilience"],"read_fractions":[0.5,0.75]}]}`
+
+func TestEvalPlannerWireGolden(t *testing.T) {
+	ts := newTestServer(t)
+	res, err := http.Post(ts.URL+"/v1/eval", "application/json", strings.NewReader(plannerQueryBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	body, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", res.StatusCode, body)
+	}
+	want := `{"results":[` +
+		`{"spec":"grid:2x3","name":"Grid(2x3)","n":6,"resilience":1,` +
+		`"rw_points":[` +
+		`{"read_fraction":0.5,"load":0.41666666666666663,"capacity":2.4000000000000004},` +
+		`{"read_fraction":0.75,"load":0.4583333333333333,"capacity":2.181818181818182}` +
+		`]}]}`
+	// The server indents its JSON; the golden pins the compacted bytes,
+	// which fixes field order, names and float encodings all the same.
+	var compact bytes.Buffer
+	if err := json.Compact(&compact, body); err != nil {
+		t.Fatalf("response is not JSON: %v\n%s", err, body)
+	}
+	if compact.String() != want {
+		t.Errorf("/v1/eval wire drift:\n got: %s\nwant: %s", compact.String(), want)
+	}
+}
+
+func TestStreamPlannerFrameOrderGolden(t *testing.T) {
+	ts := newTestServer(t)
+	res, err := http.Post(ts.URL+"/v1/stream", "application/json", strings.NewReader(plannerQueryBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(res.Body)
+		t.Fatalf("status %d: %s", res.StatusCode, body)
+	}
+	want := []string{
+		`{"cell":{"query":0,"spec":"grid:2x3","name":"Grid(2x3)","n":6,"value":0,"done":false}}`,
+		`{"cell":{"query":0,"spec":"grid:2x3","measure":"resilience","value":1,"done":true}}`,
+		`{"cell":{"query":0,"spec":"grid:2x3","measure":"load","read_fraction":0.5,"value":0.41666666666666663,"done":true}}`,
+		`{"cell":{"query":0,"spec":"grid:2x3","measure":"capacity","read_fraction":0.5,"value":2.4000000000000004,"done":true}}`,
+		`{"cell":{"query":0,"spec":"grid:2x3","measure":"load","point":1,"read_fraction":0.75,"value":0.4583333333333333,"done":true}}`,
+		`{"cell":{"query":0,"spec":"grid:2x3","measure":"capacity","point":1,"read_fraction":0.75,"value":2.181818181818182,"done":true}}`,
+		`{"done":{"cells":6,"queries":1}}`,
+	}
+	sc := bufio.NewScanner(res.Body)
+	var got []string
+	for sc.Scan() {
+		if line := bytes.TrimSpace(sc.Bytes()); len(line) > 0 {
+			got = append(got, string(line))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("frame count %d, want %d:\n%s", len(got), len(want), strings.Join(got, "\n"))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("frame %d drift:\n got: %s\nwant: %s", i, got[i], want[i])
+		}
+	}
+	// The frames must also decode as StreamFrames with exactly one field
+	// set — the consumer contract the client package relies on.
+	for i, line := range got {
+		var f probeserve.StreamFrame
+		if err := json.Unmarshal([]byte(line), &f); err != nil {
+			t.Fatalf("frame %d does not decode: %v", i, err)
+		}
+		isCell, isDone := f.Cell != nil, f.Done != nil
+		if isCell == isDone {
+			t.Errorf("frame %d sets cell=%v done=%v, want exactly one", i, isCell, isDone)
+		}
+	}
+}

@@ -53,14 +53,16 @@ func TestEvalAllConstructionsBitIdentical(t *testing.T) {
 	ts := newTestServer(t)
 	const trials, seed = 2000, 7
 	ps := []float64{0.1, 0.5}
+	frs := []float64{0.5}
 	queries := make([]probequorum.Query, len(sevenSpecs))
 	for i, s := range sevenSpecs {
 		queries[i] = probequorum.Query{
-			Spec:     s,
-			Measures: probequorum.AllMeasures(),
-			Ps:       ps,
-			Trials:   trials,
-			Seed:     seed,
+			Spec:          s,
+			Measures:      probequorum.AllMeasures(),
+			Ps:            ps,
+			ReadFractions: frs,
+			Trials:        trials,
+			Seed:          seed,
 		}
 	}
 	res, out := postEval(t, ts, probeserve.EvalRequest{Queries: queries})
@@ -129,6 +131,31 @@ func TestEvalAllConstructionsBitIdentical(t *testing.T) {
 				t.Errorf("%s p=%v: estimate = %+v, façade (%v, %v)", s, p, pt.Estimate, mean, half)
 			}
 		}
+		res, err := probequorum.Resilience(sys)
+		if err != nil {
+			t.Fatalf("%s: façade resilience: %v", s, err)
+		}
+		if got.Resilience == nil || *got.Resilience != res {
+			t.Errorf("%s: resilience = %v, façade %d", s, got.Resilience, res)
+		}
+		if len(got.RWPoints) != len(frs) {
+			t.Fatalf("%s: got %d planner points, want %d", s, len(got.RWPoints), len(frs))
+		}
+		strat, err := probequorum.OptimizeStrategy(sys, probequorum.StrategyOptions{Workload: probequorum.Workload{ReadFraction: frs[0]}})
+		if err != nil {
+			t.Fatalf("%s: façade strategy: %v", s, err)
+		}
+		load, err := strat.Load(probequorum.Workload{ReadFraction: frs[0]})
+		if err != nil {
+			t.Fatalf("%s: façade load: %v", s, err)
+		}
+		rp := got.RWPoints[0]
+		if rp.ReadFraction != frs[0] || rp.Load == nil || *rp.Load != load {
+			t.Errorf("%s: planner point = %+v, façade load %v", s, rp, load)
+		}
+		if rp.Capacity == nil || *rp.Capacity != 1/load {
+			t.Errorf("%s: capacity = %v, façade %v", s, rp.Capacity, 1/load)
+		}
 		if got.Trials != trials || got.Seed != seed {
 			t.Errorf("%s: effective trials/seed = %d/%d, want %d/%d", s, got.Trials, got.Seed, trials, seed)
 		}
@@ -139,7 +166,7 @@ func TestEvalPerQueryErrors(t *testing.T) {
 	ts := newTestServer(t)
 	res, out := postEval(t, ts, probeserve.EvalRequest{Queries: []probequorum.Query{
 		{Spec: "maj:5", Measures: []probequorum.Measure{probequorum.MeasurePC}},
-		{Spec: "grid:9", Measures: []probequorum.Measure{probequorum.MeasurePC}},
+		{Spec: "zigzag:9", Measures: []probequorum.Measure{probequorum.MeasurePC}},
 		{Spec: "maj:7", Measures: []probequorum.Measure{"bogus"}},
 	}})
 	if res.StatusCode != http.StatusOK {

@@ -29,6 +29,18 @@ type ExactAvailability interface {
 	AvailabilityIID(p float64) float64
 }
 
+// ExactResilience is the capability of systems that know their crash
+// resilience in closed form: the largest f such that after the failure
+// of ANY f elements the surviving universe still contains a quorum.
+// Equivalently n - M - 1, where M is the largest subset of the universe
+// containing no quorum. A system whose full universe holds no quorum
+// has resilience -1 by convention (it cannot even survive zero
+// failures); well-formed quorum systems report >= 0.
+type ExactResilience interface {
+	// Resilience returns the crash resilience of the system.
+	Resilience() int
+}
+
 // Renderer is the capability of systems that can draw their layout as
 // ASCII art in the style of the paper's Figs. 1-3. Elements of highlight
 // are bracketed as [v]; highlight may be nil.

@@ -1,0 +1,125 @@
+package rw
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// simplexMax solves the linear program
+//
+//	maximize   c . x
+//	subject to A x <= b,  x >= 0
+//
+// by the primal simplex method on a dense tableau. Every b[i] must be
+// nonnegative, so the all-slack basis is feasible and no phase-1 is
+// needed — exactly the shape of the strategy LP, whose right-hand side
+// is unit capacities plus two zero coupling rows. Those zero rows make
+// the program degenerate, so pivoting uses Bland's anti-cycling rule
+// (lowest-index entering column, lowest-basis-index ratio ties), which
+// guarantees termination. ctx is polled between pivots.
+func simplexMax(ctx context.Context, c []float64, A [][]float64, b []float64) ([]float64, float64, error) {
+	m, n := len(A), len(c)
+	if m == 0 || n == 0 {
+		return nil, 0, errors.New("rw: simplex: empty program")
+	}
+	for i, bi := range b {
+		if bi < 0 {
+			return nil, 0, fmt.Errorf("rw: simplex: negative rhs b[%d]=%v", i, bi)
+		}
+	}
+	const eps = 1e-9
+	total := n + m // structural columns then slacks
+	t := make([][]float64, m)
+	for i := range t {
+		t[i] = make([]float64, total+1)
+		copy(t[i], A[i])
+		t[i][n+i] = 1
+		t[i][total] = b[i]
+	}
+	// obj holds the reduced costs; pivoting keeps them current.
+	obj := make([]float64, total+1)
+	copy(obj, c)
+	basis := make([]int, m)
+	for i := range basis {
+		basis[i] = n + i
+	}
+	// Bland's rule bounds the pivot count by the number of bases; the
+	// limit is a defensive backstop against float pathologies.
+	maxPivots := 2000 * (m + n)
+	for pivots := 0; ; pivots++ {
+		if pivots >= maxPivots {
+			return nil, 0, errors.New("rw: simplex: pivot limit exceeded")
+		}
+		if pivots%64 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, 0, err
+			}
+		}
+		// Entering column: lowest index with positive reduced cost.
+		enter := -1
+		for j := 0; j < total; j++ {
+			if obj[j] > eps {
+				enter = j
+				break
+			}
+		}
+		if enter < 0 {
+			break // optimal
+		}
+		// Ratio test; ties broken on the lowest leaving basis index.
+		leave := -1
+		best := 0.0
+		for i := 0; i < m; i++ {
+			a := t[i][enter]
+			if a <= eps {
+				continue
+			}
+			r := t[i][total] / a
+			if leave < 0 || r < best-eps || (r <= best+eps && basis[i] < basis[leave]) {
+				leave, best = i, r
+			}
+		}
+		if leave < 0 {
+			return nil, 0, errors.New("rw: simplex: unbounded program")
+		}
+		// Pivot on (leave, enter).
+		prow := t[leave]
+		inv := 1 / prow[enter]
+		for j := range prow {
+			prow[j] *= inv
+		}
+		for i := range t {
+			if i == leave {
+				continue
+			}
+			if f := t[i][enter]; f != 0 {
+				row := t[i]
+				for j := range row {
+					row[j] -= f * prow[j]
+				}
+			}
+		}
+		if f := obj[enter]; f != 0 {
+			for j := range obj {
+				obj[j] -= f * prow[j]
+			}
+		}
+		basis[leave] = enter
+	}
+	x := make([]float64, n)
+	for i, bi := range basis {
+		if bi < n {
+			v := t[i][total]
+			if v < 0 {
+				v = 0 // clamp float dust
+			}
+			x[bi] = v
+		}
+	}
+	val := 0.0
+	for j, cj := range c {
+		val += cj * x[j]
+	}
+	return x, val, nil
+}

@@ -3,7 +3,10 @@
 // "hqs:2", "vote:3,1,1,1,1", "recmaj:3x2", "wheel:8") into quorum
 // systems, and lets additional constructions register their own builders
 // so commands, experiments and services build systems from one
-// configuration syntax.
+// configuration syntax. Read/write pairs extend the grammar: "rw:maj:9"
+// self-pairs any registered construction (the cut is at the first ':',
+// so the inner spec nests verbatim), "rowa:9" is read-one/write-all,
+// and "grid:3x3" pairs row reads with transversal writes.
 //
 // Every built-in construction also implements quorum.Specced, so specs
 // round-trip: Parse(s).(quorum.Specced).Spec() is the canonical form of
@@ -20,6 +23,7 @@ import (
 	"sync"
 
 	"probequorum/internal/quorum"
+	"probequorum/internal/rw"
 	"probequorum/internal/systems"
 )
 
@@ -99,13 +103,17 @@ func MustParse(s string) quorum.System {
 }
 
 // Of returns the canonical spec string of the system via the
-// quorum.Specced capability, and whether the system has one.
+// quorum.Specced capability, and whether the system has one. A Specced
+// system reporting an empty spec (an ad-hoc pair with no registry
+// grammar) counts as having none, so empty strings never become
+// canonical cache keys.
 func Of(sys quorum.System) (string, bool) {
 	sp, ok := sys.(quorum.Specced)
 	if !ok {
 		return "", false
 	}
-	return sp.Spec(), true
+	s := sp.Spec()
+	return s, s != ""
 }
 
 // parseInt parses a single integer argument.
@@ -202,5 +210,39 @@ func init() {
 	})
 	Register("explicit", func(arg string) (quorum.System, error) {
 		return nil, fmt.Errorf("explicit systems are defined by their full quorum list and cannot be built from a spec; use quorum.NewExplicit")
+	})
+	// Read/write pairs: "rw:<inner spec>" self-pairs any registered
+	// construction (Parse cuts at the FIRST ':', so the whole inner spec
+	// arrives as the argument), "rowa:N" is read-one/write-all, and
+	// "grid:RxC" pairs full-row reads with one-per-row write
+	// transversals.
+	Register("rw", func(arg string) (quorum.System, error) {
+		inner, err := Parse(arg)
+		if err != nil {
+			return nil, err
+		}
+		return rw.FromSingle(inner), nil
+	})
+	Register("rowa", func(arg string) (quorum.System, error) {
+		n, err := parseInt(arg, "universe size")
+		if err != nil {
+			return nil, err
+		}
+		return rw.ReadOneWriteAll(n)
+	})
+	Register("grid", func(arg string) (quorum.System, error) {
+		rPart, cPart, ok := strings.Cut(arg, "x")
+		if !ok {
+			return nil, fmt.Errorf("bad grid argument %q: want ROWSxCOLS, e.g. %q", arg, "3x3")
+		}
+		r, err := parseInt(rPart, "row count")
+		if err != nil {
+			return nil, err
+		}
+		c, err := parseInt(cPart, "column count")
+		if err != nil {
+			return nil, err
+		}
+		return rw.Grid(r, c)
 	})
 }

@@ -43,6 +43,11 @@ func (m *Maj) ContainsQuorum(s *bitset.Set) bool {
 	return s.Count() >= m.Threshold()
 }
 
+// Resilience implements quorum.ExactResilience: any n - t failures
+// leave exactly t = Threshold() live elements, which is still a quorum,
+// while failing a full threshold can silence every quorum.
+func (m *Maj) Resilience() int { return m.n - m.Threshold() }
+
 // MinQuorumSize implements quorum.Sized.
 func (m *Maj) MinQuorumSize() int { return m.Threshold() }
 

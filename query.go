@@ -31,11 +31,22 @@ const (
 	// MeasureTree is a worst-case-optimal probe strategy tree: depth,
 	// leaf count and the ASCII rendering in the paper's Fig. 4 notation.
 	MeasureTree Measure = "tree"
+	// MeasureLoad is the optimal strategy load of the system's read/write
+	// pair under the query's capacities, one value per ReadFractions grid
+	// point. Single-role systems are evaluated as self-pairs.
+	MeasureLoad Measure = "load"
+	// MeasureCapacity is 1/load — the peak sustainable throughput — one
+	// value per ReadFractions grid point.
+	MeasureCapacity Measure = "capacity"
+	// MeasureResilience is the crash resilience of the read/write pair:
+	// the largest f such that any f failures leave both a live read and a
+	// live write quorum. One value per system.
+	MeasureResilience Measure = "resilience"
 )
 
 // AllMeasures returns every recognized measure in wire order.
 func AllMeasures() []Measure {
-	return []Measure{MeasurePC, MeasurePPC, MeasureAvailability, MeasureExpected, MeasureEstimate, MeasureTree}
+	return []Measure{MeasurePC, MeasurePPC, MeasureAvailability, MeasureExpected, MeasureEstimate, MeasureTree, MeasureLoad, MeasureCapacity, MeasureResilience}
 }
 
 // perP reports whether the measure is evaluated once per grid point p
@@ -48,9 +59,20 @@ func (m Measure) perP() bool {
 	return false
 }
 
+// perFr reports whether the measure is evaluated once per ReadFractions
+// grid point (the planner axis, as p grids are the availability axis).
+func (m Measure) perFr() bool {
+	switch m {
+	case MeasureLoad, MeasureCapacity:
+		return true
+	}
+	return false
+}
+
 func (m Measure) valid() bool {
 	switch m {
-	case MeasurePC, MeasurePPC, MeasureAvailability, MeasureExpected, MeasureEstimate, MeasureTree:
+	case MeasurePC, MeasurePPC, MeasureAvailability, MeasureExpected, MeasureEstimate, MeasureTree,
+		MeasureLoad, MeasureCapacity, MeasureResilience:
 		return true
 	}
 	return false
@@ -183,6 +205,39 @@ type Query struct {
 	// estimate with its 95% CI stands in for the exact value. Zero means
 	// no budget. Servers cap it at their -maxdeadline.
 	DeadlineMS int `json:"deadline_ms,omitempty"`
+	// ReadFractions is the read-fraction grid, required exactly when a
+	// planner measure (load, capacity) is requested — the workload axis
+	// those measures sweep, as Ps is the availability axis. Every value
+	// must lie in [0,1].
+	ReadFractions []float64 `json:"read_fractions,omitempty"`
+	// Capacities sets both the per-node read and write capacities for the
+	// planner measures (length n, positive finite values). Nil means unit
+	// capacities. ReadCapacities/WriteCapacities override it per role.
+	Capacities []float64 `json:"capacities,omitempty"`
+	// ReadCapacities and WriteCapacities set role-specific per-node
+	// capacities, overriding Capacities for that role.
+	ReadCapacities  []float64 `json:"read_capacities,omitempty"`
+	WriteCapacities []float64 `json:"write_capacities,omitempty"`
+	// F, when positive, restricts optimized strategies to F-resilient
+	// quorums: the load/capacity values then describe a deployment that
+	// keeps live quorums through any F crashes.
+	F int `json:"f,omitempty"`
+}
+
+// readCaps resolves the effective per-node read capacities (nil = unit).
+func (q Query) readCaps() []float64 {
+	if q.ReadCapacities != nil {
+		return q.ReadCapacities
+	}
+	return q.Capacities
+}
+
+// writeCaps resolves the effective per-node write capacities (nil = unit).
+func (q Query) writeCaps() []float64 {
+	if q.WriteCapacities != nil {
+		return q.WriteCapacities
+	}
+	return q.Capacities
 }
 
 // normalized validates the query and returns a canonical copy: measures
@@ -225,6 +280,38 @@ func (q Query) normalized() (Query, error) {
 		if !(p >= 0 && p <= 1) {
 			return q, fmt.Errorf("probequorum: probability %v out of [0,1]", p)
 		}
+	}
+	needFr := false
+	for _, m := range q.Measures {
+		needFr = needFr || m.perFr()
+	}
+	if needFr && len(q.ReadFractions) == 0 {
+		return q, fmt.Errorf("probequorum: measures %v need a read-fraction grid (set ReadFractions)", q.Measures)
+	}
+	if !needFr {
+		// No planner measure: the read-fraction grid is inert, so drop it
+		// rather than emit empty planner points. The capacities stay: the
+		// resilience measure does not read them, but callers composing
+		// queries incrementally should not find their workload erased.
+		q.ReadFractions = nil
+	}
+	for _, fr := range q.ReadFractions {
+		// The negated form rejects NaN, which both plain comparisons miss.
+		if !(fr >= 0 && fr <= 1) {
+			return q, fmt.Errorf("probequorum: read fraction %v out of [0,1]", fr)
+		}
+	}
+	for role, caps := range map[string][]float64{
+		"": q.Capacities, "read ": q.ReadCapacities, "write ": q.WriteCapacities,
+	} {
+		for i, c := range caps {
+			if !(c > 0) || math.IsInf(c, 0) {
+				return q, fmt.Errorf("probequorum: %scapacity of node %d is %v; want a positive finite value", role, i, c)
+			}
+		}
+	}
+	if q.F < 0 {
+		return q, fmt.Errorf("probequorum: negative resilience requirement f=%d", q.F)
 	}
 	if q.Trials < 0 {
 		return q, fmt.Errorf("probequorum: negative trial count %d", q.Trials)
@@ -305,6 +392,18 @@ type TreeSummary struct {
 	ASCII string `json:"ascii"`
 }
 
+// RWPoint carries the planner measures of a Result at one read-fraction
+// grid point. Absent measures are nil, so the JSON encoding only ships
+// what the query asked for.
+type RWPoint struct {
+	ReadFraction float64  `json:"read_fraction"`
+	Load         *float64 `json:"load,omitempty"`
+	Capacity     *float64 `json:"capacity,omitempty"`
+	// Degraded lists the planner measures that could not be computed at
+	// this grid point within the query's constraints.
+	Degraded []Degradation `json:"degraded,omitempty"`
+}
+
 // Point carries the p-dependent measures of a Result at one grid point.
 // Absent measures are nil, so the JSON encoding only ships what the
 // query asked for.
@@ -338,6 +437,12 @@ type Result struct {
 	// Points holds the p-dependent measures, one entry per grid point in
 	// query order.
 	Points []Point `json:"points,omitempty"`
+	// Resilience is the crash resilience of the read/write pair (measure
+	// "resilience").
+	Resilience *int `json:"resilience,omitempty"`
+	// RWPoints holds the planner measures, one entry per ReadFractions
+	// grid point in query order.
+	RWPoints []RWPoint `json:"rw_points,omitempty"`
 	// Degraded lists the per-system exact measures (pc, tree) that ran
 	// out of the query's deadline budget; per-point degradations live on
 	// the Points entries.
@@ -357,6 +462,17 @@ func (r *Result) Point(p float64) *Point {
 	for i := range r.Points {
 		if r.Points[i].P == p {
 			return &r.Points[i]
+		}
+	}
+	return nil
+}
+
+// RWPoint returns the planner point at read fraction fr, or nil when
+// the grid does not contain it.
+func (r *Result) RWPoint(fr float64) *RWPoint {
+	for i := range r.RWPoints {
+		if r.RWPoints[i].ReadFraction == fr {
+			return &r.RWPoints[i]
 		}
 	}
 	return nil

@@ -9,12 +9,17 @@ import (
 // Artifact kinds counted by the session's build/coalesce statistics.
 // "table" is the dense witness table (the 2^n-bit artifact a stampede of
 // cold queries would otherwise build N times over), "pc" and "ppc" the
-// exact DP solves, "availpoly" the availability failure-count polynomial.
+// exact DP solves, "availpoly" the availability failure-count
+// polynomial, "strategy" an optimized read/write strategy (quorum
+// enumeration plus an LP solve, memoized per workload options) and
+// "resilience" the crash-resilience scan.
 const (
-	artifactTable     = "table"
-	artifactPC        = "pc"
-	artifactPPC       = "ppc"
-	artifactAvailPoly = "availpoly"
+	artifactTable      = "table"
+	artifactPC         = "pc"
+	artifactPPC        = "ppc"
+	artifactAvailPoly  = "availpoly"
+	artifactStrategy   = "strategy"
+	artifactResilience = "resilience"
 )
 
 // PanicError reports an evaluation that panicked — a third-party System
@@ -45,7 +50,8 @@ func guardPanic[T any](op string, fn func() (T, error)) (v T, err error) {
 }
 
 // EvalStats is a snapshot of the session's artifact-build accounting,
-// keyed by artifact kind ("table", "pc", "ppc", "availpoly"). Builds
+// keyed by artifact kind ("table", "pc", "ppc", "availpoly",
+// "strategy", "resilience"). Builds
 // counts builds actually started; Coalesced counts callers that found a
 // build of the artifact they needed already in flight and shared its
 // result instead of starting their own — under a stampede of identical

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"iter"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -30,9 +31,11 @@ import (
 // The JSON encoding of a Cell is the frame payload of the probeserved
 // /v1/stream NDJSON protocol. Cells of one stream arrive in a canonical
 // deterministic order — queries by index; within a query the header,
-// then pc, then tree, then the grid points in order with ppc,
-// availability, expected, estimate at each — regardless of parallelism
-// or scheduling, so folding a stream is reproducible byte for byte.
+// then pc, then tree, then resilience, then the Ps grid points in order
+// with ppc, availability, expected, estimate at each, then the
+// ReadFractions grid points in order with load and capacity at each —
+// regardless of parallelism or scheduling, so folding a stream is
+// reproducible byte for byte.
 type Cell struct {
 	// Query is the index of the originating query in the submitted batch
 	// (0 for single-query streams).
@@ -49,6 +52,10 @@ type Cell struct {
 	// Point its index in the query's grid.
 	P     *float64 `json:"p,omitempty"`
 	Point int      `json:"point,omitempty"`
+	// ReadFraction is the grid point of a planner measure (load,
+	// capacity); Point is then its index in the query's ReadFractions
+	// grid. Nil on every other cell.
+	ReadFraction *float64 `json:"read_fraction,omitempty"`
 	// Value is the measure value so far: the final value on a Done cell,
 	// the running mean on an estimate progress cell. For pc it is the
 	// probe complexity, for tree the tree depth.
@@ -276,6 +283,25 @@ func FoldCells(cells iter.Seq2[Cell, error], n int) ([]*Result, error) {
 		if !c.Done {
 			continue
 		}
+		if c.ReadFraction != nil {
+			for len(res.RWPoints) <= c.Point {
+				res.RWPoints = append(res.RWPoints, RWPoint{})
+			}
+			pt := &res.RWPoints[c.Point]
+			pt.ReadFraction = *c.ReadFraction
+			if c.Degraded != nil {
+				pt.Degraded = append(pt.Degraded, *c.Degraded)
+				continue
+			}
+			v := c.Value
+			switch c.Measure {
+			case MeasureLoad:
+				pt.Load = &v
+			case MeasureCapacity:
+				pt.Capacity = &v
+			}
+			continue
+		}
 		if c.P == nil {
 			if c.Degraded != nil {
 				res.Degraded = append(res.Degraded, *c.Degraded)
@@ -287,6 +313,9 @@ func FoldCells(cells iter.Seq2[Cell, error], n int) ([]*Result, error) {
 				res.PC = &pc
 			case MeasureTree:
 				res.Tree = c.Tree
+			case MeasureResilience:
+				r := int(c.Value)
+				res.Resilience = &r
 			}
 			continue
 		}
@@ -354,6 +383,15 @@ func (e *Evaluator) streamOne(ctx context.Context, idx int, q Query, emit func(C
 	if err != nil {
 		return err
 	}
+	// Capacity vectors are validated for value in normalized(); lengths
+	// need the system, so they are checked here, once per query.
+	if len(nq.ReadFractions) > 0 {
+		for role, caps := range map[string][]float64{"read": nq.readCaps(), "write": nq.writeCaps()} {
+			if caps != nil && len(caps) != sys.Size() {
+				return fmt.Errorf("probequorum: %d %s capacities for the %d nodes of %s", len(caps), role, sys.Size(), sys.Name())
+			}
+		}
+	}
 	trials, seed := e.trials, e.seed
 	if nq.Trials > 0 {
 		trials = nq.Trials
@@ -416,6 +454,23 @@ func (e *Evaluator) streamOne(ctx context.Context, idx int, q Query, emit func(C
 			c.Degraded = &Degradation{Measure: MeasureTree, Reason: DegradeDeadline}
 		default:
 			return fmt.Errorf("measure tree of %s: %w", sys.Name(), e.boundify(err, sys))
+		}
+		if !emit(c) {
+			return errStreamStopped
+		}
+	}
+	if nq.has(MeasureResilience) {
+		v, err := guardPanic("measure resilience", func() (int, error) { return e.ResilienceCtx(exactCtx, sys) })
+		c := Cell{Query: idx, Spec: specStr, Measure: MeasureResilience, Done: true}
+		switch {
+		case err == nil:
+			c.Value = float64(v)
+		case degraded(err):
+			// No Monte Carlo stand-in exists for an exact combinatorial
+			// quantity: the note alone marks it missing.
+			c.Degraded = &Degradation{Measure: MeasureResilience, Reason: DegradeDeadline}
+		default:
+			return fmt.Errorf("measure resilience of %s: %w", sys.Name(), e.boundify(err, sys))
 		}
 		if !emit(c) {
 			return errStreamStopped
@@ -513,6 +568,48 @@ func (e *Evaluator) streamOne(ctx context.Context, idx int, q Query, emit func(C
 			}
 			c := cell(MeasureEstimate)
 			c.Value, c.Trials, c.StdErr, c.HalfCI, c.Done = s.Mean, s.N, s.StdErr, halfCI(s), true
+			if !emit(c) {
+				return errStreamStopped
+			}
+		}
+	}
+	for i := range nq.ReadFractions {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		fr := nq.ReadFractions[i]
+		opts := StrategyOptions{
+			Workload: Workload{ReadFraction: fr, ReadCapacity: nq.readCaps(), WriteCapacity: nq.writeCaps()},
+			F:        nq.F,
+		}
+		s, err := guardPanic("measure load", func() (*Strategy, error) { return e.StrategyCtx(exactCtx, sys, opts) })
+		var load float64
+		if err == nil {
+			load, err = s.Load(opts.Workload)
+		}
+		frCell := func(m Measure) Cell {
+			return Cell{Query: idx, Spec: specStr, Measure: m, ReadFraction: &fr, Point: i, Done: true}
+		}
+		if err != nil && !degraded(err) {
+			return fmt.Errorf("measure load of %s at read fraction %v: %w", sys.Name(), fr, e.boundify(err, sys))
+		}
+		for _, m := range []Measure{MeasureLoad, MeasureCapacity} {
+			if !nq.has(m) {
+				continue
+			}
+			c := frCell(m)
+			switch {
+			case err != nil:
+				// The LP ran out of the deadline budget at this grid point;
+				// an optimal strategy has no cheap stochastic substitute.
+				c.Degraded = &Degradation{Measure: m, Reason: DegradeDeadline}
+			case m == MeasureLoad:
+				c.Value = load
+			case load <= 0:
+				c.Value = math.Inf(1)
+			default:
+				c.Value = 1 / load
+			}
 			if !emit(c) {
 				return errStreamStopped
 			}
