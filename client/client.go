@@ -256,7 +256,7 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 func (c *Client) Eval(ctx context.Context, queries []probequorum.Query) ([]*probequorum.Result, error) {
 	for i, q := range queries {
 		if q.System != nil {
-			return nil, fmt.Errorf("client: query %d holds a System value; remote queries must name systems by Spec", i)
+			return nil, requestErrorf("query %d holds a System value; remote queries must name systems by Spec", i)
 		}
 	}
 	body, err := json.Marshal(probeserve.EvalRequest{Queries: queries})
@@ -268,7 +268,7 @@ func (c *Client) Eval(ctx context.Context, queries []probequorum.Query) ([]*prob
 		return nil, err
 	}
 	if len(resp.Results) != len(queries) {
-		return nil, fmt.Errorf("client: got %d results for %d queries", len(resp.Results), len(queries))
+		return nil, protocolErrorf("got %d results for %d queries", len(resp.Results), len(queries))
 	}
 	return resp.Results, nil
 }
@@ -387,7 +387,7 @@ func (c *Client) streamOnce(ctx context.Context, body []byte, delivered *int, yi
 				return errStreamConsumerStopped
 			}
 		default:
-			return fmt.Errorf("client: empty stream frame %q", line)
+			return protocolErrorf("empty stream frame %q", line)
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -401,6 +401,37 @@ func (c *Client) streamOnce(ctx context.Context, body []byte, delivered *int, yi
 type streamError struct{ msg string }
 
 func (e *streamError) Error() string { return "client: stream failed: " + e.msg }
+
+// RequestError reports a request the client refused to send: the caller
+// built something that cannot cross the wire. Retrying unchanged cannot
+// succeed. Match the class with errors.As.
+type RequestError struct {
+	// Msg describes the defect, without the "client: " prefix.
+	Msg string
+}
+
+func (e *RequestError) Error() string { return "client: " + e.Msg }
+
+// requestErrorf builds a *RequestError the way fmt.Errorf would spell it.
+func requestErrorf(format string, args ...any) error {
+	return &RequestError{Msg: fmt.Sprintf(format, args...)}
+}
+
+// ProtocolError reports a response the client could not trust: a frame,
+// count, size or status that violates the service protocol. It is
+// distinct from *ServerError (a well-formed error answer) and from
+// transport errors (wrapped with %w). Match the class with errors.As.
+type ProtocolError struct {
+	// Msg describes the violation, without the "client: " prefix.
+	Msg string
+}
+
+func (e *ProtocolError) Error() string { return "client: " + e.Msg }
+
+// protocolErrorf builds a *ProtocolError the way fmt.Errorf would spell it.
+func protocolErrorf(format string, args ...any) error {
+	return &ProtocolError{Msg: fmt.Sprintf(format, args...)}
+}
 
 // Systems returns the construction names registered on the server.
 func (c *Client) Systems(ctx context.Context) ([]string, error) {
@@ -449,7 +480,7 @@ func (c *Client) Health(ctx context.Context) error {
 	defer res.Body.Close()
 	io.Copy(io.Discard, io.LimitReader(res.Body, 1<<10))
 	if res.StatusCode != http.StatusOK {
-		return fmt.Errorf("client: health check returned %s", res.Status)
+		return protocolErrorf("health check returned %s", res.Status)
 	}
 	return nil
 }
@@ -469,7 +500,7 @@ func (c *Client) Ready(ctx context.Context) error {
 	defer res.Body.Close()
 	data, _ := io.ReadAll(io.LimitReader(res.Body, 1<<10))
 	if res.StatusCode != http.StatusOK {
-		return fmt.Errorf("client: not ready: %s (%s)", res.Status, bytes.TrimSpace(data))
+		return protocolErrorf("not ready: %s (%s)", res.Status, bytes.TrimSpace(data))
 	}
 	return nil
 }
@@ -523,7 +554,7 @@ func (c *Client) once(ctx context.Context, method, url string, body []byte, out 
 		return err
 	}
 	if len(data) > maxResponseBytes {
-		return fmt.Errorf("client: response exceeds %d bytes; split the batch", maxResponseBytes)
+		return protocolErrorf("response exceeds %d bytes; split the batch", maxResponseBytes)
 	}
 	if res.StatusCode != http.StatusOK {
 		return decodeError(res, data)

@@ -10,6 +10,8 @@ import (
 	"testing"
 
 	"probequorum"
+	"probequorum/internal/analysis"
+	"probequorum/internal/analysis/framework"
 	"probequorum/internal/availability"
 	"probequorum/internal/coloring"
 	"probequorum/internal/probe"
@@ -45,6 +47,10 @@ type benchRecord struct {
 	// read/write strategies delivered per second, whether each came from
 	// a fresh LP solve (cold) or the session memo (warm).
 	StrategiesPerSec float64 `json:"strategies_per_sec,omitempty"`
+	// VetMS is the quorumvet wall time (PR 8): one full five-analyzer
+	// pass over every module package, type-checked from source, in
+	// milliseconds. The CI static-analysis gate budget tracks this.
+	VetMS float64 `json:"vet_ms,omitempty"`
 }
 
 // benchFile is the on-disk schema: measurement context plus the records.
@@ -333,6 +339,44 @@ func benchOps() []benchOp {
 		plannerColdOp(),
 		plannerWarmOp(),
 		plannerRankOp(),
+		// Static analysis (PR 8): one full quorumvet suite pass over the
+		// module, type-checking every package from source — the upper
+		// bound of what the CI gate costs before go vet's caching kicks
+		// in. The op fails loudly if the suite reports findings: the
+		// benchmark must measure a clean tree.
+		{name: "staticanalysis/quorumvet/module", fn: func(b *testing.B) {
+			cwd, err := os.Getwd()
+			if err != nil {
+				b.Fatal(err)
+			}
+			root, modPath, err := framework.FindModuleRoot(cwd)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pkgs, err := framework.ModulePackages(modPath, root)
+			if err != nil {
+				b.Fatal(err)
+			}
+			analyzers := analysis.Analyzers()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				loader := framework.NewLoader()
+				loader.ModulePath, loader.ModuleDir = modPath, root
+				for _, p := range pkgs {
+					pkg, err := loader.Load(p)
+					if err != nil {
+						b.Fatal(err)
+					}
+					diags, err := framework.Run(pkg, analyzers)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(diags) != 0 {
+						b.Fatalf("quorumvet: %d findings in %s", len(diags), p)
+					}
+				}
+			}
+		}, post: func(rec *benchRecord) { rec.VetMS = rec.NsPerOp / 1e6 }},
 		{name: "stream/adaptive-estimate/Maj1025-tol2", fn: func(b *testing.B) {
 			ctx := context.Background()
 			eval := probequorum.NewEvaluator()
@@ -500,6 +544,9 @@ func writeBenchJSON(path string) error {
 		}
 		if rec.StrategiesPerSec > 0 {
 			fmt.Fprintf(os.Stderr, "  %10.0f strategies/s", rec.StrategiesPerSec)
+		}
+		if rec.VetMS > 0 {
+			fmt.Fprintf(os.Stderr, "  vet %.0f ms", rec.VetMS)
 		}
 		fmt.Fprintln(os.Stderr)
 		out.Records = append(out.Records, rec)

@@ -1,0 +1,123 @@
+// Command quorumvet checks the repository's load-bearing invariants —
+// cache hygiene under cancellation, allocation-free hot paths, seed
+// determinism, typed error boundaries, and mask/words width duality —
+// as a go vet tool:
+//
+//	go build -o /tmp/quorumvet ./cmd/quorumvet
+//	go vet -vettool=/tmp/quorumvet ./...
+//
+// It also runs standalone, type-checking from source with no toolchain
+// help:
+//
+//	quorumvet ./...          # packages of the enclosing module
+//	quorumvet -list          # analyzer names and summaries
+//
+// Suppress a finding with a justified directive on the line (or the
+// line above):
+//
+//	//quorumvet:ignore <analyzer> <why this finding is safe>
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"probequorum/internal/analysis"
+	"probequorum/internal/analysis/framework"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	analyzers := analysis.Analyzers()
+
+	// The go vet protocol: -V=full prints a cache-keyed version line,
+	// -flags describes tool flags, and a *.cfg argument names a
+	// compilation unit to analyze.
+	if len(args) == 1 {
+		switch {
+		case args[0] == "-V=full":
+			if err := framework.PrintVersion(os.Stdout); err != nil {
+				return fail(err)
+			}
+			return 0
+		case args[0] == "-flags":
+			if err := framework.PrintFlags(os.Stdout); err != nil {
+				return fail(err)
+			}
+			return 0
+		case args[0] == "-list":
+			for _, a := range analyzers {
+				summary, _, _ := strings.Cut(a.Doc, "\n")
+				fmt.Printf("%-10s %s\n", a.Name, summary)
+			}
+			return 0
+		case strings.HasSuffix(args[0], ".cfg"):
+			code, err := framework.RunUnit(args[0], analyzers)
+			if err != nil {
+				return fail(err)
+			}
+			return code
+		}
+	}
+
+	return standalone(args, analyzers)
+}
+
+// standalone analyzes package patterns by type-checking from source:
+// "./..." for the whole module, or explicit import paths.
+func standalone(args []string, analyzers []*framework.Analyzer) int {
+	cwd, err := os.Getwd()
+	if err != nil {
+		return fail(err)
+	}
+	root, modulePath, err := framework.FindModuleRoot(cwd)
+	if err != nil {
+		return fail(err)
+	}
+	loader := framework.NewLoader()
+	loader.ModulePath = modulePath
+	loader.ModuleDir = root
+
+	var paths []string
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	for _, arg := range args {
+		switch arg {
+		case "./...", "all":
+			pkgs, err := framework.ModulePackages(modulePath, root)
+			if err != nil {
+				return fail(err)
+			}
+			paths = append(paths, pkgs...)
+		default:
+			paths = append(paths, strings.TrimPrefix(arg, "./"))
+		}
+	}
+
+	exit := 0
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			return fail(err)
+		}
+		diags, err := framework.Run(pkg, analyzers)
+		if err != nil {
+			return fail(err)
+		}
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: %s\n", pkg.Fset.Position(d.Pos), d.Message)
+			exit = 1
+		}
+	}
+	return exit
+}
+
+func fail(err error) int {
+	fmt.Fprintf(os.Stderr, "quorumvet: %v\n", err)
+	return 2
+}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"testing"
+
+	"probequorum/internal/analysis"
+)
+
+// TestSuiteRegistersAllFive pins the multichecker's contents: the CI
+// gate is only as strong as the set of analyzers the binary runs.
+func TestSuiteRegistersAllFive(t *testing.T) {
+	want := []string{"ctxcache", "detrand", "hotpath", "typederr", "widthdual"}
+	got := analysis.Analyzers()
+	if len(got) != len(want) {
+		t.Fatalf("registered %d analyzers, want %d", len(got), len(want))
+	}
+	for i, a := range got {
+		if a.Name != want[i] {
+			t.Errorf("analyzer %d = %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" {
+			t.Errorf("analyzer %q has no doc", a.Name)
+		}
+		if a.Run == nil {
+			t.Errorf("analyzer %q has no run function", a.Name)
+		}
+	}
+}
+
+// TestProtocolDispatch covers the go vet entry points that must not
+// regress: -V=full and -flags are called by every `go vet -vettool`
+// invocation before any unit is analyzed.
+func TestProtocolDispatch(t *testing.T) {
+	if code := run([]string{"-V=full"}); code != 0 {
+		t.Errorf("run(-V=full) = %d, want 0", code)
+	}
+	if code := run([]string{"-flags"}); code != 0 {
+		t.Errorf("run(-flags) = %d, want 0", code)
+	}
+	if code := run([]string{"-list"}); code != 0 {
+		t.Errorf("run(-list) = %d, want 0", code)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"strings"
 	"sync"
 
+	"probequorum/internal/bitset"
 	"probequorum/internal/coloring"
 	"probequorum/internal/probe"
 	"probequorum/internal/quorum"
@@ -336,7 +337,7 @@ func (e *Evaluator) AvailabilityCtx(ctx context.Context, sys System, p float64) 
 func failCountsOf(ctx context.Context, table *quorum.WitnessTable) ([]float64, error) {
 	n := table.Size()
 	counts := make([]float64, n+1)
-	for mask := uint64(0); mask < 1<<uint(n); mask++ {
+	for mask := uint64(0); mask < bitset.Pow2(n); mask++ {
 		if mask&0xFFFF == 0 && ctx.Err() != nil {
 			return nil, ctx.Err()
 		}
@@ -354,7 +355,7 @@ func (e *Evaluator) ExpectedProbes(sys System, p float64) (float64, error) {
 	if ee, ok := sys.(ExactExpectation); ok {
 		return ee.ExpectedProbesIID(p), nil
 	}
-	return 0, fmt.Errorf("probequorum: no closed-form expected probes for %s (implement ExactExpectation)", sys.Name())
+	return 0, &UnsupportedError{What: "closed-form expected probes", Name: sys.Name(), Hint: "ExactExpectation"}
 }
 
 // ProbeComplexity returns the exact worst-case probe complexity PC(S),

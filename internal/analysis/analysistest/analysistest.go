@@ -1,0 +1,109 @@
+// Package analysistest is the golden-fixture harness of the quorumvet
+// analyzers, mirroring golang.org/x/tools/go/analysis/analysistest on
+// the local framework: fixtures live under testdata/src/<pkg>, and
+// every line expecting a finding carries a
+//
+//	// want "regexp"
+//
+// comment (several per line allowed). The harness type-checks the
+// fixture, runs the analyzer through the same driver as quorumvet —
+// suppression directives and test-file filtering included — and fails
+// the test on any unmatched finding or unmet expectation.
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"probequorum/internal/analysis/framework"
+)
+
+// TestData returns the absolute path of the calling package's testdata
+// directory.
+func TestData() string {
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	return dir
+}
+
+// wantRE extracts the quoted regexps of a // want comment.
+var wantRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+// expectation is one pending // want entry.
+type expectation struct {
+	re  *regexp.Regexp
+	raw string
+}
+
+// Run loads each fixture package under dir/src and checks the
+// analyzer's findings against the fixtures' want comments.
+func Run(t *testing.T, a *framework.Analyzer, dir string, pkgs ...string) {
+	t.Helper()
+	loader := framework.NewLoader()
+	loader.FixtureRoot = filepath.Join(dir, "src")
+	for _, pkgPath := range pkgs {
+		pkg, err := loader.Load(pkgPath)
+		if err != nil {
+			t.Fatalf("load fixture %s: %v", pkgPath, err)
+		}
+		diags, err := framework.Run(pkg, []*framework.Analyzer{a})
+		if err != nil {
+			t.Fatalf("run %s on %s: %v", a.Name, pkgPath, err)
+		}
+
+		wants := map[string][]expectation{} // "file:line" -> pending expectations
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimPrefix(c.Text, "//")
+					text = strings.TrimSpace(text)
+					rest, ok := strings.CutPrefix(text, "want ")
+					if !ok {
+						continue
+					}
+					posn := pkg.Fset.Position(c.Pos())
+					key := fmt.Sprintf("%s:%d", filepath.Base(posn.Filename), posn.Line)
+					for _, q := range wantRE.FindAllString(rest, -1) {
+						pattern, err := strconv.Unquote(q)
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %s: %v", key, q, err)
+						}
+						re, err := regexp.Compile(pattern)
+						if err != nil {
+							t.Fatalf("%s: bad want regexp %q: %v", key, pattern, err)
+						}
+						wants[key] = append(wants[key], expectation{re: re, raw: pattern})
+					}
+				}
+			}
+		}
+
+		for _, d := range diags {
+			posn := pkg.Fset.Position(d.Pos)
+			key := fmt.Sprintf("%s:%d", filepath.Base(posn.Filename), posn.Line)
+			matched := false
+			pending := wants[key]
+			for i, w := range pending {
+				if w.re.MatchString(d.Message) {
+					wants[key] = append(pending[:i], pending[i+1:]...)
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				t.Errorf("%s: unexpected finding: %s", key, d.Message)
+			}
+		}
+		for key, pending := range wants {
+			for _, w := range pending {
+				t.Errorf("%s: expected finding matching %q, got none", key, w.raw)
+			}
+		}
+	}
+}

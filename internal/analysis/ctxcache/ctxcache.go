@@ -1,0 +1,238 @@
+// Package ctxcache enforces the "aborts never poison caches" invariant
+// from PR 3/6: after a context-aware call, a memo/cache store must be
+// preceded by a check that the call did not abort — otherwise a
+// half-built or ctx-cancelled result can be memoized and served to
+// every later caller.
+package ctxcache
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"probequorum/internal/analysis/framework"
+)
+
+const doc = `check that cache stores after ctx-aware calls are guarded
+
+Within one function body (closures are separate scopes), flags a cache
+store — an index assignment into a struct-field or cache/memo-named
+map, or a sync.Map Store/LoadOrStore/Swap — when a context-aware call
+(any call passing a context.Context) precedes it with no intervening
+guard. A guard is a use of ctx.Err/ctx.Done or an if whose condition
+inspects an error value, which covers both "if err != nil" and
+isCtxErr-style helpers.`
+
+// Analyzer is the ctxcache invariant check.
+var Analyzer = &framework.Analyzer{
+	Name: "ctxcache",
+	Doc:  doc,
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		var scopes []ast.Node
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				scopes = append(scopes, fd.Body)
+			}
+		}
+		// Closures are their own scopes: a detached rebuild closure gets its
+		// own ctx discipline, and stores inside it are judged locally.
+		for i := 0; i < len(scopes); i++ {
+			body := scopes[i]
+			checkScope(pass, body, func(lit *ast.FuncLit) {
+				scopes = append(scopes, lit.Body)
+			})
+		}
+	}
+	return nil
+}
+
+// event is one position-ordered occurrence inside a function scope.
+type event struct {
+	pos  int // file offset order via token.Pos
+	kind int // 0 = ctx-aware call, 1 = guard, 2 = store
+	node ast.Node
+}
+
+const (
+	evCall = iota
+	evGuard
+	evStore
+)
+
+// checkScope linearizes one function body into calls, guards and
+// stores, and reports unguarded stores.
+func checkScope(pass *framework.Pass, body ast.Node, enqueue func(*ast.FuncLit)) {
+	var events []event
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			enqueue(n)
+			return false
+		case *ast.IfStmt:
+			if condInspectsError(pass, n.Cond) {
+				events = append(events, event{pos: int(n.Cond.Pos()), kind: evGuard, node: n})
+			}
+		case *ast.SelectorExpr:
+			if isCtxType(exprType(pass, n.X)) && (n.Sel.Name == "Err" || n.Sel.Name == "Done") {
+				events = append(events, event{pos: int(n.Pos()), kind: evGuard, node: n})
+			}
+		case *ast.CallExpr:
+			if isCtxAwareCall(pass, n) {
+				events = append(events, event{pos: int(n.Pos()), kind: evCall, node: n})
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok && isCacheMap(pass, ix.X) {
+					events = append(events, event{pos: int(n.Pos()), kind: evStore, node: n})
+					break
+				}
+			}
+		}
+		if call, ok := n.(*ast.CallExpr); ok && isSyncMapStore(pass, call) {
+			events = append(events, event{pos: int(call.Pos()), kind: evStore, node: call})
+		}
+		return true
+	})
+
+	for _, st := range events {
+		if st.kind != evStore {
+			continue
+		}
+		lastCall := -1
+		for _, ev := range events {
+			if ev.kind == evCall && ev.pos < st.pos && ev.pos > lastCall {
+				lastCall = ev.pos
+			}
+		}
+		if lastCall < 0 {
+			continue // no ctx-aware work before this store
+		}
+		guarded := false
+		for _, ev := range events {
+			if ev.kind == evGuard && ev.pos > lastCall && ev.pos < st.pos {
+				guarded = true
+				break
+			}
+		}
+		if !guarded {
+			pass.Reportf(st.node.Pos(), "cache store after a ctx-aware call with no abort check: a cancelled result can poison the cache; check ctx.Err() or the call's error first")
+		}
+	}
+}
+
+// exprType returns the static type of e, or nil.
+func exprType(pass *framework.Pass, e ast.Expr) types.Type {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok {
+		return nil
+	}
+	return tv.Type
+}
+
+// isCtxType reports whether t is context.Context.
+func isCtxType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// condInspectsError reports whether an if condition looks at an error
+// value: "err != nil", "isCtxErr(err)", "errors.Is(err, ...)".
+func condInspectsError(pass *framework.Pass, cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if e, ok := n.(ast.Expr); ok && isErrorType(exprType(pass, e)) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isCtxAwareCall reports whether the call passes a context.Context and
+// therefore may observe cancellation. Methods on the context itself and
+// the context package's constructors are reads, not abortable work.
+func isCtxAwareCall(pass *framework.Pass, call *ast.CallExpr) bool {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if isCtxType(exprType(pass, sel.X)) {
+			return false
+		}
+		if fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "context" {
+			return false
+		}
+	}
+	for _, arg := range call.Args {
+		if isCtxType(exprType(pass, arg)) {
+			return true
+		}
+	}
+	return false
+}
+
+// isCacheMap reports whether the indexed expression is a cache: any
+// struct-field map, or a variable whose name says cache/memo.
+func isCacheMap(pass *framework.Pass, x ast.Expr) bool {
+	t := exprType(pass, x)
+	if t == nil {
+		return false
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return false
+	}
+	switch x := ast.Unparen(x).(type) {
+	case *ast.SelectorExpr:
+		// A map hanging off a struct outlives the call: treat as a cache.
+		return pass.TypesInfo.Selections[x] != nil
+	case *ast.Ident:
+		return cacheName(x.Name)
+	}
+	return false
+}
+
+// cacheName matches identifiers that announce memoization.
+func cacheName(name string) bool {
+	lower := strings.ToLower(name)
+	return strings.Contains(lower, "cache") || strings.Contains(lower, "memo")
+}
+
+// isSyncMapStore reports whether the call is a mutating sync.Map
+// method.
+func isSyncMapStore(pass *framework.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Store", "LoadOrStore", "Swap":
+	default:
+		return false
+	}
+	t := exprType(pass, sel.X)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "Map"
+}

@@ -1,0 +1,12 @@
+package ctxcache_test
+
+import (
+	"testing"
+
+	"probequorum/internal/analysis/analysistest"
+	"probequorum/internal/analysis/ctxcache"
+)
+
+func TestCtxCache(t *testing.T) {
+	analysistest.Run(t, ctxcache.Analyzer, analysistest.TestData(), "a", "clean")
+}

@@ -1,0 +1,69 @@
+// Package a exercises the ctxcache guard analysis.
+package a
+
+import (
+	"context"
+	"sync"
+)
+
+type evaluator struct {
+	entries map[string]float64
+	mu      sync.Mutex
+	flight  sync.Map
+}
+
+func compute(ctx context.Context, key string) (float64, error) { return 0, ctx.Err() }
+
+func (e *evaluator) poisoned(ctx context.Context, key string) float64 {
+	v, _ := compute(ctx, key)
+	e.entries[key] = v // want "cache store after a ctx-aware call with no abort check"
+	return v
+}
+
+func (e *evaluator) guardedByError(ctx context.Context, key string) (float64, error) {
+	v, err := compute(ctx, key)
+	if err != nil {
+		return 0, err
+	}
+	e.entries[key] = v // the error check above covers ctx aborts
+	return v, nil
+}
+
+func (e *evaluator) guardedByCtx(ctx context.Context, key string) float64 {
+	v, _ := compute(ctx, key)
+	if ctx.Err() != nil {
+		return 0
+	}
+	e.entries[key] = v
+	return v
+}
+
+func (e *evaluator) syncStore(ctx context.Context, key string) {
+	v, _ := compute(ctx, key)
+	e.flight.Store(key, v) // want "cache store after a ctx-aware call with no abort check"
+}
+
+func (e *evaluator) noCtxWork(key string, v float64) {
+	e.entries[key] = v // no ctx-aware call precedes: nothing to guard
+}
+
+func (e *evaluator) closureScopes(ctx context.Context, key string) {
+	v, err := compute(ctx, key)
+	if err != nil {
+		return
+	}
+	e.entries[key] = v
+	go func(detached context.Context) {
+		w, _ := compute(detached, key)
+		e.entries[key] = w // want "cache store after a ctx-aware call with no abort check"
+	}(context.WithoutCancel(ctx))
+}
+
+func localMemo(ctx context.Context, keys []string) map[string]float64 {
+	memoized := map[string]float64{}
+	for _, k := range keys {
+		v, _ := compute(ctx, k)
+		memoized[k] = v //quorumvet:ignore ctxcache fixture: entries are re-validated by the caller
+	}
+	return memoized
+}

@@ -1,0 +1,25 @@
+// Package clean shows the guarded idioms ctxcache accepts.
+package clean
+
+import "context"
+
+type store struct {
+	specs map[string]int
+}
+
+func build(ctx context.Context, s string) (int, error) { return len(s), ctx.Err() }
+
+// isCtxErr mirrors the evaluator helper: a guard can be any if whose
+// condition inspects an error value.
+func isCtxErr(err error) bool {
+	return err == context.Canceled || err == context.DeadlineExceeded
+}
+
+func (st *store) memoize(ctx context.Context, s string) (int, error) {
+	n, err := build(ctx, s)
+	if isCtxErr(err) {
+		return 0, err
+	}
+	st.specs[s] = n
+	return n, nil
+}

@@ -1,0 +1,166 @@
+// Package detrand enforces the determinism contract of the estimation
+// packages: given (seed, trials), results are bit-identical at any
+// parallelism, which leaves no room for wall clocks, shared global RNG
+// state, map iteration order, or racy select choice on result paths.
+package detrand
+
+import (
+	"go/ast"
+	"go/types"
+	"path"
+
+	"probequorum/internal/analysis/framework"
+)
+
+const doc = `check determinism hazards in internal/sim, internal/coloring, internal/probe and internal/rw
+
+Flags, in the packages bound by the seed-determinism contract:
+time.Now (wall-clock input), math/rand top-level functions (shared
+global state; explicitly seeded generators from rand.New/NewPCG/... are
+fine), ranging over a map while sending on a channel or appending to an
+outer slice (iteration order leaks into results), and select statements
+with two or more send cases (scheduler-dependent choice).`
+
+// Analyzer is the detrand invariant check.
+var Analyzer = &framework.Analyzer{
+	Name: "detrand",
+	Doc:  doc,
+	Run:  run,
+}
+
+// gatedPackages are the final import-path segments of the packages
+// carrying the determinism contract.
+var gatedPackages = map[string]bool{
+	"sim":      true,
+	"coloring": true,
+	"probe":    true,
+	"rw":       true,
+}
+
+// randConstructors are math/rand functions that build an explicitly
+// seeded generator rather than touching the global one.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+	"NewSource":  true,
+	"NewZipf":    true,
+}
+
+func run(pass *framework.Pass) error {
+	if !gatedPackages[path.Base(pass.Pkg.Path())] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, n)
+			case *ast.RangeStmt:
+				checkMapRange(pass, n)
+			case *ast.SelectStmt:
+				checkSelect(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// calleeFunc resolves a call to its declared function, if any.
+func calleeFunc(pass *framework.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}
+
+// checkCall flags wall-clock reads and global math/rand use.
+func checkCall(pass *framework.Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	pkgPath, name := fn.Pkg().Path(), fn.Name()
+	switch pkgPath {
+	case "time":
+		if name == "Now" {
+			pass.Reportf(call.Pos(), "time.Now in a determinism-contract package: results must depend only on (seed, trials)")
+		}
+	case "math/rand", "math/rand/v2":
+		if fn.Type().(*types.Signature).Recv() != nil {
+			return // method on an explicitly seeded *Rand/Source
+		}
+		if randConstructors[name] {
+			return
+		}
+		pass.Reportf(call.Pos(), "global math/rand.%s shares process-wide state: use an explicitly seeded generator (rand.New, rand.NewPCG, ...)", name)
+	}
+}
+
+// checkMapRange flags map iteration whose body feeds results: a channel
+// send, or an append to a slice declared outside the loop.
+func checkMapRange(pass *framework.Pass, rng *ast.RangeStmt) {
+	tv, ok := pass.TypesInfo.Types[rng.X]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if _, ok := tv.Type.Underlying().(*types.Map); !ok {
+		return
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "channel send inside a map range: map iteration order leaks into results")
+			return true
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "append" {
+				if _, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && appendsOutside(pass, n, rng) {
+					pass.Reportf(n.Pos(), "append to an outer slice inside a map range: map iteration order leaks into results")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// appendsOutside reports whether the append target is a variable
+// declared outside the range statement.
+func appendsOutside(pass *framework.Pass, call *ast.CallExpr, rng *ast.RangeStmt) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() < rng.Pos() || obj.Pos() > rng.End()
+}
+
+// checkSelect flags select statements with two or more send cases.
+func checkSelect(pass *framework.Pass, sel *ast.SelectStmt) {
+	sends := 0
+	for _, clause := range sel.Body.List {
+		cc, ok := clause.(*ast.CommClause)
+		if !ok || cc.Comm == nil {
+			continue
+		}
+		if _, ok := cc.Comm.(*ast.SendStmt); ok {
+			sends++
+		}
+	}
+	if sends >= 2 {
+		pass.Reportf(sel.Pos(), "select with %d send cases: which send wins is scheduler-dependent", sends)
+	}
+}

@@ -1,0 +1,12 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"probequorum/internal/analysis/analysistest"
+	"probequorum/internal/analysis/detrand"
+)
+
+func TestDetRand(t *testing.T) {
+	analysistest.Run(t, detrand.Analyzer, analysistest.TestData(), "sim", "util")
+}

@@ -1,0 +1,49 @@
+// Package sim exercises every detrand hazard.
+package sim
+
+import (
+	"math/rand/v2"
+	"time"
+)
+
+func estimate(trials int) float64 {
+	start := time.Now() // want "time.Now in a determinism-contract package"
+	_ = start
+	x := rand.Uint64() // want "global math/rand.Uint64 shares process-wide state"
+	return float64(x%uint64(trials)) / float64(trials)
+}
+
+func fanOut(weights map[string]float64, out chan<- float64) []float64 {
+	var acc []float64
+	for _, w := range weights {
+		out <- w             // want "channel send inside a map range"
+		acc = append(acc, w) // want "append to an outer slice inside a map range"
+	}
+	return acc
+}
+
+func race(a, b chan int) {
+	select { // want "select with 2 send cases"
+	case a <- 1:
+	case b <- 2:
+	}
+}
+
+func seeded(seed uint64, trials int) float64 {
+	rng := rand.New(rand.NewPCG(seed, 0)) // explicitly seeded: allowed
+	hits := 0
+	for i := 0; i < trials; i++ {
+		if rng.Uint64()&1 == 0 {
+			hits++
+		}
+	}
+	keys := make([]string, 0, 4)
+	m := map[string]int{"a": 1}
+	for k := range m {
+		local := []string{k} // append target declared inside the range: allowed
+		local = append(local, k)
+		keys = append(keys, local...) //quorumvet:ignore detrand fixture: keys is sorted before use
+	}
+	_ = keys
+	return float64(hits) / float64(trials)
+}

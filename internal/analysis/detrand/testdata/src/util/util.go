@@ -1,0 +1,12 @@
+// Package util is outside the determinism contract: the same hazards
+// produce no findings here.
+package util
+
+import (
+	"math/rand/v2"
+	"time"
+)
+
+func Stamp() (int64, uint64) {
+	return time.Now().UnixNano(), rand.Uint64()
+}

@@ -1,0 +1,179 @@
+// Package framework is the self-contained analysis core behind
+// quorumvet: a minimal reimplementation of the golang.org/x/tools
+// go/analysis surface — Analyzer, Pass, Diagnostic — on nothing but the
+// standard library's go/ast and go/types, so the invariant checkers run
+// in a hermetic build with no module downloads.
+//
+// The shape deliberately mirrors go/analysis: an Analyzer is a named
+// check with a Run function over a type-checked package, diagnostics
+// carry a position and message, and drivers (the vettool protocol in
+// unit.go, the source-mode runner in load.go, the analysistest harness)
+// are interchangeable. Two policies live here rather than in each
+// analyzer, so every checker inherits them uniformly:
+//
+//   - _test.go files are never flagged: the invariants guard production
+//     hot paths and serving boundaries, and tests legitimately use
+//     time.Now, fmt.Errorf and ad-hoc allocation.
+//
+//   - a finding can be suppressed with a justified directive on the
+//     flagged line or the line above:
+//
+//     //quorumvet:ignore <analyzer> <justification>
+//
+//     A directive without a justification is itself a diagnostic, so
+//     suppressions stay auditable.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named invariant check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //quorumvet:ignore directives. It must be a valid identifier.
+	Name string
+
+	// Doc is the one-paragraph contract the analyzer enforces; the first
+	// line is the summary shown by quorumvet -list.
+	Doc string
+
+	// Run reports the analyzer's findings on one package via
+	// pass.Reportf. It returns an error only for analyzer-internal
+	// failures, never for findings.
+	Run func(*Pass) error
+}
+
+// A Pass is one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diagnostics []Diagnostic
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diagnostics = append(p.diagnostics, Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Package is one loaded, type-checked compilation unit ready for
+// analysis, produced by the Loader (source mode) or the vettool config
+// path (export-data mode).
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// ignoreDirective is one parsed //quorumvet:ignore comment.
+type ignoreDirective struct {
+	pos       token.Pos
+	analyzers map[string]bool
+	justified bool
+}
+
+// directivePrefix introduces a suppression comment.
+const directivePrefix = "//quorumvet:ignore"
+
+// parseDirectives collects the suppression directives of a file, keyed
+// by the line they sit on.
+func parseDirectives(fset *token.FileSet, file *ast.File) map[int]ignoreDirective {
+	out := map[int]ignoreDirective{}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, directivePrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(c.Text, directivePrefix)
+			fields := strings.Fields(rest)
+			d := ignoreDirective{pos: c.Pos(), analyzers: map[string]bool{}}
+			if len(fields) > 0 {
+				for _, name := range strings.Split(fields[0], ",") {
+					d.analyzers[name] = true
+				}
+				d.justified = len(fields) > 1
+			}
+			out[fset.Position(c.Pos()).Line] = d
+		}
+	}
+	return out
+}
+
+// Run executes the analyzers over one package and returns the surviving
+// diagnostics, sorted by position: findings in _test.go files are
+// dropped, justified //quorumvet:ignore directives on the finding's
+// line (or the line above) suppress it, and an unjustified directive is
+// reported in its own right.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	directives := map[string]map[int]ignoreDirective{}
+	for _, f := range pkg.Files {
+		name := pkg.Fset.Position(f.Pos()).Filename
+		directives[name] = parseDirectives(pkg.Fset, f)
+	}
+
+	var out []Diagnostic
+	seenBareDirective := map[token.Pos]bool{}
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.Path, err)
+		}
+		for _, d := range pass.diagnostics {
+			posn := pkg.Fset.Position(d.Pos)
+			if strings.HasSuffix(posn.Filename, "_test.go") {
+				continue
+			}
+			if dir, ok := matchDirective(directives[posn.Filename], posn.Line, a.Name); ok {
+				if dir.justified {
+					continue
+				}
+				if !seenBareDirective[dir.pos] {
+					seenBareDirective[dir.pos] = true
+					out = append(out, Diagnostic{
+						Pos:     dir.pos,
+						Message: fmt.Sprintf("%s directive needs a justification: %s <analyzer> <why this finding is safe>", directivePrefix, directivePrefix),
+					})
+				}
+				continue
+			}
+			d.Message = a.Name + ": " + d.Message
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out, nil
+}
+
+// matchDirective finds a directive covering line for the analyzer: on
+// the line itself or the line immediately above.
+func matchDirective(dirs map[int]ignoreDirective, line int, analyzer string) (ignoreDirective, bool) {
+	for _, l := range [2]int{line, line - 1} {
+		if d, ok := dirs[l]; ok && d.analyzers[analyzer] {
+			return d, true
+		}
+	}
+	return ignoreDirective{}, false
+}

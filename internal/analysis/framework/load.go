@@ -1,0 +1,226 @@
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Loader type-checks packages from source with no toolchain and no
+// network: standard-library imports go through the stdlib source
+// importer (compiled from GOROOT/src), module-local and fixture imports
+// are resolved to directories and type-checked recursively by the
+// loader itself. It backs the standalone quorumvet runner, the
+// analysistest fixture harness and the probebench vet_ms op; the `go
+// vet -vettool` path instead reads the export data the go command
+// provides (see unit.go).
+//
+// A Loader is not safe for concurrent use.
+type Loader struct {
+	Fset *token.FileSet
+
+	// ModulePath/ModuleDir map module-local import paths to directories
+	// (e.g. "probequorum" -> the repository root). Empty disables module
+	// resolution.
+	ModulePath string
+	ModuleDir  string
+
+	// FixtureRoot, when set, resolves any remaining import path p to the
+	// directory FixtureRoot/p — the analysistest testdata/src layout.
+	FixtureRoot string
+
+	std  types.Importer
+	pkgs map[string]*Package
+}
+
+// NewLoader returns a loader over a fresh FileSet.
+func NewLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset: fset,
+		std:  importer.ForCompiler(fset, "source", nil),
+		pkgs: map[string]*Package{},
+	}
+}
+
+// Import implements types.Importer over the loader's resolution chain.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if dir, ok := l.resolve(path); ok {
+		pkg, err := l.load(dir, path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// resolve maps a module-local or fixture import path to its directory.
+func (l *Loader) resolve(path string) (string, bool) {
+	if l.ModulePath != "" {
+		if path == l.ModulePath {
+			return l.ModuleDir, true
+		}
+		if rest, ok := strings.CutPrefix(path, l.ModulePath+"/"); ok {
+			return filepath.Join(l.ModuleDir, filepath.FromSlash(rest)), true
+		}
+	}
+	if l.FixtureRoot != "" {
+		dir := filepath.Join(l.FixtureRoot, filepath.FromSlash(path))
+		if st, err := os.Stat(dir); err == nil && st.IsDir() {
+			return dir, true
+		}
+	}
+	return "", false
+}
+
+// Load type-checks the package at the import path and returns it ready
+// for analysis. Only production files are loaded (the vettool path
+// analyzes test variants; framework.Run skips test-file findings
+// anyway).
+func (l *Loader) Load(path string) (*Package, error) {
+	dir, ok := l.resolve(path)
+	if !ok {
+		return nil, fmt.Errorf("analysis: import path %q is neither module-local nor a fixture", path)
+	}
+	return l.load(dir, path)
+}
+
+// load parses and type-checks one directory, memoized by import path.
+func (l *Loader) load(dir, path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		if pkg == nil {
+			return nil, fmt.Errorf("analysis: import cycle through %q", path)
+		}
+		return pkg, nil
+	}
+	l.pkgs[path] = nil // cycle guard
+
+	bp, err := build.Default.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %s: %v", dir, err)
+	}
+	var files []*ast.File
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+
+	conf := types.Config{
+		Importer: l,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	info := newInfo()
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: typecheck %s: %v", path, err)
+	}
+	pkg := &Package{Path: path, Fset: l.Fset, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// newInfo allocates the full types.Info every pass expects.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+}
+
+// ModulePackages expands "./..."-style coverage of a module: every
+// directory under root holding production Go files, as import paths, in
+// sorted order. testdata, hidden directories and the examples of other
+// modules (a nested go.mod) are skipped, matching the go tool's pattern
+// rules.
+func ModulePackages(modulePath, root string) ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(root, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != root {
+			if name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+				return filepath.SkipDir
+			}
+			if _, err := os.Stat(filepath.Join(p, "go.mod")); err == nil {
+				return filepath.SkipDir
+			}
+		}
+		bp, err := build.Default.ImportDir(p, 0)
+		if err != nil {
+			if _, ok := err.(*build.NoGoError); ok {
+				return nil
+			}
+			return err
+		}
+		if len(bp.GoFiles) == 0 {
+			return nil
+		}
+		rel, err := filepath.Rel(root, p)
+		if err != nil {
+			return err
+		}
+		if rel == "." {
+			out = append(out, modulePath)
+		} else {
+			out = append(out, modulePath+"/"+filepath.ToSlash(rel))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// FindModuleRoot walks up from dir to the enclosing go.mod and returns
+// its directory and module path.
+func FindModuleRoot(dir string) (root, modulePath string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("analysis: %s/go.mod has no module line", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("analysis: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

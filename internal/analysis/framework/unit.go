@@ -1,0 +1,177 @@
+package framework
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+)
+
+// This file implements the command-line protocol `go vet -vettool=...`
+// speaks to an analysis tool, compatible with the one defined by
+// golang.org/x/tools/go/analysis/unitchecker but reimplemented on the
+// standard library alone:
+//
+//	tool -V=full    print a version line for the build cache
+//	tool -flags     describe supported analyzer flags as JSON
+//	tool unit.cfg   analyze the compilation unit described by the JSON
+//	                config the go command wrote
+//
+// The go command type-checks every dependency itself and hands the tool
+// export data files, so a unit run never re-checks the world: it parses
+// the unit's own files and imports everything else through the gc
+// export-data importer.
+
+// UnitConfig is the JSON compilation-unit description the go command
+// writes next to each vet invocation (cmd/go's vetConfig). Unknown
+// fields are ignored.
+type UnitConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// RunUnit analyzes the compilation unit described by cfgPath and
+// returns the process exit code: 0 for a clean unit, 1 when findings
+// were printed to stderr. Fatal driver errors are returned for the
+// caller to report.
+func RunUnit(cfgPath string, analyzers []*Analyzer) (int, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return 0, err
+	}
+	var cfg UnitConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return 0, fmt.Errorf("cannot decode vet config %s: %v", cfgPath, err)
+	}
+
+	// The go command asks for fact-only runs on dependencies. The suite
+	// exchanges no facts between packages, so a dependency unit has
+	// nothing to compute: record the empty fact set and move on.
+	if cfg.VetxOnly {
+		return 0, writeVetx(cfg.VetxOutput)
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0, writeVetx(cfg.VetxOutput)
+			}
+			return 0, err
+		}
+		files = append(files, f)
+	}
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	exportImporter := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		// path is already resolved through ImportMap below.
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	conf := types.Config{
+		Importer: importerFunc(func(importPath string) (*types.Package, error) {
+			path, ok := cfg.ImportMap[importPath]
+			if !ok {
+				return nil, fmt.Errorf("can't resolve import %q", importPath)
+			}
+			return exportImporter.Import(path)
+		}),
+		Sizes:     types.SizesFor("gc", runtime.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	info := newInfo()
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0, writeVetx(cfg.VetxOutput)
+		}
+		return 0, err
+	}
+
+	diags, err := Run(&Package{Path: cfg.ImportPath, Fset: fset, Files: files, Types: tpkg, Info: info}, analyzers)
+	if err != nil {
+		return 0, err
+	}
+	if err := writeVetx(cfg.VetxOutput); err != nil {
+		return 0, err
+	}
+	if len(diags) == 0 {
+		return 0, nil
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
+	}
+	return 1, nil
+}
+
+// writeVetx records the unit's (empty) fact set where the go command
+// expects it, so the build cache can reuse the run.
+func writeVetx(path string) error {
+	if path == "" {
+		return nil
+	}
+	return os.WriteFile(path, nil, 0o666)
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// PrintVersion implements the -V=full protocol: a "<name> version devel
+// ... buildID=<hash>" line whose hash is the content hash of the
+// executable, so the go command's build cache invalidates vet results
+// whenever the tool binary changes.
+func PrintVersion(w io.Writer) error {
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "%s version devel comments-go-here buildID=%x\n",
+		filepath.Base(exe), h.Sum(nil))
+	return err
+}
+
+// PrintFlags implements the -flags protocol: the JSON description of
+// the tool's analyzer flags. The suite defines none.
+func PrintFlags(w io.Writer) error {
+	_, err := fmt.Fprintln(w, "[]")
+	return err
+}

@@ -1,0 +1,170 @@
+// Package hotpath enforces the steady-state allocation contract: a
+// function annotated //quorum:hotpath is a per-trial inner loop (probe
+// oracles, Monte Carlo trial bodies, coloring samplers) that must not
+// allocate once its buffers are acquired.
+package hotpath
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"probequorum/internal/analysis/framework"
+)
+
+const doc = `check that //quorum:hotpath functions do not allocate
+
+Inside an annotated function, flags make/new, append (may grow the
+backing array), function literals (closure allocation), string
+concatenation, fmt calls, and implicit interface conversions at call
+arguments. panic(...) arguments and defer statements are exempt: they
+run at most once per failure, not per trial.`
+
+// Analyzer is the hotpath invariant check.
+var Analyzer = &framework.Analyzer{
+	Name: "hotpath",
+	Doc:  doc,
+	Run:  run,
+}
+
+// annotation marks a function as a steady-state hot path.
+const annotation = "//quorum:hotpath"
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !annotated(fd) {
+				continue
+			}
+			checkBody(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// annotated reports whether the function's doc group carries the
+// //quorum:hotpath directive.
+func annotated(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if c.Text == annotation || strings.HasPrefix(c.Text, annotation+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// checkBody walks a hot-path body, skipping defer statements and
+// panic arguments.
+func checkBody(pass *framework.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			return false // failure-path cleanup, runs once per call at most
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "function literal in a hot path: the closure allocates")
+			return false
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(pass, n) {
+				pass.Reportf(n.Pos(), "string concatenation in a hot path allocates")
+			}
+		case *ast.CallExpr:
+			return checkCall(pass, n)
+		}
+		return true
+	})
+}
+
+// isString reports whether the expression has a string type.
+func isString(pass *framework.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// checkCall flags allocating calls; its return value tells the walker
+// whether to descend into the call's children.
+func checkCall(pass *framework.Pass, call *ast.CallExpr) bool {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "panic":
+				return false // at most once per failure, not per trial
+			case "make", "new":
+				pass.Reportf(call.Pos(), "%s in a hot path allocates: acquire buffers before the loop", b.Name())
+			case "append":
+				pass.Reportf(call.Pos(), "append in a hot path may grow the backing array: preallocate before the loop")
+			}
+			return true
+		}
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+			pass.Reportf(call.Pos(), "fmt.%s in a hot path allocates and reflects", fn.Name())
+			return true
+		}
+	}
+	checkInterfaceArgs(pass, call)
+	return true
+}
+
+// checkInterfaceArgs flags concrete values passed to interface
+// parameters: each such call boxes its argument.
+func checkInterfaceArgs(pass *framework.Pass, call *ast.CallExpr) {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if tv.IsType() {
+		// Explicit conversion T(x): flag only interface targets.
+		if types.IsInterface(tv.Type) && len(call.Args) == 1 && !argIsInterfaceOrNil(pass, call.Args[0]) {
+			pass.Reportf(call.Pos(), "conversion to interface in a hot path boxes the value")
+		}
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // forwarding a slice, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if _, ok := pt.(*types.TypeParam); ok {
+			continue // instantiation decides the shape, not this call site
+		}
+		if types.IsInterface(pt) && !argIsInterfaceOrNil(pass, arg) {
+			pass.Reportf(arg.Pos(), "concrete value passed to interface parameter in a hot path boxes the argument")
+		}
+	}
+}
+
+// argIsInterfaceOrNil reports whether the argument is already an
+// interface value (or nil), i.e. passing it does not box.
+func argIsInterfaceOrNil(pass *framework.Pass, arg ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[arg]
+	if !ok || tv.Type == nil {
+		return true
+	}
+	if b, ok := tv.Type.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return true
+	}
+	return types.IsInterface(tv.Type)
+}

@@ -1,0 +1,12 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"probequorum/internal/analysis/analysistest"
+	"probequorum/internal/analysis/hotpath"
+)
+
+func TestHotPath(t *testing.T) {
+	analysistest.Run(t, hotpath.Analyzer, analysistest.TestData(), "hot")
+}

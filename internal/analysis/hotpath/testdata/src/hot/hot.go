@@ -1,0 +1,45 @@
+// Package hot exercises the hotpath allocation checks.
+package hot
+
+import "fmt"
+
+type sink interface{ Add(int) }
+
+type counter struct{ n int }
+
+func (c counter) Add(d int) { _ = c.n + d }
+
+//quorum:hotpath
+func trial(buf []uint64, s sink, name string) int {
+	tmp := make([]uint64, 8) // want "make in a hot path allocates"
+	buf = append(buf, 1)     // want "append in a hot path may grow the backing array"
+	go func() {}()           // want "function literal in a hot path: the closure allocates"
+	label := name + "!"      // want "string concatenation in a hot path allocates"
+	fmt.Println(label)       // want "fmt.Println in a hot path allocates and reflects"
+	var c counter
+	consume(c) // want "concrete value passed to interface parameter in a hot path boxes the argument"
+	if len(buf) == 0 {
+		panic(fmt.Sprintf("empty buffer %s", label)) // failure path: exempt
+	}
+	defer func() { recover() }() // defer subtree: exempt
+	s.Add(len(tmp))
+	scratch := make([]byte, 16) //quorumvet:ignore hotpath fixture: amortized by the caller's pool
+	return len(scratch)
+}
+
+//quorum:hotpath
+func steady(buf []uint64, s sink) uint64 {
+	var acc uint64
+	for _, w := range buf {
+		acc ^= w
+	}
+	s.Add(int(acc & 1)) // s is already an interface: no boxing
+	return acc
+}
+
+func cold() []int {
+	out := make([]int, 0, 4) // unannotated function: allocation is fine
+	return append(out, 1)
+}
+
+func consume(s sink) { s.Add(1) }

@@ -1,0 +1,26 @@
+// Package analysis registers the quorumvet invariant suite: the five
+// analyzers guarding the contracts PRs 1–7 established by hand — cache
+// hygiene under cancellation (ctxcache), allocation-free trial loops
+// (hotpath), seed determinism (detrand), typed error boundaries
+// (typederr), and mask/words width duality (widthdual).
+package analysis
+
+import (
+	"probequorum/internal/analysis/ctxcache"
+	"probequorum/internal/analysis/detrand"
+	"probequorum/internal/analysis/framework"
+	"probequorum/internal/analysis/hotpath"
+	"probequorum/internal/analysis/typederr"
+	"probequorum/internal/analysis/widthdual"
+)
+
+// Analyzers returns the full quorumvet suite in a stable order.
+func Analyzers() []*framework.Analyzer {
+	return []*framework.Analyzer{
+		ctxcache.Analyzer,
+		detrand.Analyzer,
+		hotpath.Analyzer,
+		typederr.Analyzer,
+		widthdual.Analyzer,
+	}
+}

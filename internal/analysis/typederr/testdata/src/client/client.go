@@ -1,0 +1,36 @@
+// Package client exercises the typederr boundary checks.
+package client
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrClosed is a package-level sentinel: declarations are not returns.
+var ErrClosed = errors.New("client: closed")
+
+// ServerError is the typed error the boundary should use.
+type ServerError struct{ Code int }
+
+func (e *ServerError) Error() string { return fmt.Sprintf("server error %d", e.Code) }
+
+func untyped(code int) error {
+	if code == 0 {
+		return errors.New("client: zero code") // want "errors.New returned across a typed-error boundary"
+	}
+	return fmt.Errorf("client: bad code %d", code) // want "fmt.Errorf without %w returned across a typed-error boundary"
+}
+
+func typed(code int, cause error) error {
+	if cause != nil {
+		return fmt.Errorf("client: dial: %w", cause) // %w keeps the cause typed: allowed
+	}
+	if code != 0 {
+		return &ServerError{Code: code}
+	}
+	return ErrClosed
+}
+
+func suppressed() error {
+	return fmt.Errorf("client: handshake stage %d", 3) //quorumvet:ignore typederr fixture: diagnostic-only path never matched by callers
+}

@@ -1,0 +1,12 @@
+// Package worker is not a typed-error boundary: ad-hoc errors are
+// fine here.
+package worker
+
+import "fmt"
+
+func Step(n int) error {
+	if n < 0 {
+		return fmt.Errorf("worker: negative step %d", n)
+	}
+	return nil
+}

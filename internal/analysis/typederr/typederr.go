@@ -1,0 +1,94 @@
+// Package typederr enforces the typed-error boundary contract: the
+// façade, internal/probeserve and client packages expose failure
+// classes as typed errors (BoundError, BudgetError, PanicError,
+// Degradation, ServerError, ...) that callers match with errors.As, so
+// an ad-hoc fmt.Errorf or errors.New returned across those boundaries
+// strands the caller with string matching.
+package typederr
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"path"
+	"strings"
+
+	"probequorum/internal/analysis/framework"
+)
+
+const doc = `check that boundary packages return typed errors
+
+In the façade (probequorum), internal/probeserve and client packages,
+flags return statements whose error result is built in place by
+errors.New or by fmt.Errorf without a %w verb. Wrapping with %w keeps
+the typed cause reachable through errors.As and is allowed, as are
+package-level sentinel declarations.`
+
+// Analyzer is the typederr invariant check.
+var Analyzer = &framework.Analyzer{
+	Name: "typederr",
+	Doc:  doc,
+	Run:  run,
+}
+
+// gatedPackages are the final import-path segments of the typed-error
+// API boundaries.
+var gatedPackages = map[string]bool{
+	"probequorum": true,
+	"probeserve":  true,
+	"client":      true,
+}
+
+func run(pass *framework.Pass) error {
+	if !gatedPackages[path.Base(pass.Pkg.Path())] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ret, ok := n.(*ast.ReturnStmt)
+			if !ok {
+				return true
+			}
+			for _, res := range ret.Results {
+				call, ok := ast.Unparen(res).(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				checkErrorCall(pass, call)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkErrorCall flags errors.New and %w-less fmt.Errorf results.
+func checkErrorCall(pass *framework.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	switch fn.Pkg().Path() + "." + fn.Name() {
+	case "errors.New":
+		pass.Reportf(call.Pos(), "errors.New returned across a typed-error boundary: define or reuse a typed error so callers can errors.As it")
+	case "fmt.Errorf":
+		if len(call.Args) == 0 || wrapsCause(pass, call.Args[0]) {
+			return
+		}
+		pass.Reportf(call.Pos(), "fmt.Errorf without %%w returned across a typed-error boundary: return a typed error or wrap the cause with %%w")
+	}
+}
+
+// wrapsCause reports whether the constant format string contains a %w
+// verb.
+func wrapsCause(pass *framework.Pass, format ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[format]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return true // non-constant format: give it the benefit of the doubt
+	}
+	return strings.Contains(constant.StringVal(tv.Value), "%w")
+}

@@ -1,0 +1,12 @@
+package typederr_test
+
+import (
+	"testing"
+
+	"probequorum/internal/analysis/analysistest"
+	"probequorum/internal/analysis/typederr"
+)
+
+func TestTypedErr(t *testing.T) {
+	analysistest.Run(t, typederr.Analyzer, analysistest.TestData(), "client", "worker")
+}

@@ -1,0 +1,12 @@
+// Package bitset is the one place raw single-bit shifts are allowed;
+// the fixture proves the exemption.
+package bitset
+
+func Bit(e int) uint64 { return uint64(1) << (uint(e) & 63) }
+
+func LowMask(k int) uint64 {
+	if k >= 64 {
+		return ^uint64(0)
+	}
+	return uint64(1)<<uint(k) - 1
+}

@@ -1,0 +1,13 @@
+// Package quorum mirrors the shape of probequorum/internal/quorum for
+// the widthdual fixtures.
+package quorum
+
+type MaskSystem interface {
+	Universe() int
+	ContainsQuorum(mask uint64) bool
+}
+
+type WideMaskSystem interface {
+	MaskSystem
+	ContainsQuorumWords(words []uint64) bool
+}

@@ -1,0 +1,28 @@
+// Package systems exercises both widthdual checks: a MaskSystem-only
+// type and raw single-bit shifts.
+package systems
+
+import "quorum"
+
+type Narrow struct{ n int } // want "Narrow implements MaskSystem but not WideMaskSystem"
+
+func (s Narrow) Universe() int                   { return s.n }
+func (s Narrow) ContainsQuorum(mask uint64) bool { return mask != 0 }
+
+type Dual struct{ n int }
+
+func (s Dual) Universe() int                           { return s.n }
+func (s Dual) ContainsQuorum(mask uint64) bool         { return mask != 0 }
+func (s Dual) ContainsQuorumWords(words []uint64) bool { return len(words) > 0 }
+
+var _ quorum.MaskSystem = Narrow{}
+var _ quorum.WideMaskSystem = Dual{}
+
+func bitOps(e int, words []uint64) uint64 {
+	m := uint64(1) << uint(e)          // want "raw uint64 single-bit shift outside internal/bitset"
+	words[e/64] |= 1 << (uint(e) % 64) // want "raw uint64 single-bit shift outside internal/bitset"
+	full := uint64(1)<<uint(e) - 1     // want "raw uint64 single-bit shift outside internal/bitset"
+	const fixed = uint64(1) << 20      // constant shift amount: not flagged
+	suppressed := uint64(1) << uint(e) //quorumvet:ignore widthdual fixture proves justified suppressions hold
+	return m | full | fixed | suppressed
+}

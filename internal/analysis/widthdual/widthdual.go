@@ -1,0 +1,123 @@
+// Package widthdual enforces the width-dispatch duality contract: every
+// quorum system that speaks the packed uint64 mask protocol must also
+// speak the words protocol, and bit arithmetic on word layouts belongs
+// in internal/bitset.
+package widthdual
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"path"
+
+	"probequorum/internal/analysis/framework"
+)
+
+const doc = `check the MaskSystem/WideMaskSystem duality and raw uint64 bit shifts
+
+In internal/systems and internal/rw, a type implementing MaskSystem
+(n <= 64 packed masks) without WideMaskSystem (ContainsQuorumWords over
+[]uint64) silently falls off the wide fast path; the analyzer flags the
+type declaration. Everywhere outside internal/bitset it also flags raw
+single-bit shifts — uint64-typed 1<<x with a non-constant shift — which
+must go through bitset.Bit / bitset.LowMask so the word layout has one
+owner.`
+
+// Analyzer is the widthdual invariant check.
+var Analyzer = &framework.Analyzer{
+	Name: "widthdual",
+	Doc:  doc,
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	base := path.Base(pass.Pkg.Path())
+	if base == "systems" || base == "rw" {
+		checkDuality(pass)
+	}
+	if base != "bitset" {
+		checkShifts(pass)
+	}
+	return nil
+}
+
+// lookupInterface finds a package-scope interface by name in pkg.
+func lookupInterface(pkg *types.Package, name string) *types.Interface {
+	obj := pkg.Scope().Lookup(name)
+	if obj == nil {
+		return nil
+	}
+	iface, _ := obj.Type().Underlying().(*types.Interface)
+	return iface
+}
+
+// maskInterfaces locates the MaskSystem/WideMaskSystem pair visible to
+// the package: declared locally or in a direct import.
+func maskInterfaces(pkg *types.Package) (mask, wide *types.Interface) {
+	candidates := append([]*types.Package{pkg}, pkg.Imports()...)
+	for _, p := range candidates {
+		m := lookupInterface(p, "MaskSystem")
+		w := lookupInterface(p, "WideMaskSystem")
+		if m != nil && w != nil {
+			return m, w
+		}
+	}
+	return nil, nil
+}
+
+// checkDuality reports package-level types that implement MaskSystem
+// but not WideMaskSystem.
+func checkDuality(pass *framework.Pass) {
+	mask, wide := maskInterfaces(pass.Pkg)
+	if mask == nil || wide == nil {
+		return
+	}
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		T := tn.Type()
+		if types.IsInterface(T) {
+			continue
+		}
+		ptr := types.NewPointer(T)
+		implMask := types.Implements(T, mask) || types.Implements(ptr, mask)
+		implWide := types.Implements(T, wide) || types.Implements(ptr, wide)
+		if implMask && !implWide {
+			pass.Reportf(tn.Pos(), "%s implements MaskSystem but not WideMaskSystem: add ContainsQuorumWords so wide dispatch keeps the fast path", name)
+		}
+	}
+}
+
+// checkShifts reports uint64-typed 1<<x with a non-constant shift
+// amount outside internal/bitset.
+func checkShifts(pass *framework.Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || be.Op != token.SHL {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[be]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			basic, ok := tv.Type.Underlying().(*types.Basic)
+			if !ok || basic.Kind() != types.Uint64 {
+				return true
+			}
+			lhs := pass.TypesInfo.Types[be.X]
+			if lhs.Value == nil || constant.Compare(lhs.Value, token.NEQ, constant.MakeInt64(1)) {
+				return true
+			}
+			if rhs := pass.TypesInfo.Types[be.Y]; rhs.Value != nil {
+				return true // constant shift: a fixed mask, not bit indexing
+			}
+			pass.Reportf(be.Pos(), "raw uint64 single-bit shift outside internal/bitset: use bitset.Bit / bitset.LowMask")
+			return true
+		})
+	}
+}

@@ -1,0 +1,12 @@
+package widthdual_test
+
+import (
+	"testing"
+
+	"probequorum/internal/analysis/analysistest"
+	"probequorum/internal/analysis/widthdual"
+)
+
+func TestWidthDual(t *testing.T) {
+	analysistest.Run(t, widthdual.Analyzer, analysistest.TestData(), "systems", "bitset")
+}

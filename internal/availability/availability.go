@@ -14,6 +14,7 @@ import (
 	"math/bits"
 	"math/rand/v2"
 
+	"probequorum/internal/bitset"
 	"probequorum/internal/coloring"
 	"probequorum/internal/quorum"
 )
@@ -234,7 +235,7 @@ func MonteCarlo(sys quorum.System, p float64, trials int, rng *rand.Rand) float6
 			var reds uint64
 			for e := 0; e < n; e++ {
 				if rng.Float64() < p {
-					reds |= 1 << uint(e)
+					reds |= bitset.Bit(e)
 				}
 			}
 			if !ms.ContainsQuorumMask(full &^ reds) {

@@ -269,3 +269,28 @@ func (s *Set) Key() string {
 // order). It is exposed for compact state encoding in small-universe
 // dynamic programs; i must be in range of the backing array.
 func (s *Set) Word(i int) uint64 { return s.words[i] }
+
+// Bit returns the single-bit mask of element e within its 64-bit word:
+// 1 << (e mod 64). It is the one sanctioned spelling of a single-bit
+// uint64 shift; quorumvet's widthdual analyzer flags raw shifts outside
+// this package so the word layout has exactly one owner.
+func Bit(e int) uint64 { return 1 << (uint(e) & (wordBits - 1)) }
+
+// LowMask returns the word with the k lowest bits set. Out-of-range
+// widths saturate: k <= 0 yields 0 and k >= 64 yields all ones, so
+// callers can trim a partial last word without special-casing full
+// words.
+func LowMask(k int) uint64 {
+	if k >= wordBits {
+		return ^uint64(0)
+	}
+	if k <= 0 {
+		return 0
+	}
+	return 1<<uint(k) - 1
+}
+
+// Pow2 returns 2^n as a uint64 — the mask-enumeration loop limit for an
+// n-element universe. Like the shift it replaces, n >= 64 wraps to the
+// Go shift semantics (zero), so callers must bound n first.
+func Pow2(n int) uint64 { return 1 << uint(n) }

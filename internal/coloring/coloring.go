@@ -166,6 +166,8 @@ func IID(n int, p float64, rng *rand.Rand) *Coloring {
 // IIDInto redraws c in place under the IID(p) model, consuming exactly the
 // same PRNG stream as IID (one Float64 per element). It lets hot trial
 // loops reuse one coloring buffer instead of allocating per trial.
+//
+//quorum:hotpath
 func IIDInto(c *Coloring, p float64, rng *rand.Rand) {
 	if p < 0 || p > 1 {
 		panic(fmt.Sprintf("coloring: probability %v out of [0,1]", p))
@@ -191,6 +193,8 @@ func IIDWords(n int, p float64, rng *rand.Rand) []uint64 {
 // IIDWordsInto redraws dst in place under the IID(p) model. len(dst) must
 // be ceil(n/64); bits at or above n stay zero. Like IIDInto it exists so
 // hot trial loops reuse one buffer instead of allocating per trial.
+//
+//quorum:hotpath
 func IIDWordsInto(dst []uint64, n int, p float64, rng *rand.Rand) {
 	if p < 0 || p > 1 {
 		panic(fmt.Sprintf("coloring: probability %v out of [0,1]", p))
@@ -203,7 +207,7 @@ func IIDWordsInto(dst []uint64, n int, p float64, rng *rand.Rand) {
 	}
 	for e := 0; e < n; e++ {
 		if rng.Float64() < p {
-			dst[e/64] |= 1 << (uint(e) % 64)
+			dst[e/64] |= bitset.Bit(e)
 		}
 	}
 }
@@ -235,10 +239,10 @@ func All(n int, fn func(*Coloring) bool) {
 		panic(fmt.Sprintf("coloring: All limited to n <= 30, got %d", n))
 	}
 	c := New(n)
-	for mask := uint64(0); mask < 1<<uint(n); mask++ {
+	for mask := uint64(0); mask < bitset.Pow2(n); mask++ {
 		c.reds.Clear()
 		for e := 0; e < n; e++ {
-			if mask&(1<<uint(e)) != 0 {
+			if mask&bitset.Bit(e) != 0 {
 				c.reds.Add(e)
 			}
 		}

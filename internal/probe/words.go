@@ -71,6 +71,8 @@ func (o *WordsOracle) SetColoring(col *coloring.Coloring) {
 
 // Reset clears the probe log and releases every arena buffer, keeping the
 // coloring buffer as-is.
+//
+//quorum:hotpath
 func (o *WordsOracle) Reset() {
 	quorum.ZeroWords(o.probed)
 	o.count = 0
@@ -78,8 +80,10 @@ func (o *WordsOracle) Reset() {
 }
 
 // Probe implements Oracle: two word operations and a counter.
+//
+//quorum:hotpath
 func (o *WordsOracle) Probe(e int) coloring.Color {
-	w, b := e>>6, uint64(1)<<(uint(e)&63)
+	w, b := e>>6, bitset.Bit(e)
 	if o.probed[w]&b == 0 {
 		o.probed[w] |= b
 		o.count++

@@ -46,7 +46,7 @@ func FullMask(n int) uint64 {
 	if n == MaskWords {
 		return ^uint64(0)
 	}
-	return uint64(1)<<uint(n) - 1
+	return bitset.LowMask(n)
 }
 
 // MaskOf packs a set into a word mask. It panics if the set's universe
@@ -180,13 +180,13 @@ func BuildWitnessTableCtx(ctx context.Context, sys System) (*WitnessTable, error
 	case enumBacked:
 		seeds = ms.cachedQuorumMasks()
 	case MaskSystem:
-		limit := uint64(1) << uint(n)
+		limit := bitset.Pow2(n)
 		for m := uint64(0); m < limit; m++ {
 			if m&0xFFFF == 0 && ctx.Err() != nil {
 				return nil, ctx.Err()
 			}
 			if ms.ContainsQuorumMask(m) {
-				t.bits[m>>6] |= 1 << (m & 63)
+				t.bits[m>>6] |= bitset.Bit(int(m))
 			}
 		}
 		return t, nil
@@ -197,7 +197,7 @@ func BuildWitnessTableCtx(ctx context.Context, sys System) (*WitnessTable, error
 		return nil, ctx.Err()
 	}
 	for _, q := range seeds {
-		t.bits[q>>6] |= 1 << (q & 63)
+		t.bits[q>>6] |= bitset.Bit(int(q))
 	}
 	t.upwardClosure()
 	return t, nil
@@ -235,5 +235,5 @@ func (t *WitnessTable) Size() int { return t.n }
 
 // Contains reports whether the indicator set of mask contains a quorum.
 func (t *WitnessTable) Contains(mask uint64) bool {
-	return t.bits[mask>>6]&(1<<(mask&63)) != 0
+	return t.bits[mask>>6]&bitset.Bit(int(mask)) != 0
 }

@@ -164,10 +164,10 @@ func CheckND(sys System) error {
 		return fmt.Errorf("quorum: CheckND limited to n <= 30, got %d", n)
 	}
 	greens := bitset.New(n)
-	for mask := uint64(0); mask < 1<<uint(n); mask++ {
+	for mask := uint64(0); mask < bitset.Pow2(n); mask++ {
 		greens.Clear()
 		for e := 0; e < n; e++ {
-			if mask&(1<<uint(e)) != 0 {
+			if mask&bitset.Bit(e) != 0 {
 				greens.Add(e)
 			}
 		}
@@ -219,10 +219,10 @@ func Dual(sys System) []*bitset.Set {
 	}
 	var hitting []*bitset.Set
 	s := bitset.New(n)
-	for mask := uint64(0); mask < 1<<uint(n); mask++ {
+	for mask := uint64(0); mask < bitset.Pow2(n); mask++ {
 		s.Clear()
 		for e := 0; e < n; e++ {
-			if mask&(1<<uint(e)) != 0 {
+			if mask&bitset.Bit(e) != 0 {
 				s.Add(e)
 			}
 		}

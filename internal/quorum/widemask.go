@@ -75,7 +75,7 @@ func ComplementWordsInto(dst, src []uint64, n int) []uint64 {
 // trimWords zeroes the bits at and above n in the last word.
 func trimWords(words []uint64, n int) {
 	if n%MaskWords != 0 && len(words) > 0 {
-		words[len(words)-1] &= uint64(1)<<(uint(n)%MaskWords) - 1
+		words[len(words)-1] &= bitset.LowMask(n % MaskWords)
 	}
 }
 
@@ -112,7 +112,7 @@ func WordBit(words []uint64, e int) bool {
 
 // SetWordBit sets element e in the word mask.
 func SetWordBit(words []uint64, e int) {
-	words[e/MaskWords] |= uint64(1) << (uint(e) % MaskWords)
+	words[e/MaskWords] |= bitset.Bit(e)
 }
 
 // SubsetOfWords reports whether every bit of sub is set in super (equal

@@ -41,7 +41,7 @@ func ResilientQuorums(ctx context.Context, sys quorum.System, f int) ([]*bitset.
 	if err != nil {
 		return nil, err
 	}
-	size := uint64(1) << uint(n)
+	size := bitset.Pow2(n)
 	cur := make([]bool, size)
 	for m := uint64(0); m < size; m++ {
 		cur[m] = table.Contains(m)
@@ -123,7 +123,7 @@ func RoleResilience(ctx context.Context, sys quorum.System) (int, error) {
 		return 0, err
 	}
 	largestDead := 0
-	for m := uint64(0); m < 1<<uint(n); m++ {
+	for m := uint64(0); m < bitset.Pow2(n); m++ {
 		if m&0xFFFF == 0 && ctx.Err() != nil {
 			return 0, ctx.Err()
 		}

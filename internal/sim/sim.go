@@ -250,6 +250,8 @@ func EstimateAdaptiveCtx[S any](ctx context.Context, maxTrials int, seed uint64,
 // error, so one poisonous trial fails its estimate instead of killing
 // the process. Recovery is per chunk, not per trial, to keep the defer
 // off the hot path.
+//
+//quorum:hotpath
 func runTrials[S any](seed uint64, start, end int, vals []float64, state S, f func(*rand.Rand, S) float64) (err error) {
 	defer func() {
 		if r := recover(); r != nil {

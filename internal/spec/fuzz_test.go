@@ -1,0 +1,48 @@
+package spec
+
+import (
+	"testing"
+)
+
+// FuzzSpecParse fuzzes the registry grammar: Parse must never panic on
+// arbitrary input, and any successfully parsed system must round-trip
+// through its canonical spec — Parse(Of(sys)) yields a system with the
+// same canonical spec, name and size. The canonical string is a cache
+// key (PR 3) and a wire field (PR 5), so a round-trip failure would
+// split caches and corrupt resume-by-spec.
+func FuzzSpecParse(f *testing.F) {
+	for _, seed := range []string{
+		"maj:7", "wheel:9", "cw:5", "triang:10", "tree:3", "hqs:3",
+		"vote:1,1,1,2;3", "recmaj:3,2", "explicit:5;0,1,2|2,3,4",
+		"rw:maj:5", "rowa:4", "grid:3x4",
+		"", ":", "maj", "maj:", "maj:0", "maj:-1", "maj:9999999999",
+		"MAJ: 7 ", "unknown:3", "tree:x", "vote:;", "explicit:5;",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		sys, err := Parse(s)
+		if err != nil {
+			return // rejected inputs only need to not panic
+		}
+		canon, ok := Of(sys)
+		if !ok {
+			return // no registry grammar for this construction
+		}
+		sys2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("Parse(%q) succeeded but its canonical spec %q does not parse: %v", s, canon, err)
+		}
+		canon2, ok2 := Of(sys2)
+		if !ok2 {
+			t.Fatalf("canonical spec %q parsed to a system with no spec", canon)
+		}
+		if canon2 != canon {
+			t.Fatalf("canonical spec not a fixed point: %q -> %q", canon, canon2)
+		}
+		if sys2.Size() != sys.Size() || sys2.Name() != sys.Name() {
+			t.Fatalf("round-trip changed the system: %s/%d -> %s/%d",
+				sys.Name(), sys.Size(), sys2.Name(), sys2.Size())
+		}
+	})
+}

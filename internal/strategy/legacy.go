@@ -44,7 +44,7 @@ func newDP(sys quorum.System) (*dp, error) {
 func (d *dp) holdsWitness(mask uint64) bool {
 	d.buf.Clear()
 	for e := 0; e < d.n; e++ {
-		if mask&(1<<uint(e)) != 0 {
+		if mask&bitset.Bit(e) != 0 {
 			d.buf.Add(e)
 		}
 	}
@@ -69,7 +69,7 @@ func LegacyOptimalPC(sys quorum.System) (int, error) {
 		probed := s.greens | s.reds
 		best := d.n + 1
 		for e := 0; e < d.n; e++ {
-			bit := uint64(1) << uint(e)
+			bit := bitset.Bit(e)
 			if probed&bit != 0 {
 				continue
 			}
@@ -112,7 +112,7 @@ func LegacyOptimalPPC(sys quorum.System, p float64) (float64, error) {
 		probed := s.greens | s.reds
 		best := float64(d.n + 1)
 		for e := 0; e < d.n; e++ {
-			bit := uint64(1) << uint(e)
+			bit := bitset.Bit(e)
 			if probed&bit != 0 {
 				continue
 			}
@@ -150,7 +150,7 @@ func LegacyYaoBound(sys quorum.System, dist []coloring.Weighted) (float64, error
 		var mask uint64
 		for e := 0; e < d.n; e++ {
 			if w.Coloring.IsRed(e) {
-				mask |= 1 << uint(e)
+				mask |= bitset.Bit(e)
 			}
 		}
 		items[i] = item{reds: mask, weight: w.Weight}
@@ -175,7 +175,7 @@ func LegacyYaoBound(sys quorum.System, dist []coloring.Weighted) (float64, error
 		probed := s.greens | s.reds
 		best := float64(d.n + 1)
 		for e := 0; e < d.n; e++ {
-			bit := uint64(1) << uint(e)
+			bit := bitset.Bit(e)
 			if probed&bit != 0 {
 				continue
 			}

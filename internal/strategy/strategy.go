@@ -36,6 +36,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"probequorum/internal/bitset"
 	"probequorum/internal/coloring"
 	"probequorum/internal/quorum"
 )
@@ -213,7 +214,7 @@ func (s *ppcSolver) value(greens, reds, idx uint64) float64 {
 	best := float64(e.n + 1)
 	for rest := e.full &^ (greens | reds); rest != 0; rest &= rest - 1 {
 		el := bits.TrailingZeros64(rest)
-		bit := uint64(1) << uint(el)
+		bit := bitset.Bit(el)
 		p3 := e.pow3[el]
 		v := 1 + s.q*s.value(greens|bit, reds, idx+p3) + s.p*s.value(greens, reds|bit, idx+2*p3)
 		if v < best {
@@ -239,7 +240,7 @@ func (s *ppcSolver) solve(ctx context.Context) (float64, error) {
 	defer e.watch(ctx)()
 	if e.n >= parallelRootMin {
 		e.parallelExpand(func(el int, red bool) {
-			bit := uint64(1) << uint(el)
+			bit := bitset.Bit(el)
 			if red {
 				s.value(0, bit, 2*e.pow3[el])
 			} else {
@@ -310,7 +311,7 @@ func (s *pcSolver) value(greens, reds, idx uint64) int {
 	best := e.n + 1
 	for rest := e.full &^ (greens | reds); rest != 0; rest &= rest - 1 {
 		el := bits.TrailingZeros64(rest)
-		bit := uint64(1) << uint(el)
+		bit := bitset.Bit(el)
 		p3 := e.pow3[el]
 		g := s.value(greens|bit, reds, idx+p3)
 		r := s.value(greens, reds|bit, idx+2*p3)
@@ -330,7 +331,7 @@ func (s *pcSolver) solve(ctx context.Context) (int, error) {
 	defer e.watch(ctx)()
 	if e.n >= parallelRootMin {
 		e.parallelExpand(func(el int, red bool) {
-			bit := uint64(1) << uint(el)
+			bit := bitset.Bit(el)
 			if red {
 				s.value(0, bit, 2*e.pow3[el])
 			} else {
@@ -465,7 +466,7 @@ func BuildOptimalPCWithTableCtx(ctx context.Context, sys quorum.System, table *q
 		target := s.value(greens, reds, idx)
 		for rest := e.full &^ (greens | reds); rest != 0; rest &= rest - 1 {
 			el := bits.TrailingZeros64(rest)
-			bit := uint64(1) << uint(el)
+			bit := bitset.Bit(el)
 			p3 := e.pow3[el]
 			g := s.value(greens|bit, reds, idx+p3)
 			r := s.value(greens, reds|bit, idx+2*p3)
@@ -526,7 +527,7 @@ func BuildOptimalPPC(sys quorum.System, p float64) (*Node, error) {
 		eps := tolerance(target)
 		for rest := e.full &^ (greens | reds); rest != 0; rest &= rest - 1 {
 			el := bits.TrailingZeros64(rest)
-			bit := uint64(1) << uint(el)
+			bit := bitset.Bit(el)
 			p3 := e.pow3[el]
 			v := 1 + s.q*s.value(greens|bit, reds, idx+p3) + s.p*s.value(greens, reds|bit, idx+2*p3)
 			if v <= target+eps {
@@ -569,7 +570,7 @@ func Validate(sys quorum.System, root *Node) error {
 		if nd.Element >= e.n {
 			return fmt.Errorf("strategy: element %d out of universe [0,%d)", nd.Element, e.n)
 		}
-		bit := uint64(1) << uint(nd.Element)
+		bit := bitset.Bit(nd.Element)
 		if (greens|reds)&bit != 0 {
 			return fmt.Errorf("strategy: element %d probed twice on a path", nd.Element)
 		}
@@ -630,7 +631,7 @@ func YaoBound(sys quorum.System, dist []coloring.Weighted) (float64, error) {
 		best := float64(e.n + 1)
 		for rest := e.full &^ (greens | reds); rest != 0; rest &= rest - 1 {
 			el := bits.TrailingZeros64(rest)
-			bit := uint64(1) << uint(el)
+			bit := bitset.Bit(el)
 			var greenItems, redItems []item
 			var greenMass, redMass float64
 			for _, it := range support {

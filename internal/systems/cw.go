@@ -68,7 +68,7 @@ func NewCW(widths []int) (*CW, error) {
 	if n <= quorum.MaskWords {
 		c.rowMasks = make([]uint64, len(w))
 		for i, wd := range w {
-			c.rowMasks[i] = (uint64(1)<<uint(wd) - 1) << uint(offsets[i])
+			c.rowMasks[i] = bitset.LowMask(wd) << uint(offsets[i])
 		}
 	}
 	return c, nil
@@ -313,7 +313,7 @@ func (c *CW) appendRepMasks(out []uint64, base uint64, row int) []uint64 {
 	}
 	start, end := c.RowRange(row)
 	for e := start; e < end; e++ {
-		out = c.appendRepMasks(out, base|uint64(1)<<uint(e), row+1)
+		out = c.appendRepMasks(out, base|bitset.Bit(e), row+1)
 	}
 	return out
 }

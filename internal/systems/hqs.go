@@ -173,7 +173,7 @@ func (q *HQS) QuorumMasks() []uint64 {
 
 func (q *HQS) enumerateMasks(start, size int) []uint64 {
 	if size == 1 {
-		return []uint64{uint64(1) << uint(start)}
+		return []uint64{bitset.Bit(start)}
 	}
 	third := size / 3
 	children := make([][]uint64, 3)

@@ -98,9 +98,9 @@ func (m *Maj) QuorumMasks() []uint64 {
 		panic(fmt.Sprintf("systems: Maj.QuorumMasks infeasible for n=%d", m.n))
 	}
 	t := m.Threshold()
-	limit := uint64(1) << uint(m.n)
+	limit := bitset.Pow2(m.n)
 	var out []uint64
-	for q := uint64(1)<<uint(t) - 1; q < limit; {
+	for q := bitset.LowMask(t); q < limit; {
 		out = append(out, q)
 		// Gosper's hack: the next mask with the same popcount.
 		c := q & -q

@@ -28,6 +28,8 @@ var (
 
 // ProbeWitnessWords implements probe.WordsProber: Probe_Maj with the two
 // color classes accumulated in word buffers and counters.
+//
+//quorum:hotpath
 func (m *Maj) ProbeWitnessWords(o *probe.WordsOracle) probe.WordsWitness {
 	t := m.Threshold()
 	greens := o.AcquireWords()
@@ -52,6 +54,8 @@ func (m *Maj) ProbeWitnessWords(o *probe.WordsOracle) probe.WordsWitness {
 }
 
 // ProbeWitnessWords implements probe.WordsProber: the hub-first scan.
+//
+//quorum:hotpath
 func (w *Wheel) ProbeWitnessWords(o *probe.WordsOracle) probe.WordsWitness {
 	buf := o.AcquireWords()
 	hubColor := o.Probe(0)
@@ -70,6 +74,8 @@ func (w *Wheel) ProbeWitnessWords(o *probe.WordsOracle) probe.WordsWitness {
 
 // ProbeWitnessWords implements probe.WordsProber: Probe_CW with the
 // running witness W kept as a word mask.
+//
+//quorum:hotpath
 func (c *CW) ProbeWitnessWords(o *probe.WordsOracle) probe.WordsWitness {
 	w := o.AcquireWords()
 	start, _ := c.RowRange(0)
@@ -98,6 +104,8 @@ func (c *CW) ProbeWitnessWords(o *probe.WordsOracle) probe.WordsWitness {
 
 // ProbeWitnessWords implements probe.WordsProber: Probe_Tree with
 // per-level witness buffers from the oracle arena.
+//
+//quorum:hotpath
 func (t *Tree) ProbeWitnessWords(o *probe.WordsOracle) probe.WordsWitness {
 	dst := o.AcquireWords()
 	c := t.probeWordsAt(o, t.Root(), dst)
@@ -134,6 +142,8 @@ func (t *Tree) probeWordsAt(o *probe.WordsOracle, v int, dst []uint64) coloring.
 
 // ProbeWitnessWords implements probe.WordsProber: Probe_HQS evaluating
 // each 2-of-3 gate on word buffers.
+//
+//quorum:hotpath
 func (q *HQS) ProbeWitnessWords(o *probe.WordsOracle) probe.WordsWitness {
 	dst := o.AcquireWords()
 	c := q.probeWordsAt(o, 0, q.n, dst)
@@ -170,6 +180,8 @@ func (q *HQS) probeWordsAt(o *probe.WordsOracle, start, size int, dst []uint64) 
 
 // ProbeWitnessWords implements probe.WordsProber: the descending-weight
 // scan with word-buffer color classes.
+//
+//quorum:hotpath
 func (v *Vote) ProbeWitnessWords(o *probe.WordsOracle) probe.WordsWitness {
 	t := v.Threshold()
 	greens := o.AcquireWords()
@@ -195,6 +207,8 @@ func (v *Vote) ProbeWitnessWords(o *probe.WordsOracle) probe.WordsWitness {
 
 // ProbeWitnessWords implements probe.WordsProber: short-circuit m-ary
 // gate evaluation with per-gate color accumulators from the arena.
+//
+//quorum:hotpath
 func (r *RecMaj) ProbeWitnessWords(o *probe.WordsOracle) probe.WordsWitness {
 	dst := o.AcquireWords()
 	c := r.probeWordsAt(o, 0, r.n, dst)

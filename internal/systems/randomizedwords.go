@@ -27,6 +27,8 @@ var (
 
 // ProbeWitnessWordsRandomized implements probe.RandomizedWordsProber:
 // R_Probe_Maj over word buffers.
+//
+//quorum:hotpath
 func (m *Maj) ProbeWitnessWordsRandomized(o *probe.WordsOracle, rng *rand.Rand) probe.WordsWitness {
 	t := m.Threshold()
 	greens := o.AcquireWords()
@@ -52,6 +54,8 @@ func (m *Maj) ProbeWitnessWordsRandomized(o *probe.WordsOracle, rng *rand.Rand) 
 
 // ProbeWitnessWordsRandomized implements probe.RandomizedWordsProber: the
 // hub-first strategy with the rim scanned in uniformly random order.
+//
+//quorum:hotpath
 func (w *Wheel) ProbeWitnessWordsRandomized(o *probe.WordsOracle, rng *rand.Rand) probe.WordsWitness {
 	buf := o.AcquireWords()
 	hubColor := o.Probe(0)
@@ -71,10 +75,16 @@ func (w *Wheel) ProbeWitnessWordsRandomized(o *probe.WordsOracle, rng *rand.Rand
 // ProbeWitnessWordsRandomized implements probe.RandomizedWordsProber:
 // R_Probe_CW with the representative bookkeeping unchanged and the
 // witness assembled as a word mask.
+//
+//quorum:hotpath
 func (c *CW) ProbeWitnessWordsRandomized(o *probe.WordsOracle, rng *rand.Rand) probe.WordsWitness {
 	k := c.Rows()
-	repGreen := make([]int, k)
-	repRed := make([]int, k)
+	// R_Probe_CW keeps one green and one red representative per row; the
+	// strategy is inherently O(rows) in bookkeeping and rng.Perm below
+	// allocates per row regardless, so these two small slices are the
+	// documented exception to the no-allocation contract.
+	repGreen := make([]int, k) //quorumvet:ignore hotpath O(rows) representative bookkeeping, dominated by rng.Perm
+	repRed := make([]int, k)   //quorumvet:ignore hotpath O(rows) representative bookkeeping, dominated by rng.Perm
 	for j := k - 1; j >= 0; j-- {
 		lo, hi := c.RowRange(j)
 		width := hi - lo
@@ -116,6 +126,8 @@ func (c *CW) ProbeWitnessWordsRandomized(o *probe.WordsOracle, rng *rand.Rand) p
 
 // ProbeWitnessWordsRandomized implements probe.RandomizedWordsProber:
 // R_Probe_Tree over word buffers.
+//
+//quorum:hotpath
 func (t *Tree) ProbeWitnessWordsRandomized(o *probe.WordsOracle, rng *rand.Rand) probe.WordsWitness {
 	dst := o.AcquireWords()
 	c := t.rProbeWordsAt(o, rng, t.Root(), dst)
@@ -176,6 +188,8 @@ func (t *Tree) rProbeWordsRootFirst(o *probe.WordsOracle, rng *rand.Rand, v, fir
 // ProbeWitnessWordsRandomized implements probe.RandomizedWordsProber:
 // IR_Probe_HQS (Fig. 8) over word buffers, consuming the rng stream
 // exactly as the bitset form does.
+//
+//quorum:hotpath
 func (q *HQS) ProbeWitnessWordsRandomized(o *probe.WordsOracle, rng *rand.Rand) probe.WordsWitness {
 	dst := o.AcquireWords()
 	c := q.irEvalWords(o, rng, 0, q.n, dst)
@@ -296,6 +310,8 @@ func (q *HQS) irContinueEvalWords(o *probe.WordsOracle, rng *rand.Rand, start, s
 
 // ProbeWitnessWordsRandomized implements probe.RandomizedWordsProber: the
 // random-order weighted scan.
+//
+//quorum:hotpath
 func (v *Vote) ProbeWitnessWordsRandomized(o *probe.WordsOracle, rng *rand.Rand) probe.WordsWitness {
 	t := v.Threshold()
 	n := len(v.weights)
@@ -323,6 +339,8 @@ func (v *Vote) ProbeWitnessWordsRandomized(o *probe.WordsOracle, rng *rand.Rand)
 // ProbeWitnessWordsRandomized implements probe.RandomizedWordsProber:
 // random-order m-ary gate evaluation with short-circuit at the gate
 // threshold.
+//
+//quorum:hotpath
 func (r *RecMaj) ProbeWitnessWordsRandomized(o *probe.WordsOracle, rng *rand.Rand) probe.WordsWitness {
 	dst := o.AcquireWords()
 	c := r.rProbeWordsAt(o, rng, 0, r.n, dst)

@@ -164,9 +164,9 @@ func (t *Tree) QuorumMasks() []uint64 {
 
 func (t *Tree) enumerateMasks(v int) []uint64 {
 	if t.IsLeaf(v) {
-		return []uint64{uint64(1) << uint(v)}
+		return []uint64{bitset.Bit(v)}
 	}
-	root := uint64(1) << uint(v)
+	root := bitset.Bit(v)
 	left := t.enumerateMasks(t.Left(v))
 	right := t.enumerateMasks(t.Right(v))
 	out := make([]uint64, 0, len(left)+len(right)+len(left)*len(right))

@@ -84,7 +84,7 @@ func (w *Wheel) QuorumMasks() []uint64 {
 	maskGuard("Wheel", w.n)
 	out := make([]uint64, 0, w.n)
 	for r := 1; r < w.n; r++ {
-		out = append(out, 1|uint64(1)<<uint(r))
+		out = append(out, 1|bitset.Bit(r))
 	}
 	return append(out, w.rimMask())
 }

@@ -306,7 +306,7 @@ func FindWitness(sys System, o Oracle) (Witness, error) {
 	if f, ok := sys.(finderSystem); ok {
 		return core.SequentialScan(f, o), nil
 	}
-	return Witness{}, fmt.Errorf("probequorum: no strategy for %s (implement Prober or Finder)", sys.Name())
+	return Witness{}, &UnsupportedError{What: "strategy", Name: sys.Name(), Hint: "Prober or Finder"}
 }
 
 // FindWitnessRandomized locates a witness through the RandomizedProber
@@ -321,7 +321,7 @@ func FindWitnessRandomized(sys System, o Oracle, rng *rand.Rand) (Witness, error
 	if f, ok := sys.(finderSystem); ok {
 		return core.RandomScan(f, o, rng), nil
 	}
-	return Witness{}, fmt.Errorf("probequorum: no strategy for %s (implement RandomizedProber or Finder)", sys.Name())
+	return Witness{}, &UnsupportedError{What: "strategy", Name: sys.Name(), Hint: "RandomizedProber or Finder"}
 }
 
 // NewWordsOracle returns a wide-universe oracle over an all-green
@@ -337,7 +337,7 @@ func FindWitnessWords(sys System, o *WordsOracle) (WordsWitness, error) {
 	if wp, ok := sys.(WordsProber); ok {
 		return wp.ProbeWitnessWords(o), nil
 	}
-	return WordsWitness{}, fmt.Errorf("probequorum: no wide strategy for %s (implement WordsProber)", sys.Name())
+	return WordsWitness{}, &UnsupportedError{What: "wide strategy", Name: sys.Name(), Hint: "WordsProber"}
 }
 
 // FindWitnessWordsRandomized is FindWitnessWords for the randomized
@@ -346,7 +346,7 @@ func FindWitnessWordsRandomized(sys System, o *WordsOracle, rng *rand.Rand) (Wor
 	if wp, ok := sys.(RandomizedWordsProber); ok {
 		return wp.ProbeWitnessWordsRandomized(o, rng), nil
 	}
-	return WordsWitness{}, fmt.Errorf("probequorum: no wide randomized strategy for %s (implement RandomizedWordsProber)", sys.Name())
+	return WordsWitness{}, &UnsupportedError{What: "wide randomized strategy", Name: sys.Name(), Hint: "RandomizedWordsProber"}
 }
 
 // Availability returns F_p(S): the probability that no live quorum exists
@@ -409,7 +409,7 @@ func RenderSystem(sys System, highlight *Set) (string, error) {
 	if r, ok := sys.(Renderer); ok {
 		return r.RenderASCII(highlight), nil
 	}
-	return "", fmt.Errorf("probequorum: no renderer for %s (implement Renderer)", sys.Name())
+	return "", &UnsupportedError{What: "renderer", Name: sys.Name(), Hint: "Renderer"}
 }
 
 // CheckNondominated verifies by exhaustive enumeration (small universes)

@@ -1,7 +1,6 @@
 package probequorum
 
 import (
-	"fmt"
 	"math"
 	"strconv"
 	"strings"
@@ -87,7 +86,7 @@ func ParseMeasures(s string) ([]Measure, error) {
 	for _, part := range strings.Split(s, ",") {
 		m := Measure(strings.TrimSpace(strings.ToLower(part)))
 		if !m.valid() {
-			return nil, fmt.Errorf("probequorum: unknown measure %q (known: %s)", part, knownMeasureList())
+			return nil, queryErrorf("unknown measure %q (known: %s)", part, knownMeasureList())
 		}
 		if !seen[m] {
 			seen[m] = true
@@ -95,7 +94,7 @@ func ParseMeasures(s string) ([]Measure, error) {
 		}
 	}
 	if len(out) == 0 {
-		return nil, fmt.Errorf("probequorum: empty measure list (known: %s)", knownMeasureList())
+		return nil, queryErrorf("empty measure list (known: %s)", knownMeasureList())
 	}
 	return out, nil
 }
@@ -119,16 +118,16 @@ func ParsePGrid(s string) ([]float64, error) {
 		}
 		p, err := strconv.ParseFloat(part, 64)
 		if err != nil {
-			return nil, fmt.Errorf("probequorum: bad probability %q: want a float in [0,1]", part)
+			return nil, queryErrorf("bad probability %q: want a float in [0,1]", part)
 		}
 		// The negated form rejects NaN, which both plain comparisons miss.
 		if !(p >= 0 && p <= 1) {
-			return nil, fmt.Errorf("probequorum: probability %v out of [0,1]", p)
+			return nil, queryErrorf("probability %v out of [0,1]", p)
 		}
 		out = append(out, p)
 	}
 	if len(out) == 0 {
-		return nil, fmt.Errorf("probequorum: empty probability grid")
+		return nil, queryErrorf("empty probability grid")
 	}
 	return out, nil
 }
@@ -246,10 +245,10 @@ func (q Query) writeCaps() []float64 {
 func (q Query) normalized() (Query, error) {
 	q.Spec = strings.TrimSpace(q.Spec)
 	if q.System == nil && q.Spec == "" {
-		return q, fmt.Errorf("probequorum: query names no system (set Spec or System)")
+		return q, queryErrorf("query names no system (set Spec or System)")
 	}
 	if len(q.Measures) == 0 {
-		return q, fmt.Errorf("probequorum: query requests no measures (known: %s)", knownMeasureList())
+		return q, queryErrorf("query requests no measures (known: %s)", knownMeasureList())
 	}
 	var ms []Measure
 	seen := map[Measure]bool{}
@@ -257,7 +256,7 @@ func (q Query) normalized() (Query, error) {
 	for _, m := range q.Measures {
 		m = Measure(strings.TrimSpace(strings.ToLower(string(m))))
 		if !m.valid() {
-			return q, fmt.Errorf("probequorum: unknown measure %q (known: %s)", m, knownMeasureList())
+			return q, queryErrorf("unknown measure %q (known: %s)", m, knownMeasureList())
 		}
 		if seen[m] {
 			continue
@@ -268,7 +267,7 @@ func (q Query) normalized() (Query, error) {
 	}
 	q.Measures = ms
 	if needP && len(q.Ps) == 0 {
-		return q, fmt.Errorf("probequorum: measures %v need a probability grid (set Ps)", q.Measures)
+		return q, queryErrorf("measures %v need a probability grid (set Ps)", q.Measures)
 	}
 	if !needP {
 		// No p-dependent measure: the grid is inert, so drop it rather
@@ -278,7 +277,7 @@ func (q Query) normalized() (Query, error) {
 	for _, p := range q.Ps {
 		// The negated form rejects NaN, which both plain comparisons miss.
 		if !(p >= 0 && p <= 1) {
-			return q, fmt.Errorf("probequorum: probability %v out of [0,1]", p)
+			return q, queryErrorf("probability %v out of [0,1]", p)
 		}
 	}
 	needFr := false
@@ -286,7 +285,7 @@ func (q Query) normalized() (Query, error) {
 		needFr = needFr || m.perFr()
 	}
 	if needFr && len(q.ReadFractions) == 0 {
-		return q, fmt.Errorf("probequorum: measures %v need a read-fraction grid (set ReadFractions)", q.Measures)
+		return q, queryErrorf("measures %v need a read-fraction grid (set ReadFractions)", q.Measures)
 	}
 	if !needFr {
 		// No planner measure: the read-fraction grid is inert, so drop it
@@ -298,7 +297,7 @@ func (q Query) normalized() (Query, error) {
 	for _, fr := range q.ReadFractions {
 		// The negated form rejects NaN, which both plain comparisons miss.
 		if !(fr >= 0 && fr <= 1) {
-			return q, fmt.Errorf("probequorum: read fraction %v out of [0,1]", fr)
+			return q, queryErrorf("read fraction %v out of [0,1]", fr)
 		}
 	}
 	for role, caps := range map[string][]float64{
@@ -306,24 +305,24 @@ func (q Query) normalized() (Query, error) {
 	} {
 		for i, c := range caps {
 			if !(c > 0) || math.IsInf(c, 0) {
-				return q, fmt.Errorf("probequorum: %scapacity of node %d is %v; want a positive finite value", role, i, c)
+				return q, queryErrorf("%scapacity of node %d is %v; want a positive finite value", role, i, c)
 			}
 		}
 	}
 	if q.F < 0 {
-		return q, fmt.Errorf("probequorum: negative resilience requirement f=%d", q.F)
+		return q, queryErrorf("negative resilience requirement f=%d", q.F)
 	}
 	if q.Trials < 0 {
-		return q, fmt.Errorf("probequorum: negative trial count %d", q.Trials)
+		return q, queryErrorf("negative trial count %d", q.Trials)
 	}
 	if q.Trials > MaxQueryTrials {
-		return q, fmt.Errorf("probequorum: trial count %d exceeds the per-query cap %d", q.Trials, MaxQueryTrials)
+		return q, queryErrorf("trial count %d exceeds the per-query cap %d", q.Trials, MaxQueryTrials)
 	}
 	if math.IsNaN(q.Tolerance) {
-		return q, fmt.Errorf("probequorum: tolerance is NaN")
+		return q, queryErrorf("tolerance is NaN")
 	}
 	if q.DeadlineMS < 0 {
-		return q, fmt.Errorf("probequorum: negative deadline %dms", q.DeadlineMS)
+		return q, queryErrorf("negative deadline %dms", q.DeadlineMS)
 	}
 	if q.Tolerance < 0 {
 		// Negative means "disabled", same as zero; canonicalize so the

@@ -264,7 +264,7 @@ func FoldCells(cells iter.Seq2[Cell, error], n int) ([]*Result, error) {
 			return nil, err
 		}
 		if c.Query < 0 || c.Query >= n {
-			return nil, fmt.Errorf("probequorum: cell for query %d outside batch of %d", c.Query, n)
+			return nil, queryErrorf("cell for query %d outside batch of %d", c.Query, n)
 		}
 		if c.Err != "" {
 			results[c.Query] = &Result{Spec: c.Spec, Error: c.Err}
@@ -388,7 +388,7 @@ func (e *Evaluator) streamOne(ctx context.Context, idx int, q Query, emit func(C
 	if len(nq.ReadFractions) > 0 {
 		for role, caps := range map[string][]float64{"read": nq.readCaps(), "write": nq.writeCaps()} {
 			if caps != nil && len(caps) != sys.Size() {
-				return fmt.Errorf("probequorum: %d %s capacities for the %d nodes of %s", len(caps), role, sys.Size(), sys.Name())
+				return queryErrorf("%d %s capacities for the %d nodes of %s", len(caps), role, sys.Size(), sys.Name())
 			}
 		}
 	}
