@@ -442,6 +442,16 @@ func (c *Client) Systems(ctx context.Context) ([]string, error) {
 	return resp.Specs, nil
 }
 
+// CacheStats returns the server's cache accounting: the evaluation
+// session's build/coalesce and per-tier hit/miss counters, plus the
+// persistent store footprint and approximate-cache sizes when the
+// server runs those tiers (nil otherwise).
+func (c *Client) CacheStats(ctx context.Context) (probeserve.CacheStatsResponse, error) {
+	var resp probeserve.CacheStatsResponse
+	err := c.doJSON(ctx, http.MethodGet, c.base+"/v1/admin/cache", nil, &resp)
+	return resp, err
+}
+
 // Render returns the server's ASCII rendering of the system named by the
 // spec string.
 func (c *Client) Render(ctx context.Context, spec string) (string, error) {

@@ -51,6 +51,14 @@ type benchRecord struct {
 	// pass over every module package, type-checked from source, in
 	// milliseconds. The CI static-analysis gate budget tracks this.
 	VetMS float64 `json:"vet_ms,omitempty"`
+	// WarmSpeedup (PR 9) is the persistent-store headline: cold-compute
+	// ns/op over warm-start ns/op for the same exact answer, where the
+	// warm op opens the store and answers from disk in a fresh session —
+	// the restarted-fleet scenario.
+	WarmSpeedup float64 `json:"warm_speedup,omitempty"`
+	// P99MS (PR 9) is the 99th-percentile per-query latency of the
+	// mixed hot/near/cold load-generator op, in milliseconds.
+	P99MS float64 `json:"p99_ms,omitempty"`
 }
 
 // benchFile is the on-disk schema: measurement context plus the records.
@@ -339,6 +347,11 @@ func benchOps() []benchOp {
 		plannerColdOp(),
 		plannerWarmOp(),
 		plannerRankOp(),
+		// Persistent-store ops (PR 9): cold must run before warm — the
+		// warm op's post hook divides the cold ns/op it left behind.
+		storeColdOp(),
+		storeWarmOp(),
+		loadgenOp(),
 		// Static analysis (PR 8): one full quorumvet suite pass over the
 		// module, type-checking every package from source — the upper
 		// bound of what the CI gate costs before go vet's caching kicks
@@ -547,6 +560,12 @@ func writeBenchJSON(path string) error {
 		}
 		if rec.VetMS > 0 {
 			fmt.Fprintf(os.Stderr, "  vet %.0f ms", rec.VetMS)
+		}
+		if rec.WarmSpeedup > 0 {
+			fmt.Fprintf(os.Stderr, "  warm x%.0f", rec.WarmSpeedup)
+		}
+		if rec.P99MS > 0 {
+			fmt.Fprintf(os.Stderr, "  p99 %.2f ms", rec.P99MS)
 		}
 		fmt.Fprintln(os.Stderr)
 		out.Records = append(out.Records, rec)

@@ -1,0 +1,183 @@
+package main
+
+import (
+	"context"
+	"math/rand/v2"
+	"os"
+	"sort"
+	"testing"
+	"time"
+
+	"probequorum"
+	"probequorum/internal/spec"
+)
+
+// Cache ops (PR 9): the persistent artifact store and the mixed-traffic
+// serving shape it enables. storeColdOp computes a mid-size exact PPC
+// from scratch in a fresh session — the price every restarted process
+// used to pay. storeWarmOp answers the same query in a fresh session
+// backed by a populated store directory: open, fetch, decode, done,
+// with zero builds. The warm record's warm_speedup field (cold ns/op
+// over warm ns/op) is the headline; the acceptance bar is >= 100x.
+// loadgenOp then drives the steady-state mix of a warm serving process
+// — hot repeats, near-neighbor tolerance queries served approximately,
+// and genuinely cold parameters — and reports sustained queries/sec
+// with the p99 per-query latency.
+
+// storeBenchSpec is the mid-size warm-start subject: big enough that
+// the exact PPC DP costs a meaningful fraction of a second on one
+// core, small enough that the cold op still iterates.
+const (
+	storeBenchSpec = "wheel:14"
+	storeBenchP    = 0.3
+)
+
+// Cross-op state: the cold op leaves its ns/op and value for the warm
+// op's speedup and bit-identity checks. Ops run sequentially in slice
+// order, so plain variables suffice.
+var (
+	storeColdNs  float64
+	storeColdVal float64
+)
+
+func storeColdOp() benchOp {
+	return benchOp{name: "store/cold-compute/Wheel14", fn: func(b *testing.B) {
+		sys := spec.MustParse(storeBenchSpec)
+		for i := 0; i < b.N; i++ {
+			eval := probequorum.NewEvaluator()
+			v, err := eval.AverageProbeComplexity(sys, storeBenchP)
+			if err != nil {
+				b.Fatal(err)
+			}
+			storeColdVal = v
+		}
+	}, post: func(rec *benchRecord) { storeColdNs = rec.NsPerOp }}
+}
+
+func storeWarmOp() benchOp {
+	return benchOp{name: "store/warm-start/Wheel14", fn: func(b *testing.B) {
+		sys := spec.MustParse(storeBenchSpec)
+		dir, err := os.MkdirTemp("", "probebench-store")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		// Populate once: one session computes and persists.
+		st, err := probequorum.OpenArtifactStore(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eval := probequorum.NewEvaluator(probequorum.WithStore(st))
+		want, err := eval.AverageProbeComplexity(sys, storeBenchP)
+		if err != nil {
+			b.Fatal(err)
+		}
+		st.Close()
+		b.ResetTimer()
+		// Each iteration is one restarted process: open the shared
+		// directory, answer from disk, close.
+		for i := 0; i < b.N; i++ {
+			st, err := probequorum.OpenArtifactStore(dir)
+			if err != nil {
+				b.Fatal(err)
+			}
+			warm := probequorum.NewEvaluator(probequorum.WithStore(st))
+			v, err := warm.AverageProbeComplexity(sys, storeBenchP)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if v != want || (storeColdVal != 0 && v != storeColdVal) {
+				b.Fatalf("warm start answered %v, cold computed %v", v, want)
+			}
+			var builds uint64
+			for _, n := range warm.Stats().Builds {
+				builds += n
+			}
+			if builds != 0 {
+				b.Fatalf("warm start ran %d builds, want 0", builds)
+			}
+			st.Close()
+		}
+	}, post: func(rec *benchRecord) {
+		if rec.NsPerOp > 0 && storeColdNs > 0 {
+			rec.WarmSpeedup = storeColdNs / rec.NsPerOp
+		}
+	}}
+}
+
+// loadgenQueries is the per-op query count of the load-generator mix.
+const loadgenQueries = 200
+
+// loadgenLatsMS accumulates every per-query latency the loadgen op
+// observed across all harness rounds; the post hook takes the p99.
+var loadgenLatsMS []float64
+
+// loadgenOp drives one warm serving session with the steady-state
+// traffic mix: 80% hot repeats (memo hits), 15% near-neighbor queries
+// declaring a tolerance (served from the approximate cache with a
+// tagged bound), 5% cold parameters (fresh exact solves, persisted as
+// they land). The mix is drawn from a fixed-seed PCG so every run
+// measures the same stream. Reported queries/sec is the sustained
+// rate; p99_ms is the tail the cold solves set.
+func loadgenOp() benchOp {
+	return benchOp{name: "loadgen/sustained-qps/mixed", queries: loadgenQueries, fn: func(b *testing.B) {
+		const hotSpec = "maj:11"
+		grid := []float64{0.1, 0.2, 0.3, 0.4, 0.5}
+		eval := probequorum.NewEvaluator(probequorum.WithApprox(probequorum.NewApproxCache()))
+		ctx := context.Background()
+		// Prewarm: the hot point and the approximate cache's sample grid.
+		for _, p := range grid {
+			if _, err := eval.Do(ctx, probequorum.Query{
+				Spec:     hotSpec,
+				Measures: []probequorum.Measure{probequorum.MeasurePPC},
+				Ps:       []float64{p},
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		rng := rand.New(rand.NewPCG(1789, 2026))
+		coldSeq := 0
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for q := 0; q < loadgenQueries; q++ {
+				query := probequorum.Query{
+					Spec:     hotSpec,
+					Measures: []probequorum.Measure{probequorum.MeasurePPC},
+				}
+				switch draw := rng.Float64(); {
+				case draw < 0.80: // hot: exact repeat, memo hit
+					query.Ps = []float64{grid[rng.IntN(len(grid))]}
+				case draw < 0.95: // near: within the approx tolerance band
+					query.Ps = []float64{grid[rng.IntN(len(grid))] + (rng.Float64()-0.5)*0.02}
+					query.Tolerance = 0.05
+				default: // cold: a parameter nobody asked for before
+					coldSeq++
+					query.Ps = []float64{0.55 + 1e-6*float64(coldSeq)}
+				}
+				start := time.Now()
+				res, err := eval.Do(ctx, query)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Error != "" {
+					b.Fatalf("loadgen query failed: %s", res.Error)
+				}
+				loadgenLatsMS = append(loadgenLatsMS, float64(time.Since(start).Nanoseconds())/1e6)
+			}
+		}
+		b.StopTimer()
+		// The mix must actually exercise the approximate tier.
+		if hits := eval.Stats().Hits["approx"]; b.N > 0 && hits == 0 {
+			b.Fatal("loadgen mix produced zero approx hits")
+		}
+	}, post: func(rec *benchRecord) {
+		if len(loadgenLatsMS) > 0 {
+			sort.Float64s(loadgenLatsMS)
+			idx := len(loadgenLatsMS) * 99 / 100
+			if idx >= len(loadgenLatsMS) {
+				idx = len(loadgenLatsMS) - 1
+			}
+			rec.P99MS = loadgenLatsMS[idx]
+		}
+	}}
+}

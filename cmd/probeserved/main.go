@@ -10,8 +10,20 @@
 //	                  ending with a terminal done (or error) frame
 //	GET  /v1/systems  registered construction names and measures
 //	GET  /v1/render?spec=maj:7
+//	GET  /v1/admin/cache  cache accounting: per-tier hit/miss counters,
+//	                  builds, and — when configured — the persistent
+//	                  store footprint and approximate-cache sizes
 //	GET  /healthz     liveness: 200 while the process serves
 //	GET  /readyz      readiness: 503 while draining or overloaded
+//
+// With -store DIR, expensive exact artifacts (witness tables, PC/PPC DP
+// results, availability polynomials, optimized strategies) persist to
+// DIR and are shared — concurrently and across restarts — by every
+// process on the same directory: a restarted or scaled fleet warms
+// instantly, answering bit-identically to a cold compute. With -approx,
+// queries that declare a tolerance may be answered from nearby exact
+// sample points, always tagged with the achieved error bound; exact
+// (tolerance-zero) queries are never approximated.
 //
 // With -limit set, at most that many evaluation requests run at once;
 // -queue more may wait, and past that the server sheds with 429 +
@@ -26,7 +38,7 @@
 //
 //	probeserved [-addr :8773] [-trials 10000] [-seed 1] [-parallelism 0]
 //	            [-maxbatch 256] [-limit 0] [-queue 64] [-retryafter 1s]
-//	            [-maxdeadline 0]
+//	            [-maxdeadline 0] [-store DIR] [-approx]
 package main
 
 import (
@@ -60,14 +72,30 @@ func run() int {
 		queue       = flag.Int("queue", probeserve.DefaultQueueDepth, "evaluation requests allowed to wait for a slot before shedding")
 		retryAfter  = flag.Duration("retryafter", probeserve.DefaultRetryAfter, "Retry-After hint on shed (429) responses")
 		maxDeadline = flag.Duration("maxdeadline", 0, "cap on every query's deadline budget; exact solves past it degrade to Monte Carlo estimates (0: uncapped)")
+		storeDir    = flag.String("store", "", "persistent artifact store directory, shared safely across processes; a restarted or scaled fleet warms instantly from it (empty: memory only)")
+		useApprox   = flag.Bool("approx", false, "serve per-p exact measures approximately from nearby sampled parameters for queries that declare a tolerance, tagged with the achieved error bound")
 	)
 	flag.Parse()
 
-	eval := probequorum.NewEvaluator(
+	evalOpts := []probequorum.EvaluatorOption{
 		probequorum.WithTrials(*trials),
 		probequorum.WithSeed(*seed),
 		probequorum.WithParallelism(*parallelism),
-	)
+	}
+	if *storeDir != "" {
+		st, err := probequorum.OpenArtifactStore(*storeDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "probeserved: %v\n", err)
+			return 1
+		}
+		defer st.Close()
+		evalOpts = append(evalOpts, probequorum.WithStore(st))
+		fmt.Fprintf(os.Stderr, "probeserved: artifact store at %s (engine v%d)\n", st.Dir(), probequorum.EngineVersion)
+	}
+	if *useApprox {
+		evalOpts = append(evalOpts, probequorum.WithApprox(probequorum.NewApproxCache()))
+	}
+	eval := probequorum.NewEvaluator(evalOpts...)
 	// Request contexts derive from baseCtx so a stuck drain can cancel
 	// in-flight evaluations through the DP/sim cancellation plumbing.
 	baseCtx, cancelInflight := context.WithCancel(context.Background())

@@ -1,0 +1,143 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"probequorum"
+)
+
+// runCache is the `quorumctl cache` subcommand: operator tooling for the
+// persistent artifact store.
+//
+//	quorumctl cache stat  -store DIR [-json]
+//	quorumctl cache warm  -store DIR -systems maj:13,wheel:14 [-p 0.05,0.1,...]
+//	quorumctl cache clear -store DIR
+//
+// stat prints the per-kind on-disk footprint; warm precomputes and
+// persists the named systems' exact artifacts (witness table, pc, and
+// ppc plus availability at every -p point) so a probeserved fleet
+// sharing DIR starts warm; clear removes every record (the fleet
+// recomputes on demand — clearing is always safe).
+func runCache(args []string) int {
+	if len(args) < 1 {
+		fmt.Fprintln(os.Stderr, "quorumctl cache: want a verb: stat, warm or clear")
+		return 2
+	}
+	verb, args := args[0], args[1:]
+	fs := flag.NewFlagSet("cache "+verb, flag.ExitOnError)
+	var (
+		dir     = fs.String("store", "", "artifact store directory (required)")
+		systems = fs.String("systems", "", "comma-separated spec strings to warm (warm only)")
+		ps      = fs.String("p", "0.05,0.1,0.2,0.3,0.5", "comma-separated failure probabilities to warm ppc and availability at (warm only)")
+		asJSON  = fs.Bool("json", false, "print store stats as JSON (stat only)")
+	)
+	fs.Parse(args)
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "quorumctl cache: -store is required")
+		return 2
+	}
+	st, err := probequorum.OpenArtifactStore(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "quorumctl cache:", err)
+		return 1
+	}
+	defer st.Close()
+
+	switch verb {
+	case "stat":
+		return cacheStat(st, *asJSON)
+	case "warm":
+		return cacheWarm(st, *systems, *ps)
+	case "clear":
+		if err := st.Clear(); err != nil {
+			fmt.Fprintln(os.Stderr, "quorumctl cache:", err)
+			return 1
+		}
+		fmt.Printf("cleared %s\n", st.Dir())
+		return 0
+	default:
+		fmt.Fprintf(os.Stderr, "quorumctl cache: unknown verb %q (want stat, warm or clear)\n", verb)
+		return 2
+	}
+}
+
+func cacheStat(st *probequorum.ArtifactStore, asJSON bool) int {
+	stats, err := st.Stats()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "quorumctl cache:", err)
+		return 1
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(stats)
+		return 0
+	}
+	fmt.Printf("store:   %s (engine v%d)\n", stats.Dir, stats.Engine)
+	kinds := make([]string, 0, len(stats.Kinds))
+	for k := range stats.Kinds {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	total := 0
+	var totalBytes int64
+	for _, k := range kinds {
+		ks := stats.Kinds[k]
+		fmt.Printf("  %-12s %5d records  %10d bytes\n", k, ks.Records, ks.Bytes)
+		total += ks.Records
+		totalBytes += ks.Bytes
+	}
+	fmt.Printf("  %-12s %5d records  %10d bytes\n", "total", total, totalBytes)
+	fmt.Printf("session: %d hits, %d misses (%d corrupt), %d writes (%d failed)\n",
+		stats.Hits, stats.Misses, stats.Corrupt, stats.Writes, stats.WriteErrors)
+	return 0
+}
+
+func cacheWarm(st *probequorum.ArtifactStore, systems, ps string) int {
+	if strings.TrimSpace(systems) == "" {
+		fmt.Fprintln(os.Stderr, "quorumctl cache: warm needs -systems spec,spec,...")
+		return 2
+	}
+	var grid []float64
+	for _, f := range strings.Split(ps, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		p, err := strconv.ParseFloat(f, 64)
+		if err != nil || !(p >= 0 && p <= 1) {
+			fmt.Fprintf(os.Stderr, "quorumctl cache: bad probability %q\n", f)
+			return 2
+		}
+		grid = append(grid, p)
+	}
+	var specs []string
+	for _, s := range strings.Split(systems, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			specs = append(specs, s)
+		}
+	}
+	eval := probequorum.NewEvaluator(probequorum.WithStore(st))
+	if err := eval.WarmStore(specs, grid); err != nil {
+		fmt.Fprintln(os.Stderr, "quorumctl cache:", err)
+		return 1
+	}
+	stats, err := st.Stats()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "quorumctl cache:", err)
+		return 1
+	}
+	records := 0
+	for _, ks := range stats.Kinds {
+		records += ks.Records
+	}
+	fmt.Printf("warmed %d system(s) at %d grid point(s): %d records on disk (%d written this run)\n",
+		len(specs), len(grid), records, stats.Writes)
+	return 0
+}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"testing"
+
+	"probequorum"
+)
+
+// TestCacheWarmStatClear drives the three cache verbs against a temp
+// store directory through the same runCache entry main dispatches to.
+func TestCacheWarmStatClear(t *testing.T) {
+	dir := t.TempDir()
+
+	// Read/write pairs have no closed-form availability, so warming
+	// grid:3x3 also persists the derived availability polynomial.
+	if code := runCache([]string{"warm", "-store", dir, "-systems", "maj:5,grid:3x3", "-p", "0.1,0.3"}); code != 0 {
+		t.Fatalf("cache warm exited %d", code)
+	}
+
+	st, err := probequorum.OpenArtifactStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := st.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	records := 0
+	for _, ks := range stats.Kinds {
+		records += ks.Records
+	}
+	// 2 tables + 2 pc + 2×2 ppc points + 1 availpoly (grid only —
+	// maj answers availability from its closed form).
+	if records < 9 {
+		t.Fatalf("warm left only %d records on disk: %+v", records, stats.Kinds)
+	}
+	if stats.Kinds["availpoly"].Records == 0 {
+		t.Fatalf("warm persisted no availability polynomial: %+v", stats.Kinds)
+	}
+	st.Close()
+
+	if code := runCache([]string{"stat", "-store", dir, "-json"}); code != 0 {
+		t.Fatalf("cache stat exited %d", code)
+	}
+	if code := runCache([]string{"clear", "-store", dir}); code != 0 {
+		t.Fatalf("cache clear exited %d", code)
+	}
+
+	st, err = probequorum.OpenArtifactStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	stats, err = st.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for kind, ks := range stats.Kinds {
+		if ks.Records != 0 {
+			t.Errorf("after clear, kind %s still has %d records", kind, ks.Records)
+		}
+	}
+}
+
+// TestCacheUsageErrors pins the exit codes for operator mistakes.
+func TestCacheUsageErrors(t *testing.T) {
+	if code := runCache(nil); code != 2 {
+		t.Errorf("missing verb exited %d, want 2", code)
+	}
+	if code := runCache([]string{"stat"}); code != 2 {
+		t.Errorf("missing -store exited %d, want 2", code)
+	}
+	if code := runCache([]string{"tidy", "-store", t.TempDir()}); code != 2 {
+		t.Errorf("unknown verb exited %d, want 2", code)
+	}
+	if code := runCache([]string{"warm", "-store", t.TempDir()}); code != 2 {
+		t.Errorf("warm without -systems exited %d, want 2", code)
+	}
+	if code := runCache([]string{"warm", "-store", t.TempDir(), "-systems", "maj:5", "-p", "2.5"}); code != 2 {
+		t.Errorf("warm with out-of-range p exited %d, want 2", code)
+	}
+}

@@ -11,6 +11,7 @@
 //	quorumctl plan [-nodes 9] [-candidates rw:maj:9,grid:3x3] [-read-fraction 0.75]
 //	               [-capacities 1000,500,...] [-read-capacities ...] [-write-capacities ...]
 //	               [-f 1] [-json]
+//	quorumctl cache stat|warm|clear -store DIR [-systems maj:13,...] [-p 0.1,0.3] [-json]
 //	quorumctl -specs
 //
 // The eval subcommand accepts a comma-separated -p grid and evaluates
@@ -26,6 +27,11 @@
 // The plan subcommand ranks candidate read/write systems by the
 // capacity they sustain under a workload (read fraction, per-node
 // capacities, a resilience requirement -f); see plan.go.
+//
+// The cache subcommand manages a persistent artifact store directory
+// shared with a probeserved fleet: stat prints the per-kind footprint,
+// warm precomputes the named systems' exact artifacts into it, and
+// clear removes every record; see cache.go.
 package main
 
 import (
@@ -47,6 +53,8 @@ func main() {
 			os.Exit(runEval(os.Args[2:]))
 		case "plan":
 			os.Exit(runPlan(os.Args[2:]))
+		case "cache":
+			os.Exit(runCache(os.Args[2:]))
 		}
 	}
 	os.Exit(run())

@@ -12,6 +12,7 @@ import (
 	"strings"
 	"sync"
 
+	"probequorum/internal/approx"
 	"probequorum/internal/bitset"
 	"probequorum/internal/coloring"
 	"probequorum/internal/probe"
@@ -20,6 +21,7 @@ import (
 	"probequorum/internal/sim"
 	"probequorum/internal/spec"
 	"probequorum/internal/stats"
+	"probequorum/internal/store"
 	"probequorum/internal/strategy"
 )
 
@@ -60,6 +62,16 @@ type Evaluator struct {
 	statsMu       sync.Mutex
 	buildCount    map[string]uint64
 	coalesceCount map[string]uint64
+	hitCount      map[string]uint64
+	missCount     map[string]uint64
+
+	// artifacts is the persistent on-disk tier below the session memos
+	// (nil: memory only) and near the approximate-answer cache (nil:
+	// every answer exact). Both are optional, configured at construction
+	// (see WithStore and WithApprox in cache.go), and consulted in the
+	// fixed order memo → approx → store → compute.
+	artifacts *store.Store
+	approx    *approx.Cache
 }
 
 // evalEntry is the per-system cache. Its mutex guards the cached fields
@@ -217,6 +229,113 @@ func isCtxErr(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
+// storeSpec returns the canonical spec string keying a system's
+// persistent records, or "" when the store tier does not apply: no
+// store configured, or no canonical spec — ad-hoc systems are never
+// persisted, because the key must be derivable identically in every
+// process that shares the store directory.
+func (e *Evaluator) storeSpec(sys System) string {
+	if e.artifacts == nil {
+		return ""
+	}
+	sp, ok := spec.Of(sys)
+	if !ok {
+		return ""
+	}
+	return sp
+}
+
+// The tier constructors below adapt one artifact kind to the persistent
+// store for one single-flight call; a "" key (tier not applicable)
+// yields nil, which singleflight treats as "no persistent tier". Put
+// errors are deliberately dropped: the store is a cache, its own stats
+// count write failures, and the computed value is already published.
+
+func (e *Evaluator) tableTier(key string) *storeTier {
+	if key == "" {
+		return nil
+	}
+	return &storeTier{
+		fetch: func() (any, bool) {
+			t, ok := e.artifacts.GetTable(artifactTable, key)
+			return t, ok
+		},
+		persist: func(val any) {
+			if t, ok := val.(*quorum.WitnessTable); ok && t != nil {
+				_ = e.artifacts.PutTable(artifactTable, key, t)
+			}
+		},
+	}
+}
+
+func (e *Evaluator) intTier(kind, key string) *storeTier {
+	if key == "" {
+		return nil
+	}
+	return &storeTier{
+		fetch: func() (any, bool) {
+			v, ok := e.artifacts.GetInt(kind, key)
+			return v, ok
+		},
+		persist: func(val any) {
+			if v, ok := val.(int); ok {
+				_ = e.artifacts.PutInt(kind, key, v)
+			}
+		},
+	}
+}
+
+func (e *Evaluator) floatTier(kind, key string) *storeTier {
+	if key == "" {
+		return nil
+	}
+	return &storeTier{
+		fetch: func() (any, bool) {
+			v, ok := e.artifacts.GetFloat(kind, key)
+			return v, ok
+		},
+		persist: func(val any) {
+			if v, ok := val.(float64); ok {
+				_ = e.artifacts.PutFloat(kind, key, v)
+			}
+		},
+	}
+}
+
+func (e *Evaluator) strategyTier(key string) *storeTier {
+	if key == "" {
+		return nil
+	}
+	return &storeTier{
+		fetch: func() (any, bool) {
+			s, ok := e.artifacts.GetStrategy(artifactStrategy, key)
+			return s, ok
+		},
+		persist: func(val any) {
+			if s, ok := val.(*rw.Strategy); ok && s != nil {
+				_ = e.artifacts.PutStrategy(artifactStrategy, key, s)
+			}
+		},
+	}
+}
+
+func (e *Evaluator) floatsTier(kind, key string) *storeTier {
+	if key == "" {
+		return nil
+	}
+	return &storeTier{
+		fetch: func() (any, bool) {
+			v, ok := e.artifacts.GetFloats(kind, key)
+			return v, ok
+		},
+		persist: func(val any) {
+			if v, ok := val.([]float64); ok {
+				_ = e.artifacts.PutFloats(kind, key, v)
+			}
+		},
+	}
+}
+
 // entryTable is the single-flight witness-table path shared by every
 // measure that needs the table.
 func (e *Evaluator) entryTable(ctx context.Context, ent *evalEntry, sys System) (*quorum.WitnessTable, error) {
@@ -231,6 +350,7 @@ func (e *Evaluator) entryTable(ctx context.Context, ent *evalEntry, sys System) 
 			ent.table, _ = v.(*quorum.WitnessTable)
 			ent.tableErr, ent.tableOK = err, true
 		},
+		e.tableTier(e.storeSpec(sys)),
 		func(bctx context.Context) (any, error) {
 			return quorum.BuildWitnessTableCtx(bctx, sys)
 		})
@@ -298,6 +418,7 @@ func (e *Evaluator) AvailabilityCtx(ctx context.Context, sys System, p float64) 
 				ent.failCounts, _ = v.([]float64)
 			}
 		},
+		e.floatsTier(artifactAvailPoly, e.storeSpec(sys)),
 		func(bctx context.Context) (any, error) {
 			table, err := e.entryTable(bctx, ent, sys)
 			if err != nil {
@@ -382,6 +503,7 @@ func (e *Evaluator) ProbeComplexityCtx(ctx context.Context, sys System) (int, er
 			ent.pc, _ = v.(int)
 			ent.pcErr, ent.pcOK = err, true
 		},
+		e.intTier(artifactPC, e.storeSpec(sys)),
 		func(bctx context.Context) (any, error) {
 			table, err := e.entryTable(bctx, ent, sys)
 			if err != nil {
@@ -424,6 +546,7 @@ func (e *Evaluator) AverageProbeComplexityCtx(ctx context.Context, sys System, p
 			}
 			ent.ppc[p], _ = v.(float64)
 		},
+		e.floatTier(artifactPPC, store.ParamKeyIf(e.storeSpec(sys), p)),
 		func(bctx context.Context) (any, error) {
 			table, err := e.entryTable(bctx, ent, sys)
 			if err != nil {

@@ -12,7 +12,7 @@ import (
 	"probequorum/internal/analysis/framework"
 )
 
-const doc = `check determinism hazards in internal/sim, internal/coloring, internal/probe and internal/rw
+const doc = `check determinism hazards in internal/sim, internal/coloring, internal/probe, internal/rw, internal/store and internal/approx
 
 Flags, in the packages bound by the seed-determinism contract:
 time.Now (wall-clock input), math/rand top-level functions (shared
@@ -35,6 +35,11 @@ var gatedPackages = map[string]bool{
 	"coloring": true,
 	"probe":    true,
 	"rw":       true,
+	// The persistent store and approximate cache must behave
+	// bit-identically across processes and restarts: no wall-clock or
+	// unseeded randomness in record naming, eviction, or lookup.
+	"store":  true,
+	"approx": true,
 }
 
 // randConstructors are math/rand functions that build an explicitly

@@ -1,0 +1,143 @@
+package probeserve_test
+
+// Tests for the cache-accounting admin endpoint and the shared-store
+// fleet contract (PR 9): /v1/admin/cache reports the per-tier session
+// counters plus the persistent-store footprint, and a server restarted
+// onto a populated store directory answers its first queries with zero
+// artifact builds.
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"probequorum"
+	"probequorum/internal/probeserve"
+)
+
+func getCacheStats(t *testing.T, ts *httptest.Server) probeserve.CacheStatsResponse {
+	t.Helper()
+	res, err := http.Get(ts.URL + "/v1/admin/cache")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/admin/cache: %s", res.Status)
+	}
+	var out probeserve.CacheStatsResponse
+	if err := json.NewDecoder(res.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestCacheStatsEndpointShape pins the admin payload: the eval section
+// is always present with its four counter maps, and the store/approx
+// sections appear exactly when the server's Evaluator carries those
+// tiers.
+func TestCacheStatsEndpointShape(t *testing.T) {
+	plain := newTestServer(t)
+	if out := getCacheStats(t, plain); out.Store != nil || out.Approx != nil {
+		t.Errorf("a tier-free server reports store/approx sections: %+v", out)
+	}
+
+	dir := t.TempDir()
+	st, err := probequorum.OpenArtifactStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	eval := probequorum.NewEvaluator(
+		probequorum.WithStore(st),
+		probequorum.WithApprox(probequorum.NewApproxCache()),
+	)
+	ts := httptest.NewServer(probeserve.New(eval).Handler())
+	t.Cleanup(ts.Close)
+
+	res, _ := postEval(t, ts, probeserve.EvalRequest{Queries: []probequorum.Query{{
+		Spec:     "maj:7",
+		Measures: []probequorum.Measure{probequorum.MeasurePC},
+	}}})
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("eval: %s", res.Status)
+	}
+
+	out := getCacheStats(t, ts)
+	if out.Store == nil || out.Approx == nil {
+		t.Fatalf("a fully-tiered server dropped a section: %+v", out)
+	}
+	if out.Store.Dir != dir {
+		t.Errorf("store dir = %q, want %q", out.Store.Dir, dir)
+	}
+	if out.Eval.Builds["pc"] != 1 {
+		t.Errorf("eval section reports builds %v, want one pc build", out.Eval.Builds)
+	}
+	if out.Store.Kinds["pc"].Records != 1 {
+		t.Errorf("store section reports kinds %v, want one pc record", out.Store.Kinds)
+	}
+}
+
+// TestRestartedServerAnswersWithZeroBuilds is the fleet warm-start
+// contract over the wire: server A computes onto a store directory and
+// shuts down; server B — a fresh Evaluator on a fresh store handle,
+// exactly what a restarted or scaled-out process does — answers the
+// same queries bit-identically with Builds flat at zero.
+func TestRestartedServerAnswersWithZeroBuilds(t *testing.T) {
+	dir := t.TempDir()
+	req := probeserve.EvalRequest{Queries: []probequorum.Query{{
+		Spec:     "maj:13",
+		Measures: []probequorum.Measure{probequorum.MeasurePC, probequorum.MeasurePPC, probequorum.MeasureAvailability},
+		Ps:       []float64{0.2, 0.4},
+	}}}
+
+	stA, err := probequorum.OpenArtifactStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsA := httptest.NewServer(probeserve.New(probequorum.NewEvaluator(probequorum.WithStore(stA))).Handler())
+	resA, outA := postEval(t, tsA, req)
+	if resA.StatusCode != http.StatusOK || outA.Results[0].Error != "" {
+		t.Fatalf("server A eval failed: %s %q", resA.Status, outA.Results[0].Error)
+	}
+	tsA.Close()
+	if err := stA.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	stB, err := probequorum.OpenArtifactStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { stB.Close() })
+	tsB := httptest.NewServer(probeserve.New(probequorum.NewEvaluator(probequorum.WithStore(stB))).Handler())
+	t.Cleanup(tsB.Close)
+	resB, outB := postEval(t, tsB, req)
+	if resB.StatusCode != http.StatusOK || outB.Results[0].Error != "" {
+		t.Fatalf("server B eval failed: %s %q", resB.Status, outB.Results[0].Error)
+	}
+
+	a, b := outA.Results[0], outB.Results[0]
+	if *a.PC != *b.PC {
+		t.Errorf("restarted pc = %d, want %d", *b.PC, *a.PC)
+	}
+	for i := range a.Points {
+		if *a.Points[i].PPC != *b.Points[i].PPC {
+			t.Errorf("restarted ppc[%d] = %v, want %v", i, *b.Points[i].PPC, *a.Points[i].PPC)
+		}
+		if *a.Points[i].Availability != *b.Points[i].Availability {
+			t.Errorf("restarted availability[%d] = %v, want %v", i, *b.Points[i].Availability, *a.Points[i].Availability)
+		}
+	}
+
+	stats := getCacheStats(t, tsB)
+	for kind, n := range stats.Eval.Builds {
+		if n != 0 {
+			t.Errorf("the restarted server built %d %s artifacts, want 0", n, kind)
+		}
+	}
+	if stats.Eval.Hits["store"] == 0 {
+		t.Error("the restarted server reports zero store hits")
+	}
+}

@@ -65,6 +65,15 @@ type SystemsResponse struct {
 	Measures []probequorum.Measure `json:"measures"`
 }
 
+// CacheStatsResponse answers GET /v1/admin/cache with the evaluator's
+// session counters and, when those tiers are configured, the persistent
+// store and approximate-cache snapshots (absent tiers are null).
+type CacheStatsResponse struct {
+	Eval   probequorum.EvalStats           `json:"eval"`
+	Store  *probequorum.ArtifactStoreStats `json:"store,omitempty"`
+	Approx *probequorum.ApproxCacheStats   `json:"approx,omitempty"`
+}
+
 // ErrorResponse is the JSON body of every non-2xx answer. Code, when
 // set, classifies the failure (CodeOverloaded, CodeShutdown, CodePanic);
 // RetryAfterMS mirrors the Retry-After header of a 429 in milliseconds.
@@ -188,6 +197,7 @@ func New(eval *probequorum.Evaluator, opts ...Option) *Server {
 	s.mux.HandleFunc("POST /v1/stream", s.handleStream)
 	s.mux.HandleFunc("GET /v1/systems", s.handleSystems)
 	s.mux.HandleFunc("GET /v1/render", s.handleRender)
+	s.mux.HandleFunc("GET /v1/admin/cache", s.handleCacheStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	return s
@@ -411,6 +421,29 @@ func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
 	fmt.Fprint(w, art)
+}
+
+// handleCacheStats reports the evaluator's cache accounting across
+// every tier: the session's build/coalesce and per-tier hit/miss
+// counters, plus — when the corresponding tier is configured — the
+// persistent store's on-disk footprint and the approximate cache's
+// series sizes. An operator watching a warm restart reads it to confirm
+// "builds flat, store hits climbing".
+func (s *Server) handleCacheStats(w http.ResponseWriter, r *http.Request) {
+	resp := CacheStatsResponse{Eval: s.eval.Stats()}
+	if st := s.eval.ArtifactStore(); st != nil {
+		stats, err := st.Stats()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		resp.Store = &stats
+	}
+	if ac := s.eval.Approx(); ac != nil {
+		stats := ac.Stats()
+		resp.Approx = &stats
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleHealthz answers liveness probes: the process is up and serving,

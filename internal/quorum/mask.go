@@ -233,6 +233,30 @@ func (t *WitnessTable) upwardClosure() {
 // Size returns the universe size n.
 func (t *WitnessTable) Size() int { return t.n }
 
+// Words exposes the table's backing bit words for serialization (bit m
+// of the concatenated words is the characteristic function at subset
+// mask m). The slice is the live backing store — callers must not
+// mutate it.
+func (t *WitnessTable) Words() []uint64 { return t.bits }
+
+// TableFromWords reconstructs a witness table from serialized backing
+// words — the deserialization dual of Words. The word slice is adopted,
+// not copied, so a table loaded from a shared mapping costs no copy; it
+// must hold exactly the 2^n bits of an n-element table.
+func TableFromWords(n int, words []uint64) (*WitnessTable, error) {
+	if n < 0 || n > MaxTableUniverse {
+		return nil, &BoundError{Op: "quorum: witness table", N: n, Max: MaxTableUniverse}
+	}
+	want := 1
+	if n >= 6 {
+		want = 1 << uint(n-6)
+	}
+	if len(words) != want {
+		return nil, fmt.Errorf("quorum: witness table for n=%d needs %d words, got %d", n, want, len(words))
+	}
+	return &WitnessTable{n: n, bits: words}, nil
+}
+
 // Contains reports whether the indicator set of mask contains a quorum.
 func (t *WitnessTable) Contains(mask uint64) bool {
 	return t.bits[mask>>6]&bitset.Bit(int(mask)) != 0

@@ -123,6 +123,46 @@ type Strategy struct {
 	writeP []float64
 }
 
+// NewStrategy builds a strategy from explicit role supports and aligned
+// probabilities — the deserialization entry point of persisted optimizer
+// results. The slices are adopted, not copied. Each probability vector
+// must align with its support, hold finite non-negative values, and sum
+// to 1 within float dust; every quorum must live in an n-element
+// universe.
+func NewStrategy(n int, reads []*bitset.Set, readP []float64, writes []*bitset.Set, writeP []float64) (*Strategy, error) {
+	if err := validateRoleDist("read", n, reads, readP); err != nil {
+		return nil, err
+	}
+	if err := validateRoleDist("write", n, writes, writeP); err != nil {
+		return nil, err
+	}
+	return &Strategy{n: n, reads: reads, readP: readP, writes: writes, writeP: writeP}, nil
+}
+
+func validateRoleDist(role string, n int, qs []*bitset.Set, probs []float64) error {
+	if len(qs) == 0 {
+		return fmt.Errorf("rw: %s support is empty", role)
+	}
+	if len(qs) != len(probs) {
+		return fmt.Errorf("rw: %d %s quorums against %d probabilities", len(qs), role, len(probs))
+	}
+	sum := 0.0
+	for i, q := range qs {
+		if q == nil || q.Len() != n {
+			return fmt.Errorf("rw: %s quorum %d is not over an %d-element universe", role, i, n)
+		}
+		p := probs[i]
+		if !(p >= 0) || math.IsInf(p, 0) {
+			return fmt.Errorf("rw: %s probability %d is %v", role, i, p)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return fmt.Errorf("rw: %s probabilities sum to %v, want 1", role, sum)
+	}
+	return nil
+}
+
 // ReadQuorums returns the read support (not copied; do not mutate).
 func (s *Strategy) ReadQuorums() []*bitset.Set { return s.reads }
 

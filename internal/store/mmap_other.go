@@ -1,0 +1,16 @@
+//go:build !linux && !darwin
+
+package store
+
+import "os"
+
+// readRecordFile loads one record image by plain read on platforms
+// without the mmap fast path; the store behaves identically, minus the
+// cross-process page-cache sharing.
+func readRecordFile(path string, size int64) (data []byte, mapped bool, err error) {
+	data, err = os.ReadFile(path)
+	return data, false, err
+}
+
+// unmapFile is a no-op without mappings.
+func unmapFile(data []byte) {}

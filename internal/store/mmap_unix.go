@@ -1,0 +1,42 @@
+//go:build linux || darwin
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapThreshold is the record size past which loads go through a shared
+// read-only memory mapping instead of a heap copy. Witness tables (up
+// to 2^26 bits) clear it; the scalar DP records stay on the cheap read
+// path rather than pinning one page each.
+const mmapThreshold = 64 << 10
+
+// readRecordFile loads one record image: big records map, small ones
+// read. A mapped image is page-cache shared with every other process on
+// the store dir — the warm-fleet payoff — and stays valid until Close.
+func readRecordFile(path string, size int64) (data []byte, mapped bool, err error) {
+	if size < mmapThreshold {
+		data, err = os.ReadFile(path)
+		return data, false, err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, false, err
+	}
+	defer f.Close()
+	data, err = syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		// Mapping can fail where reading would not (filesystem quirks);
+		// fall back rather than miss.
+		data, err = os.ReadFile(path)
+		return data, false, err
+	}
+	return data, true, nil
+}
+
+// unmapFile releases one mapped record image.
+func unmapFile(data []byte) {
+	syscall.Munmap(data)
+}

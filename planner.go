@@ -5,6 +5,7 @@ import (
 
 	"probequorum/internal/quorum"
 	"probequorum/internal/rw"
+	"probequorum/internal/store"
 )
 
 // Read/write planner abstractions, re-exported from internal/rw. A
@@ -144,6 +145,7 @@ func (e *Evaluator) StrategyCtx(ctx context.Context, sys System, opts StrategyOp
 			}
 			ent.strategies[key], _ = v.(*rw.Strategy)
 		},
+		e.strategyTier(store.OptionsKeyIf(e.storeSpec(sys), opts.Key())),
 		func(bctx context.Context) (any, error) {
 			return rw.OptimizeCtx(bctx, sys, opts)
 		})
@@ -172,6 +174,7 @@ func (e *Evaluator) ResilienceCtx(ctx context.Context, sys System) (int, error) 
 			ent.resilience, _ = v.(int)
 			ent.resErr, ent.resOK = err, true
 		},
+		e.intTier(artifactResilience, e.storeSpec(sys)),
 		func(bctx context.Context) (any, error) {
 			return rw.Resilience(bctx, sys)
 		})

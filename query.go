@@ -195,6 +195,14 @@ type Query struct {
 	// negative keeps today's fixed-trial behavior, bit-identical for the
 	// same (trials, seed). The stopping point depends only on
 	// (seed, tolerance, budget), never on parallelism or timing.
+	//
+	// A positive Tolerance additionally permits the session's
+	// approximate-answer cache (see WithApprox) to serve the exact per-p
+	// measures (ppc, availability) from nearby sampled parameters, when
+	// the guaranteed interpolation error bound fits inside the tolerance;
+	// such answers carry an ApproxNote stating the achieved bound. With
+	// Tolerance zero the approximate tier is never consulted and every
+	// answer is bit-identical to an uncached evaluation.
 	Tolerance float64 `json:"tolerance,omitempty"`
 	// DeadlineMS is the query's deadline budget in milliseconds for the
 	// exact measures (pc, tree, ppc, availability). When an exact solve
@@ -403,6 +411,20 @@ type RWPoint struct {
 	Degraded []Degradation `json:"degraded,omitempty"`
 }
 
+// ApproxNote marks a value served by the approximate-answer cache
+// instead of an exact solve, and states the guarantee it came with: the
+// true exact value differs from the served one by at most Bound, which
+// the session verified against the query's Tolerance before serving.
+// Lo and Hi are the exactly-sampled parameters bracketing P (both equal
+// to P when the parameter itself was sampled and Bound is zero).
+type ApproxNote struct {
+	Measure Measure `json:"measure"`
+	P       float64 `json:"p"`
+	Bound   float64 `json:"bound"`
+	Lo      float64 `json:"lo"`
+	Hi      float64 `json:"hi"`
+}
+
 // Point carries the p-dependent measures of a Result at one grid point.
 // Absent measures are nil, so the JSON encoding only ships what the
 // query asked for.
@@ -412,6 +434,10 @@ type Point struct {
 	Availability *float64  `json:"availability,omitempty"`
 	Expected     *float64  `json:"expected,omitempty"`
 	Estimate     *Estimate `json:"estimate,omitempty"`
+	// Approx lists the measures at this grid point that were served by
+	// the approximate-answer cache, each with its guaranteed error
+	// bound. Empty on every exactly-answered point.
+	Approx []ApproxNote `json:"approx,omitempty"`
 	// Degraded lists the p-dependent exact measures that ran out of the
 	// query's deadline budget at this grid point, each with its Monte
 	// Carlo substitute where one exists.

@@ -49,31 +49,60 @@ func guardPanic[T any](op string, fn func() (T, error)) (v T, err error) {
 	return fn()
 }
 
-// EvalStats is a snapshot of the session's artifact-build accounting,
-// keyed by artifact kind ("table", "pc", "ppc", "availpoly",
-// "strategy", "resilience"). Builds
-// counts builds actually started; Coalesced counts callers that found a
-// build of the artifact they needed already in flight and shared its
-// result instead of starting their own — under a stampede of identical
-// cold queries, Builds stays at 1 while Coalesced absorbs the rest.
+// Cache tier names keyed in EvalStats.Hits and Misses. "memo" is the
+// in-process session memo (the evalEntry fields), "approx" the
+// approximate-answer cache (consulted only for queries that declare a
+// tolerance), "store" the persistent on-disk artifact store. A tier
+// that is not configured is never consulted and never counted.
+const (
+	tierMemo   = "memo"
+	tierApprox = "approx"
+	tierStore  = "store"
+)
+
+// EvalStats is a snapshot of the session's artifact-build accounting.
+// Builds and Coalesced are keyed by artifact kind ("table", "pc",
+// "ppc", "availpoly", "strategy", "resilience"): Builds counts DP/LP
+// computations actually run — a single-flight leader that satisfies its
+// waiters from the persistent store does not count a build — and
+// Coalesced counts callers that found a build of the artifact they
+// needed already in flight and shared its result instead of starting
+// their own. Under a stampede of identical cold queries, Builds stays
+// at 1 while Coalesced absorbs the rest; under a warm store, Builds
+// stays flat entirely.
+//
+// Hits and Misses are keyed by cache tier ("memo", "approx", "store")
+// and count consultations of each configured tier in lookup order:
+// session memo first, then the approximate cache where the query's
+// tolerance allows, then the persistent store, then compute.
 type EvalStats struct {
-	Builds    map[string]uint64
-	Coalesced map[string]uint64
+	Builds    map[string]uint64 `json:"builds"`
+	Coalesced map[string]uint64 `json:"coalesced"`
+	Hits      map[string]uint64 `json:"hits"`
+	Misses    map[string]uint64 `json:"misses"`
 }
 
-// Stats returns a snapshot of the session's build and single-flight
-// coalescing counters. It is safe for concurrent use.
+// Stats returns a snapshot of the session's build, coalescing and
+// cache-tier counters. It is safe for concurrent use.
 func (e *Evaluator) Stats() EvalStats {
 	e.statsMu.Lock()
 	defer e.statsMu.Unlock()
-	s := EvalStats{Builds: make(map[string]uint64, len(e.buildCount)), Coalesced: make(map[string]uint64, len(e.coalesceCount))}
-	for k, v := range e.buildCount {
-		s.Builds[k] = v
+	return EvalStats{
+		Builds:    copyCounts(e.buildCount),
+		Coalesced: copyCounts(e.coalesceCount),
+		Hits:      copyCounts(e.hitCount),
+		Misses:    copyCounts(e.missCount),
 	}
-	for k, v := range e.coalesceCount {
-		s.Coalesced[k] = v
+}
+
+// copyCounts snapshots one counter map (never nil, so the JSON shape is
+// stable: empty maps marshal as {}).
+func copyCounts(m map[string]uint64) map[string]uint64 {
+	out := make(map[string]uint64, len(m))
+	for k, v := range m {
+		out[k] = v
 	}
-	return s
+	return out
 }
 
 // count bumps one stats counter.
@@ -84,6 +113,17 @@ func (e *Evaluator) count(m *map[string]uint64, kind string) {
 	}
 	(*m)[kind]++
 	e.statsMu.Unlock()
+}
+
+// storeTier adapts one artifact kind to the persistent store for one
+// single-flight call. fetch loads a previously persisted value and
+// persist writes a freshly computed one; both may block on disk I/O —
+// they run on the detached build goroutine with no locks held, never
+// under ent.mu. A nil *storeTier means no store is configured for this
+// artifact and the persistent tier is neither consulted nor counted.
+type storeTier struct {
+	fetch   func() (any, bool)
+	persist func(val any)
 }
 
 // buildCall is one in-flight single-flight artifact build. waiters is
@@ -107,14 +147,20 @@ type buildCall struct {
 // it, and an abandoned build caches nothing, so the PR 3 invariant —
 // cancellation never poisons a cache — holds with coalescing layered on.
 //
-// cached and store run under ent.mu and must not block; build runs with
-// no locks held. Cancellations and recovered panics are returned to the
-// waiters of the moment but never stored.
+// cached and store run under ent.mu and must not block; build and the
+// tier callbacks run with no locks held. Cancellations and recovered
+// panics are returned to the waiters of the moment but never stored.
+//
+// The memo tier's hit/miss counters are bumped on the first loop
+// iteration only, so one logical call counts one consultation however
+// many abandonment retries it takes.
 func (e *Evaluator) singleflight(ctx context.Context, ent *evalEntry, kind, key string,
 	cached func() (any, error, bool),
 	store func(val any, err error),
+	tier *storeTier,
 	build func(ctx context.Context) (any, error),
 ) (any, error) {
+	first := true
 	for {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -122,7 +168,14 @@ func (e *Evaluator) singleflight(ctx context.Context, ent *evalEntry, kind, key 
 		ent.mu.Lock()
 		if v, err, ok := cached(); ok {
 			ent.mu.Unlock()
+			if first {
+				e.count(&e.hitCount, tierMemo)
+			}
 			return v, err
+		}
+		if first {
+			e.count(&e.missCount, tierMemo)
+			first = false
 		}
 		call, inflight := ent.builds[key]
 		if inflight {
@@ -135,8 +188,7 @@ func (e *Evaluator) singleflight(ctx context.Context, ent *evalEntry, kind, key 
 				ent.builds = map[string]*buildCall{}
 			}
 			ent.builds[key] = call
-			e.count(&e.buildCount, kind)
-			go e.runBuild(buildCtx, ent, kind, key, call, store, build)
+			go e.runBuild(buildCtx, ent, kind, key, call, store, tier, build)
 		}
 		ent.mu.Unlock()
 
@@ -162,24 +214,50 @@ func (e *Evaluator) singleflight(ctx context.Context, ent *evalEntry, kind, key 
 	}
 }
 
-// runBuild executes one detached artifact build and publishes its
-// outcome. Permanent results and errors are stored in the entry cache;
+// runBuild satisfies one detached single-flight artifact build and
+// publishes its outcome. The persistent store, when configured, is
+// consulted before computing: a verified store record satisfies every
+// waiter bit-identically with no build counted, which is what keeps a
+// warm process's Builds flat. A computed value is persisted back only
+// on success, and only after the memo publication — disk latency never
+// extends the entry lock or the waiters' wait.
+//
+// Permanent results and errors are stored in the entry cache;
 // cancellations (every waiter gone) and recovered panics are handed to
 // the current waiters but never cached, so the next query rebuilds
 // cleanly.
 func (e *Evaluator) runBuild(buildCtx context.Context, ent *evalEntry, kind, key string, call *buildCall,
 	store func(val any, err error),
+	tier *storeTier,
 	build func(ctx context.Context) (any, error),
 ) {
 	defer call.cancel()
-	val, err := guardPanic(kind+" build", func() (any, error) { return build(buildCtx) })
+	var val any
+	var err error
+	fetched := false
+	if tier != nil {
+		if v, ok := tier.fetch(); ok {
+			val, fetched = v, true
+			e.count(&e.hitCount, tierStore)
+		} else {
+			e.count(&e.missCount, tierStore)
+		}
+	}
+	if !fetched {
+		e.count(&e.buildCount, kind)
+		val, err = guardPanic(kind+" build", func() (any, error) { return build(buildCtx) })
+	}
 	var pe *PanicError
+	cacheable := !isCtxErr(err) && !errors.As(err, &pe)
 	ent.mu.Lock()
 	delete(ent.builds, key)
 	call.val, call.err = val, err
-	if !isCtxErr(err) && !errors.As(err, &pe) {
+	if cacheable {
 		store(val, err)
 	}
 	ent.mu.Unlock()
+	if tier != nil && !fetched && err == nil {
+		tier.persist(val)
+	}
 	close(call.done)
 }

@@ -70,6 +70,10 @@ type Cell struct {
 	HalfCI float64 `json:"half_ci,omitempty"`
 	// Tree is the strategy-tree summary of a tree cell.
 	Tree *TreeSummary `json:"tree,omitempty"`
+	// Approx marks a Done cell served by the approximate-answer cache
+	// within the query's Tolerance; the note carries the guaranteed
+	// error bound. Nil on every exactly-computed cell.
+	Approx *ApproxNote `json:"approx,omitempty"`
 	// Degraded marks a Done cell whose exact solve ran out of the query's
 	// deadline budget: the note names the measure and reason, and carries
 	// the Monte Carlo substitute (also mirrored in Value/Trials/HalfCI)
@@ -328,6 +332,9 @@ func FoldCells(cells iter.Seq2[Cell, error], n int) ([]*Result, error) {
 			pt.Degraded = append(pt.Degraded, *c.Degraded)
 			continue
 		}
+		if c.Approx != nil {
+			pt.Approx = append(pt.Approx, *c.Approx)
+		}
 		v := c.Value
 		switch c.Measure {
 		case MeasurePPC:
@@ -362,6 +369,34 @@ func CellSeq(cells []Cell) iter.Seq2[Cell, error] {
 // already spent its budget on the exact attempt — and fixed rather than
 // adaptive so the substitute estimate is deterministic for a given seed.
 const degradeFallbackTrials = 4096
+
+// approxAnswer consults the approximate-answer tier for one per-p exact
+// measure, honoring the opt-in contract: only when a cache is attached,
+// the query declared a positive tolerance, and the system has a
+// canonical spec to key by. The consultation — hit or miss — is counted
+// in the session's tier stats; an un-consulted tier counts nothing.
+func (e *Evaluator) approxAnswer(specStr string, m Measure, p, tol float64) (*ApproxNote, float64, bool) {
+	if e.approx == nil || tol <= 0 || specStr == "" {
+		return nil, 0, false
+	}
+	ans, ok := e.approx.Lookup(specStr, string(m), p, tol)
+	if !ok {
+		e.count(&e.missCount, tierApprox)
+		return nil, 0, false
+	}
+	e.count(&e.hitCount, tierApprox)
+	return &ApproxNote{Measure: m, P: p, Bound: ans.Bound, Lo: ans.Lo, Hi: ans.Hi}, ans.Value, true
+}
+
+// approxInsert feeds one exactly-computed per-p value into the
+// approximate tier (when one is attached), whatever the query's
+// tolerance: exact sweeps are what give later tolerant queries their
+// brackets.
+func (e *Evaluator) approxInsert(specStr string, m Measure, p, v float64) {
+	if e.approx != nil && specStr != "" {
+		e.approx.Insert(specStr, string(m), p, v)
+	}
+}
 
 // streamOne evaluates one normalized-on-entry query and hands its cells
 // to emit in canonical order. A false return from emit stops evaluation
@@ -485,44 +520,54 @@ func (e *Evaluator) streamOne(ctx context.Context, idx int, q Query, emit func(C
 			return Cell{Query: idx, Spec: specStr, Measure: m, P: &p, Point: i}
 		}
 		if nq.has(MeasurePPC) {
-			v, err := guardPanic("measure ppc", func() (float64, error) { return e.AverageProbeComplexityCtx(exactCtx, sys, p) })
 			c := cell(MeasurePPC)
-			switch {
-			case err == nil:
-				c.Value, c.Done = v, true
-			case degraded(err):
-				s, ferr := e.estimateAdaptiveCtx(ctx, sys, p, degradeFallbackTrials, seed, nil)
-				if ferr != nil {
-					// The fallback failed too; report the original budget
-					// overrun, which is the root cause.
+			if note, av, ok := e.approxAnswer(specStr, MeasurePPC, p, nq.Tolerance); ok {
+				c.Value, c.Done, c.Approx = av, true, note
+			} else {
+				v, err := guardPanic("measure ppc", func() (float64, error) { return e.AverageProbeComplexityCtx(exactCtx, sys, p) })
+				switch {
+				case err == nil:
+					c.Value, c.Done = v, true
+					e.approxInsert(specStr, MeasurePPC, p, v)
+				case degraded(err):
+					s, ferr := e.estimateAdaptiveCtx(ctx, sys, p, degradeFallbackTrials, seed, nil)
+					if ferr != nil {
+						// The fallback failed too; report the original budget
+						// overrun, which is the root cause.
+						return fmt.Errorf("measure ppc of %s at p=%v: %w", sys.Name(), p, e.boundify(err, sys))
+					}
+					c.Done = true
+					c.Value, c.Trials, c.StdErr, c.HalfCI = s.Mean, s.N, s.StdErr, halfCI(s)
+					c.Degraded = &Degradation{Measure: MeasurePPC, Reason: DegradeDeadline, Estimate: &Estimate{Mean: s.Mean, HalfCI: halfCI(s), Trials: s.N}}
+				default:
 					return fmt.Errorf("measure ppc of %s at p=%v: %w", sys.Name(), p, e.boundify(err, sys))
 				}
-				c.Done = true
-				c.Value, c.Trials, c.StdErr, c.HalfCI = s.Mean, s.N, s.StdErr, halfCI(s)
-				c.Degraded = &Degradation{Measure: MeasurePPC, Reason: DegradeDeadline, Estimate: &Estimate{Mean: s.Mean, HalfCI: halfCI(s), Trials: s.N}}
-			default:
-				return fmt.Errorf("measure ppc of %s at p=%v: %w", sys.Name(), p, e.boundify(err, sys))
 			}
 			if !emit(c) {
 				return errStreamStopped
 			}
 		}
 		if nq.has(MeasureAvailability) {
-			v, err := guardPanic("measure availability", func() (float64, error) { return e.AvailabilityCtx(exactCtx, sys, p) })
 			c := cell(MeasureAvailability)
-			switch {
-			case err == nil:
-				c.Value, c.Done = v, true
-			case degraded(err):
-				s, ferr := e.estimateAvailabilityCtx(ctx, sys, p, degradeFallbackTrials, seed)
-				if ferr != nil {
+			if note, av, ok := e.approxAnswer(specStr, MeasureAvailability, p, nq.Tolerance); ok {
+				c.Value, c.Done, c.Approx = av, true, note
+			} else {
+				v, err := guardPanic("measure availability", func() (float64, error) { return e.AvailabilityCtx(exactCtx, sys, p) })
+				switch {
+				case err == nil:
+					c.Value, c.Done = v, true
+					e.approxInsert(specStr, MeasureAvailability, p, v)
+				case degraded(err):
+					s, ferr := e.estimateAvailabilityCtx(ctx, sys, p, degradeFallbackTrials, seed)
+					if ferr != nil {
+						return fmt.Errorf("measure availability of %s at p=%v: %w", sys.Name(), p, err)
+					}
+					c.Done = true
+					c.Value, c.Trials, c.StdErr, c.HalfCI = s.Mean, s.N, s.StdErr, halfCI(s)
+					c.Degraded = &Degradation{Measure: MeasureAvailability, Reason: DegradeDeadline, Estimate: &Estimate{Mean: s.Mean, HalfCI: halfCI(s), Trials: s.N}}
+				default:
 					return fmt.Errorf("measure availability of %s at p=%v: %w", sys.Name(), p, err)
 				}
-				c.Done = true
-				c.Value, c.Trials, c.StdErr, c.HalfCI = s.Mean, s.N, s.StdErr, halfCI(s)
-				c.Degraded = &Degradation{Measure: MeasureAvailability, Reason: DegradeDeadline, Estimate: &Estimate{Mean: s.Mean, HalfCI: halfCI(s), Trials: s.N}}
-			default:
-				return fmt.Errorf("measure availability of %s at p=%v: %w", sys.Name(), p, err)
 			}
 			if !emit(c) {
 				return errStreamStopped
