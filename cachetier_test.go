@@ -350,6 +350,51 @@ func TestApproxServesWithinTolerance(t *testing.T) {
 	}
 }
 
+// TestMemoOutranksApprox pins the tier lookup order memo → approx →
+// store → compute: a tolerant query whose exact answer is already in
+// the session memo gets the bit-exact value with no approximation note
+// — the approx tier is never consulted, so the hit is attributed to the
+// memo tier, and an interpolation can never shadow a memoized point.
+func TestMemoOutranksApprox(t *testing.T) {
+	const sp, p = "maj:11", 0.29
+	ctx := context.Background()
+	eval := probequorum.NewEvaluator(probequorum.WithApprox(probequorum.NewApproxCache()))
+
+	// The exact solve memoizes ppc(p) and seeds the approx series with
+	// the same point, so both tiers could answer the re-query below.
+	exact, err := eval.Do(ctx, ppcQuery(sp, p, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := eval.Stats()
+
+	res, err := eval.Do(ctx, ppcQuery(sp, p, 0.25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 1 || res.Points[0].PPC == nil {
+		t.Fatalf("unexpected result shape: %+v", res)
+	}
+	if notes := res.Points[0].Approx; len(notes) != 0 {
+		t.Errorf("memoized answer served approximately: %+v", notes)
+	}
+	if math.Float64bits(*res.Points[0].PPC) != math.Float64bits(*exact.Points[0].PPC) {
+		t.Errorf("tolerant re-query %v differs from the memoized exact %v",
+			*res.Points[0].PPC, *exact.Points[0].PPC)
+	}
+	after := eval.Stats()
+	if after.Hits["approx"] != before.Hits["approx"] || after.Misses["approx"] != before.Misses["approx"] {
+		t.Errorf("memoized point consulted the approx tier: hits %d→%d, misses %d→%d",
+			before.Hits["approx"], after.Hits["approx"], before.Misses["approx"], after.Misses["approx"])
+	}
+	if after.Hits["memo"] != before.Hits["memo"]+1 {
+		t.Errorf("memo hits %d→%d, want one more", before.Hits["memo"], after.Hits["memo"])
+	}
+	if after.Builds["ppc"] != before.Builds["ppc"] {
+		t.Errorf("memoized point rebuilt: %d→%d", before.Builds["ppc"], after.Builds["ppc"])
+	}
+}
+
 // TestToleranceZeroBypassesApprox pins the exactness contract: with a
 // populated approximate cache, a tolerance-zero query never consults
 // it — the answer is bit-identical to a cache-free session's and

@@ -66,7 +66,8 @@ type Store struct {
 	engine uint32
 
 	mu       sync.Mutex
-	mappings [][]byte // live mmap regions, released by Close
+	mappings map[string][]byte // live mmap regions by record path, reused on re-Get, released by Close
+	retired  [][]byte          // mappings detached by Clear, still backing returned payloads until Close
 
 	// Lock-free operation counters, snapshotted by Stats.
 	hits, misses, corrupt, writes, writeErrs atomic.Uint64
@@ -193,6 +194,14 @@ func (s *Store) Get(kind, key string) ([]byte, bool) {
 
 func (s *Store) load(kind, key string) (payload []byte, ok, damaged bool) {
 	path := s.path(kind, key)
+	if prev, found := s.mapping(path); found {
+		// An earlier Get already mapped and verified this record file;
+		// serve the established mapping instead of mapping the file again,
+		// so repeated Gets never grow the mapping set. A decode failure
+		// here is the colliding-key miss the path comment documents.
+		payload, ok = decodeRecord(prev, s.engine, key)
+		return payload, ok, false
+	}
 	fi, err := os.Stat(path)
 	if err != nil {
 		return nil, false, false
@@ -204,25 +213,52 @@ func (s *Store) load(kind, key string) (payload []byte, ok, damaged bool) {
 	if err != nil {
 		return nil, false, true
 	}
-	release := func() {
+	payload, ok = decodeRecord(data, s.engine, key)
+	if !ok {
+		// An unreadable record under the right filename is damage unless
+		// it was written by another engine version, which is the designed
+		// upgrade miss. The verdict must be read off data before the
+		// mapping is released — afterwards data is unmapped memory.
+		vm := isVersionMiss(data, s.engine)
 		if mapped {
 			unmapFile(data)
 		}
-	}
-	payload, ok = decodeRecord(data, s.engine, key)
-	if !ok {
-		release()
-		// An unreadable record under the right filename is damage unless
-		// it was written by another engine version, which is the designed
-		// upgrade miss.
-		return nil, false, !isVersionMiss(data, s.engine)
+		return nil, false, !vm
 	}
 	if mapped {
-		s.mu.Lock()
-		s.mappings = append(s.mappings, data)
-		s.mu.Unlock()
+		if prev, dup := s.register(path, data); dup {
+			// A concurrent Get mapped this record first; keep its mapping
+			// and release ours, re-deriving the payload from the survivor.
+			unmapFile(data)
+			payload, ok = decodeRecord(prev, s.engine, key)
+			return payload, ok, false
+		}
 	}
 	return payload, true, false
+}
+
+// mapping returns the live mapping registered for a record path, if any.
+func (s *Store) mapping(path string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.mappings[path]
+	return m, ok
+}
+
+// register records a fresh mapping for path unless one is already live,
+// in which case the existing mapping is returned and the caller must
+// release its own.
+func (s *Store) register(path string, data []byte) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if prev, ok := s.mappings[path]; ok {
+		return prev, true
+	}
+	if s.mappings == nil {
+		s.mappings = map[string][]byte{}
+	}
+	s.mappings[path] = data
+	return nil, false
 }
 
 // decodeRecord validates a record image end to end and returns its
@@ -261,9 +297,16 @@ func isVersionMiss(data []byte, engine uint32) bool {
 }
 
 // Clear removes every published record (temp files of in-flight writers
-// included) and drops the live mappings' accounting; reads against
-// already-returned payloads remain valid until Close.
+// included) and retires the live mappings so later Gets consult the disk
+// afresh; reads against already-returned payloads remain valid until
+// Close.
 func (s *Store) Clear() error {
+	s.mu.Lock()
+	for _, m := range s.mappings {
+		s.retired = append(s.retired, m)
+	}
+	s.mappings = nil
+	s.mu.Unlock()
 	entries, err := os.ReadDir(s.dir)
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
@@ -285,10 +328,13 @@ func (s *Store) Clear() error {
 // by Get must not be used afterwards.
 func (s *Store) Close() error {
 	s.mu.Lock()
-	mappings := s.mappings
-	s.mappings = nil
+	mappings, retired := s.mappings, s.retired
+	s.mappings, s.retired = nil, nil
 	s.mu.Unlock()
 	for _, m := range mappings {
+		unmapFile(m)
+	}
+	for _, m := range retired {
 		unmapFile(m)
 	}
 	return nil

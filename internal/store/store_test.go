@@ -287,6 +287,146 @@ func TestWrongEngineVersionMisses(t *testing.T) {
 	}
 }
 
+// mappingCount snapshots the number of live mmap regions of a store.
+func mappingCount(s *Store) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.mappings)
+}
+
+// TestWrongEngineVersionMissesMapped is the mapped-record twin of
+// TestWrongEngineVersionMisses: a witness table big enough to arrive
+// through a memory mapping, read under a different engine version, must
+// be a silent version miss — the verdict must be decided before the
+// failed record's mapping is released, or this test dies of a fault
+// instead of failing.
+func TestWrongEngineVersionMissesMapped(t *testing.T) {
+	dir := t.TempDir()
+	old, err := Open(dir, 1)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer old.Close()
+	table := buildTable(t, "maj:21") // 2^21 bits = 256 KiB > mmapThreshold
+	if err := old.PutTable("table", "maj:21", table); err != nil {
+		t.Fatalf("PutTable: %v", err)
+	}
+	upgraded, err := Open(dir, 2)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer upgraded.Close()
+	if _, ok := upgraded.GetTable("table", "maj:21"); ok {
+		t.Fatal("mapped record of engine 1 must miss under engine 2")
+	}
+	st, err := upgraded.Stats()
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if st.Corrupt != 0 {
+		t.Fatal("a mapped version miss is not corruption")
+	}
+	if n := mappingCount(upgraded); n != 0 {
+		t.Fatalf("failed mapped load left %d live mappings, want 0", n)
+	}
+}
+
+// TestFlippedByteMissesMapped corrupts one payload byte of a mapped-size
+// record: the load must miss, count the damage, and leave no mapping
+// behind.
+func TestFlippedByteMissesMapped(t *testing.T) {
+	s := openT(t, 1)
+	table := buildTable(t, "maj:21")
+	if err := s.PutTable("table", "maj:21", table); err != nil {
+		t.Fatalf("PutTable: %v", err)
+	}
+	path := recordPath(t, s)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if _, ok := s.GetTable("table", "maj:21"); ok {
+		t.Fatal("corrupted mapped record must miss")
+	}
+	st, err := s.Stats()
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if st.Corrupt == 0 {
+		t.Fatal("mapped corruption must be counted")
+	}
+	if n := mappingCount(s); n != 0 {
+		t.Fatalf("failed mapped load left %d live mappings, want 0", n)
+	}
+}
+
+// TestMappedGetsShareOneMapping pins the mapping dedup: however many
+// times (and from however many goroutines) one mapped record is read,
+// the store holds a single live mapping for it, every returned payload
+// stays readable, and a Clear-then-republish cycle maps the new record
+// fresh while old payloads survive until Close.
+func TestMappedGetsShareOneMapping(t *testing.T) {
+	s := openT(t, 1)
+	table := buildTable(t, "maj:21")
+	if err := s.PutTable("table", "maj:21", table); err != nil {
+		t.Fatalf("PutTable: %v", err)
+	}
+	var wg sync.WaitGroup
+	got := make([]*quorum.WitnessTable, 8)
+	for i := range got {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			g, ok := s.GetTable("table", "maj:21")
+			if !ok {
+				t.Error("GetTable miss")
+				return
+			}
+			got[i] = g
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if n := mappingCount(s); n != 1 {
+		t.Fatalf("8 mapped Gets hold %d mappings, want 1", n)
+	}
+	want := table.Words()
+	for i, g := range got {
+		words := g.Words()
+		for w := range want {
+			if words[w] != want[w] {
+				t.Fatalf("Get %d word %d differs", i, w)
+			}
+		}
+	}
+	// Clear retires the mapping; a republished record maps afresh and the
+	// pre-Clear payloads stay valid.
+	if err := s.Clear(); err != nil {
+		t.Fatalf("Clear: %v", err)
+	}
+	if n := mappingCount(s); n != 0 {
+		t.Fatalf("Clear left %d live mappings, want 0", n)
+	}
+	if err := s.PutTable("table", "maj:21", table); err != nil {
+		t.Fatalf("re-PutTable: %v", err)
+	}
+	if _, ok := s.GetTable("table", "maj:21"); !ok {
+		t.Fatal("republished record must hit")
+	}
+	if n := mappingCount(s); n != 1 {
+		t.Fatalf("republished record holds %d mappings, want 1", n)
+	}
+	if words := got[0].Words(); words[0] != want[0] {
+		t.Fatal("pre-Clear payload must stay readable until Close")
+	}
+}
+
 func TestOversizedRecordMisses(t *testing.T) {
 	s := openT(t, 1)
 	if err := s.PutInt("pc", "k", 7); err != nil {

@@ -370,13 +370,44 @@ func CellSeq(cells []Cell) iter.Seq2[Cell, error] {
 // adaptive so the substitute estimate is deterministic for a given seed.
 const degradeFallbackTrials = 4096
 
+// memoizedExact reports whether the session memo can already answer the
+// per-p exact measure for free — a memoized PPC point, a derived
+// availability polynomial (one Horner evaluation per p), or a closed
+// form. The peek itself counts nothing; the exact path that follows
+// records the memo hit.
+func (e *Evaluator) memoizedExact(sys System, m Measure, p float64) bool {
+	switch m {
+	case MeasurePPC:
+		ent := e.entry(sys)
+		ent.mu.Lock()
+		defer ent.mu.Unlock()
+		_, ok := ent.ppc[p]
+		return ok
+	case MeasureAvailability:
+		if _, ok := sys.(ExactAvailability); ok {
+			return true
+		}
+		ent := e.entry(sys)
+		ent.mu.Lock()
+		defer ent.mu.Unlock()
+		return ent.failCounts != nil
+	}
+	return false
+}
+
 // approxAnswer consults the approximate-answer tier for one per-p exact
 // measure, honoring the opt-in contract: only when a cache is attached,
 // the query declared a positive tolerance, and the system has a
-// canonical spec to key by. The consultation — hit or miss — is counted
-// in the session's tier stats; an un-consulted tier counts nothing.
-func (e *Evaluator) approxAnswer(specStr string, m Measure, p, tol float64) (*ApproxNote, float64, bool) {
+// canonical spec to key by. The session memo outranks it (lookup order
+// memo → approx → store → compute): a tolerant query whose bit-exact
+// answer is already memoized gets that answer, never an interpolation.
+// The consultation — hit or miss — is counted in the session's tier
+// stats; an un-consulted tier counts nothing.
+func (e *Evaluator) approxAnswer(sys System, specStr string, m Measure, p, tol float64) (*ApproxNote, float64, bool) {
 	if e.approx == nil || tol <= 0 || specStr == "" {
+		return nil, 0, false
+	}
+	if e.memoizedExact(sys, m, p) {
 		return nil, 0, false
 	}
 	ans, ok := e.approx.Lookup(specStr, string(m), p, tol)
@@ -521,7 +552,7 @@ func (e *Evaluator) streamOne(ctx context.Context, idx int, q Query, emit func(C
 		}
 		if nq.has(MeasurePPC) {
 			c := cell(MeasurePPC)
-			if note, av, ok := e.approxAnswer(specStr, MeasurePPC, p, nq.Tolerance); ok {
+			if note, av, ok := e.approxAnswer(sys, specStr, MeasurePPC, p, nq.Tolerance); ok {
 				c.Value, c.Done, c.Approx = av, true, note
 			} else {
 				v, err := guardPanic("measure ppc", func() (float64, error) { return e.AverageProbeComplexityCtx(exactCtx, sys, p) })
@@ -549,7 +580,7 @@ func (e *Evaluator) streamOne(ctx context.Context, idx int, q Query, emit func(C
 		}
 		if nq.has(MeasureAvailability) {
 			c := cell(MeasureAvailability)
-			if note, av, ok := e.approxAnswer(specStr, MeasureAvailability, p, nq.Tolerance); ok {
+			if note, av, ok := e.approxAnswer(sys, specStr, MeasureAvailability, p, nq.Tolerance); ok {
 				c.Value, c.Done, c.Approx = av, true, note
 			} else {
 				v, err := guardPanic("measure availability", func() (float64, error) { return e.AvailabilityCtx(exactCtx, sys, p) })
