@@ -435,11 +435,20 @@ func protocolErrorf(format string, args ...any) error {
 
 // Systems returns the construction names registered on the server.
 func (c *Client) Systems(ctx context.Context) ([]string, error) {
-	var resp probeserve.SystemsResponse
-	if err := c.doJSON(ctx, http.MethodGet, c.base+"/v1/systems", nil, &resp); err != nil {
+	resp, err := c.SystemsInfo(ctx)
+	if err != nil {
 		return nil, err
 	}
 	return resp.Specs, nil
+}
+
+// SystemsInfo returns the full /v1/systems answer: the registered
+// construction names and every measure the server recognizes,
+// including the timed (temporal-engine) measures.
+func (c *Client) SystemsInfo(ctx context.Context) (probeserve.SystemsResponse, error) {
+	var resp probeserve.SystemsResponse
+	err := c.doJSON(ctx, http.MethodGet, c.base+"/v1/systems", nil, &resp)
+	return resp, err
 }
 
 // CacheStats returns the server's cache accounting: the evaluation

@@ -1,0 +1,114 @@
+package client_test
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"probequorum"
+)
+
+// TestTimedStreamEndToEnd drives the temporal engine through the whole
+// remote stack: a timed query on a wide system streams through
+// probeserved's NDJSON frames and the client's iterator, the terminal
+// timed-ttq cell carries the full TTQ distribution (including a p99),
+// and folding the cells reproduces both the unary remote answer and
+// the local façade bit for bit.
+func TestTimedStreamEndToEnd(t *testing.T) {
+	c := newPair(t)
+	ctx := context.Background()
+	q := probequorum.Query{
+		Spec:     "maj:1025",
+		Measures: []probequorum.Measure{probequorum.MeasureTimedTTQ},
+		Ps:       []float64{0.2},
+		Trials:   100,
+		Seed:     7,
+		Latency:  "exp:3",
+		Window:   4,
+	}
+
+	var cells []probequorum.Cell
+	var ttq *probequorum.Cell
+	for cell, err := range c.StreamEval(ctx, []probequorum.Query{q}) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		cells = append(cells, cell)
+		if cell.Measure == probequorum.MeasureTimedTTQ && cell.Done {
+			cc := cell
+			ttq = &cc
+		}
+	}
+	if ttq == nil {
+		t.Fatalf("no terminal timed-ttq cell in %d cells", len(cells))
+	}
+	if ttq.Timed == nil {
+		t.Fatalf("timed-ttq cell crossed the wire without its summary: %+v", ttq)
+	}
+	d := ttq.Timed.TTQ
+	if !(d.P99MS > 0 && d.P50MS <= d.P99MS && d.P99MS <= d.MaxMS && ttq.Value == d.MeanMS) {
+		t.Errorf("malformed remote TTQ distribution: %+v (cell value %v)", d, ttq.Value)
+	}
+
+	folded, err := probequorum.FoldCells(probequorum.CellSeq(cells), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := c.Eval(ctx, []probequorum.Query{q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := probequorum.NewEvaluator().Do(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(folded[0], remote[0]) {
+		t.Errorf("folded stream differs from unary remote answer:\n%+v\n%+v", folded[0], remote[0])
+	}
+	if !reflect.DeepEqual(remote[0], local) {
+		t.Errorf("remote timed answer differs from local façade:\n%+v\n%+v", remote[0], local)
+	}
+}
+
+// TestTimedScenarioErrorCrossesWire pins that a bad timed scenario
+// surfaces as the query's typed error message through the remote path.
+func TestTimedScenarioErrorCrossesWire(t *testing.T) {
+	c := newPair(t)
+	results, err := c.Eval(context.Background(), []probequorum.Query{{
+		Spec:     "maj:5",
+		Measures: []probequorum.Measure{probequorum.MeasureTimedTTQ},
+		Ps:       []float64{0.3},
+		Latency:  "warp:1",
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Error == "" {
+		t.Fatalf("bad latency grammar evaluated remotely: %+v", results[0])
+	}
+}
+
+// TestSystemsListsTimedMeasures pins that /v1/systems advertises the
+// temporal measures alongside the static ones.
+func TestSystemsListsTimedMeasures(t *testing.T) {
+	c := newPair(t)
+	info, err := c.SystemsInfo(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[probequorum.Measure]bool{
+		probequorum.MeasureTimedTTQ:      false,
+		probequorum.MeasureTimedReach:    false,
+		probequorum.MeasureTimedInFlight: false,
+	}
+	for _, m := range info.Measures {
+		if _, ok := want[m]; ok {
+			want[m] = true
+		}
+	}
+	for m, seen := range want {
+		if !seen {
+			t.Errorf("/v1/systems does not list %s: %v", m, info.Measures)
+		}
+	}
+}

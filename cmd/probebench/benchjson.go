@@ -57,8 +57,12 @@ type benchRecord struct {
 	// the restarted-fleet scenario.
 	WarmSpeedup float64 `json:"warm_speedup,omitempty"`
 	// P99MS (PR 9) is the 99th-percentile per-query latency of the
-	// mixed hot/near/cold load-generator op, in milliseconds.
+	// mixed hot/near/cold load-generator op, in milliseconds. The PR 10
+	// des/ttq op reuses it for the simulated p99 time-to-quorum.
 	P99MS float64 `json:"p99_ms,omitempty"`
+	// EventsPerSec is the temporal-engine rate (PR 10): discrete
+	// simulation events processed per second of wall time.
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
 }
 
 // benchFile is the on-disk schema: measurement context plus the records.
@@ -80,6 +84,7 @@ type benchOp struct {
 	probes     int
 	cells      int
 	strategies int
+	events     int
 	fn         func(b *testing.B)
 	// post, when set, annotates the finished record with counters the op
 	// accumulated (shed rate, coalesce hits).
@@ -352,6 +357,11 @@ func benchOps() []benchOp {
 		storeColdOp(),
 		storeWarmOp(),
 		loadgenOp(),
+		// Temporal-engine ops (PR 10): raw event throughput of the
+		// discrete-event core, and one full timed query on the wide
+		// majority through the façade.
+		desEventsOp(),
+		desTTQOp(),
 		// Static analysis (PR 8): one full quorumvet suite pass over the
 		// module, type-checking every package from source — the upper
 		// bound of what the CI gate costs before go vet's caching kicks
@@ -539,6 +549,9 @@ func writeBenchJSON(path string) error {
 		if op.strategies > 0 && rec.NsPerOp > 0 {
 			rec.StrategiesPerSec = float64(op.strategies) * 1e9 / rec.NsPerOp
 		}
+		if op.events > 0 && rec.NsPerOp > 0 {
+			rec.EventsPerSec = float64(op.events) * 1e9 / rec.NsPerOp
+		}
 		fmt.Fprintf(os.Stderr, "%12.1f ns/op  %6d allocs/op", rec.NsPerOp, rec.AllocsPerOp)
 		if rec.QueriesPerSec > 0 {
 			fmt.Fprintf(os.Stderr, "  %10.0f queries/s", rec.QueriesPerSec)
@@ -566,6 +579,9 @@ func writeBenchJSON(path string) error {
 		}
 		if rec.P99MS > 0 {
 			fmt.Fprintf(os.Stderr, "  p99 %.2f ms", rec.P99MS)
+		}
+		if rec.EventsPerSec > 0 {
+			fmt.Fprintf(os.Stderr, "  %10.0f events/s", rec.EventsPerSec)
 		}
 		fmt.Fprintln(os.Stderr)
 		out.Records = append(out.Records, rec)

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"probequorum"
+	"probequorum/internal/des"
+	"probequorum/internal/spec"
+)
+
+// desEventsOp measures the raw throughput of the discrete-event core:
+// one full windowed, hedged, churned run on Maj(129) per op, rated in
+// simulation events (arrivals plus hedge timers) per second. The run is
+// deterministic, so the per-op event count is known from one pre-run.
+func desEventsOp() benchOp {
+	sc, err := des.Compile(des.Options{Latency: "exp:2", Churn: "flap:40,8", Window: 8, HedgeMS: 6})
+	if err != nil {
+		panic(fmt.Sprintf("probebench: compile des scenario: %v", err))
+	}
+	params := des.Params{
+		Sys:      spec.MustParse("maj:129"),
+		Scenario: sc,
+		P:        0.3,
+		Trials:   256,
+		Seed:     17,
+	}
+	pre, err := des.RunCtx(context.Background(), params)
+	if err != nil {
+		panic(fmt.Sprintf("probebench: des pre-run: %v", err))
+	}
+	return benchOp{
+		name:   "des/events-per-sec",
+		events: pre.Events,
+		fn: func(b *testing.B) {
+			ctx := context.Background()
+			for i := 0; i < b.N; i++ {
+				if _, err := des.RunCtx(ctx, params); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+	}
+}
+
+// desTTQOp runs one complete timed-ttq query on the wide majority
+// through the façade — scenario compile, scheduler adaptation, the
+// parallel trial runner and the streamed summary — the probeserved
+// serving shape of the temporal engine. The artifact reuses the p99_ms
+// field for the simulated p99 time-to-quorum.
+func desTTQOp() benchOp {
+	q := probequorum.Query{
+		Spec:     "maj:1025",
+		Measures: []probequorum.Measure{probequorum.MeasureTimedTTQ},
+		Ps:       []float64{0.2},
+		Trials:   64,
+		Seed:     7,
+		Latency:  "exp:3",
+		Window:   4,
+	}
+	var p99 float64
+	return benchOp{
+		name: "des/ttq-maj1025",
+		fn: func(b *testing.B) {
+			ctx := context.Background()
+			eval := probequorum.NewEvaluator()
+			res, err := eval.Do(ctx, q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			p99 = res.Points[0].TimedTTQ.P99MS
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eval.Do(ctx, q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+		post: func(rec *benchRecord) { rec.P99MS = p99 },
+	}
+}

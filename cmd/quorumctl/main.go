@@ -8,6 +8,9 @@
 //	quorumctl -system maj:7 [-p 0.1] [-enumerate] [-check]
 //	quorumctl eval -system maj:7 -p 0.1,0.3,0.5 [-measures pc,ppc,availability,expected,estimate,tree]
 //	               [-trials 10000] [-seed 1] [-tolerance 0] [-stream] [-json]
+//	               [-timed] [-latency exp:4] [-churn flap:50,10] [-window 3]
+//	               [-hedge 8] [-timed-deadline 200] [-timed-strategy d|r]
+//	quorumctl systems [-addr http://host:port] [-json]
 //	quorumctl plan [-nodes 9] [-candidates rw:maj:9,grid:3x3] [-read-fraction 0.75]
 //	               [-capacities 1000,500,...] [-read-capacities ...] [-write-capacities ...]
 //	               [-f 1] [-json]
@@ -23,6 +26,17 @@
 // measure adaptive: trials stop as soon as the 95% confidence
 // half-interval reaches the target, bounded by -trials (or the
 // MaxQueryTrials budget when -trials is 0).
+//
+// With -timed the eval subcommand runs the temporal engine under the
+// scenario the -latency / -churn / -window / -hedge / -timed-deadline
+// flags describe; the timed-ttq, timed-reach and timed-inflight
+// measures then report the time-to-quorum distribution, the fraction
+// of trials finishing by the deadline, and probe-traffic accounting.
+// When -timed is set without any timed measure, timed-ttq is implied.
+//
+// The systems subcommand lists the registered construction names and
+// every recognized measure — locally, or from a probeserved instance
+// with -addr.
 //
 // The plan subcommand ranks candidate read/write systems by the
 // capacity they sustain under a workload (read fraction, per-node
@@ -43,6 +57,8 @@ import (
 	"strings"
 
 	"probequorum"
+	"probequorum/client"
+	"probequorum/internal/probeserve"
 	"probequorum/internal/quorum"
 )
 
@@ -55,6 +71,8 @@ func main() {
 			os.Exit(runPlan(os.Args[2:]))
 		case "cache":
 			os.Exit(runCache(os.Args[2:]))
+		case "systems":
+			os.Exit(runSystems(os.Args[2:]))
 		}
 	}
 	os.Exit(run())
@@ -135,12 +153,20 @@ func runEval(args []string) int {
 	var (
 		system    = fs.String("system", "", "system spec, e.g. maj:7 (see quorumctl -specs)")
 		pgrid     = fs.String("p", "0.5", "comma-separated failure-probability grid, e.g. 0.1,0.3,0.5")
-		measures  = fs.String("measures", "availability,expected", "comma-separated measures: pc, ppc, availability, expected, estimate, tree")
+		measures  = fs.String("measures", "availability,expected", "comma-separated measures: pc, ppc, availability, expected, estimate, tree, timed-ttq, timed-reach, timed-inflight, ...")
 		trials    = fs.Int("trials", 0, "Monte Carlo trials for estimate (0: evaluator default; with -tolerance, the budget)")
 		seed      = fs.Uint64("seed", 0, "Monte Carlo seed for estimate (0: evaluator default)")
 		tolerance = fs.Float64("tolerance", 0, "adaptive estimate precision: target 95% confidence half-interval (0: fixed trials)")
 		stream    = fs.Bool("stream", false, "print evaluation cells live as they complete instead of the final table")
 		asJSON    = fs.Bool("json", false, "print the Result wire encoding (or, with -stream, NDJSON cells) instead of the table")
+
+		timed    = fs.Bool("timed", false, "run the temporal engine; scenario flags below apply (implies timed-ttq when no timed measure is requested)")
+		latency  = fs.String("latency", "", "probe latency distribution: const:MS | uniform:LO,HI | exp:MEAN | lognorm:MU,SIGMA [+zone:NZONES,OFFMS]")
+		churn    = fs.String("churn", "", "element churn process: flap:UPMS,DOWNMS | zoneout:NZONES,STARTMS,DURMS | script:down@MS=LO-HI;...")
+		window   = fs.Int("window", 0, "probes allowed in flight at once (0 or 1: sequential)")
+		hedge    = fs.Float64("hedge", 0, "hedge deadline in ms: issue one extra probe when an outstanding probe exceeds it (0: off)")
+		deadline = fs.Float64("timed-deadline", 0, "deadline in ms for the timed-reach measure (0: none)")
+		strategy = fs.String("timed-strategy", "", "probe strategy family for the timed scheduler: d (deterministic) | r (randomized); empty: system default")
 	)
 	fs.Parse(args)
 
@@ -150,6 +176,19 @@ func runEval(args []string) int {
 		return 1
 	}
 	q.Tolerance = *tolerance
+	if *timed {
+		q.Latency, q.Churn, q.Window = *latency, *churn, *window
+		q.HedgeMS, q.TimedDeadlineMS, q.TimedStrategy = *hedge, *deadline, *strategy
+		hasTimed := false
+		for _, m := range q.Measures {
+			if m.Timed() {
+				hasTimed = true
+			}
+		}
+		if !hasTimed {
+			q.Measures = append(q.Measures, probequorum.MeasureTimedTTQ)
+		}
+	}
 	if *stream {
 		return runEvalStream(q, *asJSON)
 	}
@@ -209,6 +248,19 @@ func printCell(c probequorum.Cell) {
 		fmt.Printf("tree      depth=%d leaves=%d\n%s", c.Tree.Depth, c.Tree.Leaves, c.Tree.ASCII)
 	case c.P == nil:
 		fmt.Printf("%-9s %g\n", c.Measure, c.Value)
+	case c.Timed != nil:
+		switch c.Measure {
+		case probequorum.MeasureTimedTTQ:
+			d := c.Timed.TTQ
+			fmt.Printf("%-9s p=%-7.4f mean=%.3fms p50=%.3fms p99=%.3fms max=%.3fms trials=%d\n",
+				c.Measure, *c.P, d.MeanMS, d.P50MS, d.P99MS, d.MaxMS, c.Trials)
+		case probequorum.MeasureTimedReach:
+			fmt.Printf("%-9s p=%-7.4f %12.6f  trials=%d\n", c.Measure, *c.P, c.Timed.Reach, c.Trials)
+		default:
+			fl := c.Timed.Flight
+			fmt.Printf("%-9s p=%-7.4f mean=%.3f peak=%d issued=%.2f static=%.2f\n",
+				c.Measure, *c.P, fl.MeanInFlight, fl.MaxInFlight, fl.IssuedMean, fl.StaticMean)
+		}
 	case c.Measure == probequorum.MeasureEstimate:
 		state := "…"
 		if c.Done {
@@ -265,6 +317,15 @@ func printResult(res *probequorum.Result) {
 		if pt.Estimate != nil {
 			header += "     estimate     ±95% CI"
 		}
+		if pt.TimedTTQ != nil {
+			header += "     TTQ mean      TTQ p99"
+		}
+		if pt.TimedReach != nil {
+			header += "       reach"
+		}
+		if pt.TimedInFlight != nil {
+			header += "    in-flight       issued"
+		}
 		fmt.Println(header)
 		for _, pt := range res.Points {
 			line := fmt.Sprintf("%8.4f", pt.P)
@@ -280,12 +341,58 @@ func printResult(res *probequorum.Result) {
 			if pt.Estimate != nil {
 				line += fmt.Sprintf("%13.6f%12.6f", pt.Estimate.Mean, pt.Estimate.HalfCI)
 			}
+			if pt.TimedTTQ != nil {
+				line += fmt.Sprintf("%11.3fms%11.3fms", pt.TimedTTQ.MeanMS, pt.TimedTTQ.P99MS)
+			}
+			if pt.TimedReach != nil {
+				line += fmt.Sprintf("%12.6f", *pt.TimedReach)
+			}
+			if pt.TimedInFlight != nil {
+				line += fmt.Sprintf("%13.3f%13.3f", pt.TimedInFlight.MeanInFlight, pt.TimedInFlight.IssuedMean)
+			}
 			fmt.Println(line)
 		}
 	}
 	if res.Tree != nil {
 		fmt.Printf("\noptimal strategy tree: depth %d, %d leaves\n%s", res.Tree.Depth, res.Tree.Leaves, res.Tree.ASCII)
 	}
+}
+
+// runSystems is the systems subcommand: list the registered
+// construction names and every recognized measure — locally by
+// default, or from a probeserved instance named by -addr.
+func runSystems(args []string) int {
+	fs := flag.NewFlagSet("quorumctl systems", flag.ExitOnError)
+	var (
+		addr   = fs.String("addr", "", "probeserved base URL, e.g. http://localhost:8773 (empty: list locally)")
+		asJSON = fs.Bool("json", false, "print the /v1/systems wire encoding instead of the listing")
+	)
+	fs.Parse(args)
+
+	specs, measures := probequorum.SpecNames(), probequorum.AllMeasures()
+	if *addr != "" {
+		resp, err := client.New(*addr).SystemsInfo(context.Background())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "quorumctl systems:", err)
+			return 1
+		}
+		specs, measures = resp.Specs, resp.Measures
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(probeserve.SystemsResponse{Specs: specs, Measures: measures})
+		return 0
+	}
+	fmt.Println("constructions:")
+	for _, s := range specs {
+		fmt.Println("  " + s)
+	}
+	fmt.Println("measures:")
+	for _, m := range measures {
+		fmt.Println("  " + string(m))
+	}
+	return 0
 }
 
 // build parses the -system spec through the construction registry.

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+
+	"probequorum"
+	"probequorum/internal/probeserve"
+)
+
+// captureStdout runs f with os.Stdout redirected into a pipe and
+// returns everything it printed.
+func captureStdout(t *testing.T, f func()) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		buf := make([]byte, 0, 4096)
+		tmp := make([]byte, 4096)
+		for {
+			n, err := r.Read(tmp)
+			buf = append(buf, tmp[:n]...)
+			if err != nil {
+				break
+			}
+		}
+		done <- string(buf)
+	}()
+	defer func() {
+		os.Stdout = old
+		r.Close()
+	}()
+	f()
+	w.Close()
+	return <-done
+}
+
+// TestSystemsSubcommand drives the systems verb locally and against a
+// live probeserved instance: both listings carry the constructions and
+// the temporal measures.
+func TestSystemsSubcommand(t *testing.T) {
+	local := captureStdout(t, func() {
+		if code := runSystems(nil); code != 0 {
+			t.Errorf("systems exited %d", code)
+		}
+	})
+	for _, want := range []string{"maj", "timed-ttq", "timed-reach", "timed-inflight", string(probequorum.MeasurePPC)} {
+		if !strings.Contains(local, want) {
+			t.Errorf("local systems listing misses %q:\n%s", want, local)
+		}
+	}
+
+	ts := httptest.NewServer(probeserve.New(nil).Handler())
+	defer ts.Close()
+	remote := captureStdout(t, func() {
+		if code := runSystems([]string{"-addr", ts.URL, "-json"}); code != 0 {
+			t.Errorf("systems -addr exited %d", code)
+		}
+	})
+	for _, want := range []string{`"maj"`, `"timed-ttq"`} {
+		if !strings.Contains(remote, want) {
+			t.Errorf("remote systems listing misses %q:\n%s", want, remote)
+		}
+	}
+}
+
+// TestEvalTimedFlag pins the -timed flag path end to end through the
+// eval subcommand: the scenario flags reach the query, and with no
+// timed measure named, timed-ttq is implied.
+func TestEvalTimedFlag(t *testing.T) {
+	out := captureStdout(t, func() {
+		code := runEval([]string{
+			"-system", "maj:31", "-p", "0.2", "-measures", "availability",
+			"-timed", "-latency", "exp:2", "-window", "2",
+			"-trials", "100", "-seed", "5",
+		})
+		if code != 0 {
+			t.Errorf("eval -timed exited %d", code)
+		}
+	})
+	if !strings.Contains(out, "TTQ mean") || !strings.Contains(out, "ms") {
+		t.Errorf("eval -timed table misses the implied TTQ column:\n%s", out)
+	}
+
+	stream := captureStdout(t, func() {
+		code := runEval([]string{
+			"-system", "maj:31", "-p", "0.2", "-measures", "timed-ttq,timed-inflight",
+			"-timed", "-latency", "const:1", "-window", "3",
+			"-trials", "50", "-seed", "5", "-stream",
+		})
+		if code != 0 {
+			t.Errorf("eval -timed -stream exited %d", code)
+		}
+	})
+	if !strings.Contains(stream, "p99=") || !strings.Contains(stream, "peak=") {
+		t.Errorf("streamed timed cells misrender:\n%s", stream)
+	}
+}

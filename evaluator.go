@@ -15,6 +15,7 @@ import (
 	"probequorum/internal/approx"
 	"probequorum/internal/bitset"
 	"probequorum/internal/coloring"
+	"probequorum/internal/des"
 	"probequorum/internal/probe"
 	"probequorum/internal/quorum"
 	"probequorum/internal/rw"
@@ -72,6 +73,45 @@ type Evaluator struct {
 	// fixed order memo → approx → store → compute.
 	artifacts *store.Store
 	approx    *approx.Cache
+
+	// scenMu guards scenarios, the session memo of compiled temporal
+	// scenario plans: queries repeating a (latency, churn, discipline)
+	// tuple — a sweep, a long-lived server — share one compiled plan.
+	scenMu    sync.Mutex
+	scenarios map[string]*des.Scenario
+}
+
+// evaluatorMaxScenarios bounds the compiled-scenario memo; a compiled
+// plan is tiny, so the bound only guards servers fed unbounded distinct
+// scenario strings.
+const evaluatorMaxScenarios = 256
+
+// scenario compiles the query's temporal scenario, memoized per session
+// by the raw option tuple. The query is already normalized, so Compile
+// cannot fail here on the session's own queries; the error path covers
+// direct callers.
+func (e *Evaluator) scenario(q Query) (*des.Scenario, error) {
+	o := q.timedOptions()
+	raw := fmt.Sprintf("%s|%s|%d|%g|%g|%t", o.Latency, o.Churn, o.Window, o.HedgeMS, o.DeadlineMS, o.Randomized)
+	e.scenMu.Lock()
+	if sc, ok := e.scenarios[raw]; ok {
+		e.scenMu.Unlock()
+		return sc, nil
+	}
+	e.scenMu.Unlock()
+	sc, err := des.Compile(o)
+	if err != nil {
+		return nil, err
+	}
+	e.scenMu.Lock()
+	defer e.scenMu.Unlock()
+	if e.scenarios == nil {
+		e.scenarios = map[string]*des.Scenario{}
+	}
+	if len(e.scenarios) < evaluatorMaxScenarios {
+		e.scenarios[raw] = sc
+	}
+	return sc, nil
 }
 
 // evalEntry is the per-system cache. Its mutex guards the cached fields
@@ -596,7 +636,10 @@ func measuresAvailable(sys System) []string {
 	}
 	switch sys.(type) {
 	case Prober, finderSystem:
-		out = append(out, string(MeasureEstimate))
+		// The temporal engine schedules the same strategies the Monte
+		// Carlo estimator replays, so the timed measures track it.
+		out = append(out, string(MeasureEstimate),
+			string(MeasureTimedTTQ), string(MeasureTimedReach), string(MeasureTimedInFlight))
 	}
 	if n <= quorum.MaxTableUniverse {
 		out = append(out, string(MeasureLoad), string(MeasureCapacity))

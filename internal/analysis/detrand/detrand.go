@@ -12,7 +12,7 @@ import (
 	"probequorum/internal/analysis/framework"
 )
 
-const doc = `check determinism hazards in internal/sim, internal/coloring, internal/probe, internal/rw, internal/store and internal/approx
+const doc = `check determinism hazards in internal/sim, internal/coloring, internal/probe, internal/rw, internal/store, internal/approx and internal/des
 
 Flags, in the packages bound by the seed-determinism contract:
 time.Now (wall-clock input), math/rand top-level functions (shared
@@ -40,6 +40,9 @@ var gatedPackages = map[string]bool{
 	// unseeded randomness in record naming, eviction, or lookup.
 	"store":  true,
 	"approx": true,
+	// The temporal engine is deterministic by construction: virtual
+	// clock only, every random draw from a (seed, trial)-derived PCG.
+	"des": true,
 }
 
 // randConstructors are math/rand functions that build an explicitly

@@ -8,5 +8,5 @@ import (
 )
 
 func TestDetRand(t *testing.T) {
-	analysistest.Run(t, detrand.Analyzer, analysistest.TestData(), "sim", "util")
+	analysistest.Run(t, detrand.Analyzer, analysistest.TestData(), "sim", "util", "des")
 }

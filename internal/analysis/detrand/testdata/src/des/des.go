@@ -1,0 +1,16 @@
+// Package des pins that the temporal engine's package is gated by the
+// determinism contract.
+package des
+
+import (
+	"math/rand/v2"
+	"time"
+)
+
+func trial(seed uint64) float64 {
+	deadline := time.Now() // want "time.Now in a determinism-contract package"
+	_ = deadline
+	jitter := rand.Float64() // want "global math/rand.Float64 shares process-wide state"
+	rng := rand.New(rand.NewPCG(seed, 1))
+	return jitter + rng.Float64()
+}

@@ -1,0 +1,119 @@
+package des
+
+// eventKind distinguishes the two event types of a timed trial.
+type eventKind uint8
+
+const (
+	// evArrival delivers a probe result: the element's observed color is
+	// sampled at the arrival time and becomes known.
+	evArrival eventKind = iota
+	// evHedge fires when a probe has been outstanding for the hedge
+	// delay; if it still is, one extra speculative probe is issued.
+	evHedge
+)
+
+// event is one scheduled occurrence on the virtual clock.
+type event struct {
+	// at is the virtual time in milliseconds.
+	at float64
+	// seq breaks time ties in issue order, so simultaneous events (the
+	// whole trial, under zero latency) process deterministically FIFO.
+	seq  uint64
+	kind eventKind
+	// elem is the probed element of an arrival, or the element whose
+	// probe a hedge timer watches.
+	elem int
+}
+
+// before is the heap order: earliest time first, issue order on ties.
+func (e event) before(o event) bool {
+	if e.at != o.at {
+		return e.at < o.at
+	}
+	return e.seq < o.seq
+}
+
+// eventQueue is a binary min-heap of events keyed (time, seq). The
+// backing slice is sized once per trial (a trial schedules at most one
+// arrival and one hedge timer per element), so the steady-state push and
+// pop never allocate.
+type eventQueue struct {
+	events []event
+	seq    uint64
+}
+
+// newEventQueue returns a queue with room for cap events without
+// growing.
+func newEventQueue(capacity int) *eventQueue {
+	return &eventQueue{events: make([]event, 0, capacity)}
+}
+
+// reset empties the queue for the next trial, keeping its storage.
+func (q *eventQueue) reset() {
+	q.events = q.events[:0]
+	q.seq = 0
+}
+
+// len returns the number of pending events.
+func (q *eventQueue) len() int { return len(q.events) }
+
+// push schedules an event, stamping it with the next sequence number.
+//
+//quorum:hotpath
+func (q *eventQueue) push(at float64, kind eventKind, elem int) {
+	if len(q.events) == cap(q.events) {
+		q.grow()
+	}
+	ev := event{at: at, seq: q.seq, kind: kind, elem: elem}
+	q.seq++
+	q.events = q.events[:len(q.events)+1]
+	i := len(q.events) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !ev.before(q.events[parent]) {
+			break
+		}
+		q.events[i] = q.events[parent]
+		i = parent
+	}
+	q.events[i] = ev
+}
+
+// grow doubles the backing storage; it is split out so the steady-state
+// push stays allocation-free once the trial-sized queue is built.
+func (q *eventQueue) grow() {
+	events := make([]event, len(q.events), 2*cap(q.events)+4)
+	copy(events, q.events)
+	q.events = events
+}
+
+// pop removes and returns the earliest event. The queue must not be
+// empty.
+//
+//quorum:hotpath
+func (q *eventQueue) pop() event {
+	top := q.events[0]
+	last := q.events[len(q.events)-1]
+	q.events = q.events[:len(q.events)-1]
+	n := len(q.events)
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		child := left
+		if right := left + 1; right < n && q.events[right].before(q.events[left]) {
+			child = right
+		}
+		if !q.events[child].before(last) {
+			break
+		}
+		q.events[i] = q.events[child]
+		i = child
+	}
+	if n > 0 {
+		q.events[i] = last
+	}
+	return top
+}

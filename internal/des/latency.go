@@ -1,0 +1,197 @@
+package des
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"strconv"
+	"strings"
+)
+
+// prng is an inline seeded generator (the PCG core of math/rand/v2)
+// embedded by value in trial state, so the per-event sampling path
+// allocates nothing. Everything it produces is a pure function of the
+// two seed words.
+type prng struct{ pcg rand.PCG }
+
+func (g *prng) seed(a, b uint64) { g.pcg.Seed(a, b) }
+
+//quorum:hotpath
+func (g *prng) uint64() uint64 { return g.pcg.Uint64() }
+
+// float64 returns a uniform draw in [0, 1), by the same 53-bit
+// construction math/rand/v2 uses.
+//
+//quorum:hotpath
+func (g *prng) float64() float64 { return float64(g.pcg.Uint64()>>11) / (1 << 53) }
+
+// exp returns an exponential draw with the given mean.
+//
+//quorum:hotpath
+func (g *prng) exp(mean float64) float64 { return -mean * math.Log(1-g.float64()) }
+
+// normal returns a standard normal draw (Box–Muller, one pair of
+// uniforms per call; the second variate is deliberately discarded so a
+// draw consumes a fixed amount of the stream).
+//
+//quorum:hotpath
+func (g *prng) normal() float64 {
+	u1 := 1 - g.float64() // (0, 1]: the log below must not see zero
+	u2 := g.float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// latKind enumerates the latency families.
+type latKind uint8
+
+const (
+	latConst latKind = iota
+	latUniform
+	latExp
+	latLognorm
+)
+
+// Latency is a compiled per-element probe latency model: a base
+// distribution plus optional per-zone offsets (elements striped into
+// zones by index; zone z adds z*offset ms to every draw). The zero
+// value is const:0 — probes return instantly.
+type Latency struct {
+	kind    latKind
+	a, b    float64
+	zones   int
+	zoneOff float64
+}
+
+// ParseLatency parses the latency spec grammar:
+//
+//	""                    const:0 (instant probes)
+//	const:MS              every probe takes MS ms
+//	uniform:LO,HI         uniform in [LO, HI] ms
+//	exp:MEAN              exponential with mean MEAN ms
+//	lognorm:MU,SIGMA      exp(MU + SIGMA·Z) ms, Z standard normal
+//
+// Any form takes an optional "+zone:NZONES,OFFMS" suffix: element e
+// belongs to zone e mod NZONES, and its probes gain zone·OFFMS ms.
+func ParseLatency(s string) (Latency, error) {
+	s = strings.TrimSpace(s)
+	var l Latency
+	if s == "" {
+		return l, nil
+	}
+	base, zoneSpec, hasZone := strings.Cut(s, "+")
+	if hasZone {
+		arg, ok := strings.CutPrefix(strings.TrimSpace(zoneSpec), "zone:")
+		if !ok {
+			return l, scenErrf("bad latency suffix %q: want +zone:NZONES,OFFMS", zoneSpec)
+		}
+		vals, err := floatArgs(arg, 2)
+		if err != nil {
+			return l, scenErrf("bad zone offsets %q: %v", arg, err)
+		}
+		l.zones = int(vals[0])
+		if float64(l.zones) != vals[0] || l.zones < 1 {
+			return l, scenErrf("bad zone count %v: want a positive integer", vals[0])
+		}
+		if vals[1] < 0 || math.IsNaN(vals[1]) || math.IsInf(vals[1], 0) {
+			return l, scenErrf("bad zone offset %v ms: want a nonnegative finite value", vals[1])
+		}
+		l.zoneOff = vals[1]
+	}
+	name, arg, _ := strings.Cut(strings.TrimSpace(base), ":")
+	var want int
+	switch name {
+	case "const":
+		l.kind, want = latConst, 1
+	case "uniform":
+		l.kind, want = latUniform, 2
+	case "exp":
+		l.kind, want = latExp, 1
+	case "lognorm":
+		l.kind, want = latLognorm, 2
+	default:
+		return l, scenErrf("unknown latency family %q (known: const, uniform, exp, lognorm)", name)
+	}
+	vals, err := floatArgs(arg, want)
+	if err != nil {
+		return l, scenErrf("bad latency spec %q: %v", s, err)
+	}
+	l.a = vals[0]
+	if want == 2 {
+		l.b = vals[1]
+	}
+	switch l.kind {
+	case latConst, latExp:
+		if l.a < 0 || math.IsNaN(l.a) || math.IsInf(l.a, 0) {
+			return l, scenErrf("bad latency parameter %v ms: want a nonnegative finite value", l.a)
+		}
+	case latUniform:
+		if !(l.a >= 0 && l.b >= l.a) || math.IsInf(l.b, 0) {
+			return l, scenErrf("bad uniform latency bounds [%v, %v] ms", l.a, l.b)
+		}
+	case latLognorm:
+		if math.IsNaN(l.a) || math.IsInf(l.a, 0) || !(l.b >= 0) || math.IsInf(l.b, 0) {
+			return l, scenErrf("bad lognormal parameters mu=%v sigma=%v", l.a, l.b)
+		}
+	}
+	return l, nil
+}
+
+// String returns the canonical spec of the model.
+func (l Latency) String() string {
+	var base string
+	switch l.kind {
+	case latConst:
+		base = "const:" + ftoa(l.a)
+	case latUniform:
+		base = "uniform:" + ftoa(l.a) + "," + ftoa(l.b)
+	case latExp:
+		base = "exp:" + ftoa(l.a)
+	case latLognorm:
+		base = "lognorm:" + ftoa(l.a) + "," + ftoa(l.b)
+	}
+	if l.zones > 0 {
+		base += fmt.Sprintf("+zone:%d,%s", l.zones, ftoa(l.zoneOff))
+	}
+	return base
+}
+
+// sample draws the latency in virtual ms of one probe to element e.
+//
+//quorum:hotpath
+func (l *Latency) sample(e int, g *prng) float64 {
+	var ms float64
+	switch l.kind {
+	case latConst:
+		ms = l.a
+	case latUniform:
+		ms = l.a + (l.b-l.a)*g.float64()
+	case latExp:
+		ms = g.exp(l.a)
+	case latLognorm:
+		ms = math.Exp(l.a + l.b*g.normal())
+	}
+	if l.zones > 0 {
+		ms += float64(e%l.zones) * l.zoneOff
+	}
+	return ms
+}
+
+// floatArgs parses exactly want comma-separated floats.
+func floatArgs(s string, want int) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != want {
+		return nil, fmt.Errorf("want %d comma-separated values, got %d", want, len(parts))
+	}
+	out := make([]float64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q", p)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// ftoa formats a float in its shortest round-trip form.
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

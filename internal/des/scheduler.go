@@ -1,0 +1,178 @@
+package des
+
+import (
+	"math/rand/v2"
+
+	"probequorum/internal/bitset"
+	"probequorum/internal/coloring"
+	"probequorum/internal/core"
+	"probequorum/internal/probe"
+	"probequorum/internal/quorum"
+)
+
+// Scheduler adapts a system's probe strategy into a temporal policy: the
+// strategy is replayed against the colors observed so far to decide the
+// next element to issue. A Scheduler is immutable and safe for
+// concurrent use; each worker carries its own replay state.
+//
+// Resolution mirrors the façade's witness dispatch: the system's own
+// Prober (or RandomizedProber) strategy when it has one, else the
+// generic sequential (or random) scan over quorum.Finder systems.
+type Scheduler struct {
+	n          int
+	randomized bool
+	run        func(o probe.Oracle, rng *rand.Rand) probe.Witness
+}
+
+// schedulable is the Finder fallback's requirement, identical to the
+// façade's finderSystem.
+type schedulable interface {
+	quorum.System
+	quorum.Finder
+}
+
+// NewScheduler resolves the probe strategy of sys into a Scheduler.
+// With randomized set, the system's randomized worst-case strategy is
+// used; its random choices are drawn from a fresh per-replay stream
+// derived from (seed, trial), so replays within a trial retrace each
+// other deterministically.
+func NewScheduler(sys quorum.System, randomized bool) (*Scheduler, error) {
+	s := &Scheduler{n: sys.Size(), randomized: randomized}
+	if randomized {
+		switch impl := sys.(type) {
+		case probe.RandomizedProber:
+			s.run = func(o probe.Oracle, rng *rand.Rand) probe.Witness {
+				return impl.ProbeWitnessRandomized(o, rng)
+			}
+		case schedulable:
+			s.run = func(o probe.Oracle, rng *rand.Rand) probe.Witness {
+				return core.RandomScan(impl, o, rng)
+			}
+		default:
+			return nil, scenErrf("system %s has no randomized probe strategy to schedule", sys.Name())
+		}
+		return s, nil
+	}
+	switch impl := sys.(type) {
+	case probe.Prober:
+		s.run = func(o probe.Oracle, _ *rand.Rand) probe.Witness {
+			return impl.ProbeWitness(o)
+		}
+	case schedulable:
+		s.run = func(o probe.Oracle, _ *rand.Rand) probe.Witness {
+			return core.SequentialScan(impl, o)
+		}
+	default:
+		return nil, scenErrf("system %s has no probe strategy to schedule", sys.Name())
+	}
+	return s, nil
+}
+
+// replayStop is the panic sentinel that aborts a replay at the first
+// probe of an element whose color is not yet known: that element is the
+// strategy's next choice.
+type replayStop struct{}
+
+// replayOracle is the probe.Oracle a replay answers from. Elements with
+// an observed color answer it; elements with a probe in flight answer a
+// speculative green (the optimistic assumption the window and hedge
+// disciplines run ahead on); the first probe of any other element aborts
+// the replay via panic(replayStop{}).
+//
+// Probe accounting mimics ColoringOracle: distinct elements only, so a
+// strategy consulting Probes() mid-run sees exactly what it would see
+// against the static oracle.
+type replayOracle struct {
+	known      []coloring.Color // indexed by element; 0 = unknown
+	inflight   *bitset.Set      // elements answering speculative green
+	probed     *bitset.Set
+	count      int
+	next       int
+	speculated bool
+}
+
+var _ probe.Oracle = (*replayOracle)(nil)
+
+func newReplayOracle(n int) *replayOracle {
+	return &replayOracle{
+		known:  make([]coloring.Color, n),
+		probed: bitset.New(n),
+		next:   -1,
+	}
+}
+
+// reset prepares the oracle for one replay against the given in-flight
+// set (nil disables speculation). The known colors persist across
+// replays of a trial; resetTrial clears them.
+func (o *replayOracle) reset(inflight *bitset.Set) {
+	o.inflight = inflight
+	o.probed.Clear()
+	o.count = 0
+	o.next = -1
+	o.speculated = false
+}
+
+// resetTrial additionally forgets all observed colors.
+func (o *replayOracle) resetTrial() {
+	clear(o.known)
+	o.reset(nil)
+}
+
+// Probe implements probe.Oracle.
+func (o *replayOracle) Probe(e int) coloring.Color {
+	c := o.known[e]
+	if c == 0 {
+		if o.inflight == nil || !o.inflight.Contains(e) {
+			o.next = e
+			panic(replayStop{})
+		}
+		o.speculated = true
+		c = coloring.Green
+	}
+	if !o.probed.Contains(e) {
+		o.probed.Add(e)
+		o.count++
+	}
+	return c
+}
+
+// Probes implements probe.Oracle.
+func (o *replayOracle) Probes() int { return o.count }
+
+// Probed implements probe.Oracle.
+func (o *replayOracle) Probed() *bitset.Set { return o.probed.Clone() }
+
+// stepResult is one replay's verdict.
+type stepResult struct {
+	// next is the first element the strategy probed without a known or
+	// speculative answer (-1 when the replay ran to termination).
+	next int
+	// terminated reports the strategy returned a witness over the
+	// answered colors.
+	terminated bool
+	// speculated reports whether any answer was a speculative green. A
+	// replay that terminated without speculation proves the trial is
+	// complete: the witness stands on observed colors alone.
+	speculated bool
+}
+
+// step replays the strategy once against the observed colors, answering
+// elements of inflight with speculative greens (pass nil to forbid
+// speculation). rng must be a fresh stream positioned identically for
+// every replay of the trial; it is ignored by deterministic strategies.
+func (s *Scheduler) step(o *replayOracle, inflight *bitset.Set, rng *rand.Rand) (res stepResult) {
+	o.reset(inflight)
+	res.next = -1
+	defer func() {
+		res.speculated = o.speculated
+		if r := recover(); r != nil {
+			if _, ok := r.(replayStop); !ok {
+				panic(r)
+			}
+			res.next = o.next
+		}
+	}()
+	s.run(o, rng)
+	res.terminated = true
+	return res
+}

@@ -1,0 +1,207 @@
+package des
+
+import (
+	"math/rand/v2"
+
+	"probequorum/internal/bitset"
+	"probequorum/internal/coloring"
+)
+
+// outcome is the record of one timed trial.
+type outcome struct {
+	// ttqMS is the virtual time at which the replay first terminated on
+	// observed colors alone.
+	ttqMS float64
+	// issued counts probes issued by the temporal engine.
+	issued int
+	// static counts probes of the static engine on the same initial
+	// coloring — the baseline the probes-issued measure is read against.
+	static int
+	// inflightAvg is the time average of probes in flight over [0, ttq]
+	// (0 for an instant trial).
+	inflightAvg float64
+	// inflightMax is the peak number of probes simultaneously in flight.
+	inflightMax int
+	// events counts processed virtual events.
+	events int
+	// reached reports ttqMS <= deadline (always true without one).
+	reached bool
+}
+
+// trialState is the reusable per-worker simulation state: one
+// allocation pool per worker, reset per trial, so the steady-state
+// trial loop does not allocate.
+type trialState struct {
+	sched *Scheduler
+	sc    *Scenario
+	n     int
+
+	col      *coloring.Coloring // initial coloring of the trial
+	oracle   *replayOracle
+	inflight *bitset.Set
+	queue    *eventQueue
+
+	latG prng
+	ct   churnTrial
+
+	// stratSrc/stratRNG is the randomized-strategy stream, re-seeded
+	// identically before every replay of a trial so replays retrace each
+	// other. Nil-wrapped only once; deterministic strategies ignore it.
+	stratSrc *rand.PCG
+	stratRNG *rand.Rand
+
+	// issueOrder, when non-nil, records elements in issue order — the
+	// hook the zero-latency differential tests pin against the static
+	// engine's probe order.
+	issueOrder []int
+}
+
+func newTrialState(sched *Scheduler, sc *Scenario) *trialState {
+	n := sched.n
+	src := &rand.PCG{}
+	return &trialState{
+		sched:    sched,
+		sc:       sc,
+		n:        n,
+		col:      coloring.New(n),
+		oracle:   newReplayOracle(n),
+		inflight: bitset.New(n),
+		queue:    newEventQueue(2 * n),
+		stratSrc: src,
+		stratRNG: rand.New(src),
+	}
+}
+
+// seedStrategy repositions the randomized-strategy stream at the start
+// of trial's stream; called before every replay so each retraces the
+// last.
+func (ts *trialState) seedStrategy(seed uint64, trial int) {
+	if ts.sched.randomized {
+		ts.stratSrc.Seed(seed^saltStrategy, uint64(trial)+1)
+	}
+}
+
+// runTrial simulates one timed trial. The initial coloring is drawn
+// from the unsalted (seed, trial) stream — exactly the static engine's
+// draw — unless fixed is non-nil, in which case that coloring is used
+// (the exhaustive differential's entry point).
+func (ts *trialState) runTrial(p float64, seed uint64, trial int, fixed *coloring.Coloring) outcome {
+	sc := ts.sc
+	if fixed != nil {
+		for e := 0; e < ts.n; e++ {
+			ts.col.SetColor(e, fixed.Of(e))
+		}
+	} else {
+		rng := rand.New(rand.NewPCG(seed, uint64(trial)+1))
+		coloring.IIDInto(ts.col, p, rng)
+	}
+
+	// Static baseline: the untimed strategy on the same initial coloring.
+	ts.seedStrategy(seed, trial)
+	static := ts.staticProbes()
+
+	ts.latG.seed(seed^saltLatency, uint64(trial)+1)
+	ts.ct.reset(&sc.churn, seed, trial)
+	ts.oracle.resetTrial()
+	ts.inflight.Clear()
+	ts.queue.reset()
+	ts.issueOrder = ts.issueOrder[:0]
+
+	out := outcome{static: static}
+	var (
+		now       float64
+		lastT     float64
+		integral  float64
+		inflightN int
+		done      bool
+	)
+
+	issue := func(e int) {
+		ts.inflight.Add(e)
+		inflightN++
+		if inflightN > out.inflightMax {
+			out.inflightMax = inflightN
+		}
+		out.issued++
+		ts.issueOrder = append(ts.issueOrder, e)
+		ts.queue.push(now+sc.latency.sample(e, &ts.latG), evArrival, e)
+		if sc.hedgeMS > 0 {
+			ts.queue.push(now+sc.hedgeMS, evHedge, e)
+		}
+	}
+
+	// topUp replays the strategy until the window is full or it stops
+	// asking for new elements. Returns true when the trial completed on
+	// observed colors alone. At least one replay always runs, so
+	// completion is detected even when hedges have overfilled the window.
+	topUp := func() bool {
+		for {
+			ts.seedStrategy(seed, trial)
+			res := ts.sched.step(ts.oracle, ts.inflight, ts.stratRNG)
+			if res.terminated {
+				return !res.speculated
+			}
+			if inflightN >= sc.window {
+				return false
+			}
+			issue(res.next)
+		}
+	}
+
+	done = topUp()
+	for !done && ts.queue.len() > 0 {
+		ev := ts.queue.pop()
+		now = ev.at
+		integral += float64(inflightN) * (now - lastT)
+		lastT = now
+		out.events++
+		switch ev.kind {
+		case evArrival:
+			e := ev.elem
+			base := ts.col.Of(e)
+			c := base
+			if sc.churn.active() {
+				c = sc.churn.colorAt(&ts.ct, e, now, base)
+			}
+			ts.oracle.known[e] = c
+			ts.inflight.Remove(e)
+			inflightN--
+			done = topUp()
+		case evHedge:
+			// The watched probe already arrived: the timer is stale.
+			if ts.oracle.known[ev.elem] != 0 {
+				continue
+			}
+			ts.seedStrategy(seed, trial)
+			res := ts.sched.step(ts.oracle, ts.inflight, ts.stratRNG)
+			if res.terminated {
+				done = !res.speculated
+			} else {
+				issue(res.next)
+			}
+		}
+	}
+
+	out.ttqMS = now
+	if now > 0 {
+		out.inflightAvg = integral / now
+	}
+	out.reached = sc.deadlineMS <= 0 || out.ttqMS <= sc.deadlineMS
+	return out
+}
+
+// staticProbes runs the untimed strategy against the trial's initial
+// coloring and returns its distinct probe count.
+func (ts *trialState) staticProbes() int {
+	o := ts.oracle
+	o.resetTrial()
+	// With every color answerable from the coloring, the replay cannot
+	// abort: fill known from the initial coloring.
+	for e := 0; e < ts.n; e++ {
+		o.known[e] = ts.col.Of(e)
+	}
+	ts.sched.run(o, ts.stratRNG)
+	n := o.count
+	o.resetTrial()
+	return n
+}

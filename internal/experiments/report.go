@@ -90,6 +90,7 @@ func Registry() []func() Report {
 		WideUniverseSweep,
 		StreamingSweep,
 		ReadWritePlanner,
+		TemporalEngine,
 	}
 }
 

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"probequorum"
+)
+
+// TemporalEngine (X11) drives the PR 10 discrete-event temporal engine
+// through the Query path: the deterministic and randomized majority
+// strategies race under IID exponential probe latencies, and a
+// mid-sweep zone outage shows churn stretching the time-to-quorum.
+// The zero-scenario rows pin the engine to the static strategies: with
+// constant unit latency and the sequential discipline, simulated time
+// is the probe count, so TTQ mean equals issued mean exactly.
+func TemporalEngine() Report {
+	r := Report{ID: "X11", Title: "Temporal engine: D_maj vs R_maj time-to-quorum under latency and churn"}
+	eval := probequorum.NewEvaluator()
+	ctx := context.Background()
+
+	// Exact pin: const:1 + sequential makes the virtual clock count
+	// probes, so the TTQ mean must equal the issued mean bit for bit.
+	for _, strat := range []string{"d", "r"} {
+		res, err := eval.Do(ctx, probequorum.Query{
+			Spec:          "maj:31",
+			Measures:      []probequorum.Measure{probequorum.MeasureTimedTTQ, probequorum.MeasureTimedInFlight},
+			Ps:            []float64{0.25},
+			Trials:        2000,
+			Seed:          11,
+			Latency:       "const:1",
+			TimedStrategy: strat,
+		})
+		if err != nil {
+			r.addf("const-latency pin (%s) failed: %v", strat, err)
+			return r
+		}
+		pt := res.Points[0]
+		r.addf("maj:31 %s const:1 seq  TTQ mean=%.4fms  issued=%.4f probes  %s",
+			strat, pt.TimedTTQ.MeanMS, pt.TimedInFlight.IssuedMean,
+			verdict(pt.TimedTTQ.MeanMS, pt.TimedInFlight.IssuedMean, 0))
+	}
+
+	// The race: both strategy families on Maj(31) under exp:3 latencies,
+	// window 4, across the failure-probability sweep. Rows report the
+	// mean and p99 TTQ of each family and the randomized/deterministic
+	// ratio — the temporal read of the paper's D_maj vs R_maj contrast.
+	for _, p := range []float64{0.1, 0.25, 0.4} {
+		var mean [2]float64
+		var line string
+		for i, strat := range []string{"d", "r"} {
+			res, err := eval.Do(ctx, probequorum.Query{
+				Spec:          "maj:31",
+				Measures:      []probequorum.Measure{probequorum.MeasureTimedTTQ},
+				Ps:            []float64{p},
+				Trials:        2000,
+				Seed:          11,
+				Latency:       "exp:3",
+				Window:        4,
+				TimedStrategy: strat,
+			})
+			if err != nil {
+				r.addf("exp-latency race failed at p=%.2f (%s): %v", p, strat, err)
+				return r
+			}
+			d := res.Points[0].TimedTTQ
+			mean[i] = d.MeanMS
+			line += fmt.Sprintf("  %s mean=%.2fms p99=%.2fms", strat, d.MeanMS, d.P99MS)
+		}
+		r.addf("maj:31 exp:3 win=4 p=%.2f%s  r/d=%.3f", p, line, mean[1]/mean[0])
+	}
+
+	// Mid-sweep zone outage: a quarter of the universe goes dark from
+	// t=10ms for 30ms. Witnesses must route around the dead zone, so
+	// the mean time-to-quorum strictly exceeds the churn-free run of
+	// the same seed.
+	base, err := timedTTQMean(ctx, eval, "")
+	if err != nil {
+		r.addf("outage baseline failed: %v", err)
+		return r
+	}
+	out, err := timedTTQMean(ctx, eval, "zoneout:4,10,30")
+	if err != nil {
+		r.addf("outage run failed: %v", err)
+		return r
+	}
+	mark := "ok"
+	if !(out > base) {
+		mark = "DEVIATES"
+	}
+	r.addf("maj:31 exp:3 p=0.10  TTQ mean churn-free=%.2fms  zoneout:4,10,30=%.2fms  stretch=%.3fx  %s",
+		base, out, out/base, mark)
+	return r
+}
+
+// timedTTQMean runs the outage comparison's fixed query with the given
+// churn plan and returns the mean time-to-quorum.
+func timedTTQMean(ctx context.Context, eval *probequorum.Evaluator, churn string) (float64, error) {
+	res, err := eval.Do(ctx, probequorum.Query{
+		Spec:     "maj:31",
+		Measures: []probequorum.Measure{probequorum.MeasureTimedTTQ},
+		Ps:       []float64{0.1},
+		Trials:   2000,
+		Seed:     23,
+		Latency:  "exp:3",
+		Window:   2,
+		Churn:    churn,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return res.Points[0].TimedTTQ.MeanMS, nil
+}

@@ -63,6 +63,10 @@ func TestEvalAllConstructionsBitIdentical(t *testing.T) {
 			ReadFractions: frs,
 			Trials:        trials,
 			Seed:          seed,
+			// timed-reach (part of AllMeasures since PR 10) requires a
+			// virtual deadline; the zero scenario runs the other timed
+			// measures at zero latency.
+			TimedDeadlineMS: 50,
 		}
 	}
 	res, out := postEval(t, ts, probeserve.EvalRequest{Queries: queries})

@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 )
 
 // Summary holds the summary statistics of a sample.
@@ -130,4 +131,43 @@ func LogLogSlope(xs, ys []float64) (slope, r2 float64, err error) {
 	}
 	slope, _, r2, err = LinearFit(lx, ly)
 	return slope, r2, err
+}
+
+// Quantile returns the q-quantile of the sample by the nearest-rank
+// convention: the smallest element x such that at least ceil(q*n)
+// observations are <= x. The sample is copied and sorted internally, so
+// the input order does not matter and the answer is deterministic for a
+// given multiset. q is clamped into [0,1]; an empty sample yields 0.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return sortedQuantile(sorted, q)
+}
+
+// SortedQuantile is Quantile over an already ascending-sorted sample,
+// for callers taking several quantiles of one large sample without
+// re-sorting per call.
+func SortedQuantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	return sortedQuantile(sorted, q)
+}
+
+func sortedQuantile(sorted []float64, q float64) float64 {
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
 }

@@ -148,3 +148,31 @@ func TestMeanWithinRange(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{9, 1, 7, 3, 5} // sorted: 1 3 5 7 9
+	cases := []struct {
+		q, want float64
+	}{
+		{0, 1}, {0.2, 1}, {0.21, 3}, {0.5, 5}, {0.99, 9}, {1, 9}, {-1, 1}, {2, 9},
+	}
+	for _, tc := range cases {
+		if got := Quantile(xs, tc.q); got != tc.want {
+			t.Fatalf("Quantile(q=%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if got := Quantile(nil, 0.5); got != 0 {
+		t.Fatalf("Quantile of empty sample = %v, want 0", got)
+	}
+	// The input must not be reordered.
+	if xs[0] != 9 || xs[4] != 5 {
+		t.Fatalf("Quantile mutated its input: %v", xs)
+	}
+	sorted := []float64{1, 3, 5, 7, 9}
+	if got := SortedQuantile(sorted, 0.5); got != 5 {
+		t.Fatalf("SortedQuantile = %v, want 5", got)
+	}
+	if got := SortedQuantile(nil, 0.5); got != 0 {
+		t.Fatalf("SortedQuantile of empty sample = %v, want 0", got)
+	}
+}

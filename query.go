@@ -4,6 +4,8 @@ import (
 	"math"
 	"strconv"
 	"strings"
+
+	"probequorum/internal/des"
 )
 
 // Measure names one quantity a Query asks for. The string values are the
@@ -41,18 +43,41 @@ const (
 	// the largest f such that any f failures leave both a live read and a
 	// live write quorum. One value per system.
 	MeasureResilience Measure = "resilience"
+	// MeasureTimedTTQ is the time-to-quorum distribution of the temporal
+	// engine — the strategy scheduled against probe latencies and churn
+	// on a virtual clock — as mean/p50/p99/max in virtual ms, one
+	// distribution per grid point p.
+	MeasureTimedTTQ Measure = "timed-ttq"
+	// MeasureTimedReach is the fraction of timed trials whose time to
+	// quorum met the query's TimedDeadlineMS, one value per grid point p.
+	MeasureTimedReach Measure = "timed-reach"
+	// MeasureTimedInFlight is the probes-in-flight profile of the timed
+	// run: time-averaged and peak in-flight counts plus issued-vs-static
+	// probe accounting, one profile per grid point p.
+	MeasureTimedInFlight Measure = "timed-inflight"
 )
 
 // AllMeasures returns every recognized measure in wire order.
 func AllMeasures() []Measure {
-	return []Measure{MeasurePC, MeasurePPC, MeasureAvailability, MeasureExpected, MeasureEstimate, MeasureTree, MeasureLoad, MeasureCapacity, MeasureResilience}
+	return []Measure{MeasurePC, MeasurePPC, MeasureAvailability, MeasureExpected, MeasureEstimate, MeasureTree, MeasureLoad, MeasureCapacity, MeasureResilience, MeasureTimedTTQ, MeasureTimedReach, MeasureTimedInFlight}
 }
 
 // perP reports whether the measure is evaluated once per grid point p
 // (as opposed to once per system).
 func (m Measure) perP() bool {
 	switch m {
-	case MeasurePPC, MeasureAvailability, MeasureExpected, MeasureEstimate:
+	case MeasurePPC, MeasureAvailability, MeasureExpected, MeasureEstimate,
+		MeasureTimedTTQ, MeasureTimedReach, MeasureTimedInFlight:
+		return true
+	}
+	return false
+}
+
+// timed reports whether the measure is evaluated by the temporal engine
+// (one shared timed run per grid point feeds all of them).
+func (m Measure) Timed() bool {
+	switch m {
+	case MeasureTimedTTQ, MeasureTimedReach, MeasureTimedInFlight:
 		return true
 	}
 	return false
@@ -71,7 +96,8 @@ func (m Measure) perFr() bool {
 func (m Measure) valid() bool {
 	switch m {
 	case MeasurePC, MeasurePPC, MeasureAvailability, MeasureExpected, MeasureEstimate, MeasureTree,
-		MeasureLoad, MeasureCapacity, MeasureResilience:
+		MeasureLoad, MeasureCapacity, MeasureResilience,
+		MeasureTimedTTQ, MeasureTimedReach, MeasureTimedInFlight:
 		return true
 	}
 	return false
@@ -229,6 +255,32 @@ type Query struct {
 	// quorums: the load/capacity values then describe a deployment that
 	// keeps live quorums through any F crashes.
 	F int `json:"f,omitempty"`
+	// Latency is the probe latency spec of the timed measures (the
+	// internal/des grammar: const:MS, uniform:LO,HI, exp:MEAN,
+	// lognorm:MU,SIGMA, each with an optional +zone:NZONES,OFFMS suffix).
+	// Empty means instant probes. Inert unless a timed measure is
+	// requested.
+	Latency string `json:"latency,omitempty"`
+	// Churn is the churn plan spec of the timed measures (flap:UP,DOWN,
+	// zoneout:NZONES,START,DUR, or script:STEP;...). Empty means element
+	// states are frozen at the initial coloring.
+	Churn string `json:"churn,omitempty"`
+	// Window is the timed issue discipline's in-flight cap: 0 or 1 is
+	// sequential, k > 1 keeps up to k probes outstanding.
+	Window int `json:"window,omitempty"`
+	// HedgeMS, when positive, arms a hedge timer on every issued probe: a
+	// probe still outstanding after HedgeMS virtual ms triggers one extra
+	// speculative issue.
+	HedgeMS float64 `json:"hedge_ms,omitempty"`
+	// TimedDeadlineMS is the virtual reach deadline of the timed-reach
+	// measure, required exactly when that measure is requested. It is a
+	// scenario parameter on the virtual clock — unrelated to DeadlineMS,
+	// the wall-clock compute budget.
+	TimedDeadlineMS float64 `json:"timed_deadline_ms,omitempty"`
+	// TimedStrategy selects the strategy family the temporal engine
+	// schedules: "d" (default) the deterministic one, "r" the randomized
+	// worst-case one.
+	TimedStrategy string `json:"timed_strategy,omitempty"`
 }
 
 // readCaps resolves the effective per-node read capacities (nil = unit).
@@ -337,7 +389,45 @@ func (q Query) normalized() (Query, error) {
 		// fixed-trial path is taken on exactly one value.
 		q.Tolerance = 0
 	}
+	q.TimedStrategy = strings.TrimSpace(strings.ToLower(q.TimedStrategy))
+	switch q.TimedStrategy {
+	case "", "d", "r":
+	default:
+		return q, queryErrorf("unknown timed strategy %q (known: d, r)", q.TimedStrategy)
+	}
+	if q.hasTimed() {
+		if _, err := des.Compile(q.timedOptions()); err != nil {
+			return q, queryErrorf("bad timed scenario: %v", err)
+		}
+		if q.has(MeasureTimedReach) && !(q.TimedDeadlineMS > 0) {
+			return q, queryErrorf("measure timed-reach needs a positive virtual deadline (set TimedDeadlineMS)")
+		}
+	}
 	return q, nil
+}
+
+// hasTimed reports whether the normalized query requests any temporal
+// measure.
+func (q Query) hasTimed() bool {
+	for _, m := range q.Measures {
+		if m.Timed() {
+			return true
+		}
+	}
+	return false
+}
+
+// timedOptions maps the query's timed fields onto the temporal engine's
+// scenario options.
+func (q Query) timedOptions() des.Options {
+	return des.Options{
+		Latency:    q.Latency,
+		Churn:      q.Churn,
+		Window:     q.Window,
+		HedgeMS:    q.HedgeMS,
+		DeadlineMS: q.TimedDeadlineMS,
+		Randomized: q.TimedStrategy == "r",
+	}
 }
 
 // adaptive reports whether the normalized query runs tolerance-driven
@@ -389,6 +479,36 @@ type Degradation struct {
 	Estimate *Estimate `json:"estimate,omitempty"`
 }
 
+// TimedDist summarizes a per-trial distribution of the temporal engine
+// in virtual milliseconds.
+type TimedDist struct {
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MaxMS  float64 `json:"max_ms"`
+}
+
+// TimedFlight is the probes-in-flight profile of a timed run: the
+// time-averaged and peak in-flight counts, plus the probes the temporal
+// engine issued against the static strategy's count on the same initial
+// colorings (the speculation overhead of windowed and hedged issue).
+type TimedFlight struct {
+	MeanInFlight float64 `json:"mean_inflight"`
+	MaxInFlight  int     `json:"max_inflight"`
+	IssuedMean   float64 `json:"issued_mean"`
+	StaticMean   float64 `json:"static_mean"`
+}
+
+// TimedSummary aggregates one timed run at one grid point — a single
+// simulation feeds every requested timed measure. It is the payload of
+// timed stream cells; folded Results split it across the Point fields.
+type TimedSummary struct {
+	TTQ    TimedDist   `json:"ttq"`
+	Flight TimedFlight `json:"flight"`
+	Reach  float64     `json:"reach"`
+	Trials int         `json:"trials"`
+}
+
 // TreeSummary describes a worst-case-optimal probe strategy tree.
 type TreeSummary struct {
 	// Depth is the worst-case probe count of the tree (equals PC).
@@ -434,6 +554,11 @@ type Point struct {
 	Availability *float64  `json:"availability,omitempty"`
 	Expected     *float64  `json:"expected,omitempty"`
 	Estimate     *Estimate `json:"estimate,omitempty"`
+	// TimedTTQ, TimedReach and TimedInFlight carry the temporal measures
+	// (timed-ttq, timed-reach, timed-inflight) at this grid point.
+	TimedTTQ      *TimedDist   `json:"timed_ttq,omitempty"`
+	TimedReach    *float64     `json:"timed_reach,omitempty"`
+	TimedInFlight *TimedFlight `json:"timed_inflight,omitempty"`
 	// Approx lists the measures at this grid point that were served by
 	// the approximate-answer cache, each with its guaranteed error
 	// bound. Empty on every exactly-answered point.

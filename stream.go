@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"probequorum/internal/des"
 	"probequorum/internal/render"
 	"probequorum/internal/sim"
 )
@@ -32,7 +33,8 @@ import (
 // /v1/stream NDJSON protocol. Cells of one stream arrive in a canonical
 // deterministic order — queries by index; within a query the header,
 // then pc, then tree, then resilience, then the Ps grid points in order
-// with ppc, availability, expected, estimate at each, then the
+// with ppc, availability, expected, estimate, timed-ttq, timed-reach,
+// timed-inflight at each, then the
 // ReadFractions grid points in order with load and capacity at each —
 // regardless of parallelism or scheduling, so folding a stream is
 // reproducible byte for byte.
@@ -70,6 +72,10 @@ type Cell struct {
 	HalfCI float64 `json:"half_ci,omitempty"`
 	// Tree is the strategy-tree summary of a tree cell.
 	Tree *TreeSummary `json:"tree,omitempty"`
+	// Timed is the full timed-run aggregate carried by every timed
+	// measure cell (the cell's Value holds that measure's headline
+	// number: TTQ mean, reach fraction, or mean in-flight).
+	Timed *TimedSummary `json:"timed,omitempty"`
 	// Approx marks a Done cell served by the approximate-answer cache
 	// within the query's Tolerance; the note carries the guaranteed
 	// error bound. Nil on every exactly-computed cell.
@@ -345,6 +351,18 @@ func FoldCells(cells iter.Seq2[Cell, error], n int) ([]*Result, error) {
 			pt.Expected = &v
 		case MeasureEstimate:
 			pt.Estimate = &Estimate{Mean: v, HalfCI: c.HalfCI, Trials: c.Trials}
+		case MeasureTimedTTQ:
+			if c.Timed != nil {
+				d := c.Timed.TTQ
+				pt.TimedTTQ = &d
+			}
+		case MeasureTimedReach:
+			pt.TimedReach = &v
+		case MeasureTimedInFlight:
+			if c.Timed != nil {
+				f := c.Timed.Flight
+				pt.TimedInFlight = &f
+			}
 		}
 	}
 	return results, nil
@@ -466,8 +484,17 @@ func (e *Evaluator) streamOne(ctx context.Context, idx int, q Query, emit func(C
 		seed = nq.Seed
 	}
 	adaptive, budget := nq.adaptive()
+	// The timed measures run a fixed trial budget (the adaptive budget
+	// inflation applies to the estimate measure only).
+	timedTrials := trials
 	if adaptive {
 		trials = budget
+	}
+	var scen *des.Scenario
+	if nq.hasTimed() {
+		if scen, err = e.scenario(nq); err != nil {
+			return queryErrorf("bad timed scenario: %v", err)
+		}
 	}
 
 	// Exact solves run under the deadline budget; the fallbacks and the
@@ -487,6 +514,8 @@ func (e *Evaluator) streamOne(ctx context.Context, idx int, q Query, emit func(C
 	head := Cell{Query: idx, Spec: specStr, Name: sys.Name(), N: sys.Size()}
 	if nq.has(MeasureEstimate) {
 		head.Trials, head.Seed = trials, seed
+	} else if nq.hasTimed() {
+		head.Trials, head.Seed = timedTrials, seed
 	}
 	if !emit(head) {
 		return errStreamStopped
@@ -646,6 +675,40 @@ func (e *Evaluator) streamOne(ctx context.Context, idx int, q Query, emit func(C
 			c.Value, c.Trials, c.StdErr, c.HalfCI, c.Done = s.Mean, s.N, s.StdErr, halfCI(s), true
 			if !emit(c) {
 				return errStreamStopped
+			}
+		}
+		if nq.hasTimed() {
+			tr, err := guardPanic("timed measures", func() (des.Result, error) {
+				return des.RunCtx(ctx, des.Params{
+					Sys: sys, Scenario: scen, P: p, Trials: timedTrials, Seed: seed, Workers: e.parallelism,
+				})
+			})
+			if err != nil {
+				return fmt.Errorf("timed measures of %s at p=%v: %w", sys.Name(), p, e.boundify(err, sys))
+			}
+			summary := &TimedSummary{
+				TTQ:    TimedDist{MeanMS: tr.TTQ.MeanMS, P50MS: tr.TTQ.P50MS, P99MS: tr.TTQ.P99MS, MaxMS: tr.TTQ.MaxMS},
+				Flight: TimedFlight{MeanInFlight: tr.InFlightMean, MaxInFlight: tr.InFlightMax, IssuedMean: tr.IssuedMean, StaticMean: tr.StaticMean},
+				Reach:  tr.Reach,
+				Trials: tr.Trials,
+			}
+			for _, m := range []Measure{MeasureTimedTTQ, MeasureTimedReach, MeasureTimedInFlight} {
+				if !nq.has(m) {
+					continue
+				}
+				c := cell(m)
+				c.Timed, c.Trials, c.Done = summary, tr.Trials, true
+				switch m {
+				case MeasureTimedTTQ:
+					c.Value = summary.TTQ.MeanMS
+				case MeasureTimedReach:
+					c.Value = summary.Reach
+				case MeasureTimedInFlight:
+					c.Value = summary.Flight.MeanInFlight
+				}
+				if !emit(c) {
+					return errStreamStopped
+				}
 			}
 		}
 	}
